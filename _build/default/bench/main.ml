@@ -1,0 +1,809 @@
+(* Benchmark harness: regenerates every experimental artifact of the
+   paper's Section 7 (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe                    # all experiments, small scale
+     dune exec bench/main.exe -- e2 e3           # selected experiments
+     dune exec bench/main.exe -- all --scale medium
+
+   Experiments:
+     e1  Figure 6    — OPESS distribution flattening
+     e2  Figure 9    — query performance per scheme per query family
+     e3  Figure 10   — saving ratios of app/opt over top/sub
+     e4  Section 7.2 — division of work between client and server
+     e5  Section 7.3 — secure protocol vs naive ship-everything
+     e6  Section 7.4 — encryption time and encrypted document size
+     e7  Theorems 4.1/5.1/5.2/6.1 — candidate counts and attacker belief
+     micro           — Bechamel micro-benchmarks of the core primitives *)
+
+module System = Secure.System
+module Scheme = Secure.Scheme
+module Qg = Workload.Querygen
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Scale                                                               *)
+
+type scale = { label : string; xmark_persons : int; nasa_datasets : int }
+
+let small = { label = "small"; xmark_persons = 1500; nasa_datasets = 500 }
+let medium = { label = "medium"; xmark_persons = 6000; nasa_datasets = 2000 }
+let large = { label = "large"; xmark_persons = 25_000; nasa_datasets = 8_000 }
+
+let queries_per_family = 10
+
+(* The paper's measurement protocol: the average of 5 trials after
+   dropping the maximum and the minimum. *)
+let trials = 5
+
+(* ------------------------------------------------------------------ *)
+(* Dataset / system cache                                              *)
+
+type dataset = {
+  name : string;
+  doc : Xmlcore.Doc.t;
+  scs : Secure.Sc.t list;
+}
+
+let dataset_cache : (string, dataset list) Hashtbl.t = Hashtbl.create 4
+
+let datasets scale =
+  match Hashtbl.find_opt dataset_cache scale.label with
+  | Some ds -> ds
+  | None ->
+    let xmark = Workload.Xmark.generate ~persons:scale.xmark_persons () in
+    let nasa = Workload.Nasa.generate ~datasets:scale.nasa_datasets () in
+    let ds =
+      [ { name = "XMark"; doc = xmark; scs = Workload.Xmark.constraints () };
+        { name = "NASA"; doc = nasa; scs = Workload.Nasa.constraints () } ]
+    in
+    Hashtbl.replace dataset_cache scale.label ds;
+    ds
+
+let systems = Hashtbl.create 8
+
+let system_of ds kind =
+  let key = ds.name, kind in
+  match Hashtbl.find_opt systems key with
+  | Some entry -> entry
+  | None ->
+    let sys, cost = System.setup ds.doc ds.scs kind in
+    Hashtbl.replace systems key (sys, cost);
+    sys, cost
+
+(* Average cost of a query over [trials] runs, dropping the fastest and
+   slowest trial (ranked by total time), as in Section 7.1. *)
+let avg_cost sys q =
+  let runs = List.init trials (fun _ -> snd (System.evaluate sys q)) in
+  let runs =
+    match
+      List.sort (fun a b -> Float.compare (System.total_ms a) (System.total_ms b)) runs
+    with
+    | _fastest :: (_ :: _ :: _ as middle) ->
+      (match List.rev middle with
+       | _slowest :: kept -> kept
+       | [] -> middle)
+    | short -> short
+  in
+  let n = float_of_int (List.length runs) in
+  let avg f = List.fold_left (fun acc c -> acc +. f c) 0.0 runs /. n in
+  ( avg (fun c -> c.System.server_ms),
+    avg (fun c -> c.System.transmit_ms),
+    avg (fun c -> c.System.decrypt_ms),
+    avg (fun c -> c.System.postprocess_ms),
+    avg System.total_ms )
+
+(* Per (scheme, family): averages over the query set.  Memoised — E3
+   reuses E2's measurements. *)
+let family_costs = Hashtbl.create 32
+
+let family_cost name sys doc fam =
+  let key = name, fam in
+  match Hashtbl.find_opt family_costs key with
+  | Some cached -> cached
+  | None ->
+    let queries = Qg.generate doc fam ~count:queries_per_family in
+    let sum5 (a1, b1, c1, d1, e1) (a2, b2, c2, d2, e2) =
+      a1 +. a2, b1 +. b2, c1 +. c2, d1 +. d2, e1 +. e2
+    in
+    let total =
+      List.fold_left
+        (fun acc q -> sum5 acc (avg_cost sys q))
+        (0.0, 0.0, 0.0, 0.0, 0.0) queries
+    in
+    let n = float_of_int (max 1 (List.length queries)) in
+    let a, b, c, d, e = total in
+    let result = List.length queries, (a /. n, b /. n, c /. n, d /. n, e /. n) in
+    Hashtbl.replace family_costs key result;
+    result
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 6: OPESS distribution flattening                        *)
+
+let e1 () =
+  header "E1 (Figure 6): value distribution before and after OPESS";
+  (* The figure's input: six values with skewed occurrence counts (the
+     text spells out 34 = 1*6 + 4*7 for value 90). *)
+  let input = [ "1001", 21; "932", 8; "23", 26; "77", 7; "90", 34; "12", 14 ] in
+  let cat = Secure.Opess.build ~key:"figure6" ~attr_id:0 ~tag:"value" input in
+  Printf.printf "chosen m = %d, K = %d split keys\n\n"
+    (Secure.Opess.chunk_parameter cat) (Secure.Opess.key_count cat);
+  Printf.printf "%-10s %-6s    %s\n" "value" "count" "ciphertext chunk counts";
+  List.iter
+    (fun entry ->
+      Printf.printf "%-10s %-6d -> %d values: [%s]  (index scale x%d)\n"
+        entry.Secure.Opess.value entry.Secure.Opess.count
+        (List.length entry.Secure.Opess.chunks)
+        (String.concat ","
+           (List.map
+              (fun c -> string_of_int c.Secure.Opess.occurrences)
+              entry.Secure.Opess.chunks))
+        entry.Secure.Opess.scale)
+    (Secure.Opess.entries cat);
+  let flatness hist =
+    let counts = List.map snd hist in
+    let mn = List.fold_left min max_int counts
+    and mx = List.fold_left max 0 counts in
+    float_of_int mn /. float_of_int mx
+  in
+  Printf.printf
+    "\nflatness (min/max count): plaintext %.3f -> split %.3f -> split+scaled %.3f\n"
+    (flatness input)
+    (flatness (Secure.Opess.ciphertext_histogram cat))
+    (flatness (Secure.Opess.scaled_histogram cat));
+  Printf.printf
+    "expected shape: split is near-flat (all counts in {m-1,m,m+1}); scaling \
+     re-skews\nit without correspondence to the plaintext frequencies.\n";
+  (* A larger Zipf domain, as a robustness check. *)
+  let rng = Crypto.Prng.create 31L in
+  let dist =
+    Workload.Distribution.zipf (Array.init 200 (fun i -> Printf.sprintf "%04d" i))
+  in
+  let counts = Hashtbl.create 256 in
+  for _ = 1 to 20_000 do
+    let v = Workload.Distribution.sample dist rng in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let hist =
+    Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let cat2 = Secure.Opess.build ~key:"zipf" ~attr_id:1 ~tag:"zipf" hist in
+  Printf.printf
+    "\nZipf(1.0) domain, %d distinct / %d total values: m=%d; flatness %.4f -> \
+     %.3f after split\n"
+    (List.length hist)
+    (List.fold_left (fun a (_, c) -> a + c) 0 hist)
+    (Secure.Opess.chunk_parameter cat2) (flatness hist)
+    (flatness (Secure.Opess.ciphertext_histogram cat2))
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Figure 9: query performance per scheme per family              *)
+
+let e2 scale =
+  header
+    (Printf.sprintf
+       "E2 (Figure 9): query performance per encryption scheme (%s scale)"
+       scale.label);
+  List.iter
+    (fun ds ->
+      Printf.printf "\n[%s] %d nodes, %d bytes serialized\n" ds.name
+        (Xmlcore.Doc.node_count ds.doc)
+        (String.length (Xmlcore.Printer.doc_to_string ds.doc));
+      (* Figure 9 plots three bars per scheme: server query processing,
+         client decryption, client post-processing.  compute-ms is
+         their sum; transmit is shown for completeness but is not part
+         of the paper's figure (their transmission was negligible). *)
+      Printf.printf "%-4s %-4s %2s %10s %10s %10s %10s %10s\n" "qry" "schm" "#q"
+        "server-ms" "decrypt" "postproc" "compute-ms" "transmit";
+      List.iter
+        (fun fam ->
+          List.iter
+            (fun kind ->
+              let sys, _ = system_of ds kind in
+              let n, (srv, tx, dec, post, _total) =
+                family_cost (ds.name ^ Scheme.kind_to_string kind) sys ds.doc fam
+              in
+              Printf.printf "%-4s %-4s %2d %10.2f %10.2f %10.2f %10.2f %10.2f\n"
+                (Qg.family_to_string fam) (Scheme.kind_to_string kind) n srv dec
+                post
+                (srv +. dec +. post)
+                tx)
+            Scheme.all_kinds;
+          print_newline ())
+        [ Qg.Qs; Qg.Qm; Qg.Ql ])
+    (datasets scale);
+  Printf.printf
+    "expected shape: compute-ms decreases top > sub > app >= opt; decryption \
+     dominates\nfor coarse schemes; the opt/top gap widens from Qs to Ql.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Figure 10: saving ratios                                       *)
+
+let e3 scale =
+  header (Printf.sprintf "E3 (Figure 10): saving ratios (%s scale)" scale.label);
+  List.iter
+    (fun ds ->
+      Printf.printf "\n[%s]\n%-4s %8s %8s %8s %8s\n" ds.name "qry" "Sa/t" "Sa/s"
+        "So/t" "So/s";
+      List.iter
+        (fun fam ->
+          (* Ratios over the Figure 9 quantity: server + decrypt +
+             post-process (transmission excluded, as in the paper). *)
+          let total kind =
+            let sys, _ = system_of ds kind in
+            let _, (srv, _, dec, post, _) =
+              family_cost (ds.name ^ Scheme.kind_to_string kind) sys ds.doc fam
+            in
+            srv +. dec +. post
+          in
+          let tt = total Scheme.Top and ts = total Scheme.Sub in
+          let ta = total Scheme.App and topt = total Scheme.Opt in
+          let ratio base t = (base -. t) /. base in
+          Printf.printf "%-4s %8.2f %8.2f %8.2f %8.2f\n" (Qg.family_to_string fam)
+            (ratio tt ta) (ratio ts ta) (ratio tt topt) (ratio ts topt))
+        [ Qg.Qs; Qg.Qm; Qg.Ql ])
+    (datasets scale);
+  Printf.printf
+    "\nexpected shape: ratios grow as the output node nears the leaves (paper: \
+     up to\n~0.64 over top, ~0.53 over sub at Ql); app stays within 1.1-1.3x \
+     of opt, keeping\nSa close to So.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Section 7.2: division of work                                  *)
+
+let e4 scale =
+  header
+    (Printf.sprintf "E4 (Section 7.2): division of work, NASA, opt scheme (%s)"
+       scale.label);
+  let ds = List.nth (datasets scale) 1 in
+  let sys, _ = system_of ds Scheme.Opt in
+  Printf.printf "%-4s %12s %12s %12s %12s %12s\n" "qry" "translate" "server-ms"
+    "transmit" "decrypt" "postprocess";
+  List.iter
+    (fun fam ->
+      let queries = Qg.generate ds.doc fam ~count:queries_per_family in
+      let acc = Array.make 5 0.0 in
+      List.iter
+        (fun q ->
+          let _, c = System.evaluate sys q in
+          acc.(0) <- acc.(0) +. c.System.translate_ms;
+          acc.(1) <- acc.(1) +. c.System.server_ms;
+          acc.(2) <- acc.(2) +. c.System.transmit_ms;
+          acc.(3) <- acc.(3) +. c.System.decrypt_ms;
+          acc.(4) <- acc.(4) +. c.System.postprocess_ms)
+        queries;
+      let n = float_of_int (max 1 (List.length queries)) in
+      Printf.printf "%-4s %12.3f %12.3f %12.3f %12.3f %12.3f\n"
+        (Qg.family_to_string fam) (acc.(0) /. n) (acc.(1) /. n) (acc.(2) /. n)
+        (acc.(3) /. n) (acc.(4) /. n))
+    [ Qg.Qs; Qg.Qm; Qg.Ql; Qg.Qv ];
+  Printf.printf
+    "\nexpected shape: translation negligible on both sides (paper: <5 ms \
+     client,\n~13 ms server at 50 MB); transmission negligible on a fast link.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Section 7.3: secure protocol vs naive method                   *)
+
+let e5 scale =
+  header (Printf.sprintf "E5 (Section 7.3): our approach vs naive (%s)" scale.label);
+  List.iter
+    (fun ds ->
+      Printf.printf "\n[%s] ratio = secure total / naive total (lower is better)\n"
+        ds.name;
+      Printf.printf "%-4s %12s %12s %10s\n" "schm" "secure-ms" "naive-ms" "ratio";
+      List.iter
+        (fun kind ->
+          let sys, _ = system_of ds kind in
+          (* Mixed workload across the three paper families. *)
+          let queries =
+            List.concat_map
+              (fun fam -> Qg.generate ds.doc fam ~count:4)
+              [ Qg.Qs; Qg.Qm; Qg.Ql ]
+          in
+          let secure, naive =
+            List.fold_left
+              (fun (s, nv) q ->
+                let _, cs = System.evaluate sys q in
+                let _, cn = System.naive_evaluate sys q in
+                s +. System.total_ms cs, nv +. System.total_ms cn)
+              (0.0, 0.0) queries
+          in
+          Printf.printf "%-4s %12.1f %12.1f %10.2f\n" (Scheme.kind_to_string kind)
+            secure naive (secure /. naive))
+        Scheme.all_kinds)
+    (datasets scale);
+  Printf.printf
+    "\nexpected shape: opt/app/sub evaluate in a fraction of naive time \
+     (paper: 11%%-28%%);\ntop equals naive (everything ships regardless).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Section 7.4: encryption time and size                          *)
+
+let e6 scale =
+  header
+    (Printf.sprintf "E6 (Section 7.4): encryption time and encrypted size (%s)"
+       scale.label);
+  List.iter
+    (fun ds ->
+      let plain_bytes = String.length (Xmlcore.Printer.doc_to_string ds.doc) in
+      Printf.printf "\n[%s] plaintext %d bytes\n" ds.name plain_bytes;
+      Printf.printf "%-4s %8s %12s %12s %12s %12s\n" "schm" "blocks" "enc-ms"
+        "cipher-B" "server-B" "metadata-B";
+      List.iter
+        (fun kind ->
+          let sys, cost = system_of ds kind in
+          Printf.printf "%-4s %8d %12.1f %12d %12d %12d\n"
+            (Scheme.kind_to_string kind) cost.System.block_count
+            cost.System.encrypt_ms
+            (Secure.Encrypt.encrypted_bytes (System.db sys))
+            cost.System.server_data_bytes cost.System.metadata_bytes)
+        Scheme.all_kinds)
+    (datasets scale);
+  Printf.printf
+    "\nexpected shape: app encrypts the most elements when its cover is \
+     larger; sub\nproduces the largest ciphertext (per-block headers on big \
+     blocks); opt is best\non both axes; top has one big block.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7 — theorem validation                                             *)
+
+let e7 () =
+  header "E7: candidate counts and attacker belief (Theorems 4.1/5.1/5.2/6.1)";
+  let doc = Workload.Health.generate ~patients:300 () in
+  Printf.printf "300-patient hospital database\n\n";
+  Printf.printf "Theorem 4.1 — per-attribute candidate databases (multinomial):\n";
+  List.iter
+    (fun (tag, hist) ->
+      let ks = List.map snd hist in
+      let log10 = Secure.Counting.log_multinomial ks /. log 10.0 in
+      Printf.printf "  %-12s k=%-3d total=%-5d candidates ~ 10^%.0f\n" tag
+        (List.length ks)
+        (List.fold_left ( + ) 0 ks)
+        log10)
+    (Xmlcore.Stats.all_histograms doc);
+  Printf.printf "\nTheorem 5.2 — value-index candidate mappings C(n-1, k-1):\n";
+  List.iter
+    (fun (tag, hist) ->
+      let cat = Secure.Opess.build ~key:"e7" ~attr_id:0 ~tag hist in
+      let k = List.length hist in
+      let n = List.length (Secure.Opess.ciphertext_histogram cat) in
+      Printf.printf "  %-12s k=%-3d n=%-4d candidates ~ 10^%.1f\n" tag k n
+        (Secure.Counting.log_compositions_count ~n ~k /. log 10.0))
+    (Xmlcore.Stats.all_histograms doc);
+  (* Theorem 5.1: structural candidates from block grouping under the
+     coarse sub scheme (whole patient records encrypted). *)
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup doc scs Scheme.Sub in
+  let db = System.db sys in
+  let log10_structural =
+    List.fold_left
+      (fun acc b ->
+        let root = b.Secure.Encrypt.root in
+        let leaves =
+          List.filter
+            (fun n -> Xmlcore.Doc.is_leaf doc n)
+            (Xmlcore.Doc.descendant_or_self doc root)
+        in
+        let n = List.length leaves in
+        (* Grouping makes k < n intervals visible for the block. *)
+        let k = max 1 (n - 2) in
+        if n >= 2 then
+          acc +. (Secure.Counting.log_compositions_count ~n ~k /. log 10.0)
+        else acc)
+      0.0 db.Secure.Encrypt.blocks
+  in
+  Printf.printf
+    "\nTheorem 5.1 — structural candidates over %d sub-scheme blocks: ~10^%.0f\n"
+    (List.length db.Secure.Encrypt.blocks)
+    log10_structural;
+  (* Constructive check on the paper's running example: enumerate the
+     actual candidate databases and compare what the attacker sees. *)
+  let hdoc = Workload.Health.doc () in
+  let report =
+    Secure.Candidates.indistinguishability_report ~master:"e7"
+      ~constraints:(Workload.Health.constraints ()) ~kind:Scheme.Opt
+      ~tag:"disease" ~limit:12 hdoc
+  in
+  Printf.printf
+    "\nDefinition 3.1/3.3, constructively (Figure 2 database, disease \
+     attribute):\n\
+    \  %d candidate databases enumerated; schema-conformant: %b;\n\
+    \  equal encrypted sizes: %b; equal index histograms: %b;\n\
+    \  candidates containing every protected association: %d (must be 1)\n"
+    report.Secure.Candidates.candidates report.Secure.Candidates.all_conform
+    report.Secure.Candidates.equal_sizes
+    report.Secure.Candidates.equal_index_histograms
+    report.Secure.Candidates.satisfying_original;
+  Printf.printf "\nTheorem 6.1 — attacker belief per association after q queries:\n";
+  let hist = Xmlcore.Stats.value_histogram doc ~tag:"disease" in
+  let cat = Secure.Opess.build ~key:"e7b" ~attr_id:0 ~tag:"disease" hist in
+  let k = List.length hist in
+  let n = List.length (Secure.Opess.ciphertext_histogram cat) in
+  Printf.printf "  disease: k=%d n=%d: %s\n" k n
+    (String.concat " -> "
+       (List.map (Printf.sprintf "%.2e")
+          (Secure.Attack.belief_sequence ~k ~n ~queries:4)));
+  Printf.printf "\nFrequency attack crack rates (Section 4.1's motivation):\n";
+  List.iter
+    (fun tag ->
+      let known = Xmlcore.Stats.value_histogram doc ~tag in
+      if known <> [] then begin
+        let broken =
+          Secure.Attack.frequency_attack ~known
+            ~observed:(Secure.Attack.deterministic_leaf_histogram known)
+        in
+        let cat = Secure.Opess.build ~key:"e7c" ~attr_id:0 ~tag known in
+        let secured =
+          Secure.Attack.frequency_attack ~known
+            ~observed:(Secure.Opess.scaled_histogram cat)
+        in
+        Printf.printf "  %-12s naive %3.0f%%  opess %3.0f%%\n" tag
+          (100.0 *. broken.Secure.Attack.crack_rate)
+          (100.0 *. secured.Secure.Attack.crack_rate)
+      end)
+    [ "disease"; "doctor"; "pname"; "@coverage"; "age" ];
+  Printf.printf
+    "\nexpected shape: candidate counts exponentially large; belief never \
+     increases;\nnaive crack rates high, OPESS crack rates ~0.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — ablations of the design choices DESIGN.md calls out            *)
+
+let e8 () =
+  header "E8 (ablations): what each mechanism buys";
+  (* (a) Scaling: the re-aggregation (coalescing) attack against
+     split-only vs split+scaled index distributions. *)
+  Printf.printf "(a) scaling vs the coalescing attack\n";
+  Printf.printf "%-22s %14s %14s\n" "attribute" "split-only" "split+scale";
+  let doc = Workload.Health.generate ~patients:300 () in
+  List.iter
+    (fun tag ->
+      let hist = Xmlcore.Stats.value_histogram doc ~tag in
+      if hist <> [] then begin
+        let cat = Secure.Opess.build ~key:"e8" ~attr_id:0 ~tag hist in
+        (* known frequencies in the index's (numeric) order *)
+        let known_ordered =
+          List.map
+            (fun e -> e.Secure.Opess.value, e.Secure.Opess.count)
+            (Secure.Opess.entries cat)
+        in
+        let describe observed =
+          let r = Secure.Attack.coalescing_attack ~known:known_ordered ~observed in
+          if r.Secure.Attack.unique then "CRACKED"
+          else Printf.sprintf "%d partitions" r.Secure.Attack.valid_partitions
+        in
+        Printf.printf "%-22s %14s %14s\n" tag
+          (describe (Secure.Opess.ciphertext_histogram cat))
+          (describe (Secure.Opess.scaled_histogram cat))
+      end)
+    [ "disease"; "doctor"; "@coverage"; "age" ];
+  (* (b) Decoys: byte overhead they add to the encrypted database. *)
+  Printf.printf "\n(b) decoy overhead (opt scheme, healthcare doc)\n";
+  let scs = Workload.Health.constraints () in
+  let keys = Crypto.Keys.create ~master:"e8" () in
+  let scheme = Scheme.build doc scs Scheme.Opt in
+  let db = Secure.Encrypt.encrypt ~keys doc scheme in
+  let decoy_blocks =
+    List.length (List.filter (fun b -> b.Secure.Encrypt.has_decoy) db.Secure.Encrypt.blocks)
+  in
+  Printf.printf
+    "  %d of %d blocks carry decoys; ciphertext total %d bytes (~%d decoy bytes)\n"
+    decoy_blocks
+    (List.length db.Secure.Encrypt.blocks)
+    (Secure.Encrypt.encrypted_bytes db)
+    (decoy_blocks * 16);
+  (* (c) DSI grouping: index-size effect.  Grouping collapses runs of
+     adjacent same-tag siblings inside one block, so it only bites for
+     coarse schemes (opt's single-leaf blocks have nothing to group). *)
+  Printf.printf "\n(c) DSI grouping (table intervals; %d nodes in the document)\n"
+    (Xmlcore.Doc.node_count doc);
+  List.iter
+    (fun kind ->
+      let scheme = Scheme.build doc scs kind in
+      let db = Secure.Encrypt.encrypt ~keys doc scheme in
+      let meta = Secure.Metadata.build ~keys db in
+      Printf.printf "  %-4s %6d intervals\n" (Scheme.kind_to_string kind)
+        (Secure.Metadata.table_entry_count meta))
+    Scheme.all_kinds;
+  (* (d) B-tree min_degree sweep. *)
+  Printf.printf "\n(d) B-tree min_degree sweep (100k inserts + 1k range scans)\n";
+  Printf.printf "  %6s %10s %8s %12s %12s\n" "t" "height" "nodes" "build-ms" "scan-ms";
+  List.iter
+    (fun degree ->
+      let tree = Btree.create ~min_degree:degree () in
+      let rng = Crypto.Prng.create 5L in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 100_000 do
+        Btree.insert tree (Int64.of_int (Crypto.Prng.int rng 1_000_000)) 0
+      done;
+      let t1 = Unix.gettimeofday () in
+      for i = 1 to 1_000 do
+        ignore (Btree.range tree ~lo:(Int64.of_int (i * 500)) ~hi:(Int64.of_int ((i * 500) + 2_000)))
+      done;
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "  %6d %10d %8d %12.1f %12.1f\n" degree (Btree.height tree)
+        (Btree.node_count tree)
+        ((t1 -. t0) *. 1000.0)
+        ((t2 -. t1) *. 1000.0))
+    [ 2; 4; 8; 16; 32; 64 ];
+  (* (e) Per-block header size: where sub overtakes top in stored bytes. *)
+  Printf.printf "\n(e) per-block header overhead (XMark, stored ciphertext bytes)\n";
+  let xdoc = Workload.Xmark.generate ~persons:800 () in
+  let xscs = Workload.Xmark.constraints () in
+  let payload_bytes kind =
+    let scheme = Scheme.build xdoc xscs kind in
+    let db = Secure.Encrypt.encrypt ~keys xdoc scheme in
+    let raw =
+      List.fold_left
+        (fun acc b -> acc + String.length b.Secure.Encrypt.ciphertext)
+        0 db.Secure.Encrypt.blocks
+    in
+    raw, List.length db.Secure.Encrypt.blocks
+  in
+  let raw_opt, n_opt = payload_bytes Scheme.Opt in
+  let raw_sub, n_sub = payload_bytes Scheme.Sub in
+  let raw_top, n_top = payload_bytes Scheme.Top in
+  Printf.printf "  %8s %6s %6s %6s\n" "header-B" "opt" "sub" "top";
+  List.iter
+    (fun h ->
+      Printf.printf "  %8d %6d %6d %6d\n" h
+        ((raw_opt + (n_opt * h)) / 1024)
+        ((raw_sub + (n_sub * h)) / 1024)
+        ((raw_top + (n_top * h)) / 1024))
+    [ 0; 30; 60; 120; 240; 480 ];
+  Printf.printf
+    "  (KiB; opt's many tiny blocks pay the header, sub's big blocks carry \
+     duplicate\n   subtree bytes, top pays neither — the paper's size ordering \
+     emerges from the\n   header term)\n";
+  (* (f) DSI vs the continuous interval baseline (Section 5.1.1): does
+     grouping leak? *)
+  Printf.printf "\n(f) grouping leakage: continuous index vs DSI\n";
+  let hdoc = Workload.Health.doc () in
+  let cont = Dsi.Continuous.assign hdoc in
+  let dsi = Dsi.Assign.assign ~key:"e8f" hdoc in
+  let insurance =
+    List.find
+      (fun n -> List.length (Xmlcore.Doc.children hdoc n) = 3)
+      (Xmlcore.Doc.nodes_with_tag hdoc "insurance")
+  in
+  let children = Xmlcore.Doc.children hdoc insurance in
+  let policies = List.filter (fun n -> Xmlcore.Doc.tag hdoc n = "policy#") children in
+  let others = List.filter (fun n -> Xmlcore.Doc.tag hdoc n <> "policy#") children in
+  let leak interval_of parent_iv =
+    let hull =
+      List.fold_left
+        (fun acc n -> Dsi.Interval.hull acc (interval_of n))
+        (interval_of (List.hd policies))
+        policies
+    in
+    Dsi.Continuous.grouping_leak ~parent:parent_iv
+      ~child_intervals:(hull :: List.map interval_of others)
+  in
+  Printf.printf "  continuous index: grouping detected = %b\n"
+    (leak (Dsi.Continuous.interval cont) (Dsi.Continuous.interval cont insurance));
+  Printf.printf "  DSI index:        grouping detected = %b\n"
+    (leak (Dsi.Assign.interval dsi) (Dsi.Assign.interval dsi insurance));
+  (* (g) tag-distribution attacker (the paper's stated non-goal). *)
+  Printf.printf "\n(g) tag-distribution attack (outside the threat model, Section 8)\n";
+  let meta2 = Secure.Metadata.build ~keys db in
+  let observed =
+    List.map (fun (token, ivs) -> token, List.length ivs) meta2.Secure.Metadata.dsi_table
+  in
+  let r =
+    Secure.Attack.tag_distribution_attack
+      ~known_census:(Xmlcore.Stats.tag_census doc) ~observed
+  in
+  Printf.printf
+    "  %d/%d tags re-identified by a census-equipped attacker — confirming \
+     the paper's\n  declared limitation (grouping only partially erodes the \
+     signal)\n"
+    (List.length r.Secure.Attack.identified)
+    r.Secure.Attack.tag_domain;
+  (* (h) update cost: the re-host strategy pays full setup per edit. *)
+  Printf.printf "\n(h) update cost (re-host strategy)\n";
+  let scs_h = Workload.Health.constraints () in
+  List.iter
+    (fun patients ->
+      let doc = Workload.Health.generate ~patients () in
+      let sys, setup0 = System.setup doc scs_h Scheme.Opt in
+      let t0 = Unix.gettimeofday () in
+      let _sys2, _ =
+        System.update sys
+          (Secure.Update.Set_value (Xpath.Parser.parse "//patient/age", "50"))
+      in
+      ignore setup0;
+      Printf.printf "  %6d patients: re-host %.0f ms\n" patients
+        ((Unix.gettimeofday () -. t0) *. 1000.0))
+    [ 50; 200; 800 ];
+  Printf.printf
+    "  (linear in document size — the cost an incremental protocol built on \
+     the DSI\n   gaps, cf. Dsi.Assign.interval_in_gap, would avoid)\n";
+  (* (i) cipher suites: XTEA (paper-era stand-in) vs AES-128 (what W3C
+     XML-Encryption deployments used). *)
+  Printf.printf "\n(i) block-cipher suite comparison (1 MiB CBC)\n";
+  let payload = String.init (1024 * 1024) (fun i -> Char.chr (i land 0xFF)) in
+  List.iter
+    (fun suite ->
+      let prepared = Crypto.Cipher.prepare suite "bench-key" in
+      let t0 = Unix.gettimeofday () in
+      let ct = Crypto.Cipher.encrypt prepared ~nonce:"n" payload in
+      let t1 = Unix.gettimeofday () in
+      ignore (Crypto.Cipher.decrypt prepared ~nonce:"n" ct);
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "  %-5s encrypt %6.1f MB/s   decrypt %6.1f MB/s\n"
+        (Crypto.Cipher.suite_to_string suite)
+        (1.0 /. (t1 -. t0))
+        (1.0 /. (t2 -. t1)))
+    [ Crypto.Cipher.Xtea; Crypto.Cipher.Aes ];
+  let hdoc2 = Workload.Health.generate ~patients:200 () in
+  List.iter
+    (fun suite ->
+      let _, cost =
+        System.setup ~master:"e8i" ~cipher:suite hdoc2
+          (Workload.Health.constraints ()) Scheme.Opt
+      in
+      Printf.printf "  %-5s full setup: encrypt %.1f ms, server data %d bytes\n"
+        (Crypto.Cipher.suite_to_string suite) cost.System.encrypt_ms
+        cost.System.server_data_bytes)
+    [ Crypto.Cipher.Xtea; Crypto.Cipher.Aes ];
+  (* (j) value-index policy: metadata size vs value-query cost. *)
+  Printf.printf "\n(j) value-index policy (200-patient hospital, opt scheme)\n";
+  let scs_j = Workload.Health.constraints () in
+  let q = Xpath.Parser.parse "//patient[age>=60]/pname" in
+  List.iter
+    (fun (label, policy) ->
+      let sys, cost = System.setup ~master:"e8j" ~value_index:policy hdoc2 scs_j Scheme.Opt in
+      let answers, qcost = System.evaluate sys q in
+      Printf.printf
+        "  %-14s metadata %8d B, btree %6d entries; age>=60 query %6.2f ms \
+         (%d blocks, %d answers)\n"
+        label cost.System.metadata_bytes
+        (Secure.Metadata.btree_entry_count (System.metadata sys))
+        (System.total_ms qcost) qcost.System.blocks_returned
+        (List.length answers))
+    [ "all-leaves", Secure.Metadata.All_leaves;
+      "encrypted-only", Secure.Metadata.Encrypted_only ]
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+
+let micro () =
+  header "micro: Bechamel micro-benchmarks of the core primitives";
+  let open Bechamel in
+  let open Toolkit in
+  (* Fixtures. *)
+  let doc_10k = Workload.Xmark.generate ~persons:700 () in
+  let assignment = Dsi.Assign.assign ~key:"bench" doc_10k in
+  let intervals =
+    List.init (Xmlcore.Doc.node_count doc_10k) (Dsi.Assign.interval assignment)
+  in
+  let people = List.filteri (fun i _ -> i mod 13 = 0) intervals in
+  let big_hist =
+    List.init 300 (fun i -> Printf.sprintf "%05d" i, 3 + (i mod 40))
+  in
+  let cat = Secure.Opess.build ~key:"bench" ~attr_id:0 ~tag:"v" big_hist in
+  let btree = Btree.create () in
+  List.iteri (fun i (_, c) -> Btree.insert btree (Int64.of_int (i * 7)) c) big_hist;
+  let payload = String.init 65_536 (fun i -> Char.chr (i mod 256)) in
+  let cbc_key = Crypto.Cbc.prepare "bench-key" in
+  let ope = Crypto.Ope.create ~key:"bench" ~domain_bits:32 in
+  let query = Xpath.Parser.parse "//person[address/city='Seoul']/name" in
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [ Test.make ~name:"dsi-assign-10k-nodes"
+          (Staged.stage (fun () -> Dsi.Assign.assign ~key:"x" doc_10k));
+        Test.make ~name:"structural-join-10k"
+          (Staged.stage (fun () ->
+               Dsi.Join.descendants_within ~ancestors:people intervals));
+        Test.make ~name:"opess-build-300-values"
+          (Staged.stage (fun () ->
+               Secure.Opess.build ~key:"b" ~attr_id:0 ~tag:"v" big_hist));
+        Test.make ~name:"opess-translate-range"
+          (Staged.stage (fun () -> Secure.Opess.translate cat Xpath.Ast.Ge "00150"));
+        Test.make ~name:"btree-range-scan"
+          (Staged.stage (fun () -> Btree.range btree ~lo:100L ~hi:1500L));
+        Test.make ~name:"cbc-encrypt-64KiB"
+          (Staged.stage (fun () ->
+               Crypto.Cbc.encrypt_prepared cbc_key ~nonce:"n" payload));
+        Test.make ~name:"ope-encrypt"
+          (Staged.stage (fun () -> Crypto.Ope.encrypt ope 123_456_789L));
+        Test.make ~name:"vernam-tag-token"
+          (Staged.stage (fun () ->
+               Crypto.Vernam.encrypt_hex ~key:"k" ~pad_id:"tag" "insurance"));
+        Test.make ~name:"xpath-eval-10k-doc"
+          (Staged.stage (fun () -> Xpath.Eval.eval doc_10k query));
+        Test.make ~name:"sha256-4KiB"
+          (Staged.stage
+             (let block = String.make 4096 'x' in
+              fun () -> Crypto.Sha256.digest block));
+        Test.make ~name:"btree-insert-delete"
+          (Staged.stage (fun () ->
+               Btree.insert btree 424242L 1;
+               ignore (Btree.delete btree 424242L (fun _ -> true))));
+        Test.make ~name:"protocol-encode-request"
+          (Staged.stage
+             (let squery =
+                { Secure.Squery.absolute = true;
+                  steps =
+                    [ { Secure.Squery.axis = Xpath.Ast.Descendant_or_self;
+                        test = Secure.Squery.Tokens [ Secure.Squery.Clear "person" ];
+                        predicates =
+                          [ Secure.Squery.Value
+                              ( { Secure.Squery.absolute = false;
+                                  steps =
+                                    [ { Secure.Squery.axis = Xpath.Ast.Child;
+                                        test =
+                                          Secure.Squery.Tokens
+                                            [ Secure.Squery.Clear "age" ];
+                                        predicates = [] } ] },
+                                Secure.Squery.Ranges [ (1L, 99L) ] ) ] } ] }
+              in
+              fun () -> Secure.Protocol.encode_request squery));
+        Test.make ~name:"xquery-parse"
+          (Staged.stage (fun () ->
+               Xquery.Parser.parse
+                 "for $p in //person where $p/age >= 40 order by $p/age return \
+                  <r>{$p/name}</r>")) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "%-52s %14s\n" "benchmark" "ns/run";
+  List.iter (fun (name, ns) -> Printf.printf "%-52s %14.0f\n" name ns) rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale =
+    let rec after = function
+      | "--scale" :: v :: _ -> Some v
+      | _ :: rest -> after rest
+      | [] -> None
+    in
+    match after args with
+    | Some "medium" -> medium
+    | Some "large" -> large
+    | Some _ | None -> small
+  in
+  let wanted =
+    List.filter
+      (fun a ->
+        (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        && a <> "small" && a <> "medium" && a <> "large")
+      args
+  in
+  let all = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "micro" ] in
+  let wanted = if wanted = [] || List.mem "all" wanted then all else wanted in
+  Printf.printf "secure-xml bench harness (scale: %s)\n" scale.label;
+  List.iter
+    (fun name ->
+      match name with
+      | "e1" -> e1 ()
+      | "e2" -> e2 scale
+      | "e3" -> e3 scale
+      | "e4" -> e4 scale
+      | "e5" -> e5 scale
+      | "e6" -> e6 scale
+      | "e7" -> e7 ()
+      | "e8" -> e8 ()
+      | "micro" -> micro ()
+      | other -> Printf.printf "unknown experiment %S (skipped)\n" other)
+    wanted

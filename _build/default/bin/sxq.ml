@@ -1,0 +1,323 @@
+(* sxq — secure XML query tool.
+
+   Command-line front end for the library: generate workload documents,
+   inspect their statistics, host them under an encryption scheme and
+   run queries through the full client/server protocol, or run the
+   attack simulators against them. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let doc_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml"
+         ~doc:"XML document file.")
+
+let scheme_arg =
+  let parse = function
+    | "opt" -> Ok Secure.Scheme.Opt
+    | "app" -> Ok Secure.Scheme.App
+    | "sub" -> Ok Secure.Scheme.Sub
+    | "top" -> Ok Secure.Scheme.Top
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (opt|app|sub|top)" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Secure.Scheme.kind_to_string k) in
+  Arg.(value & opt (conv (parse, print)) Secure.Scheme.Opt
+       & info [ "s"; "scheme" ] ~docv:"SCHEME"
+           ~doc:"Encryption scheme: opt, app, sub or top.")
+
+let sc_arg =
+  Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"SC"
+         ~doc:"Security constraint, e.g. //insurance or \
+               //patient:(/pname,/SSN).  Repeatable.")
+
+let master_arg =
+  Arg.(value & opt string "sxq-master-key" & info [ "k"; "key" ] ~docv:"KEY"
+         ~doc:"Master secret for key derivation.")
+
+let load_doc path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Xmlcore.Parser.parse_doc s
+
+let parse_scs = List.map Secure.Sc.parse
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let workload_arg =
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ "xmark", `Xmark; "nasa", `Nasa; "health", `Health;
+                     "dblp", `Dblp ]))
+             None
+         & info [] ~docv:"WORKLOAD" ~doc:"xmark, nasa, health or dblp.")
+  in
+  let size_arg =
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N"
+           ~doc:"Record count (persons / datasets / patients).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE"
+           ~doc:"Output file (stdout otherwise).")
+  in
+  let run workload n seed out =
+    let seed = Int64.of_int seed in
+    let doc =
+      match workload with
+      | `Xmark -> Workload.Xmark.generate ~seed ~persons:n ()
+      | `Nasa -> Workload.Nasa.generate ~seed ~datasets:n ()
+      | `Health -> Workload.Health.generate ~seed ~patients:n ()
+      | `Dblp -> Workload.Dblp.generate ~seed ~papers:n ()
+    in
+    let s = Xmlcore.Printer.doc_to_string ~indent:true doc in
+    match out with
+    | None -> print_string s
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "wrote %d bytes (%d nodes) to %s\n" (String.length s)
+        (Xmlcore.Doc.node_count doc) path
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic workload document.")
+    Term.(const run $ workload_arg $ size_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_cmd =
+  let run path =
+    let doc = load_doc path in
+    Printf.printf "nodes: %d   height: %d   serialized: %d bytes\n"
+      (Xmlcore.Doc.node_count doc) (Xmlcore.Doc.height doc)
+      (String.length (Xmlcore.Printer.doc_to_string doc));
+    Printf.printf "\ntag census:\n";
+    List.iter
+      (fun (tag, c) -> Printf.printf "  %-20s %d\n" tag c)
+      (Xmlcore.Stats.tag_census doc);
+    Printf.printf "\nleaf attributes:\n";
+    List.iter
+      (fun (tag, h) ->
+        Printf.printf "  %-20s %4d values, %4d distinct, flatness %.2f\n" tag
+          (Xmlcore.Stats.total_count h)
+          (Xmlcore.Stats.distinct_count h)
+          (Xmlcore.Stats.flatness h))
+      (Xmlcore.Stats.all_histograms doc)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show document statistics (the attacker's view).")
+    Term.(const run $ doc_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* host                                                                *)
+
+let host_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Persist the hosted bundle for later $(b,query --hosted) runs.")
+  in
+  let run path scs scheme master out =
+    let doc = load_doc path in
+    let scs = parse_scs scs in
+    let sys, cost = Secure.System.setup ~master doc scs scheme in
+    (match out with
+     | None -> ()
+     | Some file ->
+       Secure.Persist.save sys file;
+       Printf.printf "hosted bundle written to %s\n" file);
+    let meta = Secure.System.metadata sys in
+    Printf.printf "scheme %s: %d blocks, %d nodes encrypted (cover: %s)\n"
+      (Secure.Scheme.kind_to_string scheme) cost.Secure.System.block_count
+      cost.Secure.System.scheme_size_nodes
+      (String.concat ", " (Secure.System.scheme sys).Secure.Scheme.covered_tags);
+    Printf.printf "setup: scheme %.1f ms, encrypt %.1f ms, metadata %.1f ms\n"
+      cost.Secure.System.scheme_build_ms cost.Secure.System.encrypt_ms
+      cost.Secure.System.metadata_ms;
+    Printf.printf "server data: %d bytes;  metadata: %d bytes\n"
+      cost.Secure.System.server_data_bytes cost.Secure.System.metadata_bytes;
+    Printf.printf "DSI table: %d tokens, %d intervals;  B-tree: %d entries, height %d\n"
+      (List.length meta.Secure.Metadata.dsi_table)
+      (Secure.Metadata.table_entry_count meta)
+      (Secure.Metadata.btree_entry_count meta)
+      (Btree.height meta.Secure.Metadata.btree)
+  in
+  Cmd.v
+    (Cmd.info "host"
+       ~doc:"Build the hosted (encrypted) form of a document and report sizes.")
+    Term.(const run $ doc_file_arg $ sc_arg $ scheme_arg $ master_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"XPath query to evaluate through the protocol.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the translated query.")
+  in
+  let hosted_arg =
+    Arg.(value & flag & info [ "hosted" ]
+           ~doc:"Treat DOC as a persisted bundle from $(b,host -o) instead of \
+                 XML (skips setup).")
+  in
+  let run path query scs scheme master verbose hosted =
+    let sys =
+      if hosted then Secure.Persist.load ~master path
+      else begin
+        let doc = load_doc path in
+        let scs = parse_scs scs in
+        fst (Secure.System.setup ~master doc scs scheme)
+      end
+    in
+    let branches = Xpath.Parser.parse_union query in
+    if verbose then
+      List.iter
+        (fun q ->
+          let translated = Secure.Client.translate (Secure.System.client sys) q in
+          Printf.printf "translated: %s\n" (Secure.Squery.to_string translated);
+          List.iter
+            (fun r ->
+              Printf.printf "  step %d: %d candidates -> %d surviving\n"
+                r.Secure.Server.step_index r.Secure.Server.raw_candidates
+                r.Secure.Server.surviving_candidates)
+            (Secure.Server.explain (Secure.System.server sys) translated))
+        branches;
+    let answers, cost =
+      match branches with
+      | [ q ] -> Secure.System.evaluate sys q
+      | many -> Secure.System.evaluate_union sys many
+    in
+    List.iter
+      (fun t -> print_endline (Xmlcore.Printer.tree_to_string t))
+      answers;
+    Printf.eprintf
+      "%d answer(s); %d block(s), %d bytes shipped; translate %.2f + server \
+       %.2f + transmit %.2f + decrypt %.2f + post %.2f = %.2f ms\n"
+      cost.Secure.System.answer_count cost.Secure.System.blocks_returned
+      cost.Secure.System.transmit_bytes cost.Secure.System.translate_ms
+      cost.Secure.System.server_ms cost.Secure.System.transmit_ms
+      cost.Secure.System.decrypt_ms cost.Secure.System.postprocess_ms
+      (Secure.System.total_ms cost)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate an XPath query through the full secure protocol.")
+    Term.(const run $ doc_file_arg $ query_arg $ sc_arg $ scheme_arg $ master_arg
+          $ verbose_arg $ hosted_arg)
+
+(* ------------------------------------------------------------------ *)
+(* aggregate                                                           *)
+
+let aggregate_cmd =
+  let dir_arg =
+    Arg.(required & pos 1 (some (enum [ "min", `Min; "max", `Max ])) None
+         & info [] ~docv:"MIN|MAX" ~doc:"Aggregate function.")
+  in
+  let path_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"Query whose answers are aggregated.")
+  in
+  let run path dir query scs scheme master =
+    let doc = load_doc path in
+    let sys, _ = Secure.System.setup ~master doc (parse_scs scs) scheme in
+    let q = Xpath.Parser.parse query in
+    let result, cost = Secure.System.aggregate sys dir q in
+    print_endline (Option.value ~default:"(no answers)" result);
+    Printf.eprintf "%d block(s) shipped, %.2f ms\n" cost.Secure.System.blocks_returned
+      (Secure.System.total_ms cost)
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"MIN/MAX over a query's answers (Section 6.4: at most one block \
+             is decrypted for structural queries).")
+    Term.(const run $ doc_file_arg $ dir_arg $ path_arg $ sc_arg $ scheme_arg
+          $ master_arg)
+
+(* ------------------------------------------------------------------ *)
+(* xquery                                                              *)
+
+let xquery_cmd =
+  let flwor_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FLWOR"
+           ~doc:"FLWOR expression, e.g. \"for \\$p in //patient where \
+                 \\$p/age >= 40 return <r>{\\$p/pname}</r>\".")
+  in
+  let run path flwor scs scheme master =
+    let doc = load_doc path in
+    let sys, _ = Secure.System.setup ~master doc (parse_scs scs) scheme in
+    let q = Xquery.Parser.parse flwor in
+    let results, cost = Xquery.Secure_run.evaluate sys q in
+    List.iter (fun t -> print_endline (Xmlcore.Printer.tree_to_string t)) results;
+    Printf.eprintf "%d result(s); %d block(s), %.2f ms\n" (List.length results)
+      cost.Secure.System.blocks_returned (Secure.System.total_ms cost)
+  in
+  Cmd.v
+    (Cmd.info "xquery"
+       ~doc:"Evaluate a FLWOR expression through the secure protocol.")
+    Term.(const run $ doc_file_arg $ flwor_arg $ sc_arg $ scheme_arg $ master_arg)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+
+let attack_cmd =
+  let tag_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TAG"
+           ~doc:"Leaf attribute to attack (e.g. disease).")
+  in
+  let run path tag =
+    let doc = load_doc path in
+    let known = Xmlcore.Stats.value_histogram doc ~tag in
+    if known = [] then Printf.printf "no values under tag %S\n" tag
+    else begin
+      let broken =
+        Secure.Attack.frequency_attack ~known
+          ~observed:(Secure.Attack.deterministic_leaf_histogram known)
+      in
+      let cat = Secure.Opess.build ~key:"sxq-attack" ~attr_id:0 ~tag known in
+      let secured =
+        Secure.Attack.frequency_attack ~known
+          ~observed:(Secure.Opess.scaled_histogram cat)
+      in
+      Printf.printf
+        "frequency attack on %S (%d distinct values):\n\
+        \  deterministic per-leaf encryption: %3.0f%% cracked\n\
+        \  OPESS split+scale index:           %3.0f%% cracked\n"
+        tag broken.Secure.Attack.domain_size
+        (100.0 *. broken.Secure.Attack.crack_rate)
+        (100.0 *. secured.Secure.Attack.crack_rate)
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the frequency attack against naive and OPESS encodings of an \
+             attribute.")
+    Term.(const run $ doc_file_arg $ tag_arg)
+
+let () =
+  (* SXQ_DEBUG=1 turns on debug logging from the secure.* sources. *)
+  (match Sys.getenv_opt "SXQ_DEBUG" with
+   | Some ("1" | "true") ->
+     Logs.set_reporter (Logs_fmt.reporter ());
+     Logs.set_level (Some Logs.Debug)
+   | Some _ | None -> ());
+  let info =
+    Cmd.info "sxq" ~version:"1.0.0"
+      ~doc:"Secure query evaluation over encrypted XML databases (VLDB 2006 \
+            reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; host_cmd; query_cmd; aggregate_cmd;
+            xquery_cmd; attack_cmd ]))

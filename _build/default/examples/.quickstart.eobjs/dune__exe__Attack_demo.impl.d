@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Crypto List Printf Secure String Workload Xmlcore

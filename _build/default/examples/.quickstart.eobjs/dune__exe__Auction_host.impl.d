@@ -1,0 +1,1 @@
+examples/auction_host.ml: Array List Printf Secure String Sys Workload Xmlcore Xpath

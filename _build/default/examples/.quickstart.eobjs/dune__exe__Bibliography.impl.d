@@ -1,0 +1,1 @@
+examples/bibliography.ml: Crypto List Option Printf Secure Workload Xmlcore Xpath Xquery

@@ -1,0 +1,1 @@
+examples/healthcare.ml: Btree Dsi Format List Printf Secure String Workload Xmlcore Xpath

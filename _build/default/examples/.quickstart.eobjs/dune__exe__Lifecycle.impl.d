@@ -1,0 +1,1 @@
+examples/lifecycle.ml: Filename List Option Printf Secure Sys Workload Xmlcore Xpath Xquery

@@ -1,0 +1,65 @@
+(** In-memory B-tree with [int64] keys and arbitrary payloads.
+
+    This is the server-side value index of Section 5.2: data entries are
+    [(evalue, Bid)] pairs mapping OPESS ciphertext values to encrypted
+    block ids.  Because OPESS {e splits} plaintext values, equality
+    predicates become range scans here, so the range query is the
+    central operation.
+
+    Classic CLRS B-tree: every node except the root holds between
+    [t-1] and [2t-1] keys; duplicate keys are allowed (entries with
+    equal keys are kept in insertion order). *)
+
+type 'a t
+
+val create : ?min_degree:int -> unit -> 'a t
+(** [create ~min_degree ()] makes an empty tree.  [min_degree] is the
+    CLRS parameter [t >= 2]; default 16 (nodes hold up to 31 keys). *)
+
+val insert : 'a t -> int64 -> 'a -> unit
+(** [insert t key payload] adds an entry.  Duplicates allowed. *)
+
+val bulk_load : ?min_degree:int -> (int64 * 'a) list -> 'a t
+(** Build a tree from entries in one pass: the entries are sorted
+    (stably, so duplicate order is preserved) and packed bottom-up into
+    maximally filled nodes.  Equivalent to repeated {!insert} for every
+    query operation, several times faster for index construction. *)
+
+val delete : 'a t -> int64 -> ('a -> bool) -> bool
+(** [delete t key matching] removes the first entry (in key order,
+    insertion order among duplicates) whose key is [key] and whose
+    payload satisfies [matching]; returns whether an entry was removed.
+    Rebalances with the standard borrow/merge rules, so all invariants
+    checked by {!validate} are preserved. *)
+
+val delete_all : 'a t -> int64 -> ('a -> bool) -> int
+(** Remove every matching entry; returns how many were removed. *)
+
+val length : 'a t -> int
+(** Number of entries. *)
+
+val height : 'a t -> int
+(** Height in levels; the empty tree has height 1 (an empty leaf). *)
+
+val node_count : 'a t -> int
+(** Number of B-tree nodes (for index-size accounting). *)
+
+val range : 'a t -> lo:int64 -> hi:int64 -> (int64 * 'a) list
+(** [range t ~lo ~hi] returns the entries with [lo <= key <= hi] in key
+    order (insertion order among equal keys). *)
+
+val find_all : 'a t -> int64 -> 'a list
+(** [find_all t key] = payloads of entries with exactly [key]. *)
+
+val iter : 'a t -> (int64 -> 'a -> unit) -> unit
+(** In-order iteration over all entries. *)
+
+val to_list : 'a t -> (int64 * 'a) list
+(** All entries in key order. *)
+
+val min_key : 'a t -> int64 option
+val max_key : 'a t -> int64 option
+
+val validate : 'a t -> (unit, string) result
+(** Checks the B-tree invariants (key ordering, fill factors, uniform
+    leaf depth).  Used by the property tests. *)

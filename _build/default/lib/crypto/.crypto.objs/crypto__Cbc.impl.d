@@ -1,0 +1,1 @@
+lib/crypto/cbc.ml: Bytes Char Hmac Int64 String Xtea

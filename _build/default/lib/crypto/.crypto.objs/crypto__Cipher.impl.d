@@ -1,0 +1,1 @@
+lib/crypto/cipher.ml: Aes Bytes Cbc Char Hmac String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Int64 Sha256 String

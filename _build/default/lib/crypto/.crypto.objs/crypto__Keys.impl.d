@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Cipher Hashtbl Hmac Printf

@@ -1,0 +1,1 @@
+lib/crypto/ope.ml: Hashtbl Hmac Int64 Printf

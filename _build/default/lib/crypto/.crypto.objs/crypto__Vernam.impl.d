@@ -1,0 +1,1 @@
+lib/crypto/vernam.ml: Buffer Char Hmac Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/xtea.ml: Array Char Int64 Sha256 String

@@ -1,0 +1,176 @@
+(* FIPS 197 AES-128.  State is the standard column-major 16-byte block;
+   rounds are computed directly from the S-box (no T-tables) — simple
+   and verifiable against the published vectors. *)
+
+let block_bytes = 16
+
+let sbox =
+  "\x63\x7c\x77\x7b\xf2\x6b\x6f\xc5\x30\x01\x67\x2b\xfe\xd7\xab\x76\
+   \xca\x82\xc9\x7d\xfa\x59\x47\xf0\xad\xd4\xa2\xaf\x9c\xa4\x72\xc0\
+   \xb7\xfd\x93\x26\x36\x3f\xf7\xcc\x34\xa5\xe5\xf1\x71\xd8\x31\x15\
+   \x04\xc7\x23\xc3\x18\x96\x05\x9a\x07\x12\x80\xe2\xeb\x27\xb2\x75\
+   \x09\x83\x2c\x1a\x1b\x6e\x5a\xa0\x52\x3b\xd6\xb3\x29\xe3\x2f\x84\
+   \x53\xd1\x00\xed\x20\xfc\xb1\x5b\x6a\xcb\xbe\x39\x4a\x4c\x58\xcf\
+   \xd0\xef\xaa\xfb\x43\x4d\x33\x85\x45\xf9\x02\x7f\x50\x3c\x9f\xa8\
+   \x51\xa3\x40\x8f\x92\x9d\x38\xf5\xbc\xb6\xda\x21\x10\xff\xf3\xd2\
+   \xcd\x0c\x13\xec\x5f\x97\x44\x17\xc4\xa7\x7e\x3d\x64\x5d\x19\x73\
+   \x60\x81\x4f\xdc\x22\x2a\x90\x88\x46\xee\xb8\x14\xde\x5e\x0b\xdb\
+   \xe0\x32\x3a\x0a\x49\x06\x24\x5c\xc2\xd3\xac\x62\x91\x95\xe4\x79\
+   \xe7\xc8\x37\x6d\x8d\xd5\x4e\xa9\x6c\x56\xf4\xea\x65\x7a\xae\x08\
+   \xba\x78\x25\x2e\x1c\xa6\xb4\xc6\xe8\xdd\x74\x1f\x4b\xbd\x8b\x8a\
+   \x70\x3e\xb5\x66\x48\x03\xf6\x0e\x61\x35\x57\xb9\x86\xc1\x1d\x9e\
+   \xe1\xf8\x98\x11\x69\xd9\x8e\x94\x9b\x1e\x87\xe9\xce\x55\x28\xdf\
+   \x8c\xa1\x89\x0d\xbf\xe6\x42\x68\x41\x99\x2d\x0f\xb0\x54\xbb\x16"
+
+(* Inverse S-box, computed once from the forward table. *)
+let inv_sbox =
+  let inv = Bytes.make 256 '\000' in
+  String.iteri (fun i c -> Bytes.set inv (Char.code c) (Char.chr i)) sbox;
+  Bytes.unsafe_to_string inv
+
+let sub i = Char.code sbox.[i]
+let inv_sub i = Char.code inv_sbox.[i]
+
+(* GF(2^8) multiply by x (xtime) and general multiply. *)
+let xtime b =
+  let shifted = b lsl 1 in
+  if shifted land 0x100 <> 0 then (shifted lxor 0x1B) land 0xFF else shifted
+
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  for _ = 0 to 7 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+type key = int array array (* 11 round keys x 16 bytes *)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
+
+let expand raw =
+  (* Key schedule over 44 words (4 bytes each). *)
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code raw.[(i * 4) + j]
+    done
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      let t0 = temp.(0) in
+      temp.(0) <- sub temp.(1) lxor rcon.((i / 4) - 1);
+      temp.(1) <- sub temp.(2);
+      temp.(2) <- sub temp.(3);
+      temp.(3) <- sub t0
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor temp.(j)
+    done
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun b -> w.((r * 4) + (b / 4)).(b mod 4)))
+
+let key_of_raw raw =
+  if String.length raw <> 16 then invalid_arg "Aes.key_of_raw: need 16 bytes";
+  expand raw
+
+let key_of_string s = expand (String.sub (Sha256.digest s) 0 16)
+
+(* State layout: state.(r + 4*c) is row r, column c (column-major, as
+   bytes arrive). *)
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let shift_rows state =
+  (* Row r rotates left by r; in column-major indexing row r lives at
+     indices r, r+4, r+8, r+12. *)
+  for r = 1 to 3 do
+    let row = [| state.(r); state.(r + 4); state.(r + 8); state.(r + 12) |] in
+    for c = 0 to 3 do
+      state.(r + (4 * c)) <- row.((c + r) mod 4)
+    done
+  done
+
+let inv_shift_rows state =
+  for r = 1 to 3 do
+    let row = [| state.(r); state.(r + 4); state.(r + 8); state.(r + 12) |] in
+    for c = 0 to 3 do
+      state.(r + (4 * c)) <- row.((c - r + 4) mod 4)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) and a2 = state.(o + 2)
+    and a3 = state.(o + 3) in
+    state.(o) <- xtime a0 lxor (xtime a1 lxor a1) lxor a2 lxor a3;
+    state.(o + 1) <- a0 lxor xtime a1 lxor (xtime a2 lxor a2) lxor a3;
+    state.(o + 2) <- a0 lxor a1 lxor xtime a2 lxor (xtime a3 lxor a3);
+    state.(o + 3) <- (xtime a0 lxor a0) lxor a1 lxor a2 lxor xtime a3
+  done
+
+(* Precomputed GF(2^8) multiplication tables for the inverse
+   MixColumns constants — decryption is on the client's hot path. *)
+let table c = Array.init 256 (fun b -> gmul b c)
+let mul9 = table 0x09
+let mul11 = table 0x0B
+let mul13 = table 0x0D
+let mul14 = table 0x0E
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) and a2 = state.(o + 2)
+    and a3 = state.(o + 3) in
+    state.(o) <- mul14.(a0) lxor mul11.(a1) lxor mul13.(a2) lxor mul9.(a3);
+    state.(o + 1) <- mul9.(a0) lxor mul14.(a1) lxor mul11.(a2) lxor mul13.(a3);
+    state.(o + 2) <- mul13.(a0) lxor mul9.(a1) lxor mul14.(a2) lxor mul11.(a3);
+    state.(o + 3) <- mul11.(a0) lxor mul13.(a1) lxor mul9.(a2) lxor mul14.(a3)
+  done
+
+let encrypt_block key buf off =
+  let state = Array.init 16 (fun i -> Char.code (Bytes.get buf (off + i))) in
+  add_round_key state key.(0);
+  for round = 1 to 9 do
+    for i = 0 to 15 do
+      state.(i) <- sub state.(i)
+    done;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.(round)
+  done;
+  for i = 0 to 15 do
+    state.(i) <- sub state.(i)
+  done;
+  shift_rows state;
+  add_round_key state key.(10);
+  for i = 0 to 15 do
+    Bytes.set buf (off + i) (Char.chr state.(i))
+  done
+
+let decrypt_block key buf off =
+  let state = Array.init 16 (fun i -> Char.code (Bytes.get buf (off + i))) in
+  add_round_key state key.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows state;
+    for i = 0 to 15 do
+      state.(i) <- inv_sub state.(i)
+    done;
+    add_round_key state key.(round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  for i = 0 to 15 do
+    state.(i) <- inv_sub state.(i)
+  done;
+  add_round_key state key.(0);
+  for i = 0 to 15 do
+    Bytes.set buf (off + i) (Char.chr state.(i))
+  done

@@ -1,0 +1,28 @@
+(** AES-128 block cipher (FIPS 197).
+
+    The paper's deployment context (W3C XML-Encryption, 2006) would use
+    AES; this implementation provides it as an alternative to {!Xtea}
+    through the {!Cipher} suite selector.  Straightforward table-free
+    SubBytes/ShiftRows/MixColumns rounds — correctness over speed; the
+    FIPS and NIST-KAT vectors are checked in the test suite. *)
+
+type key
+(** Expanded 11-round key schedule. *)
+
+val key_of_string : string -> key
+(** Derive a 128-bit key from arbitrary bytes (SHA-256, first 16
+    bytes), mirroring {!Xtea.key_of_string}. *)
+
+val key_of_raw : string -> key
+(** Use exactly these 16 bytes as the key.
+    @raise Invalid_argument unless the length is 16. *)
+
+val block_bytes : int
+(** 16. *)
+
+val encrypt_block : key -> Bytes.t -> int -> unit
+(** [encrypt_block k buf off] encrypts the 16 bytes at [off] in
+    place. *)
+
+val decrypt_block : key -> Bytes.t -> int -> unit
+(** Inverse of {!encrypt_block}. *)

@@ -1,0 +1,76 @@
+let block_bytes = 8
+
+type prepared = {
+  cipher_key : Xtea.key;
+  iv_mac : Hmac.prepared;
+}
+
+let prepare key =
+  { cipher_key = Xtea.key_of_string key; iv_mac = Hmac.prepare ~key }
+
+let iv_of_prepared p ~nonce = Hmac.prf64_prepared p.iv_mac ("cbc-iv\x00" ^ nonce)
+
+let get64 s off =
+  let byte i = Int64.of_int (Char.code s.[off + i]) in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (byte i)
+  done;
+  !acc
+
+let set64 b off v =
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v ((7 - i) * 8)) 0xFFL) in
+    Bytes.set b (off + i) (Char.chr byte)
+  done
+
+let pad plaintext =
+  let len = String.length plaintext in
+  let pad_len = block_bytes - (len mod block_bytes) in
+  let out = Bytes.make (len + pad_len) (Char.chr pad_len) in
+  Bytes.blit_string plaintext 0 out 0 len;
+  Bytes.unsafe_to_string out
+
+let unpad padded =
+  let len = String.length padded in
+  if len = 0 then invalid_arg "Cbc.decrypt: empty plaintext";
+  let pad_len = Char.code padded.[len - 1] in
+  if pad_len = 0 || pad_len > block_bytes || pad_len > len then
+    invalid_arg "Cbc.decrypt: malformed padding";
+  for i = len - pad_len to len - 1 do
+    if Char.code padded.[i] <> pad_len then invalid_arg "Cbc.decrypt: malformed padding"
+  done;
+  String.sub padded 0 (len - pad_len)
+
+let encrypt_prepared p ~nonce plaintext =
+  let padded = pad plaintext in
+  let n = String.length padded / block_bytes in
+  let out = Bytes.create (String.length padded) in
+  let prev = ref (iv_of_prepared p ~nonce) in
+  for i = 0 to n - 1 do
+    let block = Int64.logxor (get64 padded (i * block_bytes)) !prev in
+    let enc = Xtea.encrypt_block p.cipher_key block in
+    set64 out (i * block_bytes) enc;
+    prev := enc
+  done;
+  Bytes.unsafe_to_string out
+
+let decrypt_prepared p ~nonce ciphertext =
+  let len = String.length ciphertext in
+  if len = 0 || len mod block_bytes <> 0 then
+    invalid_arg "Cbc.decrypt: ciphertext length must be a positive multiple of 8";
+  let out = Bytes.create len in
+  let prev = ref (iv_of_prepared p ~nonce) in
+  for i = 0 to (len / block_bytes) - 1 do
+    let enc = get64 ciphertext (i * block_bytes) in
+    let dec = Int64.logxor (Xtea.decrypt_block p.cipher_key enc) !prev in
+    set64 out (i * block_bytes) dec;
+    prev := enc
+  done;
+  unpad (Bytes.unsafe_to_string out)
+
+let encrypt ~key ~nonce plaintext = encrypt_prepared (prepare key) ~nonce plaintext
+
+let decrypt ~key ~nonce ciphertext = decrypt_prepared (prepare key) ~nonce ciphertext
+
+let ciphertext_length n = ((n / block_bytes) + 1) * block_bytes

@@ -1,0 +1,33 @@
+(** CBC-mode encryption of byte strings over the {!Xtea} block cipher,
+    with PKCS#7 padding.
+
+    This is what the client uses to encrypt whole XML subtrees
+    ("encryption blocks" in the paper).  The IV is derived
+    deterministically from the key and a caller-supplied nonce so that
+    the system stays reproducible; distinct nonces give independent
+    ciphertexts. *)
+
+type prepared
+(** Key material with the XTEA schedule expanded and the IV-derivation
+    HMAC pads pre-absorbed.  Prepare once, use per block. *)
+
+val prepare : string -> prepared
+
+val encrypt_prepared : prepared -> nonce:string -> string -> string
+val decrypt_prepared : prepared -> nonce:string -> string -> string
+
+val encrypt : key:string -> nonce:string -> string -> string
+(** [encrypt ~key ~nonce plaintext] returns the ciphertext (the IV is
+    derivable, so it is not stored).  Output length is the input length
+    rounded up to the next multiple of 8. *)
+
+val decrypt : key:string -> nonce:string -> string -> string
+(** Inverse of {!encrypt} for the same [key] and [nonce].
+
+    @raise Invalid_argument if the ciphertext length is not a positive
+    multiple of 8 or the padding is malformed. *)
+
+val ciphertext_length : int -> int
+(** [ciphertext_length n] is the ciphertext size for an [n]-byte
+    plaintext: [n] rounded up to the next multiple of 8 (PKCS#7 always
+    adds at least one byte). *)

@@ -1,0 +1,29 @@
+(** Cipher-suite selection for block encryption.
+
+    The paper leaves its block cipher unspecified; this library
+    defaults to {!Xtea} (small, era-appropriate) and also offers
+    AES-128 ({!Aes}), the cipher the W3C XML-Encryption deployments of
+    the time actually used.  Both run in CBC mode with PKCS#7 padding
+    and per-nonce derived IVs; the suite is chosen per key ring
+    ({!Keys.create}) and recorded in persisted bundles. *)
+
+type suite = Xtea | Aes
+
+val suite_to_string : suite -> string
+val suite_of_string : string -> suite option
+
+type prepared
+(** Key material with schedules expanded and IV-derivation pads
+    pre-absorbed. *)
+
+val prepare : suite -> string -> prepared
+
+val suite_of : prepared -> suite
+
+val encrypt : prepared -> nonce:string -> string -> string
+val decrypt : prepared -> nonce:string -> string -> string
+(** @raise Invalid_argument on malformed ciphertext or padding. *)
+
+val ciphertext_length : suite -> int -> int
+(** Ciphertext size for an n-byte plaintext under the suite's block
+    size. *)

@@ -1,0 +1,61 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  Bytes.unsafe_to_string out
+
+type prepared = {
+  inner : Sha256.ctx;  (* state after absorbing key XOR ipad *)
+  outer : Sha256.ctx;  (* state after absorbing key XOR opad *)
+}
+
+let prepare ~key =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad key 0x36);
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad key 0x5c);
+  { inner; outer }
+
+let mac_prepared p msg =
+  let ctx = Sha256.copy p.inner in
+  Sha256.update ctx msg;
+  let digest = Sha256.finalize ctx in
+  let ctx = Sha256.copy p.outer in
+  Sha256.update ctx digest;
+  Sha256.finalize ctx
+
+let mac ~key msg = mac_prepared (prepare ~key) msg
+
+let first64 tag =
+  let byte i = Int64.of_int (Char.code tag.[i]) in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (byte i)
+  done;
+  !acc
+
+let prf64_prepared p label = first64 (mac_prepared p label)
+
+let mac_hex ~key msg = Sha256.to_hex (mac ~key msg)
+
+let prf64 ~key label = first64 (mac ~key label)
+
+let prf_float ~key label =
+  let bits = Int64.shift_right_logical (prf64 ~key label) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let prf_float_in ~key label lo hi = lo +. (prf_float ~key label *. (hi -. lo))
+
+let prf_int ~key label bound =
+  assert (bound > 0);
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (prf64 ~key label) 1) (Int64.of_int bound))

@@ -1,0 +1,45 @@
+type t = {
+  master : string;
+  suite : Cipher.suite;
+  derived : (string, string) Hashtbl.t;     (* label -> subkey memo *)
+  mutable block_cipher : Cipher.prepared option;
+}
+
+let create ?(suite = Cipher.Xtea) ~master () =
+  { master; suite; derived = Hashtbl.create 16; block_cipher = None }
+
+let suite t = t.suite
+
+let derive t label =
+  match Hashtbl.find_opt t.derived label with
+  | Some key -> key
+  | None ->
+    let key = Hmac.mac ~key:t.master ("derive\x00" ^ label) in
+    Hashtbl.replace t.derived label key;
+    key
+
+let block_key t = derive t "block-cipher"
+
+let block_cipher t =
+  match t.block_cipher with
+  | Some prepared -> prepared
+  | None ->
+    let prepared = Cipher.prepare t.suite (block_key t) in
+    t.block_cipher <- Some prepared;
+    prepared
+
+(* The nonce only needs to be unique per block; the IV derivation is
+   keyed downstream, so the block id itself suffices. *)
+let block_nonce _t ~block_id = Printf.sprintf "blk-%d" block_id
+
+let tag_key t = derive t "tag-vernam"
+
+let tag_pad_id tag = "tag\x00" ^ tag
+
+let ope_key t ~attribute = derive t ("ope\x00" ^ attribute)
+
+let opess_key t ~attribute = derive t ("opess\x00" ^ attribute)
+
+let dsi_key t = derive t "dsi-weights"
+
+let decoy_key t = derive t "decoy"

@@ -1,0 +1,50 @@
+(** Client key management.
+
+    The client holds a single master secret; every other key in the
+    system (block encryption keys, tag pads, OPE keys, OPESS split and
+    scale randomness, DSI gap weights) is derived from it with
+    HMAC-SHA-256 so nothing but the master secret needs to be stored.
+
+    Derivation labels are namespaced so independent uses can never
+    collide. *)
+
+type t
+(** A key ring rooted at a master secret. *)
+
+val create : ?suite:Cipher.suite -> master:string -> unit -> t
+(** [create ~master ()] builds the ring.  [suite] selects the block
+    cipher for subtree encryption (default {!Cipher.Xtea}). *)
+
+val suite : t -> Cipher.suite
+
+val derive : t -> string -> string
+(** [derive t label] is a 32-byte subkey bound to [label]. *)
+
+val block_key : t -> string
+(** Key for CBC encryption of XML subtree blocks. *)
+
+val block_cipher : t -> Cipher.prepared
+(** Prepared (schedule-expanded) form of {!block_key} under the ring's
+    suite, cached. *)
+
+val block_nonce : t -> block_id:int -> string
+(** Per-block CBC nonce (unique per block; keyed downstream). *)
+
+val tag_key : t -> string
+(** Key for the Vernam tag pads. *)
+
+val tag_pad_id : string -> string
+(** [tag_pad_id tag] is the deterministic pad id used to encrypt [tag];
+    one pad per distinct tag keeps translation deterministic. *)
+
+val ope_key : t -> attribute:string -> string
+(** Per-attribute key for the order-preserving encryption function. *)
+
+val opess_key : t -> attribute:string -> string
+(** Per-attribute key for OPESS split weights and scale factors. *)
+
+val dsi_key : t -> string
+(** Key for DSI gap weights. *)
+
+val decoy_key : t -> string
+(** Key for generating encryption decoy values. *)

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  assert (bound > 0);
+  (* land max_int clears the sign bit after the int64->int wrap. *)
+  let r = Int64.to_int (next64 t) land max_int in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random mantissa bits. *)
+  let bits = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let split t = create (next64 t)

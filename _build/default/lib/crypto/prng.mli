@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the system flows through this module so that
+    experiments and tests are reproducible.  The generator is splitmix64,
+    which has a 64-bit state, passes BigCrush, and is trivially seedable.
+    It is {e not} cryptographically secure; cryptographic randomness is
+    derived from keyed primitives in {!Hmac} instead. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Distinct seeds give
+    independent-looking streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniformly random element. The array must be non-empty. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Use to give
+    sub-components independent streams. *)

@@ -1,0 +1,145 @@
+(* FIPS 180-4 SHA-256.  Words are native ints masked to 32 bits —
+   unboxed arithmetic matters because HMAC (hence key derivation, DSI
+   weights, OPESS randomness and Vernam tokens) sits on hot paths. *)
+
+let mask = 0xFFFFFFFF
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+type ctx = {
+  h : int array;            (* 8 chaining words *)
+  buf : Bytes.t;            (* 64-byte block buffer *)
+  mutable buf_len : int;    (* bytes currently in [buf] *)
+  mutable total : int64;    (* total message bytes absorbed *)
+  w : int array;            (* message schedule scratch *)
+}
+
+let init () =
+  { h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+           0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0L;
+    w = Array.make 64 0 }
+
+let copy ctx =
+  { h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 64 0 }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+(* Compress one 64-byte block held in [block] at offset [off]. *)
+let compress ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let b j = Char.code (Bytes.unsafe_get block (off + (i * 4) + j)) in
+    w.(i) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  done;
+  for i = 16 to 63 do
+    let x15 = w.(i - 15) and x2 = w.(i - 2) in
+    let s0 = rotr x15 7 lxor rotr x15 18 lxor (x15 lsr 3) in
+    let s1 = rotr x2 17 lxor rotr x2 19 lxor (x2 lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2)
+  and d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5)
+  and g = ref ctx.h.(6) and h = ref ctx.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!h + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    h := !g; g := !f; f := !e; e := (!d + t1) land mask;
+    d := !c; c := !b; b := !a; a := (t1 + t2) land mask
+  done;
+  ctx.h.(0) <- (ctx.h.(0) + !a) land mask;
+  ctx.h.(1) <- (ctx.h.(1) + !b) land mask;
+  ctx.h.(2) <- (ctx.h.(2) + !c) land mask;
+  ctx.h.(3) <- (ctx.h.(3) + !d) land mask;
+  ctx.h.(4) <- (ctx.h.(4) + !e) land mask;
+  ctx.h.(5) <- (ctx.h.(5) + !f) land mask;
+  ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
+  ctx.h.(7) <- (ctx.h.(7) + !h) land mask
+
+let update_bytes ctx b off len =
+  assert (off >= 0 && len >= 0 && off + len <= Bytes.length b);
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Fill the partial buffer first. *)
+  if ctx.buf_len > 0 then begin
+    let need = 64 - ctx.buf_len in
+    let take = min need !remaining in
+    Bytes.blit b !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx b !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !pos ctx.buf 0 !remaining;
+    ctx.buf_len <- !remaining
+  end
+
+let update ctx s = update_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length. *)
+  let pad_len =
+    let r = (ctx.buf_len + 1 + 8) mod 64 in
+    if r = 0 then 1 else 1 + (64 - r)
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len ((7 - i) * 8)) 0xFFL) in
+    Bytes.set pad (pad_len + i) (Char.chr byte)
+  done;
+  update_bytes ctx pad 0 (Bytes.length pad);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let word = ctx.h.(i) in
+    for j = 0 to 3 do
+      Bytes.set out ((i * 4) + j) (Char.chr ((word lsr ((3 - j) * 8)) land 0xFF))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  finalize ctx
+
+let to_hex raw =
+  let out = Buffer.create (String.length raw * 2) in
+  String.iter (fun c -> Buffer.add_string out (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents out
+
+let hex s = to_hex (digest s)

@@ -1,0 +1,35 @@
+(** SHA-256 message digest (FIPS 180-4).
+
+    Pure OCaml implementation used as the root primitive for key
+    derivation ({!Keys}), MACs ({!Hmac}) and keystream generation
+    ({!Vernam}).  Verified against the FIPS test vectors in the test
+    suite. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val copy : ctx -> ctx
+(** Independent clone of the running state — lets a fixed prefix (e.g.
+    an HMAC pad) be absorbed once and reused. *)
+
+val update : ctx -> string -> unit
+(** [update ctx s] absorbs the bytes of [s]. *)
+
+val update_bytes : ctx -> bytes -> int -> int -> unit
+(** [update_bytes ctx b off len] absorbs [len] bytes of [b] from [off]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] returns the 32-byte digest. The context must not be
+    used afterwards. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 of [s]. *)
+
+val hex : string -> string
+(** [hex s] is the digest of [s] as a 64-character lowercase hex string. *)
+
+val to_hex : string -> string
+(** [to_hex raw] renders an arbitrary byte string in lowercase hex. *)

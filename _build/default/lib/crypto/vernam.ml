@@ -1,0 +1,21 @@
+let keystream ~key ~pad_id n =
+  let prepared = Hmac.prepare ~key in
+  let out = Buffer.create (max n 32) in
+  let counter = ref 0 in
+  while Buffer.length out < n do
+    let block =
+      Hmac.mac_prepared prepared (Printf.sprintf "vernam\x00%s\x00%d" pad_id !counter)
+    in
+    Buffer.add_string out block;
+    incr counter
+  done;
+  Buffer.sub out 0 n
+
+let encrypt ~key ~pad_id msg =
+  let n = String.length msg in
+  let pad = keystream ~key ~pad_id n in
+  String.init n (fun i -> Char.chr (Char.code msg.[i] lxor Char.code pad.[i]))
+
+let decrypt = encrypt
+
+let encrypt_hex ~key ~pad_id msg = Sha256.to_hex (encrypt ~key ~pad_id msg)

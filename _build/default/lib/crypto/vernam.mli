@@ -1,0 +1,24 @@
+(** Vernam-style stream encryption for element tags.
+
+    The paper encrypts tags in the DSI index table and in translated
+    queries with a one-time-pad ("Vernam cipher") for its perfect
+    security.  We realise the pad as an HMAC-SHA-256 keystream expanded
+    from [key] and a per-use [pad_id]; encryption is XOR, so
+    [decrypt = encrypt].
+
+    Tag translation must be {e deterministic} — the same tag must map to
+    the same ciphertext so that index lookups work — so the system uses
+    one pad id per distinct tag (see {!Keys.tag_pad_id}). *)
+
+val keystream : key:string -> pad_id:string -> int -> string
+(** [keystream ~key ~pad_id n] expands [n] pseudo-pad bytes. *)
+
+val encrypt : key:string -> pad_id:string -> string -> string
+(** XOR the message with the keystream. *)
+
+val decrypt : key:string -> pad_id:string -> string -> string
+(** Alias for {!encrypt} (XOR is an involution). *)
+
+val encrypt_hex : key:string -> pad_id:string -> string -> string
+(** [encrypt_hex] renders the ciphertext in hex, convenient as an opaque
+    token for index tables and translated queries. *)

@@ -1,0 +1,53 @@
+(* 32-bit words are kept in native ints (masked), avoiding boxed Int32
+   arithmetic on the hot path — block en/decryption dominates the
+   system's measured costs. *)
+
+type key = int array (* 4 words, each in [0, 2^32) *)
+
+let mask = 0xFFFFFFFF
+
+let key_of_string s =
+  let h = Sha256.digest s in
+  let word i =
+    let byte j = Char.code h.[(i * 4) + j] in
+    (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+  in
+  [| word 0; word 1; word 2; word 3 |]
+
+let rounds = 32
+let delta = 0x9E3779B9
+
+let split_block b =
+  ( Int64.to_int (Int64.shift_right_logical b 32) land mask,
+    Int64.to_int b land mask )
+
+let join_block v0 v1 =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int v0) 32)
+    (Int64.of_int v1)
+
+(* The XTEA Feistel half-round term: ((v<<4 ^ v>>5) + v) ^ (sum + k). *)
+let round_term v sum key_word =
+  let shifted = ((v lsl 4) land mask) lxor (v lsr 5) in
+  ((shifted + v) land mask) lxor ((sum + key_word) land mask)
+
+let encrypt_block key b =
+  let v0, v1 = split_block b in
+  let v0 = ref v0 and v1 = ref v1 and sum = ref 0 in
+  for _ = 1 to rounds do
+    v0 := (!v0 + round_term !v1 !sum key.(!sum land 3)) land mask;
+    sum := (!sum + delta) land mask;
+    v1 := (!v1 + round_term !v0 !sum key.((!sum lsr 11) land 3)) land mask
+  done;
+  join_block !v0 !v1
+
+let decrypt_block key b =
+  let v0, v1 = split_block b in
+  let v0 = ref v0 and v1 = ref v1 in
+  let sum = ref ((delta * rounds) land mask) in
+  for _ = 1 to rounds do
+    v1 := (!v1 - round_term !v0 !sum key.((!sum lsr 11) land 3)) land mask;
+    sum := (!sum - delta) land mask;
+    v0 := (!v0 - round_term !v1 !sum key.(!sum land 3)) land mask
+  done;
+  join_block !v0 !v1

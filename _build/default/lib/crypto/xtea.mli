@@ -1,0 +1,18 @@
+(** XTEA block cipher (Needham & Wheeler, 1997).
+
+    64-bit block, 128-bit key, 64 Feistel rounds.  Stands in for the
+    unspecified block cipher the paper uses to encrypt XML subtrees
+    (see DESIGN.md substitution table). *)
+
+type key
+(** Expanded 128-bit key. *)
+
+val key_of_string : string -> key
+(** [key_of_string s] derives a key from arbitrary bytes: [s] is hashed
+    with SHA-256 and the first 16 bytes become the key material. *)
+
+val encrypt_block : key -> int64 -> int64
+(** Encrypt one 64-bit block. *)
+
+val decrypt_block : key -> int64 -> int64
+(** Inverse of {!encrypt_block}. *)

@@ -1,0 +1,1 @@
+lib/dsi/assign.ml: Array Crypto Float Int64 Interval List Printf Xmlcore

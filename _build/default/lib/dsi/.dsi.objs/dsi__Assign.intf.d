@@ -1,0 +1,1 @@
+lib/dsi/assign.mli: Interval Xmlcore

@@ -1,0 +1,1 @@
+lib/dsi/continuous.ml: Array Float Interval List Xmlcore

@@ -1,0 +1,1 @@
+lib/dsi/continuous.mli: Interval Xmlcore

@@ -1,0 +1,1 @@
+lib/dsi/interval.mli: Format

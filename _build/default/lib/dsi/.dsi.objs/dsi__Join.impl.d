@@ -1,0 +1,1 @@
+lib/dsi/join.ml: Array Hashtbl Interval List Option

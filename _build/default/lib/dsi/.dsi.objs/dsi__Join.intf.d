@@ -1,0 +1,1 @@
+lib/dsi/join.mli: Interval

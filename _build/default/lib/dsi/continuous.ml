@@ -1,0 +1,54 @@
+module Doc = Xmlcore.Doc
+
+type t = {
+  doc : Doc.t;
+  intervals : Interval.t array;
+}
+
+let interval t n = t.intervals.(n)
+
+let assign doc =
+  let n = Doc.node_count doc in
+  let intervals = Array.make n (Interval.make 0.0 1.0) in
+  let rec place node =
+    let iv = intervals.(node) in
+    let children = Doc.children doc node in
+    let count = List.length children in
+    if count > 0 then begin
+      let d = Interval.width iv /. float_of_int count in
+      List.iteri
+        (fun idx child ->
+          let lo = iv.Interval.lo +. (float_of_int idx *. d) in
+          let hi = iv.Interval.lo +. (float_of_int (idx + 1) *. d) in
+          intervals.(child) <- Interval.make lo hi;
+          place child)
+        children
+    end
+  in
+  place (Doc.root doc);
+  { doc; intervals }
+
+(* Under even tiling each original child occupies one slot; a hull of k
+   members is exactly k slots wide, so the width ratio against the
+   narrowest visible sibling (one slot) counts the hidden members. *)
+let hull_member_estimate ~narrowest ~hull =
+  int_of_float (Float.round (Interval.width hull /. Interval.width narrowest))
+
+let grouping_leak ~parent ~child_intervals =
+  match child_intervals with
+  | [] -> false
+  | ivs ->
+    let widths = List.map Interval.width ivs in
+    let narrowest = List.fold_left Float.min infinity widths in
+    (* Tiling check: every width an (approximate) integer multiple of
+       the narrowest, gaps absent, and the widths sum to the parent. *)
+    let total = List.fold_left ( +. ) 0.0 widths in
+    let tolerance = 1e-9 *. Interval.width parent in
+    let covers_parent = Float.abs (total -. Interval.width parent) < tolerance in
+    let any_wider =
+      List.exists (fun w -> w > narrowest +. tolerance) widths
+    in
+    (* Grouping is detected when intervals still tile the parent
+       exactly (continuity preserved) but widths are unequal — only a
+       hull can be wider than a slot. *)
+    covers_parent && any_wider

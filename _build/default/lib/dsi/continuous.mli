@@ -1,0 +1,36 @@
+(** The classic {e continuous} interval index (Al-Khalifa et al., ICDE
+    2002) — the baseline the DSI index is defined against
+    (Section 5.1.1, footnote 2).
+
+    Children tile their parent's interval with {e no gaps}: child [i]
+    of a node with [N] children occupying [\[min, max\]] receives
+    exactly [\[min + i·d, min + (i+1)·d\]] with [d = (max−min)/N].
+
+    The paper's argument for DSI: if same-tag same-block siblings are
+    grouped under a continuous index, the grouped hull's bounds
+    coincide exactly with its neighbours' bounds, so the server can
+    detect that grouping happened — and count the hidden members by
+    dividing widths.  {!grouping_leak} makes that inference executable;
+    the E8 ablation runs it against both indexes. *)
+
+type t
+
+val assign : Xmlcore.Doc.t -> t
+(** Deterministic tiling (no weights — continuity leaves no room for
+    randomness, which is the point). *)
+
+val interval : t -> Xmlcore.Doc.node -> Interval.t
+
+val hull_member_estimate : narrowest:Interval.t -> hull:Interval.t -> int
+(** What the attacker computes: under continuous tiling every original
+    child has the same slot width, so the narrowest visible sibling
+    interval is one slot, and a hull's width divided by it counts the
+    members it hides. *)
+
+val grouping_leak :
+  parent:Interval.t -> child_intervals:Interval.t list -> bool
+(** Detects grouping under a continuous index: true iff the child
+    intervals do not tile the parent evenly (some interval is wider
+    than the common slot width), i.e. the server learns that grouping
+    occurred.  Always false for DSI intervals, whose secret gap weights
+    make every width pattern plausible. *)

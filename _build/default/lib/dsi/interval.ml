@@ -1,0 +1,24 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if lo >= hi then invalid_arg "Interval.make: lo must be < hi";
+  { lo; hi }
+
+let contains outer inner = outer.lo < inner.lo && inner.hi < outer.hi
+
+let contains_point t x = t.lo <= x && x <= t.hi
+
+let disjoint a b = a.hi < b.lo || b.hi < a.lo
+
+let width t = t.hi -. t.lo
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let compare_by_lo a b =
+  match Float.compare a.lo b.lo with
+  | 0 -> Float.compare b.hi a.hi
+  | c -> c
+
+let equal a b = Float.equal a.lo b.lo && Float.equal a.hi b.hi
+
+let pp fmt t = Format.fprintf fmt "[%g, %g]" t.lo t.hi

@@ -1,0 +1,34 @@
+(** Real intervals for the DSI index.
+
+    A node's interval strictly contains the intervals of all its
+    descendants, and sibling intervals are separated by positive gaps
+    whose sizes are randomized (the "discontinuous" part) so the server
+    cannot reconstruct sibling adjacency or grouping. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** @raise Invalid_argument if [lo >= hi]. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] iff [inner] lies strictly inside [outer]
+    (the DSI construction guarantees strict insets for descendants). *)
+
+val contains_point : t -> float -> bool
+
+val disjoint : t -> t -> bool
+
+val width : t -> float
+
+val hull : t -> t -> t
+(** Smallest interval covering both — used to group adjacent same-tag
+    siblings into one table entry. *)
+
+val compare_by_lo : t -> t -> int
+(** Sort order: by lower bound, then by upper bound descending (so an
+    ancestor sorts before its descendants). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders like [\[0.16, 0.2\]]. *)

@@ -1,0 +1,235 @@
+type universe = Interval.t array (* sorted by compare_by_lo *)
+
+let prepare_universe intervals =
+  let u = Array.of_list intervals in
+  Array.sort Interval.compare_by_lo u;
+  u
+
+let universe_size = Array.length
+
+(* Sweep-line containment over a laminar interval family.
+
+   [with_containers events queries f] calls [f query containers] for
+   every query interval, where [containers] is the stack of event
+   intervals strictly containing [query], innermost first.  [events]
+   must be sorted by {!Interval.compare_by_lo}; queries are sorted
+   internally.  The stack invariant (each element nested in the one
+   below) holds because the family is laminar; exact duplicates are
+   tolerated (they sit adjacently on the stack). *)
+let with_containers (events : Interval.t array) queries f =
+  let queries_sorted = List.sort Interval.compare_by_lo queries in
+  let stack = ref [] in
+  let next_event = ref 0 in
+  List.iter
+    (fun q ->
+      (* Push events that start strictly before [q]. *)
+      while
+        !next_event < Array.length events
+        && events.(!next_event).Interval.lo < q.Interval.lo
+      do
+        (* Drop finished intervals before pushing, to keep the stack laminar. *)
+        while
+          (match !stack with
+           | top :: _ -> top.Interval.hi < events.(!next_event).Interval.lo
+           | [] -> false)
+        do
+          stack := List.tl !stack
+        done;
+        stack := events.(!next_event) :: !stack;
+        incr next_event
+      done;
+      (* Drop intervals that end before [q] starts. *)
+      while
+        (match !stack with
+         | top :: _ -> top.Interval.hi < q.Interval.lo
+         | [] -> false)
+      do
+        stack := List.tl !stack
+      done;
+      (* Remaining stack elements all strictly contain [q] except exact
+         duplicates of [q], filtered here. *)
+      let containers = List.filter (fun iv -> Interval.contains iv q) !stack in
+      f q containers)
+    queries_sorted
+
+let sorted_array_of_list l =
+  let a = Array.of_list l in
+  Array.sort Interval.compare_by_lo a;
+  a
+
+let descendants_within ~ancestors candidates =
+  let kept = ref [] in
+  with_containers (sorted_array_of_list ancestors) candidates (fun q containers ->
+      if containers <> [] then kept := q :: !kept);
+  List.rev !kept
+
+let ancestors_of_some ~descendants candidates =
+  let marked = Hashtbl.create 64 in
+  with_containers (sorted_array_of_list candidates) descendants (fun _ containers ->
+      List.iter
+        (fun c -> Hashtbl.replace marked (c.Interval.lo, c.Interval.hi) ())
+        containers);
+  List.filter (fun c -> Hashtbl.mem marked (c.Interval.lo, c.Interval.hi)) candidates
+
+(* Merge the prepared universe with the (sorted) parents into one
+   sorted event array; duplicates are harmless to the sweep. *)
+let merge_events universe parents_sorted =
+  let np = Array.length parents_sorted and nu = Array.length universe in
+  if np = 0 then universe
+  else begin
+    let out = Array.make (nu + np) parents_sorted.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to nu + np - 1 do
+      if
+        !j >= np
+        || (!i < nu && Interval.compare_by_lo universe.(!i) parents_sorted.(!j) <= 0)
+      then begin
+        out.(k) <- universe.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- parents_sorted.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* The innermost strict container of each query among universe+parents
+   decides child-axis membership; results are (query, parent) pairs. *)
+let innermost_is_parent ~universe ~parents queries =
+  let parent_set = Hashtbl.create (List.length parents) in
+  List.iter
+    (fun p -> Hashtbl.replace parent_set (p.Interval.lo, p.Interval.hi) ())
+    parents;
+  let events = merge_events universe (sorted_array_of_list parents) in
+  let result = ref [] in
+  with_containers events queries (fun q containers ->
+      match containers with
+      | innermost :: _
+        when Hashtbl.mem parent_set (innermost.Interval.lo, innermost.Interval.hi) ->
+        result := (q, innermost) :: !result
+      | _ :: _ | [] -> ());
+  !result
+
+let children_within ~universe ~parents candidates =
+  let pairs = innermost_is_parent ~universe ~parents candidates in
+  List.sort Interval.compare_by_lo (List.map fst pairs)
+
+(* Innermost universe container key of each query ((lo,hi), or None for
+   top level), as an association list in query order. *)
+let container_keys ~universe queries =
+  let out = ref [] in
+  with_containers universe queries (fun q containers ->
+      let key =
+        match containers with
+        | innermost :: _ -> Some (innermost.Interval.lo, innermost.Interval.hi)
+        | [] -> None
+      in
+      out := (q, key) :: !out);
+  !out
+
+(* A table interval may be the hull of several grouped same-tag
+   siblings, so an interval can hide both an anchor and its follower:
+   hull-equal pairs must be kept for completeness (the client filters
+   any false positives after decryption). *)
+let interval_set intervals =
+  let h = Hashtbl.create (List.length intervals) in
+  List.iter (fun iv -> Hashtbl.replace h (iv.Interval.lo, iv.Interval.hi) ()) intervals;
+  h
+
+let following_siblings_within ~universe ~anchors candidates =
+  (* Earliest anchor end per parent; a candidate follows iff its parent
+     has an anchor ending before the candidate starts. *)
+  let min_hi = Hashtbl.create 32 in
+  List.iter
+    (fun (a, key) ->
+      let prev = Hashtbl.find_opt min_hi key in
+      if prev = None || Option.get prev > a.Interval.hi then
+        Hashtbl.replace min_hi key a.Interval.hi)
+    (container_keys ~universe anchors);
+  let anchor_set = interval_set anchors in
+  List.filter
+    (fun (c, key) ->
+      Hashtbl.mem anchor_set (c.Interval.lo, c.Interval.hi)
+      ||
+      match Hashtbl.find_opt min_hi key with
+      | Some hi -> hi < c.Interval.lo
+      | None -> false)
+    (container_keys ~universe candidates)
+  |> List.map fst
+  |> List.sort Interval.compare_by_lo
+
+let anchors_of_following ~universe ~followers candidates =
+  (* Latest follower start per parent; an anchor qualifies iff some
+     follower of the same parent starts after it ends. *)
+  let max_lo = Hashtbl.create 32 in
+  List.iter
+    (fun (f, key) ->
+      let prev = Hashtbl.find_opt max_lo key in
+      if prev = None || Option.get prev < f.Interval.lo then
+        Hashtbl.replace max_lo key f.Interval.lo)
+    (container_keys ~universe followers);
+  let follower_set = interval_set followers in
+  List.filter
+    (fun (c, key) ->
+      Hashtbl.mem follower_set (c.Interval.lo, c.Interval.hi)
+      ||
+      match Hashtbl.find_opt max_lo key with
+      | Some lo -> lo > c.Interval.hi
+      | None -> false)
+    (container_keys ~universe candidates)
+  |> List.map fst
+  |> List.sort Interval.compare_by_lo
+
+let preceding_siblings_within ~universe ~anchors candidates =
+  (* Latest anchor start per parent; a candidate precedes iff its
+     parent has an anchor starting after the candidate ends. *)
+  let max_lo = Hashtbl.create 32 in
+  List.iter
+    (fun (a, key) ->
+      let prev = Hashtbl.find_opt max_lo key in
+      if prev = None || Option.get prev < a.Interval.lo then
+        Hashtbl.replace max_lo key a.Interval.lo)
+    (container_keys ~universe anchors);
+  let anchor_set = interval_set anchors in
+  List.filter
+    (fun (c, key) ->
+      Hashtbl.mem anchor_set (c.Interval.lo, c.Interval.hi)
+      ||
+      match Hashtbl.find_opt max_lo key with
+      | Some lo -> lo > c.Interval.hi
+      | None -> false)
+    (container_keys ~universe candidates)
+  |> List.map fst
+  |> List.sort Interval.compare_by_lo
+
+let anchors_of_preceding ~universe ~predecessors candidates =
+  (* Earliest predecessor end per parent; an anchor qualifies iff a
+     predecessor of the same parent ends before it starts. *)
+  let min_hi = Hashtbl.create 32 in
+  List.iter
+    (fun (p, key) ->
+      let prev = Hashtbl.find_opt min_hi key in
+      if prev = None || Option.get prev > p.Interval.hi then
+        Hashtbl.replace min_hi key p.Interval.hi)
+    (container_keys ~universe predecessors);
+  let pred_set = interval_set predecessors in
+  List.filter
+    (fun (c, key) ->
+      Hashtbl.mem pred_set (c.Interval.lo, c.Interval.hi)
+      ||
+      match Hashtbl.find_opt min_hi key with
+      | Some hi -> hi < c.Interval.lo
+      | None -> false)
+    (container_keys ~universe candidates)
+  |> List.map fst
+  |> List.sort Interval.compare_by_lo
+
+let parents_of_some ~universe ~children candidates =
+  let pairs = innermost_is_parent ~universe ~parents:candidates children in
+  let marked = Hashtbl.create 64 in
+  List.iter
+    (fun (_, p) -> Hashtbl.replace marked (p.Interval.lo, p.Interval.hi) ())
+    pairs;
+  List.filter (fun c -> Hashtbl.mem marked (c.Interval.lo, c.Interval.hi)) candidates

@@ -1,0 +1,70 @@
+(** Structural (semi-)joins over DSI interval lists.
+
+    These are the server-side primitives of query evaluation (Section
+    6.2, step 1): given the interval lists retrieved from the DSI index
+    table for two query nodes, prune the lists so only intervals that
+    can stand in the required structural relationship survive.
+
+    All functions assume the intervals come from one DSI assignment and
+    therefore form a {e laminar} family: two intervals are either
+    disjoint or strictly nested.
+
+    The descendant axis is pure containment.  The child axis follows
+    the paper's derivation
+    [child(x,y) <-> desc(x,y) /\ ¬∃z: desc(x,z) /\ desc(z,y)]
+    where [z] ranges over the {e universe} — every interval stored in
+    the DSI index table.  Because the universe is large and reused
+    across every child-axis join of every query, it is prepared (sorted)
+    once with {!prepare_universe}. *)
+
+type universe
+(** Pre-sorted snapshot of all DSI-table intervals. *)
+
+val prepare_universe : Interval.t list -> universe
+
+val universe_size : universe -> int
+
+val descendants_within :
+  ancestors:Interval.t list -> Interval.t list -> Interval.t list
+(** Keep the candidates strictly contained in at least one ancestor. *)
+
+val ancestors_of_some :
+  descendants:Interval.t list -> Interval.t list -> Interval.t list
+(** Keep the candidates strictly containing at least one descendant. *)
+
+val children_within :
+  universe:universe -> parents:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Keep the candidates whose innermost strict container (within the
+    universe and [parents] together) is one of [parents]. *)
+
+val parents_of_some :
+  universe:universe -> children:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Keep the candidates that are the innermost container of at least
+    one child. *)
+
+val following_siblings_within :
+  universe:universe -> anchors:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Keep the candidates that share their innermost container with some
+    anchor and lie strictly after it (the DSI rendering of the
+    [following-sibling] axis, Section 5.1). *)
+
+val anchors_of_following :
+  universe:universe -> followers:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Keep the candidates that have at least one follower among their
+    later same-parent siblings. *)
+
+val preceding_siblings_within :
+  universe:universe -> anchors:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Mirror of {!following_siblings_within}: same innermost container,
+    strictly before the anchor. *)
+
+val anchors_of_preceding :
+  universe:universe -> predecessors:Interval.t list ->
+  Interval.t list -> Interval.t list
+(** Keep the candidates preceded by one of [predecessors] among their
+    same-parent siblings. *)

@@ -1,0 +1,1 @@
+lib/secure/attack.ml: Array Counting Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/secure/audit.ml: Encrypt Format Hashtbl List Option Server

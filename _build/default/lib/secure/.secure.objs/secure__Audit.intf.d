@@ -1,0 +1,1 @@
+lib/secure/audit.mli: Format Server

@@ -1,0 +1,1 @@
+lib/secure/candidates.ml: Array Btree Counting Encrypt Hashtbl List Metadata Option Sc String System Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/candidates.mli: Sc Scheme Xmlcore

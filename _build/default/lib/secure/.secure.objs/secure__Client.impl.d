@@ -1,0 +1,1 @@
+lib/secure/client.ml: Composite Crypto Encrypt Hashtbl List Metadata Opess Option Squery Xmlcore Xpath

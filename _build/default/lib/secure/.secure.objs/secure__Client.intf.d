@@ -1,0 +1,1 @@
+lib/secure/client.mli: Crypto Encrypt Metadata Squery Xmlcore Xpath

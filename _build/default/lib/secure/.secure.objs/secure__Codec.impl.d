@@ -1,0 +1,1 @@
+lib/secure/codec.ml: Buffer Char Int64 List String

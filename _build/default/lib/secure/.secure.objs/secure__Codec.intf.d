@@ -1,0 +1,1 @@
+lib/secure/codec.mli: Buffer

@@ -1,0 +1,1 @@
+lib/secure/composite.ml: Hashtbl List Xmlcore Xpath

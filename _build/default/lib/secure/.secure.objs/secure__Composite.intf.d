@@ -1,0 +1,1 @@
+lib/secure/composite.mli: Xmlcore Xpath

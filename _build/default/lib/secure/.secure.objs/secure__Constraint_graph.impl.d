@@ -1,0 +1,1 @@
+lib/secure/constraint_graph.ml: List Sc Set String Vertex_cover Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/constraint_graph.mli: Sc Vertex_cover Xmlcore

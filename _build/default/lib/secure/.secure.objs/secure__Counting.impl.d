@@ -1,0 +1,1 @@
+lib/secure/counting.ml: Array Int64 List

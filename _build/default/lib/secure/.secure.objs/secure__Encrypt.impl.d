@@ -1,0 +1,1 @@
+lib/secure/encrypt.ml: Char Crypto Hashtbl List Printf Scheme String Xmlcore

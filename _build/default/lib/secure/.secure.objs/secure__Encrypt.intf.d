@@ -1,0 +1,1 @@
+lib/secure/encrypt.mli: Crypto Scheme Xmlcore

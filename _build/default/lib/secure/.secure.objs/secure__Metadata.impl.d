@@ -1,0 +1,1 @@
+lib/secure/metadata.ml: Array Btree Crypto Dsi Encrypt Hashtbl List Opess Option Squery String Xmlcore

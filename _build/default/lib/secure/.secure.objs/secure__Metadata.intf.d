@@ -1,0 +1,1 @@
+lib/secure/metadata.mli: Btree Crypto Dsi Encrypt Opess Squery

@@ -1,0 +1,1 @@
+lib/secure/opess.ml: Array Crypto Float Hashtbl Int64 List Option Printf String Xpath

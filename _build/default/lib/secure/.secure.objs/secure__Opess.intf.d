@@ -1,0 +1,1 @@
+lib/secure/opess.mli: Xmlcore Xpath

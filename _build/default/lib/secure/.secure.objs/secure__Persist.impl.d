@@ -1,0 +1,1 @@
+lib/secure/persist.ml: Btree Buffer Codec Crypto Dsi Encrypt Fun List Metadata Opess Printf Sc Scheme String System Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/persist.mli: System

@@ -1,0 +1,1 @@
+lib/secure/protocol.ml: Buffer Codec Encrypt Printf Server Squery Xpath

@@ -1,0 +1,1 @@
+lib/secure/protocol.mli: Server Squery

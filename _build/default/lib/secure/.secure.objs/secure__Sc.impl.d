@@ -1,0 +1,1 @@
+lib/secure/sc.ml: Format Hashtbl List Printf String Xmlcore Xpath

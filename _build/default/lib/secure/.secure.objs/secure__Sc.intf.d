@@ -1,0 +1,1 @@
+lib/secure/sc.mli: Format Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/scheme.ml: Constraint_graph List Option Printf Sc Vertex_cover Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/scheme.mli: Sc Xmlcore

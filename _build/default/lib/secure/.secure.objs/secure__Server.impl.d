@@ -1,0 +1,1 @@
+lib/secure/server.ml: Btree Dsi Encrypt Float Hashtbl List Logs Metadata Option Squery String Xpath

@@ -1,0 +1,1 @@
+lib/secure/server.mli: Btree Dsi Encrypt Metadata Squery Xpath

@@ -1,0 +1,1 @@
+lib/secure/squery.ml: Buffer Format List Printf String Xpath

@@ -1,0 +1,1 @@
+lib/secure/squery.mli: Format Xpath

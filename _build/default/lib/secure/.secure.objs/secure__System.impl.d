@@ -1,0 +1,1 @@
+lib/secure/system.ml: Client Crypto Encrypt Float List Logs Metadata Protocol Sc Scheme Server Squery String Unix Update Xmlcore Xpath

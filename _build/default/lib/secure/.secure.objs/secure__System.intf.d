@@ -1,0 +1,1 @@
+lib/secure/system.mli: Client Crypto Encrypt Metadata Sc Scheme Server Update Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/update.ml: Int List Printf Set Xmlcore Xpath

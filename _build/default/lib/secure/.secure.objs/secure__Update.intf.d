@@ -1,0 +1,1 @@
+lib/secure/update.mli: Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/secure/vertex_cover.mli:

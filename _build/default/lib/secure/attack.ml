@@ -1,0 +1,111 @@
+type frequency_result = {
+  domain_size : int;
+  cracked : (string * int) list;
+  crack_rate : float;
+}
+
+let frequency_attack ~known ~observed =
+  let count_of table =
+    let h = Hashtbl.create 16 in
+    List.iter
+      (fun f -> Hashtbl.replace h f (1 + Option.value ~default:0 (Hashtbl.find_opt h f)))
+      table;
+    h
+  in
+  let plaintext_freqs = count_of (List.map snd known) in
+  let ciphertext_freqs = count_of (List.map snd observed) in
+  let cracked =
+    List.filter_map
+      (fun (v, f) ->
+        let unique_plain = Hashtbl.find_opt plaintext_freqs f = Some 1 in
+        let unique_cipher = Hashtbl.find_opt ciphertext_freqs f = Some 1 in
+        if unique_plain && unique_cipher then Some (v, f) else None)
+      known
+  in
+  let domain_size = List.length known in
+  { domain_size;
+    cracked;
+    crack_rate =
+      (if domain_size = 0 then 0.0
+       else float_of_int (List.length cracked) /. float_of_int domain_size) }
+
+let deterministic_leaf_histogram known =
+  List.mapi (fun i (_, count) -> Int64.of_int i, count) known
+
+type coalescing_result = {
+  valid_partitions : int;
+  unique : bool;
+}
+
+let coalescing_attack ~known ~observed =
+  let targets = Array.of_list (List.map snd known) in
+  let counts = Array.of_list (List.map snd observed) in
+  let n = Array.length counts and k = Array.length targets in
+  let cap = 1_000_000 in
+  (* ways.(i).(j): partitions of the first i ciphertext counts into the
+     first j runs with matching sums. *)
+  let ways = Array.make_matrix (n + 1) (k + 1) 0 in
+  ways.(0).(0) <- 1;
+  for j = 1 to k do
+    for i = 1 to n do
+      (* The j-th run ends at position i: scan back while the suffix
+         sums to at most the target. *)
+      let sum = ref 0 in
+      let p = ref i in
+      let acc = ref 0 in
+      while !p >= 1 && !sum < targets.(j - 1) do
+        sum := !sum + counts.(!p - 1);
+        if !sum = targets.(j - 1) then
+          acc := min cap (!acc + ways.(!p - 1).(j - 1));
+        decr p
+      done;
+      ways.(i).(j) <- !acc
+    done
+  done;
+  let valid = ways.(n).(k) in
+  { valid_partitions = valid; unique = valid = 1 }
+
+type tag_result = {
+  tag_domain : int;
+  identified : (string * int) list;
+  identification_rate : float;
+}
+
+let tag_distribution_attack ~known_census ~observed =
+  let count_multiplicity pairs =
+    let h = Hashtbl.create 16 in
+    List.iter
+      (fun (_, c) ->
+        Hashtbl.replace h c (1 + Option.value ~default:0 (Hashtbl.find_opt h c)))
+      pairs;
+    h
+  in
+  let known_mult = count_multiplicity known_census in
+  let observed_mult = count_multiplicity observed in
+  let identified =
+    List.filter
+      (fun (_, c) ->
+        Hashtbl.find_opt known_mult c = Some 1
+        && Hashtbl.find_opt observed_mult c = Some 1)
+      known_census
+  in
+  let tag_domain = List.length known_census in
+  { tag_domain;
+    identified;
+    identification_rate =
+      (if tag_domain = 0 then 0.0
+       else float_of_int (List.length identified) /. float_of_int tag_domain) }
+
+type size_result = {
+  candidates : int;
+  survivors : int;
+}
+
+let size_attack ~candidate_sizes ~target_size =
+  { candidates = List.length candidate_sizes;
+    survivors = List.length (List.filter (fun s -> s = target_size) candidate_sizes) }
+
+let belief_sequence ~k ~n ~queries =
+  let prior = 1.0 /. float_of_int k in
+  let after = exp (-.Counting.log_compositions_count ~n ~k) in
+  prior :: List.init queries (fun _ -> after)

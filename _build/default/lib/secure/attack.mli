@@ -1,0 +1,90 @@
+(** Attack simulators for the Section 3.3 threat model.
+
+    These play the honest-but-curious server armed with exact knowledge
+    of domain values and occurrence frequencies, and measure how much
+    it can actually recover — the empirical counterpart of Theorems
+    4.1, 5.1, 5.2 and 6.1.
+
+    The frequency attack matches observed ciphertext-side frequencies
+    against the known plaintext histogram: any plaintext value whose
+    frequency is unique in the histogram is cracked as soon as some
+    ciphertext unit exhibits the same frequency.  Against a {e broken}
+    scheme (deterministic per-leaf encryption, no decoy, no OPESS) this
+    recovers most of the domain; against this system's value index the
+    split-and-scaled distribution admits no frequency matches. *)
+
+type frequency_result = {
+  domain_size : int;             (** distinct plaintext values *)
+  cracked : (string * int) list; (** plaintext values uniquely re-identified,
+                                     with the matched frequency *)
+  crack_rate : float;            (** |cracked| / domain_size *)
+}
+
+val frequency_attack :
+  known:Xmlcore.Stats.histogram -> observed:(int64 * int) list -> frequency_result
+(** [frequency_attack ~known ~observed]: [known] is the attacker's
+    exact plaintext histogram; [observed] the ciphertext-side frequency
+    table (e.g. B-tree key frequencies).  A plaintext value [v] with
+    frequency [f] is cracked iff [f] is unique among plaintext
+    frequencies {e and} exactly one observed ciphertext frequency
+    equals [f]. *)
+
+val deterministic_leaf_histogram : Xmlcore.Stats.histogram -> (int64 * int) list
+(** The ciphertext histogram a {e broken} scheme would expose:
+    deterministic encryption maps each value to one ciphertext with an
+    unchanged count.  Feed to {!frequency_attack} to reproduce the
+    Section 4.1 break. *)
+
+type coalescing_result = {
+  valid_partitions : int;
+      (** ways to cut the ordered ciphertext frequency sequence into
+          runs whose sums reproduce the known ordered plaintext
+          frequencies (capped at 1_000_000) *)
+  unique : bool;  (** exactly one — the attacker fully recovers the mapping *)
+}
+
+val coalescing_attack :
+  known:Xmlcore.Stats.histogram -> observed:(int64 * int) list -> coalescing_result
+(** The Section 5.2.1 re-aggregation attack that motivates {e scaling}:
+    splitting preserves totals and order, so an attacker who knows the
+    ordered plaintext frequencies can try to coalesce adjacent
+    ciphertext values until the counts match.  Against split-only
+    output the valid partition is typically unique (full crack);
+    scaling destroys the sums, leaving zero valid partitions.  [known]
+    must be ordered the same way the index orders values (numerically
+    when the domain is numeric — pass the OPESS entry order). *)
+
+type tag_result = {
+  tag_domain : int;                 (** distinct encrypted tags *)
+  identified : (string * int) list; (** tags re-identified by interval count *)
+  identification_rate : float;
+}
+
+val tag_distribution_attack :
+  known_census:(string * int) list ->
+  observed:(string * int) list ->
+  tag_result
+(** The attacker the paper explicitly does {e not} defend against
+    (Section 8, future work 2): one who knows the tag census.  Matching
+    known per-tag node counts against the DSI table's per-token
+    interval counts re-identifies every tag whose count is unique —
+    unless grouping has collapsed counts.  [known_census] is the
+    attacker's tag → node count knowledge; [observed] maps each table
+    token to its interval count. *)
+
+type size_result = {
+  candidates : int;
+  survivors : int;   (** candidates whose encrypted size matches *)
+}
+
+val size_attack : candidate_sizes:int list -> target_size:int -> size_result
+(** Size-based attack: candidates are eliminated when their encrypted
+    length differs from the hosted database's. *)
+
+val belief_sequence : k:int -> n:int -> queries:int -> float list
+(** Theorem 6.1's belief trajectory for an association [p:(b1,b2)]
+    with [k] distinct plaintext and [n] ciphertext values of [b1]: the
+    attacker's belief that a specific association holds starts at
+    [1/k] and drops to [1/C(n-1,k-1)] at the first query, where it
+    stays.  Element 0 is the prior; element [i] the belief after [i]
+    queries. *)

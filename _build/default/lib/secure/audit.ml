@@ -1,0 +1,72 @@
+type entry = {
+  request : string;
+  block_ids : int list;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let record t ~request ~response =
+  let block_ids =
+    List.sort compare (List.map (fun b -> b.Encrypt.id) response.Server.blocks)
+  in
+  t.entries <- { request; block_ids } :: t.entries
+
+let observed t = List.length t.entries
+
+type analysis = {
+  queries : int;
+  distinct_requests : int;
+  repeated_requests : int;
+  distinct_patterns : int;
+  top_co_accessed : ((int * int) * int) list;
+}
+
+let analyze t =
+  let entries = t.entries in
+  let queries = List.length entries in
+  let count_distinct project =
+    let h = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace h (project e) ()) entries;
+    Hashtbl.length h
+  in
+  let distinct_requests = count_distinct (fun e -> e.request) in
+  let distinct_patterns = count_distinct (fun e -> e.block_ids) in
+  let co = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              let key = a, b in
+              Hashtbl.replace co key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt co key)))
+            rest;
+          pairs rest
+      in
+      pairs e.block_ids)
+    entries;
+  let top_co_accessed =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) co []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  { queries;
+    distinct_requests;
+    repeated_requests = queries - distinct_requests;
+    distinct_patterns;
+    top_co_accessed }
+
+let pp_analysis fmt a =
+  Format.fprintf fmt
+    "@[<v>%d queries observed; %d distinct requests (%d recognisable repeats);@,\
+     %d distinct block-access patterns@,"
+    a.queries a.distinct_requests a.repeated_requests a.distinct_patterns;
+  List.iter
+    (fun ((x, y), c) ->
+      Format.fprintf fmt "blocks %d and %d co-returned %d times@," x y c)
+    a.top_co_accessed;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Access-pattern auditing.
+
+    Theorem 6.1 bounds what the server learns about {e which sensitive
+    facts hold}; it says nothing about {e access patterns} — which
+    blocks a query touches — and deterministic tag translation makes
+    repeated queries linkable by design (index lookups require it).
+    This module logs what an honest-but-curious server observes across
+    a session and quantifies those two leakage channels, so a
+    deployment can measure them instead of guessing.  (Hiding them
+    needs ORAM-style machinery, which the paper explicitly leaves out —
+    see its PIR discussion in Related Work.) *)
+
+type t
+(** A mutable observation log (what the server's side of the wire
+    sees). *)
+
+val create : unit -> t
+
+val record : t -> request:string -> response:Server.response -> unit
+(** Log one exchange: the encoded request bytes and the response. *)
+
+val observed : t -> int
+(** Exchanges logged. *)
+
+type analysis = {
+  queries : int;
+  distinct_requests : int;
+      (** repeated queries are linkable: equal request bytes *)
+  repeated_requests : int;
+      (** queries the server recognises as exact repeats *)
+  distinct_patterns : int;
+      (** distinct returned block-id sets *)
+  top_co_accessed : ((int * int) * int) list;
+      (** block pairs most often returned together (top 10) — the
+          co-location inference channel *)
+}
+
+val analyze : t -> analysis
+
+val pp_analysis : Format.formatter -> analysis -> unit

@@ -1,0 +1,59 @@
+(** Candidate-database enumeration — Theorems 4.1/5.2 made executable.
+
+    The security proofs argue the attacker faces a large set of
+    candidate plaintext databases, pairwise indistinguishable from the
+    hosted one.  This module {e constructs} those candidates (for small
+    documents) by permuting how an attribute's value multiset is
+    assigned to its occurrence slots — exactly the degrees of freedom
+    the multinomial of Theorem 4.1 counts — and checks the
+    indistinguishability conditions of Definition 3.1 concretely. *)
+
+val value_permutations :
+  Xmlcore.Doc.t -> tag:string -> limit:int -> Xmlcore.Doc.t list
+(** Up to [limit] distinct candidate documents obtained by reassigning
+    the attribute's observed values over its occurrence slots
+    (lexicographic enumeration over the value sequence; the original
+    assignment is always first).  Every candidate conforms to the
+    inferred schema of the input by construction. *)
+
+val candidate_count : Xmlcore.Doc.t -> tag:string -> int64 option
+(** The multinomial count of distinct assignments (Theorem 4.1's
+    number), when it fits in an int64. *)
+
+val structural_assignments : leaves:int -> intervals:int -> int list list
+(** Theorem 5.1 / Figure 5: all ways to assign [leaves] leaf nodes to
+    [intervals] grouped table intervals (compositions of [leaves] into
+    [intervals] positive parts, each list summing to [leaves]).  The
+    attacker cannot tell which assignment is real; the count is
+    [C(leaves-1, intervals-1)].
+    @raise Invalid_argument when either argument is non-positive or
+    [intervals > leaves]. *)
+
+val structural_candidate_trees :
+  tag:string -> leaf_tag:string -> values:string list -> intervals:int ->
+  Xmlcore.Tree.t list
+(** Materialise Figure 5's candidate subtrees: for each assignment of
+    the given leaf values into [intervals] groups, a tree
+    [tag -> group* -> leaves] whose grouped shape would produce the same
+    DSI table entry.  (Group elements are tagged [tag ^ "_g"].) *)
+
+type report = {
+  candidates : int;
+  all_conform : bool;             (** every candidate matches the schema *)
+  equal_sizes : bool;             (** equal encrypted sizes (Def. 3.1 (1)) *)
+  equal_index_histograms : bool;  (** equal value-index distributions (Def. 3.1 (2)) *)
+  satisfying_original : int;      (** candidates in which every originally
+                                      captured association query still holds —
+                                      Definition 3.3 (2) expects exactly 1 *)
+}
+
+val indistinguishability_report :
+  master:string ->
+  constraints:Sc.t list ->
+  kind:Scheme.kind ->
+  tag:string ->
+  limit:int ->
+  Xmlcore.Doc.t ->
+  report
+(** Host every candidate under the same key/scheme and compare what the
+    attacker observes. *)

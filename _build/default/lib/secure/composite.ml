@@ -1,0 +1,134 @@
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+
+(* [In (anchor, id, m)]: node [m] of block [id], whose placeholder sits
+   at skeleton node [anchor].  Carrying the anchor makes document-order
+   comparison self-contained. *)
+type node =
+  | Skel of Doc.node
+  | In of Doc.node * int * Doc.node
+
+type t = {
+  skeleton : Doc.t;
+  block_at : (Doc.node, int) Hashtbl.t;   (* placeholder skeleton node -> block id *)
+  blocks : (int, Doc.t) Hashtbl.t;        (* returned blocks only *)
+}
+
+let create ~skeleton ~anchors ~blocks =
+  let block_at = Hashtbl.create 16 in
+  List.iter (fun (id, n) -> Hashtbl.replace block_at n id) anchors;
+  let block_docs = Hashtbl.create 16 in
+  List.iter (fun (id, doc) -> Hashtbl.replace block_docs id doc) blocks;
+  { skeleton; block_at; blocks = block_docs }
+
+(* A skeleton node resolves to itself, to a block root (returned
+   placeholder), or to nothing (unreturned placeholder). *)
+let resolve t n =
+  match Hashtbl.find_opt t.block_at n with
+  | None -> Some (Skel n)
+  | Some id ->
+    (match Hashtbl.find_opt t.blocks id with
+     | Some doc -> Some (In (n, id, Doc.root doc))
+     | None -> None)
+
+module Navigation = struct
+  type doc = t
+  type nonrec node = node
+
+  let root t =
+    match resolve t (Doc.root t.skeleton) with
+    | Some n -> n
+    | None -> Skel (Doc.root t.skeleton)
+
+  let children t = function
+    | Skel n -> List.filter_map (resolve t) (Doc.children t.skeleton n)
+    | In (anchor, id, m) ->
+      let doc = Hashtbl.find t.blocks id in
+      List.map (fun c -> In (anchor, id, c)) (Doc.children doc m)
+
+  let parent t = function
+    | Skel n ->
+      (match Doc.parent t.skeleton n with
+       | None -> None
+       | Some p -> Some (Skel p))
+    | In (anchor, id, m) ->
+      let doc = Hashtbl.find t.blocks id in
+      (match Doc.parent doc m with
+       | Some p -> Some (In (anchor, id, p))
+       | None ->
+         (* The block root's parent is the placeholder's parent. *)
+         (match Doc.parent t.skeleton anchor with
+          | None -> None
+          | Some p -> Some (Skel p)))
+
+  (* Siblings after a node; a block root's siblings come from the
+     placeholder's position in the skeleton. *)
+  let following_siblings t node =
+    let rec after target = function
+      | [] -> []
+      | c :: rest -> if c = target then rest else after target rest
+    in
+    match node with
+    | Skel n ->
+      (match Doc.parent t.skeleton n with
+       | None -> []
+       | Some p -> List.filter_map (resolve t) (after n (Doc.children t.skeleton p)))
+    | In (anchor, id, m) ->
+      let doc = Hashtbl.find t.blocks id in
+      (match Doc.parent doc m with
+       | Some p -> List.map (fun c -> In (anchor, id, c)) (after m (Doc.children doc p))
+       | None ->
+         (match Doc.parent t.skeleton anchor with
+          | None -> []
+          | Some p ->
+            List.filter_map (resolve t) (after anchor (Doc.children t.skeleton p))))
+
+  let rec collect_descendants t acc node =
+    List.fold_left
+      (fun acc k -> collect_descendants t (k :: acc) k)
+      acc (children t node)
+
+  let descendants t node = List.rev (collect_descendants t [] node)
+
+  let all_nodes t =
+    let r = root t in
+    r :: descendants t r
+
+  let tag t = function
+    | Skel n -> Doc.tag t.skeleton n
+    | In (_, id, m) -> Doc.tag (Hashtbl.find t.blocks id) m
+
+  let value t = function
+    | Skel n -> Doc.value t.skeleton n
+    | In (_, id, m) -> Doc.value (Hashtbl.find t.blocks id) m
+
+  (* Document order: a block sits at its placeholder's position. *)
+  let order_key = function
+    | Skel n -> n, -1, 0
+    | In (anchor, id, m) -> anchor, id, m
+
+  let compare_node a b = compare (order_key a) (order_key b)
+end
+
+module E = Xpath.Eval.Make (Navigation)
+
+module Eval = struct
+  let eval = E.eval
+  let eval_union = E.eval_union
+end
+
+let rec subtree t node =
+  match node with
+  | Skel n ->
+    (match Doc.value t.skeleton n with
+     | Some v -> Tree.leaf (Doc.tag t.skeleton n) v
+     | None ->
+       Tree.element (Doc.tag t.skeleton n)
+         (List.map (subtree t) (Navigation.children t (Skel n))))
+  | In (anchor, id, m) ->
+    let doc = Hashtbl.find t.blocks id in
+    (match Doc.value doc m with
+     | Some v -> Tree.leaf (Doc.tag doc m) v
+     | None ->
+       Tree.element (Doc.tag doc m)
+         (List.map (fun c -> subtree t (In (anchor, id, c))) (Doc.children doc m)))

@@ -1,0 +1,43 @@
+(** Composite view of "skeleton + decrypted blocks" for client
+    post-processing.
+
+    After the server answers, the client holds the public skeleton
+    (indexed once at setup) and the decrypted subtrees of the returned
+    blocks.  This module exposes the combination as a single navigable
+    document — without materialising the merged tree — so the cost of
+    evaluating the original query scales with the data actually
+    returned plus one traversal of the skeleton, not with a full
+    document rebuild.
+
+    Placeholders of blocks the server did not return are invisible:
+    the server guarantees every block that could contribute to an
+    answer or a predicate witness is returned, so pruning the rest
+    preserves [Q(δ(Qs(η(D)))) = Q(D)]. *)
+
+type node =
+  | Skel of Xmlcore.Doc.node
+  | In of Xmlcore.Doc.node * int * Xmlcore.Doc.node
+      (** placeholder anchor in the skeleton, block id, node within the
+          block's doc *)
+
+type t
+
+val create :
+  skeleton:Xmlcore.Doc.t ->
+  anchors:(int * Xmlcore.Doc.node) list ->
+  blocks:(int * Xmlcore.Doc.t) list ->
+  t
+(** [create ~skeleton ~anchors ~blocks]: [anchors] maps block ids to
+    their placeholder nodes in the skeleton; [blocks] holds the
+    returned decrypted block documents. *)
+
+val subtree : t -> node -> Xmlcore.Tree.t
+(** Materialise the subtree rooted at a composite node (splicing any
+    returned blocks below it; unreturned placeholders are dropped). *)
+
+module Navigation : Xpath.Nav.S with type doc = t and type node = node
+
+module Eval : sig
+  val eval : t -> Xpath.Ast.path -> node list
+  val eval_union : t -> Xpath.Ast.path list -> node list
+end

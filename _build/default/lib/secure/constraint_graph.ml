@@ -1,0 +1,89 @@
+module Ast = Xpath.Ast
+module Doc = Xmlcore.Doc
+
+type endpoint = {
+  sc_index : int;
+  tag : string;
+  nodes : Doc.node list;
+}
+
+type t = {
+  graph : Vertex_cover.graph;
+  endpoints : endpoint list;
+  mandatory : Doc.node list;
+}
+
+let last_tag_of path =
+  match List.rev path.Ast.steps with
+  | [] -> None
+  | step :: _ ->
+    (match step.Ast.test with
+     | Ast.Tag tag -> Some tag
+     | Ast.Wildcard ->
+       invalid_arg "Constraint_graph: association endpoint ends in a wildcard")
+
+(* Encryption cost of covering a node set: subtree sizes plus one decoy
+   per leaf (Definition 4.1's block-size measure). *)
+let cost_of_nodes doc nodes =
+  List.fold_left
+    (fun acc n ->
+      let subtree = Doc.subtree_node_count doc n in
+      let decoy = if Doc.is_leaf doc n then 1 else 0 in
+      acc +. float_of_int (subtree + decoy))
+    0.0 nodes
+
+let build doc scs =
+  let mandatory = ref [] in
+  let endpoints = ref [] in
+  let edges = ref [] in
+  List.iteri
+    (fun sc_index sc ->
+      match sc with
+      | Sc.Node_type p -> mandatory := Xpath.Eval.eval doc p @ !mandatory
+      | Sc.Association { context; q1; q2 } ->
+        let bindings = Xpath.Eval.eval doc context in
+        let endpoint_of q =
+          (* An empty (self) path targets the context binding itself. *)
+          let tag =
+            match (if q.Ast.steps = [] then last_tag_of context else last_tag_of q) with
+            | Some tag -> tag
+            | None -> invalid_arg "Constraint_graph: empty context path"
+          in
+          let nodes =
+            if q.Ast.steps = [] then bindings
+            else Xpath.Eval.eval_from doc bindings q
+          in
+          { sc_index; tag; nodes }
+        in
+        let e1 = endpoint_of q1 and e2 = endpoint_of q2 in
+        endpoints := e2 :: e1 :: !endpoints;
+        edges := (e1.tag, e2.tag) :: !edges)
+    scs;
+  let endpoints = List.rev !endpoints in
+  (* Vertex weight: cost of the union of that tag's endpoint nodes. *)
+  let tags =
+    List.sort_uniq String.compare (List.map (fun e -> e.tag) endpoints)
+  in
+  let weights =
+    List.map
+      (fun tag ->
+        let nodes =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun e -> if String.equal e.tag tag then e.nodes else [])
+               endpoints)
+        in
+        tag, cost_of_nodes doc nodes)
+      tags
+  in
+  { graph = { Vertex_cover.weights; edges = List.rev !edges };
+    endpoints;
+    mandatory = List.sort_uniq compare !mandatory }
+
+let nodes_for_tags t tags =
+  let module S = Set.Make (String) in
+  let s = S.of_list tags in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun e -> if S.mem e.tag s then e.nodes else [])
+       t.endpoints)

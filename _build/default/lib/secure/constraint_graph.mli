@@ -1,0 +1,30 @@
+(** The constraint graph of Section 7.1.
+
+    One vertex per tag appearing as an association-SC endpoint, one
+    edge per association SC (connecting the tags its two relative
+    paths [q1], [q2] end in).  Vertex weights are the encryption cost
+    of covering that tag: the total node count of the subtrees that
+    would be encrypted, plus one decoy node per leaf block (the
+    scheme-size measure of Definition 4.1).
+
+    Node-type SCs do not enter the graph: their bindings are encrypted
+    unconditionally ({e mandatory} nodes). *)
+
+type endpoint = {
+  sc_index : int;           (** which association SC (position in input list) *)
+  tag : string;             (** tag the relative path ends in *)
+  nodes : Xmlcore.Doc.node list;  (** nodes bound by [p/q] in the document *)
+}
+
+type t = {
+  graph : Vertex_cover.graph;
+  endpoints : endpoint list;
+  mandatory : Xmlcore.Doc.node list;  (** node-type SC bindings *)
+}
+
+val build : Xmlcore.Doc.t -> Sc.t list -> t
+(** @raise Invalid_argument if an association path ends in a wildcard
+    (the graph abstraction needs a concrete endpoint tag). *)
+
+val nodes_for_tags : t -> string list -> Xmlcore.Doc.node list
+(** Union of endpoint node sets over the given tags, deduplicated. *)

@@ -1,0 +1,61 @@
+(* Log-factorials are memoised; the table grows on demand. *)
+let log_fact_table = ref [| 0.0 |]
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Counting.log_factorial: negative argument";
+  let table = !log_fact_table in
+  if n < Array.length table then table.(n)
+  else begin
+    let old_len = Array.length table in
+    let new_len = max (n + 1) (old_len * 2) in
+    let grown = Array.make new_len 0.0 in
+    Array.blit table 0 grown 0 old_len;
+    for i = old_len to new_len - 1 do
+      grown.(i) <- grown.(i - 1) +. log (float_of_int i)
+    done;
+    log_fact_table := grown;
+    grown.(n)
+  end
+
+let log_binomial n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+(* Exact int64 binomial via the multiplicative formula, detecting
+   overflow at each step. *)
+let binomial n k =
+  if k < 0 || k > n then Some 0L
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then Some acc
+      else
+        (* acc * (n - k + i) / i, exact at every step *)
+        let num = Int64.of_int (n - k + i) in
+        if acc > Int64.div Int64.max_int num then None
+        else go (Int64.div (Int64.mul acc num) (Int64.of_int i)) (i + 1)
+    in
+    go 1L 1
+  end
+
+let log_multinomial ks =
+  let total = List.fold_left ( + ) 0 ks in
+  List.fold_left (fun acc k -> acc -. log_factorial k) (log_factorial total) ks
+
+let multinomial ks =
+  (* Product of binomials (m choose k1)(m-k1 choose k2)..., each exact. *)
+  let rec go remaining acc = function
+    | [] -> Some acc
+    | k :: rest ->
+      (match binomial remaining k with
+       | None -> None
+       | Some b ->
+         if b <> 0L && acc > Int64.div Int64.max_int b then None
+         else go (remaining - k) (Int64.mul acc b) rest)
+  in
+  let total = List.fold_left ( + ) 0 ks in
+  go total 1L ks
+
+let compositions_count ~n ~k = binomial (n - 1) (k - 1)
+
+let log_compositions_count ~n ~k = log_binomial (n - 1) (k - 1)

@@ -1,0 +1,32 @@
+(** Candidate-database counting for the security theorems.
+
+    Theorem 4.1 bounds the attacker's search space by the multinomial
+    [(Σk_i)! / Π k_i!]; Theorems 5.1 and 5.2 by products of binomials
+    [(n-1 choose k-1)].  These numbers overflow machine integers
+    quickly, so everything is computed in log-space with exact [int64]
+    results returned when they fit. *)
+
+val log_factorial : int -> float
+(** Natural log of [n!] (exact summation, not Stirling). *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] = ln (n choose k); neg_infinity when k < 0 or
+    k > n. *)
+
+val binomial : int -> int -> int64 option
+(** Exact value when it fits in int64, [None] on overflow. *)
+
+val log_multinomial : int list -> float
+(** [log_multinomial \[k1; ...; kn\]] = ln ((Σki)! / Π ki!) — the
+    Theorem 4.1 candidate count for one attribute with occurrence
+    frequencies ki. *)
+
+val multinomial : int list -> int64 option
+(** Exact multinomial when it fits. *)
+
+val compositions_count : n:int -> k:int -> int64 option
+(** [(n-1 choose k-1)] — the number of ways to assign [n] leaves to [k]
+    intervals (Theorem 5.1) or to split [n] ciphertext values among [k]
+    plaintext values order-preservingly (Theorem 5.2). *)
+
+val log_compositions_count : n:int -> k:int -> float

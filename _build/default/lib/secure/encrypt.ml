@@ -1,0 +1,158 @@
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+
+type block = {
+  id : int;
+  root : Doc.node;
+  ciphertext : string;
+  plaintext_bytes : int;
+  node_count : int;
+  has_decoy : bool;
+}
+
+type db = {
+  doc : Doc.t;
+  scheme : Scheme.t;
+  blocks : block list;
+  skeleton : Tree.t;
+  encrypted_tags : string list;
+  plaintext_tags : string list;
+}
+
+(* Models the EncryptedData / EncryptionMethod / CipherValue wrapper
+   elements of W3C XML-Encryption around every block. *)
+let block_header_bytes = 120
+
+let placeholder_prefix = "_enc_block_"
+
+let placeholder_tag id = placeholder_prefix ^ string_of_int id
+
+let placeholder_id tag =
+  let n = String.length placeholder_prefix in
+  if String.length tag > n && String.sub tag 0 n = placeholder_prefix then
+    int_of_string_opt (String.sub tag n (String.length tag - n))
+  else None
+
+let decoy_attribute = "@_decoy"
+
+let decoy_value ~keys ~root =
+  let raw = Crypto.Hmac.mac ~key:(Crypto.Keys.decoy_key keys) (string_of_int root) in
+  (* Short alphanumeric salt, like the paper's "xyya". *)
+  String.init 6 (fun i -> Char.chr (Char.code 'a' + (Char.code raw.[i] mod 26)))
+
+let add_decoy ~keys ~root tree =
+  match tree with
+  | Tree.Element (tag, children) ->
+    Tree.Element (tag, Tree.leaf decoy_attribute (decoy_value ~keys ~root) :: children)
+  | Tree.Text _ -> assert false
+
+let strip_decoy tree =
+  match tree with
+  | Tree.Element (tag, children) ->
+    let children =
+      List.filter
+        (function
+          | Tree.Element (t, _) -> not (String.equal t decoy_attribute)
+          | Tree.Text _ -> true)
+        children
+    in
+    Tree.Element (tag, children)
+  | Tree.Text _ -> tree
+
+exception Tampered of int
+
+let mac_tag_bytes = 16
+
+(* Truncated encrypt-then-MAC tag binding the ciphertext to its block
+   id (prevents both corruption and block-swapping). *)
+let block_mac ~keys ~id ciphertext =
+  String.sub
+    (Crypto.Hmac.mac
+       ~key:(Crypto.Keys.derive keys "block-mac")
+       (Printf.sprintf "%d\x00%s" id ciphertext))
+    0 mac_tag_bytes
+
+let encrypt_one ~keys doc ~id root =
+  let has_decoy = Doc.is_leaf doc root in
+  let subtree = Doc.subtree doc root in
+  let payload = if has_decoy then add_decoy ~keys ~root subtree else subtree in
+  let serialized = Xmlcore.Printer.tree_to_string payload in
+  let ciphertext =
+    let body =
+      Crypto.Cipher.encrypt (Crypto.Keys.block_cipher keys)
+        ~nonce:(Crypto.Keys.block_nonce keys ~block_id:id)
+        serialized
+    in
+    body ^ block_mac ~keys ~id body
+  in
+  { id;
+    root;
+    ciphertext;
+    plaintext_bytes = String.length serialized;
+    node_count = Doc.subtree_node_count doc root + (if has_decoy then 1 else 0);
+    has_decoy }
+
+(* Rebuild the tree with block subtrees replaced by placeholders.
+   [block_at] maps a node id to its block id when the node is a block
+   root. *)
+let skeleton_of doc ~block_at =
+  let rec rebuild n =
+    match block_at n with
+    | Some id -> Tree.element (placeholder_tag id) []
+    | None ->
+      (match Doc.value doc n with
+       | Some v -> Tree.leaf (Doc.tag doc n) v
+       | None -> Tree.element (Doc.tag doc n) (List.map rebuild (Doc.children doc n)))
+  in
+  rebuild (Doc.root doc)
+
+let encrypt ~keys doc scheme =
+  let blocks =
+    List.mapi (fun id root -> encrypt_one ~keys doc ~id root) scheme.Scheme.block_roots
+  in
+  let root_to_block = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace root_to_block b.root b.id) blocks;
+  let skeleton = skeleton_of doc ~block_at:(Hashtbl.find_opt root_to_block) in
+  (* Partition tags by whether their nodes fall inside blocks. *)
+  let encrypted = Hashtbl.create 64 and plaintext = Hashtbl.create 64 in
+  Doc.iter doc (fun n ->
+      let inside = Scheme.in_some_block doc scheme n in
+      let table = if inside then encrypted else plaintext in
+      Hashtbl.replace table (Doc.tag doc n) ());
+  let tags table =
+    Hashtbl.fold (fun tag () acc -> tag :: acc) table [] |> List.sort String.compare
+  in
+  { doc;
+    scheme;
+    blocks;
+    skeleton;
+    encrypted_tags = tags encrypted;
+    plaintext_tags = tags plaintext }
+
+let decrypt_block ~keys block =
+  let total = String.length block.ciphertext in
+  if total < mac_tag_bytes then raise (Tampered block.id);
+  let body = String.sub block.ciphertext 0 (total - mac_tag_bytes) in
+  let tag = String.sub block.ciphertext (total - mac_tag_bytes) mac_tag_bytes in
+  if not (String.equal tag (block_mac ~keys ~id:block.id body)) then
+    raise (Tampered block.id);
+  let serialized =
+    Crypto.Cipher.decrypt (Crypto.Keys.block_cipher keys)
+      ~nonce:(Crypto.Keys.block_nonce keys ~block_id:block.id)
+      body
+  in
+  let tree = Xmlcore.Parser.parse serialized in
+  if block.has_decoy then strip_decoy tree else tree
+
+let block_of_node db n =
+  List.find_opt
+    (fun b -> b.root = n || Doc.is_ancestor db.doc b.root n)
+    db.blocks
+
+let encrypted_bytes db =
+  List.fold_left
+    (fun acc b -> acc + String.length b.ciphertext + block_header_bytes)
+    0 db.blocks
+
+let server_bytes db =
+  String.length (Xmlcore.Printer.tree_to_string db.skeleton) + encrypted_bytes db

@@ -1,0 +1,68 @@
+(** Applying an encryption scheme to a document (Section 4.1).
+
+    Each block root's subtree is serialized, salted with an encryption
+    decoy when the root is a leaf element, and CBC-encrypted under the
+    client's block key with a per-block nonce.  What remains in
+    plaintext — the {e skeleton} — has each block replaced by an
+    [_enc_block_<id>] placeholder element.  The skeleton plus the
+    ciphertext blocks is exactly what the server stores (along with the
+    metadata of {!Metadata}).
+
+    Per-block framing overhead (the W3C XML-Encryption wrapper elements
+    in the paper's setup) is modelled by {!block_header_bytes}; it is
+    what makes the [Sub] scheme's output largest in experiment E6. *)
+
+type block = {
+  id : int;
+  root : Xmlcore.Doc.node;          (** subtree root in the original document *)
+  ciphertext : string;
+  plaintext_bytes : int;            (** serialized subtree size, decoy included *)
+  node_count : int;                 (** block size |b|, decoy included *)
+  has_decoy : bool;
+}
+
+type db = {
+  doc : Xmlcore.Doc.t;              (** the original — client side only *)
+  scheme : Scheme.t;
+  blocks : block list;              (** ordered by id = position in scheme *)
+  skeleton : Xmlcore.Tree.t;        (** public part with placeholders *)
+  encrypted_tags : string list;     (** tags occurring inside blocks *)
+  plaintext_tags : string list;     (** tags occurring outside blocks *)
+}
+
+val block_header_bytes : int
+(** Fixed per-block framing overhead added to stored/transmitted
+    sizes. *)
+
+val placeholder_tag : int -> string
+(** [placeholder_tag id] = ["_enc_block_<id>"]. *)
+
+val placeholder_id : string -> int option
+(** Inverse of {!placeholder_tag}. *)
+
+val decoy_attribute : string
+(** The ["@"]-prefixed tag of decoy children ("_decoy"). *)
+
+exception Tampered of int
+(** Raised by {!decrypt_block} when a block's authentication tag does
+    not verify (block id attached). *)
+
+val encrypt : keys:Crypto.Keys.t -> Xmlcore.Doc.t -> Scheme.t -> db
+(** Encrypt the document under the scheme.  Blocks are
+    encrypt-then-MAC: a truncated HMAC tag over (block id, ciphertext)
+    is appended, so corruption and block-swapping are detected instead
+    of decrypting garbage. *)
+
+val decrypt_block : keys:Crypto.Keys.t -> block -> Xmlcore.Tree.t
+(** Verify, decrypt and parse one block; the decoy (if any) is removed.
+    @raise Tampered when the authentication tag fails. *)
+
+val block_of_node : db -> Xmlcore.Doc.node -> block option
+(** The block containing the node (as root or inner node), if any. *)
+
+val server_bytes : db -> int
+(** Total size the server stores: skeleton plus all ciphertexts plus
+    per-block headers. *)
+
+val encrypted_bytes : db -> int
+(** Ciphertext bytes only (headers included). *)

@@ -1,0 +1,187 @@
+module Doc = Xmlcore.Doc
+module Interval = Dsi.Interval
+
+type target =
+  | To_block of int
+  | To_plain of Interval.t
+
+type index_policy =
+  | All_leaves
+  | Encrypted_only
+
+type t = {
+  assignment : Dsi.Assign.t;
+  dsi_table : (string * Interval.t list) list;
+  block_table : (int * Interval.t) list;
+  btree : target Btree.t;
+  catalogs : (string * Opess.t) list;
+  indexed_tags : string list;
+}
+
+let token_key = function
+  | Squery.Clear tag -> "P:" ^ tag
+  | Squery.Enc hex -> "E:" ^ hex
+
+let encrypted_token ~keys tag =
+  Squery.Enc
+    (Crypto.Vernam.encrypt_hex
+       ~key:(Crypto.Keys.tag_key keys)
+       ~pad_id:(Crypto.Keys.tag_pad_id tag)
+       tag)
+
+(* Block id containing node [n] (including block roots), or None. *)
+let block_index db =
+  let doc = db.Encrypt.doc in
+  let lookup = Array.make (Doc.node_count doc) None in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n -> lookup.(n) <- Some b.Encrypt.id)
+        (Doc.descendant_or_self doc b.Encrypt.root))
+    db.Encrypt.blocks;
+  lookup
+
+(* DSI index table rows: one per node, except that runs of adjacent
+   same-tag siblings inside the same block collapse to their hull. *)
+let table_rows ~keys db assignment block_of =
+  let doc = db.Encrypt.doc in
+  let rows = ref [] in
+  let emit node_run =
+    match node_run with
+    | [] -> ()
+    | first :: _ ->
+      let tag = Doc.tag doc first in
+      let token =
+        match block_of.(first) with
+        | Some _ -> encrypted_token ~keys tag
+        | None -> Squery.Clear tag
+      in
+      let hull =
+        List.fold_left
+          (fun acc n -> Interval.hull acc (Dsi.Assign.interval assignment n))
+          (Dsi.Assign.interval assignment first)
+          node_run
+      in
+      rows := (token_key token, hull) :: !rows
+  in
+  (* Group the children of every node into maximal runs. *)
+  let group_children children =
+    let same a b =
+      String.equal (Doc.tag doc a) (Doc.tag doc b)
+      && block_of.(a) = block_of.(b)
+      && block_of.(a) <> None
+    in
+    let rec runs current = function
+      | [] -> emit (List.rev current)
+      | c :: rest ->
+        (match current with
+         | prev :: _ when same prev c -> runs (c :: current) rest
+         | _ :: _ ->
+           emit (List.rev current);
+           runs [ c ] rest
+         | [] -> runs [ c ] rest)
+    in
+    runs [] children
+  in
+  emit [ Doc.root doc ];
+  Doc.iter doc (fun n ->
+      match Doc.children doc n with
+      | [] -> ()
+      | children -> group_children children);
+  !rows
+
+let build ~keys ?(policy = All_leaves) db =
+  let doc = db.Encrypt.doc in
+  let assignment = Dsi.Assign.assign ~key:(Crypto.Keys.dsi_key keys) doc in
+  let block_of = block_index db in
+  let rows = table_rows ~keys db assignment block_of in
+  let grouped = Hashtbl.create 256 in
+  List.iter
+    (fun (key, iv) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt grouped key) in
+      Hashtbl.replace grouped key (iv :: prev))
+    rows;
+  let dsi_table =
+    Hashtbl.fold
+      (fun key ivs acc -> (key, List.sort Interval.compare_by_lo ivs) :: acc)
+      grouped []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let block_table =
+    List.map
+      (fun b -> b.Encrypt.id, Dsi.Assign.interval assignment b.Encrypt.root)
+      db.Encrypt.blocks
+  in
+  (* OPESS catalogs for every leaf attribute, ids in sorted-tag order. *)
+  let leaf_tags = Xmlcore.Stats.leaf_tags doc in
+  if List.length leaf_tags > 127 then
+    invalid_arg "Metadata.build: more than 127 distinct leaf attributes";
+  let catalogs =
+    List.mapi
+      (fun attr_id tag ->
+        let histogram = Xmlcore.Stats.value_histogram doc ~tag in
+        tag, Opess.build ~key:(Crypto.Keys.opess_key keys ~attribute:tag) ~attr_id ~tag histogram)
+      leaf_tags
+  in
+  let catalog_of = Hashtbl.create 32 in
+  List.iter (fun (tag, c) -> Hashtbl.replace catalog_of tag c) catalogs;
+  (* Which attributes enter the value index. *)
+  let indexed_tags =
+    match policy with
+    | All_leaves -> leaf_tags
+    | Encrypted_only ->
+      List.filter (fun tag -> List.mem tag db.Encrypt.encrypted_tags) leaf_tags
+  in
+  let indexed_set = Hashtbl.create 32 in
+  List.iter (fun tag -> Hashtbl.replace indexed_set tag ()) indexed_tags;
+  (* Value index: one entry per occurrence per scale replica,
+     bulk-loaded in one pass. *)
+  let occurrence_counters = Hashtbl.create 1024 in
+  let entries = ref [] in
+  Doc.iter doc (fun n ->
+      match Doc.value doc n with
+      | None -> ()
+      | Some v when Hashtbl.mem indexed_set (Doc.tag doc n) ->
+        let tag = Doc.tag doc n in
+        let cat = Hashtbl.find catalog_of tag in
+        let counter_key = (tag, v) in
+        let occurrence =
+          Option.value ~default:0 (Hashtbl.find_opt occurrence_counters counter_key)
+        in
+        Hashtbl.replace occurrence_counters counter_key (occurrence + 1);
+        let cipher = Opess.occurrence_cipher cat ~value:v ~occurrence in
+        let target =
+          match block_of.(n) with
+          | Some id -> To_block id
+          | None -> To_plain (Dsi.Assign.interval assignment n)
+        in
+        let scale =
+          match Opess.find_entry cat v with
+          | Some entry -> entry.Opess.scale
+          | None -> 1
+        in
+        for _ = 1 to scale do
+          entries := (cipher, target) :: !entries
+        done
+      | Some _ -> ());
+  let btree = Btree.bulk_load ~min_degree:16 (List.rev !entries) in
+  { assignment; dsi_table; block_table; btree; catalogs; indexed_tags }
+
+let catalog t ~tag = List.assoc_opt tag t.catalogs
+
+let table_entry_count t =
+  List.fold_left (fun acc (_, ivs) -> acc + List.length ivs) 0 t.dsi_table
+
+let btree_entry_count t = Btree.length t.btree
+
+let metadata_bytes t =
+  let interval_bytes = 16 in
+  let table =
+    List.fold_left
+      (fun acc (key, ivs) ->
+        acc + String.length key + (List.length ivs * interval_bytes))
+      0 t.dsi_table
+  in
+  let blocks = List.length t.block_table * (8 + interval_bytes) in
+  let btree_bytes = Btree.length t.btree * (8 + interval_bytes) in
+  table + blocks + btree_bytes

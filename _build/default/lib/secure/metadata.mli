@@ -1,0 +1,57 @@
+(** Server-side metadata construction (Section 5).
+
+    From an encrypted database this builds:
+    - the {b DSI index table}: token → grouped interval list, where the
+      token is the clear tag for plaintext nodes and the Vernam
+      ciphertext for nodes inside encryption blocks, and adjacent
+      same-tag siblings within one block share a single hull interval
+      (Section 5.1.1);
+    - the {b encryption block table}: block id → representative
+      interval (the block root's interval);
+    - the {b value index}: one global B-tree of OPESS ciphertext keys
+      (namespaced per attribute) pointing at the block — or, for
+      plaintext leaves, at the leaf's own interval;
+    - the per-attribute {b OPESS catalogs}, which stay with the client
+      (they are the client's value-translation secret).
+
+    The [assignment] (node → interval map) is a client secret too; the
+    server only ever receives the table, whose grouping hides the
+    correspondence. *)
+
+type target =
+  | To_block of int             (** value occurs inside this block *)
+  | To_plain of Dsi.Interval.t  (** value at this plaintext leaf *)
+
+type index_policy =
+  | All_leaves      (** index every leaf attribute (default) *)
+  | Encrypted_only
+      (** index only attributes occurring inside encryption blocks;
+          queries over plaintext-only attributes then prune nothing on
+          the server and are filtered client-side — smaller metadata
+          for a measurable query-cost trade (E8 ablation) *)
+
+type t = {
+  assignment : Dsi.Assign.t;
+  dsi_table : (string * Dsi.Interval.t list) list;
+      (** key = {!token_key}-encoded token *)
+  block_table : (int * Dsi.Interval.t) list;
+  btree : target Btree.t;
+  catalogs : (string * Opess.t) list;  (** leaf tag → catalog *)
+  indexed_tags : string list;          (** attributes present in [btree] *)
+}
+
+val token_key : Squery.token -> string
+(** Injective string encoding of tokens used as DSI-table keys. *)
+
+val build : keys:Crypto.Keys.t -> ?policy:index_policy -> Encrypt.db -> t
+
+val catalog : t -> tag:string -> Opess.t option
+
+val table_entry_count : t -> int
+(** Total intervals across the DSI table (index-size accounting). *)
+
+val btree_entry_count : t -> int
+
+val metadata_bytes : t -> int
+(** Rough serialized size of all server metadata: every table interval
+    (two floats + token) plus every B-tree entry (key + target). *)

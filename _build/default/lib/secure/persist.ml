@@ -1,0 +1,241 @@
+module Doc = Xmlcore.Doc
+module Interval = Dsi.Interval
+
+exception Corrupt of string
+
+let magic = "SXQHOST1"
+
+(* Primitive codecs live in Codec; readers raise Codec.Error, mapped
+   to Corrupt at this module's boundary. *)
+module W = Codec.W
+
+module R = struct
+  include Codec.R
+end
+
+(* ------------------------------------------------------------------ *)
+(* Section codecs                                                      *)
+
+let w_interval b (iv : Interval.t) =
+  W.float b iv.Interval.lo;
+  W.float b iv.Interval.hi
+
+let r_interval r =
+  let lo = R.float r in
+  let hi = R.float r in
+  (try Interval.make lo hi with Invalid_argument m -> raise (Corrupt m))
+
+let w_block b (blk : Encrypt.block) =
+  W.int b blk.Encrypt.id;
+  W.int b blk.Encrypt.root;
+  W.string b blk.Encrypt.ciphertext;
+  W.int b blk.Encrypt.plaintext_bytes;
+  W.int b blk.Encrypt.node_count;
+  W.bool b blk.Encrypt.has_decoy
+
+let r_block r =
+  let id = R.int r in
+  let root = R.int r in
+  let ciphertext = R.string r in
+  let plaintext_bytes = R.int r in
+  let node_count = R.int r in
+  let has_decoy = R.bool r in
+  { Encrypt.id; root; ciphertext; plaintext_bytes; node_count; has_decoy }
+
+let w_target b = function
+  | Metadata.To_block id ->
+    W.bool b true;
+    W.int b id
+  | Metadata.To_plain iv ->
+    W.bool b false;
+    w_interval b iv
+
+let r_target r =
+  if R.bool r then Metadata.To_block (R.int r) else Metadata.To_plain (r_interval r)
+
+let w_chunk b (c : Opess.chunk) =
+  W.i64 b c.Opess.cipher;
+  W.int b c.Opess.occurrences
+
+let r_chunk r =
+  let cipher = R.i64 r in
+  let occurrences = R.int r in
+  { Opess.cipher; occurrences }
+
+let w_entry b (e : Opess.value_entry) =
+  W.string b e.Opess.value;
+  W.float b e.Opess.numeric;
+  W.int b e.Opess.count;
+  W.list b w_chunk e.Opess.chunks;
+  W.int b e.Opess.scale
+
+let r_entry r =
+  let value = R.string r in
+  let numeric = R.float r in
+  let count = R.int r in
+  let chunks = R.list r r_chunk in
+  let scale = R.int r in
+  { Opess.value; numeric; count; chunks; scale }
+
+let w_catalog b (tag, cat) =
+  W.string b tag;
+  W.int b (Opess.attr_id cat);
+  W.int b (Opess.chunk_parameter cat);
+  W.int b (Opess.key_count cat);
+  W.list b w_entry (Opess.entries cat)
+
+let r_catalog r =
+  let tag = R.string r in
+  let attr_id = R.int r in
+  let m = R.int r in
+  let num_keys = R.int r in
+  let entries = R.list r r_entry in
+  tag, Opess.of_parts ~tag ~attr_id ~m ~num_keys entries
+
+let kind_to_int = function
+  | Scheme.Opt -> 0
+  | Scheme.App -> 1
+  | Scheme.Sub -> 2
+  | Scheme.Top -> 3
+
+let kind_of_int = function
+  | 0 -> Scheme.Opt
+  | 1 -> Scheme.App
+  | 2 -> Scheme.Sub
+  | 3 -> Scheme.Top
+  | n -> raise (Corrupt (Printf.sprintf "unknown scheme kind %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-bundle codec                                                  *)
+
+let encode_body system =
+  let b = Buffer.create 65_536 in
+  let doc = System.doc system in
+  let scheme = System.scheme system in
+  let db = System.db system in
+  let meta = System.metadata system in
+  W.string b (Crypto.Cipher.suite_to_string (System.cipher system));
+  W.string b (Xmlcore.Printer.doc_to_string doc);
+  W.list b (fun b sc -> W.string b (Sc.to_string sc)) (System.constraints system);
+  W.int b (kind_to_int scheme.Scheme.kind);
+  W.list b W.int scheme.Scheme.block_roots;
+  W.list b W.string scheme.Scheme.covered_tags;
+  W.list b w_block db.Encrypt.blocks;
+  W.string b (Xmlcore.Printer.tree_to_string db.Encrypt.skeleton);
+  W.list b W.string db.Encrypt.encrypted_tags;
+  W.list b W.string db.Encrypt.plaintext_tags;
+  W.list b
+    (fun b (key, ivs) ->
+      W.string b key;
+      W.list b w_interval ivs)
+    meta.Metadata.dsi_table;
+  W.list b
+    (fun b (id, iv) ->
+      W.int b id;
+      w_interval b iv)
+    meta.Metadata.block_table;
+  let entries = ref [] in
+  Btree.iter meta.Metadata.btree (fun k v -> entries := (k, v) :: !entries);
+  W.list b
+    (fun b (k, v) ->
+      W.i64 b k;
+      w_target b v)
+    (List.rev !entries);
+  W.list b w_catalog meta.Metadata.catalogs;
+  W.list b W.string meta.Metadata.indexed_tags;
+  Buffer.contents b
+
+let mac_key master =
+  Crypto.Keys.derive (Crypto.Keys.create ~master ()) "persist-mac"
+
+let to_string system =
+  let body = encode_body system in
+  let master = System.master system in
+  let mac = Crypto.Hmac.mac ~key:(mac_key master) (magic ^ body) in
+  magic ^ body ^ mac
+
+let rec of_string ~master data =
+  try of_string_exn ~master data with Codec.Error m -> raise (Corrupt m)
+
+and of_string_exn ~master data =
+  let magic_len = String.length magic in
+  if String.length data < magic_len + 32 then raise (Corrupt "file too short");
+  if String.sub data 0 magic_len <> magic then raise (Corrupt "bad magic");
+  let mac = String.sub data (String.length data - 32) 32 in
+  let payload = String.sub data 0 (String.length data - 32) in
+  if Crypto.Hmac.mac ~key:(mac_key master) payload <> mac then
+    raise (Corrupt "MAC check failed (tampered file or wrong master secret)");
+  let r = R.make payload magic_len in
+  let parse_or_corrupt what f x =
+    try f x with
+    | Corrupt _ as e -> raise e
+    | Xmlcore.Parser.Parse_error _ | Xpath.Parser.Parse_error _
+    | Invalid_argument _ ->
+      raise (Corrupt ("malformed " ^ what))
+  in
+  let cipher =
+    match Crypto.Cipher.suite_of_string (R.string r) with
+    | Some s -> s
+    | None -> raise (Corrupt "unknown cipher suite")
+  in
+  let doc = parse_or_corrupt "document" Xmlcore.Parser.parse_doc (R.string r) in
+  let constraints =
+    List.map (parse_or_corrupt "constraint" Sc.parse) (R.list r R.string)
+  in
+  let kind = kind_of_int (R.int r) in
+  let block_roots = R.list r R.int in
+  let covered_tags = R.list r R.string in
+  let scheme = { Scheme.kind; block_roots; covered_tags } in
+  let blocks = R.list r r_block in
+  let skeleton = parse_or_corrupt "skeleton" Xmlcore.Parser.parse (R.string r) in
+  let encrypted_tags = R.list r R.string in
+  let plaintext_tags = R.list r R.string in
+  let db =
+    { Encrypt.doc; scheme; blocks; skeleton; encrypted_tags; plaintext_tags }
+  in
+  let dsi_table =
+    R.list r (fun r ->
+        let key = R.string r in
+        let ivs = R.list r r_interval in
+        key, ivs)
+  in
+  let block_table =
+    R.list r (fun r ->
+        let id = R.int r in
+        let iv = r_interval r in
+        id, iv)
+  in
+  let btree = Btree.create ~min_degree:16 () in
+  let entries =
+    R.list r (fun r ->
+        let k = R.i64 r in
+        let v = r_target r in
+        k, v)
+  in
+  List.iter (fun (k, v) -> Btree.insert btree k v) entries;
+  let catalogs = R.list r r_catalog in
+  let indexed_tags = R.list r R.string in
+  if r.R.pos <> String.length payload then raise (Corrupt "trailing bytes");
+  (* The DSI assignment is deterministic in the master key: recompute
+     rather than store. *)
+  let keys = Crypto.Keys.create ~master () in
+  let assignment = Dsi.Assign.assign ~key:(Crypto.Keys.dsi_key keys) doc in
+  let metadata =
+    { Metadata.assignment; dsi_table; block_table; btree; catalogs; indexed_tags }
+  in
+  System.restore ~master ~cipher ~doc ~constraints ~scheme ~db ~metadata ()
+
+let save system path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string system))
+
+let load ~master path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~master data

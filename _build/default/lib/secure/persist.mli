@@ -1,0 +1,34 @@
+(** Persistence of a hosted system.
+
+    Saves everything expensive to rebuild — ciphertext blocks, the DSI
+    index table, the encryption block table, the value B-tree entries
+    and the OPESS catalogs — in a small versioned binary format, so a
+    hosted database can be created once and queried across process
+    lifetimes (the sxq CLI's [host -o] / [query --hosted]).
+
+    The master secret is {e never} written: {!load} takes it again and
+    re-derives every key.  Loading re-runs only the cheap parts (DSI
+    re-assignment for the metadata record, skeleton indexing, server
+    hash tables).
+
+    The format is integrity-checked with an HMAC trailer under a key
+    derived from the master secret, so a tampered or wrong-key file is
+    rejected rather than decrypted into garbage. *)
+
+exception Corrupt of string
+(** Raised by {!load} on bad magic, version mismatch, truncation or
+    MAC failure. *)
+
+val save : System.t -> string -> unit
+(** [save system path] writes the hosted bundle. *)
+
+val load : master:string -> string -> System.t
+(** [load ~master path] restores the system.
+    @raise Corrupt on any integrity problem (including a wrong
+    master). *)
+
+val to_string : System.t -> string
+(** In-memory encoding (what {!save} writes). *)
+
+val of_string : master:string -> string -> System.t
+(** In-memory decoding (what {!load} reads). *)

@@ -1,0 +1,29 @@
+(** Wire protocol between client and server (Figure 1's arrows).
+
+    The simulation runs in one process, but the messages that would
+    cross the network are materialised as byte strings: the translated
+    query [Qs] goes up, the block set comes back.  This keeps the
+    boundary honest — the server-side decoder only sees what a real
+    server would — and gives the cost model exact message sizes in both
+    directions.
+
+    Responses carry block ids, ciphertexts and the decoy flag (which
+    the client needs for stripping); the server's internal statistics
+    travel alongside for the cost report but would be absent in a
+    production deployment. *)
+
+exception Malformed of string
+
+val encode_request : Squery.path -> string
+val decode_request : string -> Squery.path
+(** @raise Malformed on garbage. *)
+
+val encode_response : Server.response -> string
+val decode_response : string -> Server.response
+(** @raise Malformed on garbage. *)
+
+val roundtrip_request : Squery.path -> Squery.path
+(** [decode_request (encode_request q)] — used by the system driver to
+    force every query through the wire format. *)
+
+val roundtrip_response : Server.response -> Server.response

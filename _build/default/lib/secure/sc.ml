@@ -1,0 +1,110 @@
+module Ast = Xpath.Ast
+module Doc = Xmlcore.Doc
+
+type t =
+  | Node_type of Ast.path
+  | Association of {
+      context : Ast.path;
+      q1 : Ast.path;
+      q2 : Ast.path;
+    }
+
+let node_type p = Node_type (Xpath.Parser.parse p)
+
+(* q1/q2 are relative to a context binding even when written with a
+   leading slash ("/pname" in the paper means child-of-context). *)
+let as_relative path = { path with Ast.absolute = false }
+
+let association p q1 q2 =
+  Association
+    { context = Xpath.Parser.parse p;
+      q1 = as_relative (Xpath.Parser.parse q1);
+      q2 = as_relative (Xpath.Parser.parse q2) }
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> node_type (String.trim s)
+  | Some i ->
+    let context = String.trim (String.sub s 0 i) in
+    let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    let n = String.length rest in
+    if n < 2 || rest.[0] <> '(' || rest.[n - 1] <> ')' then
+      invalid_arg "Sc.parse: association must look like p:(q1, q2)";
+    let inner = String.sub rest 1 (n - 2) in
+    (match String.index_opt inner ',' with
+     | None -> invalid_arg "Sc.parse: association needs two comma-separated paths"
+     | Some j ->
+       let q1 = String.trim (String.sub inner 0 j) in
+       let q2 = String.trim (String.sub inner (j + 1) (String.length inner - j - 1)) in
+       association context q1 q2)
+
+let to_string = function
+  | Node_type p -> Ast.to_string p
+  | Association { context; q1; q2 } ->
+    Printf.sprintf "%s:(%s, %s)" (Ast.to_string context) (Ast.to_string q1)
+      (Ast.to_string q2)
+
+let pp fmt sc = Format.pp_print_string fmt (to_string sc)
+
+let bindings doc = function
+  | Node_type p -> Xpath.Eval.eval doc p
+  | Association { context; _ } -> Xpath.Eval.eval doc context
+
+type captured_query = {
+  query : Ast.path;
+  witness : Doc.node;
+}
+
+(* Values reachable from [x] via relative path [q]. *)
+let values_at doc x q =
+  List.filter_map (fun n -> Doc.value doc n) (Xpath.Eval.eval_from doc [ x ] q)
+
+(* Append two comparison predicates to the last step of [p]. *)
+let with_value_predicates p q1 v1 q2 v2 =
+  match List.rev p.Ast.steps with
+  | [] -> invalid_arg "Sc: association context must have at least one step"
+  | last :: before ->
+    let preds =
+      last.Ast.predicates
+      @ [ Ast.Compare (q1, Ast.Eq, v1); Ast.Compare (q2, Ast.Eq, v2) ]
+    in
+    let last = { last with Ast.predicates = preds } in
+    { p with Ast.steps = List.rev (last :: before) }
+
+let sensitive_value_pairs doc = function
+  | Node_type _ -> []
+  | Association { context; q1; q2 } ->
+    let pairs = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun x ->
+        let v1s = values_at doc x q1 and v2s = values_at doc x q2 in
+        List.iter
+          (fun v1 ->
+            List.iter
+              (fun v2 ->
+                if not (Hashtbl.mem pairs (v1, v2)) then begin
+                  Hashtbl.add pairs (v1, v2) ();
+                  order := (v1, v2) :: !order
+                end)
+              v2s)
+          v1s)
+      (Xpath.Eval.eval doc context);
+    List.rev !order
+
+let captured_queries doc sc =
+  match sc with
+  | Node_type p ->
+    List.map (fun witness -> { query = p; witness }) (Xpath.Eval.eval doc p)
+  | Association { context; q1; q2 } ->
+    List.concat_map
+      (fun x ->
+        let v1s = values_at doc x q1 and v2s = values_at doc x q2 in
+        List.concat_map
+          (fun v1 ->
+            List.map
+              (fun v2 ->
+                { query = with_value_predicates context q1 v1 q2 v2; witness = x })
+              v2s)
+          v1s)
+      (Xpath.Eval.eval doc context)

@@ -1,0 +1,56 @@
+(** Security constraints (Section 3.2).
+
+    A security constraint is either
+    - a {e node type} constraint [p]: every element that the XPath
+      expression [p] binds to is classified in full — tag, structure
+      and all leaf values below it; or
+    - an {e association type} constraint [p : (q1, q2)]: for every node
+      [x] bound by [p], the association between the values reached from
+      [x] via [q1] and via [q2] is classified.
+
+    The surface syntax accepted by {!parse} is exactly the paper's:
+    ["//insurance"] or ["//patient:(/pname, /SSN)"]. *)
+
+type t =
+  | Node_type of Xpath.Ast.path
+  | Association of {
+      context : Xpath.Ast.path;  (** [p] *)
+      q1 : Xpath.Ast.path;       (** relative to a [p]-binding *)
+      q2 : Xpath.Ast.path;
+    }
+
+val node_type : string -> t
+(** [node_type p] parses [p] as a node-type SC.
+    @raise Xpath.Parser.Parse_error on bad syntax. *)
+
+val association : string -> string -> string -> t
+(** [association p q1 q2] builds [p : (q1, q2)]. *)
+
+val parse : string -> t
+(** Parse either surface form.
+    @raise Xpath.Parser.Parse_error
+    @raise Invalid_argument on a malformed association shell. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val bindings : Xmlcore.Doc.t -> t -> Xmlcore.Doc.node list
+(** Nodes the constraint's context path binds to. *)
+
+type captured_query = {
+  query : Xpath.Ast.path;   (** a concrete query the SC captures *)
+  witness : Xmlcore.Doc.node; (** a node witnessing [D |= query] *)
+}
+
+val captured_queries : Xmlcore.Doc.t -> t -> captured_query list
+(** The queries captured by the SC that hold in the document: for a
+    node-type SC [p], the query [p] itself per binding; for an
+    association SC, [p\[q1 = v1\]\[q2 = v2\]] for every pair of values
+    [(v1, v2)] co-occurring under a [p]-binding.  These are the facts
+    [D |= A] that encryption must hide (Section 3.2). *)
+
+val sensitive_value_pairs :
+  Xmlcore.Doc.t -> t -> (string * string) list
+(** For association SCs: the distinct co-occurring value pairs; empty
+    for node-type SCs. *)

@@ -1,0 +1,393 @@
+module Interval = Dsi.Interval
+
+let log_src = Logs.Src.create "secure.server" ~doc:"Untrusted-server query engine"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  table : (string, Interval.t list) Hashtbl.t;
+  universe : Interval.t list;          (* wildcard candidates *)
+  prepared : Dsi.Join.universe;        (* for child-axis joins *)
+  block_table : (int * Interval.t) list;
+  rep_by_id : (int, Interval.t) Hashtbl.t;
+  id_by_rep : (float * float, int) Hashtbl.t;
+  blocks_by_id : (int, Encrypt.block) Hashtbl.t;
+  btree : Metadata.target Btree.t;
+}
+
+type response = {
+  blocks : Encrypt.block list;
+  bytes : int;
+  candidate_intervals : int;
+  btree_hits : int;
+}
+
+let create ~dsi_table ~block_table ~btree ~blocks =
+  let table = Hashtbl.create (List.length dsi_table) in
+  List.iter (fun (key, ivs) -> Hashtbl.replace table key ivs) dsi_table;
+  let universe =
+    List.sort Interval.compare_by_lo (List.concat_map snd dsi_table)
+  in
+  let prepared = Dsi.Join.prepare_universe universe in
+  let blocks_by_id = Hashtbl.create (List.length blocks) in
+  List.iter (fun b -> Hashtbl.replace blocks_by_id b.Encrypt.id b) blocks;
+  let rep_by_id = Hashtbl.create (List.length block_table) in
+  let id_by_rep = Hashtbl.create (List.length block_table) in
+  List.iter
+    (fun (id, rep) ->
+      Hashtbl.replace rep_by_id id rep;
+      Hashtbl.replace id_by_rep (rep.Interval.lo, rep.Interval.hi) id)
+    block_table;
+  { table; universe; prepared; block_table; rep_by_id; id_by_rep; blocks_by_id; btree }
+
+let of_metadata meta db =
+  create ~dsi_table:meta.Metadata.dsi_table ~block_table:meta.Metadata.block_table
+    ~btree:meta.Metadata.btree ~blocks:db.Encrypt.blocks
+
+let all_blocks t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks_by_id []
+  |> List.sort (fun a b -> compare a.Encrypt.id b.Encrypt.id)
+
+let block_bytes blocks =
+  List.fold_left
+    (fun acc b -> acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
+    0 blocks
+
+let stored_bytes t = block_bytes (all_blocks t)
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+
+let lookup t = function
+  | Squery.Any -> t.universe
+  | Squery.Tokens tokens ->
+    List.concat_map
+      (fun token ->
+        Option.value ~default:[] (Hashtbl.find_opt t.table (Metadata.token_key token)))
+      tokens
+    |> List.sort_uniq Interval.compare_by_lo
+
+(* Document-order axes over intervals: [m] follows [o] iff m.lo > o.hi,
+   precedes iff m.hi < o.lo.  Grouped hulls can hide the relationship
+   inside a single interval, so candidates equal to or containing an
+   origin are kept as well (supersets only — the client filters). *)
+let after_subtrees origins candidates =
+  let min_hi =
+    List.fold_left (fun acc o -> Float.min acc o.Interval.hi) infinity origins
+  in
+  let related = Dsi.Join.ancestors_of_some ~descendants:origins candidates in
+  let related_set = Hashtbl.create 32 in
+  List.iter
+    (fun c -> Hashtbl.replace related_set (c.Interval.lo, c.Interval.hi) ())
+    related;
+  List.iter
+    (fun o -> Hashtbl.replace related_set (o.Interval.lo, o.Interval.hi) ())
+    origins;
+  List.filter
+    (fun c ->
+      c.Interval.lo > min_hi || Hashtbl.mem related_set (c.Interval.lo, c.Interval.hi))
+    candidates
+
+let before_subtrees origins candidates =
+  let max_lo =
+    List.fold_left (fun acc o -> Float.max acc o.Interval.lo) neg_infinity origins
+  in
+  let related = Dsi.Join.ancestors_of_some ~descendants:origins candidates in
+  let related_set = Hashtbl.create 32 in
+  List.iter
+    (fun c -> Hashtbl.replace related_set (c.Interval.lo, c.Interval.hi) ())
+    related;
+  List.iter
+    (fun o -> Hashtbl.replace related_set (o.Interval.lo, o.Interval.hi) ())
+    origins;
+  List.filter
+    (fun c ->
+      c.Interval.hi < max_lo || Hashtbl.mem related_set (c.Interval.lo, c.Interval.hi))
+    candidates
+
+(* Join a step's raw candidates against the surviving origin set.
+   [origin = None] is the virtual document node of an absolute path. *)
+let join_forward t origin axis candidates =
+  match origin, axis with
+  | None, Xpath.Ast.Descendant_or_self -> candidates
+  | None, Xpath.Ast.Child ->
+    (* Top-level intervals: contained in no other table interval. *)
+    Dsi.Join.children_within ~universe:t.prepared ~parents:[ Interval.make (-1.0) 2.0 ]
+      candidates
+  | None, ( Xpath.Ast.Parent | Xpath.Ast.Following_sibling
+          | Xpath.Ast.Preceding_sibling | Xpath.Ast.Following
+          | Xpath.Ast.Preceding ) ->
+    [] (* the virtual document node has none of these *)
+  | Some origins, Xpath.Ast.Descendant_or_self ->
+    Dsi.Join.descendants_within ~ancestors:origins candidates
+  | Some origins, Xpath.Ast.Child ->
+    Dsi.Join.children_within ~universe:t.prepared ~parents:origins candidates
+  | Some origins, Xpath.Ast.Parent ->
+    Dsi.Join.parents_of_some ~universe:t.prepared ~children:origins candidates
+  | Some origins, Xpath.Ast.Following_sibling ->
+    Dsi.Join.following_siblings_within ~universe:t.prepared ~anchors:origins candidates
+  | Some origins, Xpath.Ast.Preceding_sibling ->
+    Dsi.Join.preceding_siblings_within ~universe:t.prepared ~anchors:origins candidates
+  | Some origins, Xpath.Ast.Following -> after_subtrees origins candidates
+  | Some origins, Xpath.Ast.Preceding -> before_subtrees origins candidates
+
+(* Tighten [origin] to the members with a surviving successor. *)
+let join_backward t origins axis survivors =
+  match axis with
+  | Xpath.Ast.Descendant_or_self ->
+    Dsi.Join.ancestors_of_some ~descendants:survivors origins
+  | Xpath.Ast.Child ->
+    Dsi.Join.parents_of_some ~universe:t.prepared ~children:survivors origins
+  | Xpath.Ast.Parent ->
+    (* survivors are parents of qualifying origins *)
+    Dsi.Join.children_within ~universe:t.prepared ~parents:survivors origins
+  | Xpath.Ast.Following_sibling ->
+    Dsi.Join.anchors_of_following ~universe:t.prepared ~followers:survivors origins
+  | Xpath.Ast.Preceding_sibling ->
+    Dsi.Join.anchors_of_preceding ~universe:t.prepared ~predecessors:survivors origins
+  | Xpath.Ast.Following -> before_subtrees survivors origins
+  | Xpath.Ast.Preceding -> after_subtrees survivors origins
+
+(* Allowed targets of a value constraint: union of B-tree range scans. *)
+let btree_targets t ranges =
+  let hits = ref 0 in
+  let targets =
+    List.concat_map
+      (fun (lo, hi) ->
+        let entries = Btree.range t.btree ~lo ~hi in
+        hits := !hits + List.length entries;
+        List.map snd entries)
+      ranges
+  in
+  targets, !hits
+
+let rep_interval t id = Hashtbl.find t.rep_by_id id
+
+(* Keep candidates compatible with at least one allowed target: equal
+   to an allowed plaintext-leaf interval, or equal to / contained in an
+   allowed block's representative interval.  Equality goes through a
+   hash set and containment through one sweep, so the cost is
+   O((candidates + targets) log) rather than candidates × targets. *)
+let filter_by_targets t candidates targets =
+  let exact = Hashtbl.create 64 in
+  let reps = ref [] in
+  List.iter
+    (fun target ->
+      match target with
+      | Metadata.To_plain iv -> Hashtbl.replace exact (iv.Interval.lo, iv.Interval.hi) ()
+      | Metadata.To_block id ->
+        let rep = rep_interval t id in
+        Hashtbl.replace exact (rep.Interval.lo, rep.Interval.hi) ();
+        reps := rep :: !reps)
+    targets;
+  let inside = Hashtbl.create 64 in
+  List.iter
+    (fun c -> Hashtbl.replace inside (c.Interval.lo, c.Interval.hi) ())
+    (Dsi.Join.descendants_within ~ancestors:(List.sort_uniq Interval.compare_by_lo !reps)
+       candidates);
+  List.filter
+    (fun c ->
+      let key = c.Interval.lo, c.Interval.hi in
+      Hashtbl.mem exact key || Hashtbl.mem inside key)
+    candidates
+
+type eval_state = {
+  mutable touched : int;     (* surviving intervals, summed over query nodes *)
+  mutable hits : int;        (* B-tree entries touched *)
+  mutable witnesses : Interval.t list;  (* all surviving intervals, for block selection *)
+}
+
+let register state survivors =
+  state.touched <- state.touched + List.length survivors;
+  state.witnesses <- List.rev_append survivors state.witnesses
+
+(* Forward pass over [steps] from [origin]; returns the per-step
+   surviving candidate lists (in step order). *)
+let rec forward t state origin steps =
+  match steps with
+  | [] -> []
+  | step :: rest ->
+    let raw = lookup t step.Squery.test in
+    let joined = join_forward t origin step.Squery.axis raw in
+    let filtered =
+      List.fold_left (fun cands pred -> filter_by_predicate t state cands pred) joined
+        step.Squery.predicates
+    in
+    register state filtered;
+    filtered :: forward t state (Some filtered) rest
+
+(* Filter a candidate set by one predicate, with back-propagation
+   through the predicate's chain. *)
+and filter_by_predicate t state candidates pred =
+  match pred with
+  | Squery.P_and (a, b) ->
+    filter_by_predicate t state (filter_by_predicate t state candidates a) b
+  | Squery.P_or (a, b) ->
+    (* Union of the branch survivors (candidates stay a superset). *)
+    let left = filter_by_predicate t state candidates a in
+    let right = filter_by_predicate t state candidates b in
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun c -> Hashtbl.replace seen (c.Interval.lo, c.Interval.hi) ())
+      left;
+    left
+    @ List.filter
+        (fun c -> not (Hashtbl.mem seen (c.Interval.lo, c.Interval.hi)))
+        right
+  | Squery.P_not inner ->
+    (* Negation cannot prune soundly when the inner filter is itself a
+       superset approximation; walk the inner predicate only for its
+       statistics/witnesses and keep every candidate. *)
+    ignore (filter_by_predicate t state candidates inner);
+    candidates
+  | Squery.Exists q -> chain_filter t state candidates q None
+  | Squery.Value (q, Squery.Unknown) ->
+    (* Unindexed attribute: the server cannot prune on the value, but
+       the structural part of the chain still applies. *)
+    if q.Squery.steps = [] then candidates
+    else chain_filter t state candidates q None
+  | Squery.Value (q, Squery.Ranges ranges) ->
+    let targets, hits = btree_targets t ranges in
+    state.hits <- state.hits + hits;
+    if q.Squery.steps = [] then filter_by_targets t candidates targets
+    else chain_filter t state candidates q (Some targets)
+
+(* [chain_filter t state candidates q targets] keeps the candidates
+   that can reach, through q's chain, a final node compatible with
+   [targets] (when given): forward pass down the chain, target filter
+   at the bottom, backward tightening up to the candidates. *)
+and chain_filter t state candidates q targets =
+  let levels = forward t state (Some candidates) q.Squery.steps in
+  match levels with
+  | [] -> candidates (* self path: a Value on self is handled by the caller *)
+  | _ ->
+    let last = List.nth levels (List.length levels - 1) in
+    let last =
+      match targets with
+      | None -> last
+      | Some ts -> filter_by_targets t last ts
+    in
+    (* Level i was joined from level i-1 (level 0 = candidates) via the
+       axis of step i; walk back from the deepest survivors. *)
+    let rev_axes = List.rev (List.map (fun s -> s.Squery.axis) q.Squery.steps) in
+    let rev_uppers =
+      match List.rev (candidates :: levels) with
+      | _deepest :: uppers -> uppers
+      | [] -> assert false
+    in
+    List.fold_left2
+      (fun survivors above axis -> join_backward t above axis survivors)
+      last rev_uppers rev_axes
+
+type step_report = {
+  step_index : int;
+  axis : Xpath.Ast.axis;
+  raw_candidates : int;
+  surviving_candidates : int;
+}
+
+let explain t query =
+  let state = { touched = 0; hits = 0; witnesses = [] } in
+  let levels = forward t state None query.Squery.steps in
+  List.mapi
+    (fun i (step, survivors) ->
+      { step_index = i;
+        axis = step.Squery.axis;
+        raw_candidates = List.length (lookup t step.Squery.test);
+        surviving_candidates = List.length survivors })
+    (List.combine query.Squery.steps levels)
+
+let answer t query =
+  Log.debug (fun m -> m "answer: %s" (Squery.to_string query));
+  let state = { touched = 0; hits = 0; witnesses = [] } in
+  let levels = forward t state None query.Squery.steps in
+  let distinguished =
+    match List.rev levels with
+    | last :: _ -> last
+    | [] -> []
+  in
+  (* Blocks to ship: any block whose representative interval covers
+     (contains or equals) a witness interval, plus blocks nested inside
+     a distinguished interval (needed to rebuild full answer
+     subtrees).  All three relations are computed with sweeps/hashes to
+     stay near-linear. *)
+  let reps = List.map snd t.block_table in
+  let needed = Hashtbl.create 64 in
+  let need rep =
+    match Hashtbl.find_opt t.id_by_rep (rep.Interval.lo, rep.Interval.hi) with
+    | Some id -> Hashtbl.replace needed id ()
+    | None -> ()
+  in
+  let witnesses = List.sort_uniq Interval.compare_by_lo state.witnesses in
+  (* (a) reps strictly containing a witness *)
+  List.iter need (Dsi.Join.ancestors_of_some ~descendants:witnesses reps);
+  (* (b) reps equal to a witness *)
+  List.iter
+    (fun w ->
+      if Hashtbl.mem t.id_by_rep (w.Interval.lo, w.Interval.hi) then need w)
+    witnesses;
+  (* (c) reps strictly inside a distinguished interval *)
+  List.iter need
+    (Dsi.Join.descendants_within
+       ~ancestors:(List.sort_uniq Interval.compare_by_lo distinguished)
+       reps);
+  let blocks =
+    Hashtbl.fold
+      (fun id () acc ->
+        match Hashtbl.find_opt t.blocks_by_id id with
+        | Some b -> b :: acc
+        | None -> acc)
+      needed []
+    |> List.sort (fun a b -> compare a.Encrypt.id b.Encrypt.id)
+  in
+  Log.debug (fun m ->
+      m "answer: %d candidate intervals, %d btree hits, %d blocks shipped"
+        state.touched state.hits (List.length blocks));
+  { blocks;
+    bytes = block_bytes blocks;
+    candidate_intervals = state.touched;
+    btree_hits = state.hits }
+
+(* MIN/MAX without shipping the whole candidate set (Section 6.4): OPE
+   preserves order, so the extreme B-tree entry over the attribute's
+   key range whose target is compatible with a distinguished-node
+   candidate locates the extreme {e encrypted} occurrence; plaintext
+   candidates live in the skeleton the client already holds.  At most
+   one block ships. *)
+let answer_extreme t query ~key_range ~direction =
+  let state = { touched = 0; hits = 0; witnesses = [] } in
+  let levels = forward t state None query.Squery.steps in
+  let distinguished =
+    match List.rev levels with
+    | last :: _ -> last
+    | [] -> []
+  in
+  let lo, hi = key_range in
+  let entries = Btree.range t.btree ~lo ~hi in
+  let entries =
+    match direction with
+    | `Min -> entries
+    | `Max -> List.rev entries
+  in
+  state.hits <- state.hits + List.length entries;
+  let compatible target =
+    filter_by_targets t distinguished [ target ] <> []
+  in
+  let block_of_target = function
+    | Metadata.To_block id -> Hashtbl.find_opt t.blocks_by_id id
+    | Metadata.To_plain _ -> None
+  in
+  let rec first_match = function
+    | [] -> None
+    | (_, target) :: rest ->
+      if compatible target then Some (block_of_target target) else first_match rest
+  in
+  let blocks =
+    match first_match entries with
+    | Some (Some block) -> [ block ]
+    | Some None | None -> []
+  in
+  { blocks;
+    bytes = block_bytes blocks;
+    candidate_intervals = state.touched;
+    btree_hits = state.hits }

@@ -1,0 +1,71 @@
+(** The untrusted server's query engine (Section 6.2).
+
+    The server stores only what {!create} receives: the DSI index
+    table, the encryption block table, the value B-tree and the
+    ciphertext blocks.  Answering a translated query proceeds exactly
+    as the paper's three steps:
+
+    + look up every query node's token(s) in the DSI table and prune
+      the interval lists with structural joins along the query tree
+      (with back-propagation through predicate chains);
+    + resolve each value constraint through the B-tree into a set of
+      allowed targets (blocks or plaintext leaves) and prune the
+      constrained node's intervals against it;
+    + map the surviving intervals to the encryption blocks that must be
+      shipped: every block whose representative interval contains or
+      equals a surviving interval, plus every block lying inside a
+      surviving interval of the distinguished (output) node — those are
+      needed to reconstruct answers whose subtrees contain nested
+      blocks.
+
+    The response is a superset of what the query needs (false positives
+    are filtered by the client), never a subset. *)
+
+type t
+
+type response = {
+  blocks : Encrypt.block list;   (** ciphertexts shipped to the client *)
+  bytes : int;                   (** transmission size, headers included *)
+  candidate_intervals : int;     (** intervals surviving per query node, summed *)
+  btree_hits : int;              (** value-index entries touched *)
+}
+
+val create :
+  dsi_table:(string * Dsi.Interval.t list) list ->
+  block_table:(int * Dsi.Interval.t) list ->
+  btree:Metadata.target Btree.t ->
+  blocks:Encrypt.block list ->
+  t
+
+val of_metadata : Metadata.t -> Encrypt.db -> t
+(** Convenience: extracts exactly the server-visible parts. *)
+
+val answer : t -> Squery.path -> response
+
+val answer_extreme :
+  t -> Squery.path -> key_range:(int64 * int64) -> direction:[ `Min | `Max ] ->
+  response
+(** MIN/MAX evaluation (Section 6.4): finds the extreme value-index
+    entry in [key_range] compatible with the query's distinguished
+    candidates and ships at most that one block.  Plaintext candidates
+    need no shipping — they are in the skeleton.  The client combines
+    both sides. *)
+
+type step_report = {
+  step_index : int;
+  axis : Xpath.Ast.axis;
+  raw_candidates : int;       (** intervals fetched from the DSI table *)
+  surviving_candidates : int; (** after joins and predicate filtering *)
+}
+
+val explain : t -> Squery.path -> step_report list
+(** Query-plan introspection: per main-chain step, how many intervals
+    the token lookup produced and how many survived structural joins
+    and predicate filtering.  Evaluation work is the same as
+    {!answer}'s pruning phase; no blocks are selected. *)
+
+val all_blocks : t -> Encrypt.block list
+(** Everything — the naive method's response. *)
+
+val stored_bytes : t -> int
+(** Ciphertext bytes held by the server (headers included). *)

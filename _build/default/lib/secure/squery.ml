@@ -1,0 +1,109 @@
+type token =
+  | Clear of string
+  | Enc of string
+
+type test =
+  | Tokens of token list
+  | Any
+
+type range_set =
+  | Ranges of (int64 * int64) list
+  | Unknown
+
+type predicate =
+  | Exists of path
+  | Value of path * range_set
+  | P_and of predicate * predicate
+  | P_or of predicate * predicate
+  | P_not of predicate
+
+and step = {
+  axis : Xpath.Ast.axis;
+  test : test;
+  predicates : predicate list;
+}
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+let rec has_value_predicate p =
+  List.exists
+    (fun s -> List.exists inexact_predicate s.predicates)
+    p.steps
+
+(* Predicates the server cannot resolve exactly (gates the aggregate
+   fast path). *)
+and inexact_predicate = function
+  | Value _ -> true
+  | P_not _ -> true
+  | P_and (a, b) | P_or (a, b) -> inexact_predicate a || inexact_predicate b
+  | Exists q -> has_value_predicate q
+
+let token_to_string = function
+  | Clear tag -> tag
+  | Enc hex ->
+    let short = if String.length hex > 8 then String.sub hex 0 8 else hex in
+    Printf.sprintf "enc:%s" short
+
+let rec path_to_buffer out p =
+  if p.steps = [] && not p.absolute then Buffer.add_char out '.'
+  else
+    List.iteri
+      (fun i s ->
+        let sep =
+          match s.axis with
+          | Xpath.Ast.Child -> "/"
+          | Xpath.Ast.Descendant_or_self -> "//"
+          | Xpath.Ast.Parent -> "/^"
+          | Xpath.Ast.Following_sibling -> "/>"
+          | Xpath.Ast.Preceding_sibling -> "/<"
+          | Xpath.Ast.Following -> "/>>"
+          | Xpath.Ast.Preceding -> "/<<"
+        in
+        if p.absolute || i > 0 || s.axis <> Xpath.Ast.Child then
+          Buffer.add_string out sep;
+        (match s.test with
+         | Any -> Buffer.add_char out '*'
+         | Tokens tokens ->
+           Buffer.add_string out
+             (String.concat "|" (List.map token_to_string tokens)));
+        List.iter
+          (fun pred ->
+            Buffer.add_char out '[';
+            predicate_to_buffer out pred;
+            Buffer.add_char out ']')
+          s.predicates)
+      p.steps
+
+and predicate_to_buffer out = function
+  | P_and (a, b) ->
+    predicate_to_buffer out a;
+    Buffer.add_string out " and ";
+    predicate_to_buffer out b
+  | P_or (a, b) ->
+    predicate_to_buffer out a;
+    Buffer.add_string out " or ";
+    predicate_to_buffer out b
+  | P_not a ->
+    Buffer.add_string out "not(";
+    predicate_to_buffer out a;
+    Buffer.add_char out ')'
+  | Exists q -> path_to_buffer out q
+  | Value (q, Unknown) ->
+    path_to_buffer out q;
+    Buffer.add_string out " in ?"
+  | Value (q, Ranges ranges) ->
+    path_to_buffer out q;
+    Buffer.add_string out " in ";
+    Buffer.add_string out
+      (String.concat ","
+         (List.map (fun (lo, hi) -> Printf.sprintf "[%Ld..%Ld]" lo hi) ranges))
+
+let to_string p =
+  let out = Buffer.create 64 in
+  path_to_buffer out p;
+  Buffer.contents out
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,63 @@
+(** The translated (server-side) query IR — the [Qs] of Figure 1.
+
+    Structurally a mirror of {!Xpath.Ast.path}, but every name test has
+    been replaced by opaque {e tokens} (clear tags for plaintext-only
+    tags, Vernam ciphertext hex for tags that occur inside encryption
+    blocks — a tag occurring on both sides carries both tokens), and
+    every value comparison has been replaced by inclusive B-tree key
+    ranges computed by OPESS translation (Figure 7(a)).
+
+    The server sees nothing else: no plaintext tags of encrypted
+    elements, no plaintext comparison literals, and no comparison
+    operator semantics beyond "range scan". *)
+
+type token =
+  | Clear of string  (** plaintext tag, looked up as-is *)
+  | Enc of string    (** hex Vernam ciphertext of the tag *)
+
+type test =
+  | Tokens of token list  (** name test: union of candidate tokens *)
+  | Any                   (** wildcard *)
+
+type range_set =
+  | Ranges of (int64 * int64) list
+      (** namespaced B-tree key ranges; an empty list is
+          unsatisfiable *)
+  | Unknown
+      (** the attribute is not value-indexed: the server cannot prune
+          and must keep every candidate (the client re-checks) *)
+
+type predicate =
+  | Exists of path
+  | Value of path * range_set
+      (** value constraint at the last step of the (possibly empty)
+          relative path *)
+  | P_and of predicate * predicate
+  | P_or of predicate * predicate
+  | P_not of predicate
+      (** negation cannot prune soundly on the server (candidate sets
+          are supersets), so it is carried for the record and ignored
+          by server-side filtering; the client re-checks exactly *)
+
+and step = {
+  axis : Xpath.Ast.axis;
+  test : test;
+  predicates : predicate list;
+}
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+val has_value_predicate : path -> bool
+(** Whether any step (recursively) carries a value constraint.  Queries
+    without one are resolved {e exactly} by the server's structural
+    joins, which licenses the no-decryption MIN/MAX fast path. *)
+
+val token_to_string : token -> string
+
+val to_string : path -> string
+(** Debug rendering (tokens shown abbreviated). *)
+
+val pp : Format.formatter -> path -> unit

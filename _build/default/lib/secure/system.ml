@@ -1,0 +1,301 @@
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+
+let log_src = Logs.Src.create "secure.system" ~doc:"Hosted-system lifecycle"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  doc : Doc.t;
+  master : string;
+  cipher : Crypto.Cipher.suite;
+  constraints : Sc.t list;
+  scheme : Scheme.t;
+  db : Encrypt.db;
+  metadata : Metadata.t;
+  client : Client.t;
+  server : Server.t;
+}
+
+type cost = {
+  translate_ms : float;
+  server_ms : float;
+  transmit_bytes : int;
+  transmit_ms : float;
+  decrypt_ms : float;
+  postprocess_ms : float;
+  blocks_returned : int;
+  answer_count : int;
+}
+
+(* 100 Mbps = 12.5 MB/s = 12500 bytes per ms. *)
+let link_bytes_per_ms = 12_500.0
+
+let total_ms c =
+  c.translate_ms +. c.server_ms +. c.transmit_ms +. c.decrypt_ms +. c.postprocess_ms
+
+type setup_cost = {
+  scheme_build_ms : float;
+  encrypt_ms : float;
+  metadata_ms : float;
+  scheme_size_nodes : int;
+  block_count : int;
+  server_data_bytes : int;
+  metadata_bytes : int;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let timed f =
+  let start = now_ms () in
+  let result = f () in
+  result, now_ms () -. start
+
+let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
+    ?(value_index = Metadata.All_leaves) doc scs kind =
+  let keys = Crypto.Keys.create ~suite:cipher ~master () in
+  let scheme, scheme_build_ms = timed (fun () -> Scheme.build doc scs kind) in
+  (match Scheme.enforces doc scheme scs with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("System.setup: scheme does not enforce SCs: " ^ msg));
+  let db, encrypt_ms = timed (fun () -> Encrypt.encrypt ~keys doc scheme) in
+  let metadata, metadata_ms =
+    timed (fun () -> Metadata.build ~keys ~policy:value_index db)
+  in
+  let client = Client.create ~keys metadata db in
+  let server = Server.of_metadata metadata db in
+  Log.info (fun m ->
+      m "setup: scheme %s, %d blocks (%.0f ms), metadata %d B (%.0f ms), cipher %s"
+        (Scheme.kind_to_string kind)
+        (Scheme.block_count scheme)
+        encrypt_ms
+        (Metadata.metadata_bytes metadata)
+        metadata_ms
+        (Crypto.Cipher.suite_to_string cipher));
+  let system =
+    { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server }
+  in
+  let cost =
+    { scheme_build_ms;
+      encrypt_ms;
+      metadata_ms;
+      scheme_size_nodes = Scheme.size doc scheme;
+      block_count = Scheme.block_count scheme;
+      server_data_bytes = Encrypt.server_bytes db;
+      metadata_bytes = Metadata.metadata_bytes metadata }
+  in
+  system, cost
+
+(* Rebuild the live client/server pair from persisted parts (used by
+   Persist.load); no scheme construction, encryption or metadata work
+   happens here. *)
+let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
+    ~metadata () =
+  let keys = Crypto.Keys.create ~suite:cipher ~master () in
+  { doc;
+    master;
+    cipher;
+    constraints;
+    scheme;
+    db;
+    metadata;
+    client = Client.create ~keys metadata db;
+    server = Server.of_metadata metadata db }
+
+let doc t = t.doc
+let master t = t.master
+let cipher t = t.cipher
+let constraints t = t.constraints
+let scheme t = t.scheme
+let db t = t.db
+let metadata t = t.metadata
+let client t = t.client
+let server t = t.server
+
+let cost_of ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms ~blocks ~answers =
+  { translate_ms;
+    server_ms;
+    transmit_bytes = bytes;
+    transmit_ms = float_of_int bytes /. link_bytes_per_ms;
+    decrypt_ms;
+    postprocess_ms;
+    blocks_returned = blocks;
+    answer_count = answers }
+
+let evaluate t query =
+  (* Every exchange crosses the wire format: the server decodes the
+     request bytes, the client decodes the response bytes — exactly the
+     Figure 1 data flow. *)
+  let squery, translate_ms = timed (fun () -> Client.translate t.client query) in
+  let request = Protocol.encode_request squery in
+  let response, server_ms =
+    timed (fun () -> Server.answer t.server (Protocol.decode_request request))
+  in
+  let response = Protocol.roundtrip_response response in
+  let decrypted, decrypt_ms =
+    timed (fun () ->
+        List.map
+          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+          response.Server.blocks)
+  in
+  let answers, postprocess_ms =
+    timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+  in
+  ( answers,
+    cost_of ~translate_ms ~server_ms
+      ~bytes:(String.length request + response.Server.bytes)
+      ~decrypt_ms ~postprocess_ms
+      ~blocks:(List.length response.Server.blocks)
+      ~answers:(List.length answers) )
+
+(* Union queries: one server round per branch, one combined block set,
+   one client-side union evaluation (node-level dedup). *)
+let evaluate_union t queries =
+  let start = now_ms () in
+  let responses =
+    List.map
+      (fun q ->
+        let squery = Client.translate t.client q in
+        let request = Protocol.encode_request squery in
+        let response = Server.answer t.server (Protocol.decode_request request) in
+        String.length request, Protocol.roundtrip_response response)
+      queries
+  in
+  let server_ms = now_ms () -. start in
+  let blocks =
+    List.sort_uniq
+      (fun a b -> compare a.Encrypt.id b.Encrypt.id)
+      (List.concat_map (fun (_, r) -> r.Server.blocks) responses)
+  in
+  let bytes =
+    List.fold_left (fun acc (req, r) -> acc + req + r.Server.bytes) 0 responses
+  in
+  let decrypted, decrypt_ms =
+    timed (fun () ->
+        List.map
+          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+          blocks)
+  in
+  let answers, postprocess_ms =
+    timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
+  in
+  ( answers,
+    cost_of ~translate_ms:0.0 ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
+      ~blocks:(List.length blocks)
+      ~answers:(List.length answers) )
+
+let reference_union t queries =
+  List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)
+
+let naive_evaluate t query =
+  let blocks = Server.all_blocks t.server in
+  let bytes =
+    List.fold_left
+      (fun acc b ->
+        acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
+      0 blocks
+  in
+  let decrypted, decrypt_ms =
+    timed (fun () ->
+        List.map
+          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+          blocks)
+  in
+  let answers, postprocess_ms =
+    timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+  in
+  ( answers,
+    cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
+      ~blocks:(List.length blocks)
+      ~answers:(List.length answers) )
+
+let reference t query =
+  List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval t.doc query)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates (Section 6.4)                                            *)
+
+(* Compare values the way predicate evaluation does: numerically when
+   both sides parse as numbers. *)
+let value_compare a b =
+  match float_of_string_opt a, float_of_string_opt b with
+  | Some x, Some y -> Float.compare x y
+  | Some _, None | None, Some _ | None, None -> String.compare a b
+
+let leaf_values trees =
+  List.filter_map
+    (function
+      | Tree.Element (_, [ Tree.Text v ]) -> Some v
+      | Tree.Element _ | Tree.Text _ -> None)
+    trees
+
+let extreme direction values =
+  let better a b =
+    match direction with
+    | `Min -> if value_compare a b <= 0 then a else b
+    | `Max -> if value_compare a b >= 0 then a else b
+  in
+  match values with
+  | [] -> None
+  | v :: rest -> Some (List.fold_left better v rest)
+
+let aggregate t direction query =
+  let squery, translate_ms = timed (fun () -> Client.translate t.client query) in
+  match
+    (* The no-decryption fast path needs the server's candidate set to
+       be exact, which structural joins guarantee only in the absence
+       of value predicates (those are resolved at block granularity and
+       may admit false positives under coarse schemes). *)
+    if Squery.has_value_predicate squery then None
+    else Client.aggregate_range t.client query
+  with
+  | None ->
+    (* Fall back to the ordinary protocol and aggregate client-side. *)
+    let answers, cost = evaluate t query in
+    extreme direction (leaf_values answers), cost
+  | Some key_range ->
+    let response, server_ms =
+      timed (fun () -> Server.answer_extreme t.server squery ~key_range ~direction)
+    in
+    let decrypted, decrypt_ms =
+      timed (fun () ->
+          List.map
+            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+            response.Server.blocks)
+    in
+    let result, postprocess_ms =
+      timed (fun () ->
+          extreme direction
+            (leaf_values (Client.evaluate_with t.client ~decrypted query)))
+    in
+    ( result,
+      cost_of ~translate_ms ~server_ms ~bytes:response.Server.bytes ~decrypt_ms
+        ~postprocess_ms
+        ~blocks:(List.length response.Server.blocks)
+        ~answers:(match result with Some _ -> 1 | None -> 0) )
+
+let count t query =
+  (* COUNT cannot be answered from the index (splitting and scaling
+     distort entry counts, Section 5.2): decrypt and count. *)
+  let answers, cost = evaluate t query in
+  List.length answers, cost
+
+let reference_aggregate t direction query =
+  extreme direction (leaf_values (reference t query))
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+(* Key rotation: re-host the same document under a fresh master secret
+   (new block keys, pads, OPE keys, weights — everything re-derives).
+   Old persisted bundles stop authenticating, by construction. *)
+let rotate t ~new_master =
+  setup ~master:new_master ~cipher:t.cipher t.doc t.constraints t.scheme.Scheme.kind
+
+let update t edit =
+  let edited = Doc.of_tree (Update.apply t.doc edit) in
+  setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+
+let update_all t edits =
+  let edited = Update.apply_all t.doc edits in
+  setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind

@@ -1,0 +1,131 @@
+(** End-to-end hosted database system — Figure 1's architecture in one
+    process, with per-phase cost accounting.
+
+    {!setup} plays the data owner uploading to the service provider:
+    build the scheme for the SCs, encrypt, build metadata, hand the
+    server its view.  {!evaluate} runs one round trip of the protocol
+    and times each phase separately (the quantities of Section 7.2):
+    client translation, server evaluation, transmission (modelled by
+    byte counts at a configurable link speed), client decryption and
+    client post-processing.
+
+    {!naive_evaluate} is the Section 7.3 baseline: the server ships
+    every block, the client decrypts everything and evaluates
+    locally. *)
+
+type t
+
+type cost = {
+  translate_ms : float;
+  server_ms : float;
+  transmit_bytes : int;
+  transmit_ms : float;     (** [transmit_bytes] at {!link_bytes_per_ms} *)
+  decrypt_ms : float;
+  postprocess_ms : float;
+  blocks_returned : int;
+  answer_count : int;
+}
+
+val total_ms : cost -> float
+
+val link_bytes_per_ms : float
+(** Modelled link speed: 100 Mbps, as in the paper's testbed. *)
+
+type setup_cost = {
+  scheme_build_ms : float;
+  encrypt_ms : float;
+  metadata_ms : float;
+  scheme_size_nodes : int;    (** Definition 4.1 size *)
+  block_count : int;
+  server_data_bytes : int;    (** skeleton + ciphertexts + headers *)
+  metadata_bytes : int;
+}
+
+val setup :
+  ?master:string ->
+  ?cipher:Crypto.Cipher.suite ->
+  ?value_index:Metadata.index_policy ->
+  Xmlcore.Doc.t -> Sc.t list -> Scheme.kind -> t * setup_cost
+(** @raise Invalid_argument when the scheme cannot enforce the SCs
+    (should not happen for the four built-in kinds). *)
+
+val restore :
+  master:string -> ?cipher:Crypto.Cipher.suite -> doc:Xmlcore.Doc.t ->
+  constraints:Sc.t list -> scheme:Scheme.t -> db:Encrypt.db ->
+  metadata:Metadata.t -> unit -> t
+(** Rebuild a live system from persisted parts without re-running
+    scheme construction, encryption or metadata building (see
+    {!Persist}). *)
+
+val doc : t -> Xmlcore.Doc.t
+
+val master : t -> string
+(** The owner's master secret (client side only — needed by {!Persist}
+    to authenticate saved bundles). *)
+
+val cipher : t -> Crypto.Cipher.suite
+(** The block-cipher suite the system was hosted under. *)
+
+val constraints : t -> Sc.t list
+val scheme : t -> Scheme.t
+val db : t -> Encrypt.db
+val metadata : t -> Metadata.t
+val client : t -> Client.t
+val server : t -> Server.t
+
+val evaluate : t -> Xpath.Ast.path -> Xmlcore.Tree.t list * cost
+(** Full protocol round trip. *)
+
+val evaluate_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list * cost
+(** Union query ([p1 | p2 | ...], cf. {!Xpath.Parser.parse_union}): one
+    server round per branch, a single combined decryption and a
+    node-deduplicated union evaluation.  [translate_ms] is folded into
+    [server_ms] in the reported cost. *)
+
+val reference_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list
+
+val naive_evaluate : t -> Xpath.Ast.path -> Xmlcore.Tree.t list * cost
+(** Ship-everything baseline. *)
+
+val reference : t -> Xpath.Ast.path -> Xmlcore.Tree.t list
+(** Ground truth: the query evaluated directly on the plaintext
+    document (what [Q(D)] returns). *)
+
+(** {2 Aggregates (Section 6.4)}
+
+    MIN and MAX evaluate {e without decrypting the candidate set}: OPE
+    order in the value index locates the extreme encrypted occurrence,
+    so at most one block ships.  COUNT cannot be pushed to the server —
+    splitting and scaling distort index entry counts — so it decrypts
+    like an ordinary query (exactly the paper's trade-off). *)
+
+val aggregate : t -> [ `Min | `Max ] -> Xpath.Ast.path -> string option * cost
+(** [aggregate t `Max q] is the largest leaf value among [q]'s answers
+    ([None] when the query selects nothing).  Numeric comparison is
+    used when values parse as numbers. *)
+
+val count : t -> Xpath.Ast.path -> int * cost
+(** Number of answers; pays full decryption like {!evaluate}. *)
+
+val reference_aggregate : t -> [ `Min | `Max ] -> Xpath.Ast.path -> string option
+(** Ground-truth aggregate on the plaintext document. *)
+
+(** {2 Updates (the paper's future-work item 3)}
+
+    The re-host strategy: apply the edit to the owner's plaintext,
+    then rebuild scheme, blocks and metadata under the same master key
+    and constraints.  Always secure — enforcement is re-checked — at
+    full setup cost; {!Dsi.Assign.interval_in_gap} is the primitive an
+    incremental protocol would use instead. *)
+
+val update : t -> Update.edit -> t * setup_cost
+(** Apply one edit and re-host.
+    @raise Invalid_argument on impossible edits (see {!Update.apply})
+    or if the edited document no longer satisfies setup's checks. *)
+
+val update_all : t -> Update.edit list -> t * setup_cost
+
+val rotate : t -> new_master:string -> t * setup_cost
+(** Re-host under a fresh master secret: every derived key, pad, OPE
+    mapping and DSI weight changes; bundles persisted under the old
+    master no longer authenticate. *)

@@ -1,0 +1,85 @@
+module Ast = Xpath.Ast
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+
+type edit =
+  | Insert_child of {
+      parent : Ast.path;
+      position : int;
+      subtree : Tree.t;
+    }
+  | Delete_nodes of Ast.path
+  | Set_value of Ast.path * string
+
+module Node_set = Set.Make (Int)
+
+let bindings_of doc path =
+  match Xpath.Eval.eval doc path with
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Update: path %s binds nothing" (Ast.to_string path))
+  | nodes -> Node_set.of_list nodes
+
+(* Rebuild the tree applying per-node transformations. *)
+let rebuild doc ~delete ~set_value ~insert_at =
+  let rec walk n =
+    if Node_set.mem n delete then None
+    else begin
+      let tag = Doc.tag doc n in
+      match Doc.value doc n with
+      | Some v ->
+        let v = match set_value n with Some v' -> v' | None -> v in
+        Some (Tree.leaf tag v)
+      | None ->
+        let children = List.filter_map walk (Doc.children doc n) in
+        let children =
+          match insert_at n with
+          | None -> children
+          | Some (position, subtree) ->
+            let position = max 0 (min position (List.length children)) in
+            let rec splice i = function
+              | rest when i = position -> subtree :: rest
+              | [] -> [ subtree ]
+              | c :: rest -> c :: splice (i + 1) rest
+            in
+            splice 0 children
+        in
+        Some (Tree.element tag children)
+    end
+  in
+  match walk (Doc.root doc) with
+  | Some tree -> tree
+  | None -> invalid_arg "Update: cannot delete the document root"
+
+let no_delete = Node_set.empty
+let no_set _ = None
+let no_insert _ = None
+
+let apply doc = function
+  | Delete_nodes path ->
+    rebuild doc ~delete:(bindings_of doc path) ~set_value:no_set ~insert_at:no_insert
+  | Set_value (path, v) ->
+    let targets = bindings_of doc path in
+    Node_set.iter
+      (fun n ->
+        if Doc.value doc n = None then
+          invalid_arg
+            (Printf.sprintf "Update: node %d (%s) is not a leaf" n (Doc.tag doc n)))
+      targets;
+    rebuild doc ~delete:no_delete
+      ~set_value:(fun n -> if Node_set.mem n targets then Some v else None)
+      ~insert_at:no_insert
+  | Insert_child { parent; position; subtree } ->
+    let parents = bindings_of doc parent in
+    Node_set.iter
+      (fun n ->
+        if Doc.value doc n <> None then
+          invalid_arg
+            (Printf.sprintf "Update: cannot insert under leaf node %d" n))
+      parents;
+    rebuild doc ~delete:no_delete ~set_value:no_set
+      ~insert_at:(fun n ->
+        if Node_set.mem n parents then Some (position, subtree) else None)
+
+let apply_all doc edits =
+  List.fold_left (fun doc edit -> Doc.of_tree (apply doc edit)) doc edits

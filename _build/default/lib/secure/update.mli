@@ -1,0 +1,34 @@
+(** Document updates (the paper's future-work item 3).
+
+    Edits address nodes through XPath and rebuild the plaintext tree;
+    {!System.update} then re-hosts the edited document under the same
+    master key and security constraints (the {e re-host} strategy —
+    always secure, because the fresh setup re-derives the scheme and
+    re-checks enforcement).
+
+    The DSI layer's contribution to cheaper updates is exposed
+    separately as {!Dsi.Assign.interval_in_gap}: the deliberate gaps
+    between sibling intervals can absorb inserted subtrees without
+    renumbering, which is what an incremental server protocol would
+    build on. *)
+
+type edit =
+  | Insert_child of {
+      parent : Xpath.Ast.path;   (** every binding receives the child *)
+      position : int;            (** clamped into [0, child_count] *)
+      subtree : Xmlcore.Tree.t;
+    }
+  | Delete_nodes of Xpath.Ast.path
+      (** every binding's subtree is removed *)
+  | Set_value of Xpath.Ast.path * string
+      (** every binding must be a leaf; its text value is replaced *)
+
+val apply : Xmlcore.Doc.t -> edit -> Xmlcore.Tree.t
+(** Apply one edit, returning the new plaintext tree.
+    @raise Invalid_argument when the edit is impossible: deleting the
+    root, setting the value of a non-leaf, or a path that binds
+    nothing. *)
+
+val apply_all : Xmlcore.Doc.t -> edit list -> Xmlcore.Doc.t
+(** Fold {!apply} over a batch (re-indexing between edits so later
+    paths see earlier edits). *)

@@ -1,0 +1,104 @@
+type graph = {
+  weights : (string * float) list;
+  edges : (string * string) list;
+}
+
+let weight_of g v =
+  match List.assoc_opt v g.weights with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Vertex_cover: unknown vertex %S" v)
+
+let cover_weight g cover = List.fold_left (fun acc v -> acc +. weight_of g v) 0.0 cover
+
+let is_cover g cover =
+  let module S = Set.Make (String) in
+  let s = S.of_list cover in
+  List.for_all (fun (a, b) -> S.mem a s || S.mem b s) g.edges
+
+(* Self-loops force their vertex into any cover; removing them first
+   simplifies both solvers. *)
+let split_self_loops g =
+  let forced, proper = List.partition (fun (a, b) -> String.equal a b) g.edges in
+  let forced = List.sort_uniq String.compare (List.map fst forced) in
+  let module S = Set.Make (String) in
+  let fs = S.of_list forced in
+  let remaining =
+    List.filter (fun (a, b) -> not (S.mem a fs || S.mem b fs)) proper
+  in
+  forced, remaining
+
+let exact g =
+  let forced, edges = split_self_loops g in
+  let forced_weight = List.fold_left (fun acc v -> acc +. weight_of g v) 0.0 forced in
+  let best = ref None in
+  let best_weight = ref infinity in
+  (* Branch on an uncovered edge: either endpoint must join the cover. *)
+  let rec branch cover cover_weight edges =
+    if cover_weight >= !best_weight then ()
+    else
+      match edges with
+      | [] ->
+        best := Some cover;
+        best_weight := cover_weight
+      | (a, b) :: _ ->
+        let take v =
+          let remaining =
+            List.filter (fun (x, y) -> not (String.equal x v || String.equal y v)) edges
+          in
+          branch (v :: cover) (cover_weight +. weight_of g v) remaining
+        in
+        take a;
+        if not (String.equal a b) then take b
+  in
+  branch [] forced_weight edges;
+  match !best with
+  | Some cover -> List.sort String.compare (forced @ cover)
+  | None -> List.sort String.compare forced
+
+let clarkson_greedy g =
+  let forced, edges = split_self_loops g in
+  let residual = Hashtbl.create 16 in
+  List.iter (fun (v, w) -> Hashtbl.replace residual v w) g.weights;
+  let cover = ref forced in
+  let edges = ref edges in
+  let degree v =
+    List.fold_left
+      (fun acc (a, b) -> if String.equal a v || String.equal b v then acc + 1 else acc)
+      0 !edges
+  in
+  while !edges <> [] do
+    (* Vertex minimising residual weight per covered edge. *)
+    let candidates =
+      List.sort_uniq String.compare
+        (List.concat_map (fun (a, b) -> [ a; b ]) !edges)
+    in
+    let score v = Hashtbl.find residual v /. float_of_int (degree v) in
+    let best =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some u -> if score v < score u then Some v else acc)
+        None candidates
+    in
+    match best with
+    | None -> assert false
+    | Some v ->
+      let r = score v in
+      (* Discount neighbours by v's amortised price, then drop v's edges. *)
+      List.iter
+        (fun (a, b) ->
+          let neighbour =
+            if String.equal a v then Some b
+            else if String.equal b v then Some a
+            else None
+          in
+          match neighbour with
+          | Some u -> Hashtbl.replace residual u (Hashtbl.find residual u -. r)
+          | None -> ())
+        !edges;
+      cover := v :: !cover;
+      edges :=
+        List.filter (fun (a, b) -> not (String.equal a v || String.equal b v)) !edges
+  done;
+  List.sort String.compare !cover

@@ -1,0 +1,33 @@
+(** Weighted vertex cover solvers.
+
+    Finding an optimal secure encryption scheme reduces to (and from)
+    weighted VERTEX COVER on the constraint graph (Theorem 4.2): each
+    association SC is an edge between its two endpoint tags, and
+    covering an edge means encrypting one endpoint's nodes.
+
+    Two solvers: an exact branch-and-bound for the small graphs real SC
+    sets produce, and Clarkson's modified greedy (Information
+    Processing Letters 16, 1983) — the 2-approximation the paper's
+    "app" scheme uses. *)
+
+type graph = {
+  weights : (string * float) list;  (** vertex, encryption cost *)
+  edges : (string * string) list;   (** may include self-loops *)
+}
+
+val exact : graph -> string list
+(** Minimum-weight cover by branch and bound.  Exponential worst case;
+    intended for graphs of up to a few dozen vertices (constraint
+    graphs are tiny).  Self-loop vertices are always taken. *)
+
+val clarkson_greedy : graph -> string list
+(** Clarkson's greedy: repeatedly take the vertex minimising
+    residual-weight/degree, discounting its neighbours.  Cost at most
+    twice the optimum. *)
+
+val cover_weight : graph -> string list -> float
+(** Total weight of the given vertices.
+    @raise Invalid_argument if a vertex is unknown. *)
+
+val is_cover : graph -> string list -> bool
+(** Every edge has an endpoint in the set. *)

@@ -1,0 +1,1 @@
+lib/workload/dblp.ml: Crypto Distribution Hashtbl List Option Printf Secure String Xmlcore

@@ -1,0 +1,1 @@
+lib/workload/dblp.mli: Secure Xmlcore

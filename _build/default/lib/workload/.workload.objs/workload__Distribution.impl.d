@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Array Crypto Float List

@@ -1,0 +1,1 @@
+lib/workload/health.ml: Array Crypto Distribution List Printf Secure Xmlcore

@@ -1,0 +1,1 @@
+lib/workload/health.mli: Secure Xmlcore

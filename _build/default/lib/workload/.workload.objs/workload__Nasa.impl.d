@@ -1,0 +1,1 @@
+lib/workload/nasa.ml: Array Char Crypto Distribution List Printf Secure String Xmlcore

@@ -1,0 +1,1 @@
+lib/workload/nasa.mli: Secure Xmlcore

@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array Crypto Hashtbl List Option String Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/workload/querygen.mli: Xmlcore Xpath

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Array Crypto Distribution List Printf Secure Xmlcore

@@ -1,0 +1,80 @@
+module Tree = Xmlcore.Tree
+
+let venues = [| "VLDB"; "SIGMOD"; "ICDE"; "EDBT"; "PODS"; "CIDR" |]
+
+let surnames =
+  [| "Wang"; "Lakshmanan"; "Chen"; "Garcia"; "Mueller"; "Tanaka"; "Okafor";
+     "Silva"; "Kowalski"; "Nguyen"; "Haddad"; "Johansson"; "Rossi"; "Kim" |]
+
+let topic_words =
+  [| "secure"; "query"; "evaluation"; "encrypted"; "index"; "xml"; "stream";
+     "join"; "adaptive"; "distributed"; "cache"; "transactional"; "approximate";
+     "graph"; "provenance"; "skyline" |]
+
+let generate ?(seed = 19L) ~papers () =
+  let rng = Crypto.Prng.create seed in
+  let author_dist = Distribution.zipf ~exponent:0.9 surnames in
+  let venue_dist = Distribution.zipf ~exponent:0.7 venues in
+  let word_dist = Distribution.zipf ~exponent:0.6 topic_words in
+  let phrase n =
+    String.concat " " (List.init n (fun _ -> Distribution.sample word_dist rng))
+  in
+  let paper i =
+    let authors =
+      List.init
+        (1 + Crypto.Prng.int rng 3)
+        (fun _ -> Tree.leaf "author" (Distribution.sample author_dist rng))
+    in
+    let reviews =
+      List.init
+        (2 + Crypto.Prng.int rng 2)
+        (fun _ ->
+          Tree.element "review"
+            [ Tree.leaf "reviewer" (Distribution.sample author_dist rng);
+              Tree.leaf "score" (string_of_int (1 + Crypto.Prng.int rng 5));
+              Tree.leaf "comment" (phrase (4 + Crypto.Prng.int rng 8)) ])
+    in
+    Tree.element "inproceedings"
+      (List.concat
+         [ [ Tree.leaf "title" (Printf.sprintf "%s %d" (phrase 4) i) ];
+           authors;
+           [ Tree.leaf "pages" (Printf.sprintf "%d-%d" (i * 12) ((i * 12) + 11));
+             Tree.leaf "ee" (Printf.sprintf "https://doi.example/10.1/%06d" i) ];
+           reviews ])
+  in
+  (* Group papers into proceedings of ~15, proceedings into venue
+     series: depth root -> series -> proceedings -> inproceedings ->
+     review -> leaf = 5. *)
+  let per_proc = 15 in
+  let proc_count = max 1 ((papers + per_proc - 1) / per_proc) in
+  let proceedings =
+    List.init proc_count (fun p ->
+        let first = p * per_proc in
+        let count = min per_proc (papers - first) in
+        Tree.element "proceedings"
+          (Tree.leaf "year" (string_of_int (1995 + (p mod 12)))
+           :: Tree.leaf "isbn" (Printf.sprintf "978-%05d" (Crypto.Prng.int rng 99_999))
+           :: List.init count (fun i -> paper (first + i))))
+  in
+  let by_venue = Hashtbl.create 8 in
+  List.iter
+    (fun proc ->
+      let venue = Distribution.sample venue_dist rng in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_venue venue) in
+      Hashtbl.replace by_venue venue (proc :: prev))
+    proceedings;
+  let series =
+    Hashtbl.fold
+      (fun venue procs acc ->
+        Tree.element "series" (Tree.leaf "venue" venue :: procs) :: acc)
+      by_venue []
+  in
+  Xmlcore.Doc.of_tree (Tree.element "dblp" series)
+
+let constraints () =
+  [ Secure.Sc.parse "//inproceedings:(/author, /title)";
+    Secure.Sc.parse "//review:(/reviewer, /score)";
+    Secure.Sc.parse "//inproceedings:(/title, //reviewer)" ]
+
+(* One paper with reviews serializes to roughly 700 bytes. *)
+let papers_for_bytes bytes = max 1 (bytes / 700)

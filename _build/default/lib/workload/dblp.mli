@@ -1,0 +1,16 @@
+(** DBLP-like bibliography data — a third workload beyond the paper's
+    two, with a deeper hierarchy (venue series → proceedings →
+    inproceedings → authors) that stresses the structural joins and the
+    Qm query family harder than XMark/NASA do.
+
+    The privacy scenario: a consortium hosts its submission/review
+    database; who authored which submission and who reviewed what are
+    the protected associations. *)
+
+val generate : ?seed:int64 -> papers:int -> unit -> Xmlcore.Doc.t
+
+val constraints : unit -> Secure.Sc.t list
+(** Protect the author↔title association, the reviewer↔paper
+    association, and review scores wholesale. *)
+
+val papers_for_bytes : int -> int

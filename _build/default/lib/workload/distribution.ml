@@ -1,0 +1,46 @@
+type t = {
+  values : string array;
+  cumulative : float array; (* cumulative.(i) = P(index <= i), last = 1.0 *)
+}
+
+let of_weights values weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Distribution: weights must sum to a positive value";
+  let cumulative = Array.make (Array.length weights) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(Array.length cumulative - 1) <- 1.0;
+  { values; cumulative }
+
+let uniform values =
+  if Array.length values = 0 then invalid_arg "Distribution.uniform: empty support";
+  of_weights values (Array.make (Array.length values) 1.0)
+
+let zipf ?(exponent = 1.0) values =
+  if Array.length values = 0 then invalid_arg "Distribution.zipf: empty support";
+  of_weights values
+    (Array.init (Array.length values) (fun i ->
+         1.0 /. Float.pow (float_of_int (i + 1)) exponent))
+
+let weighted pairs =
+  if pairs = [] then invalid_arg "Distribution.weighted: empty support";
+  let values = Array.of_list (List.map fst pairs) in
+  let weights = Array.of_list (List.map snd pairs) in
+  of_weights values weights
+
+let sample t rng =
+  let u = Crypto.Prng.float rng 1.0 in
+  (* Binary search for the first cumulative weight >= u. *)
+  let rec find lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) >= u then find lo mid else find (mid + 1) hi
+  in
+  t.values.(find 0 (Array.length t.values - 1))
+
+let support t = t.values

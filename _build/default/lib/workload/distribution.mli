@@ -1,0 +1,22 @@
+(** Value distributions for the synthetic workload generators.
+
+    The attacker model is frequency-based, so the shape of value
+    distributions is a first-class experimental knob: Zipf-skewed
+    domains are the interesting case for OPESS (Figure 6 flattens a
+    skew), uniform domains the degenerate one. *)
+
+type t
+
+val uniform : string array -> t
+(** Every value equally likely. *)
+
+val zipf : ?exponent:float -> string array -> t
+(** Zipf over the value array: probability of the i-th value
+    proportional to [1/(i+1)^exponent] (default exponent 1.0). *)
+
+val weighted : (string * float) list -> t
+(** Explicit weights (need not be normalised). *)
+
+val sample : t -> Crypto.Prng.t -> string
+
+val support : t -> string array

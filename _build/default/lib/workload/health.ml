@@ -1,0 +1,77 @@
+module Tree = Xmlcore.Tree
+
+(* Figure 2's hospital document, values verbatim where legible. *)
+let tree () =
+  let leaf = Tree.leaf in
+  let el = Tree.element in
+  let attr = Tree.attribute in
+  el "hospital"
+    [ el "patient"
+        [ leaf "pname" "Betty";
+          leaf "SSN" "763895";
+          el "treat" [ leaf "disease" "diarrhea"; leaf "doctor" "Smith" ];
+          el "treat" [ leaf "disease" "flu"; leaf "doctor" "Walker" ];
+          leaf "age" "35";
+          el "insurance" [ attr "coverage" "1000000"; leaf "policy#" "34221"; leaf "policy#" "26544" ] ];
+      el "patient"
+        [ leaf "pname" "Matt";
+          leaf "SSN" "276543";
+          el "treat" [ leaf "disease" "leukemia"; leaf "doctor" "Brown" ];
+          el "treat" [ leaf "disease" "diarrhea"; leaf "doctor" "Smith" ];
+          leaf "age" "40";
+          el "insurance" [ attr "coverage" "10000"; leaf "policy#" "78543" ];
+          el "insurance" [ attr "coverage" "5000"; leaf "policy#" "26544" ] ] ]
+
+let doc () = Xmlcore.Doc.of_tree (tree ())
+
+let constraints () =
+  [ Secure.Sc.parse "//insurance";
+    Secure.Sc.parse "//patient:(/pname, /SSN)";
+    Secure.Sc.parse "//patient:(/pname, //disease)";
+    Secure.Sc.parse "//treat:(/disease, /doctor)" ]
+
+let diseases =
+  [| "diarrhea"; "flu"; "leukemia"; "diabetes"; "asthma"; "anemia";
+     "migraine"; "arthritis"; "bronchitis"; "hypertension"; "eczema";
+     "pneumonia"; "hepatitis"; "measles"; "gastritis" |]
+
+let doctors =
+  [| "Smith"; "Walker"; "Brown"; "Jones"; "Garcia"; "Miller"; "Davis";
+     "Wilson"; "Moore"; "Taylor"; "Lee"; "Clark" |]
+
+let first_names =
+  [| "Betty"; "Matt"; "Alice"; "Bob"; "Carol"; "David"; "Erin"; "Frank";
+     "Grace"; "Henry"; "Iris"; "Jack"; "Karen"; "Leo"; "Mona"; "Nick";
+     "Olga"; "Paul"; "Quinn"; "Rita" |]
+
+let coverages = [| "5000"; "10000"; "50000"; "100000"; "500000"; "1000000" |]
+
+let generate ?(seed = 7L) ~patients () =
+  let rng = Crypto.Prng.create seed in
+  let disease_dist = Distribution.zipf diseases in
+  let doctor_dist = Distribution.zipf ~exponent:0.8 doctors in
+  let coverage_dist = Distribution.zipf ~exponent:0.5 coverages in
+  let patient i =
+    let name =
+      Printf.sprintf "%s%d" first_names.(Crypto.Prng.int rng (Array.length first_names)) i
+    in
+    let ssn = Printf.sprintf "%09d" (Crypto.Prng.int rng 999_999_999) in
+    let treats =
+      List.init
+        (1 + Crypto.Prng.int rng 3)
+        (fun _ ->
+          Tree.element "treat"
+            [ Tree.leaf "disease" (Distribution.sample disease_dist rng);
+              Tree.leaf "doctor" (Distribution.sample doctor_dist rng) ])
+    in
+    let insurance =
+      Tree.element "insurance"
+        [ Tree.attribute "coverage" (Distribution.sample coverage_dist rng);
+          Tree.leaf "policy#" (Printf.sprintf "%05d" (Crypto.Prng.int rng 99_999)) ]
+    in
+    Tree.element "patient"
+      ([ Tree.leaf "pname" name; Tree.leaf "SSN" ssn ]
+      @ treats
+      @ [ Tree.leaf "age" (string_of_int (Crypto.Prng.int_in rng 1 99)); insurance ])
+  in
+  Xmlcore.Doc.of_tree (Tree.element "hospital" (List.init patients patient))

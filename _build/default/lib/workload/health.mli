@@ -1,0 +1,18 @@
+(** The paper's running example: the health care database of Figure 2
+    and the security constraints of Example 3.1. *)
+
+val tree : unit -> Xmlcore.Tree.t
+(** The hospital document of Figure 2 (plaintext, without decoys —
+    decoys are added by encryption). *)
+
+val doc : unit -> Xmlcore.Doc.t
+
+val constraints : unit -> Secure.Sc.t list
+(** SC1..SC4 of Example 3.1: //insurance;
+    //patient:(/pname, /SSN); //patient:(/pname, //disease);
+    //treat:(/disease, /doctor). *)
+
+val generate : ?seed:int64 -> patients:int -> unit -> Xmlcore.Doc.t
+(** A scaled-up hospital database in the same schema, for experiments:
+    [patients] patient records with Zipf-distributed diseases, doctors
+    and insurance coverage values. *)

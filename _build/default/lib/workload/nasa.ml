@@ -1,0 +1,95 @@
+module Tree = Xmlcore.Tree
+
+let publishers =
+  [| "NASA"; "ADC"; "CDS"; "AAS"; "ESO"; "STScI"; "IPAC"; "JPL" |]
+
+let cities =
+  [| "Greenbelt"; "Strasbourg"; "Pasadena"; "Baltimore"; "Garching";
+     "Cambridge"; "Tucson"; "Honolulu" |]
+
+let last_names =
+  [| "Hubble"; "Kuiper"; "Oort"; "Payne"; "Rubin"; "Sagan"; "Shapley";
+     "Tombaugh"; "Leavitt"; "Cannon"; "Fleming"; "Hale"; "Lowell";
+     "Messier"; "Herschel" |]
+
+let words =
+  [| "photometric"; "survey"; "catalog"; "spectral"; "galactic"; "stellar";
+     "infrared"; "ultraviolet"; "radial"; "velocity"; "cluster"; "nebula";
+     "magnitude"; "luminosity"; "parallax"; "quasar"; "binary"; "variable";
+     "astrometric"; "bolometric"; "cepheid"; "photosphere"; "redshift";
+     "supernova"; "interstellar"; "extinction"; "polarization"; "occultation" |]
+
+let field_names =
+  [| "RAh"; "RAm"; "RAs"; "DEd"; "DEm"; "DEs"; "Vmag"; "BV"; "UB"; "SpType";
+     "Plx"; "RV"; "HD"; "DM"; "Name" |]
+
+(* The real UW/ADC NASA documents average ~10 KB per dataset record:
+   long multi-paragraph abstracts and wide field tables dominate the
+   bytes, while the sensitive author fields are tiny.  We reproduce
+   that ratio (a few KB per record) because it is what makes the
+   fine-grained schemes cheap relative to coarse ones in Figure 9. *)
+let generate ?(seed = 13L) ~datasets () =
+  let rng = Crypto.Prng.create seed in
+  let publisher_dist = Distribution.zipf publishers in
+  let city_dist = Distribution.zipf ~exponent:0.9 cities in
+  let last_dist = Distribution.zipf ~exponent:0.8 last_names in
+  let word_dist = Distribution.zipf ~exponent:0.6 words in
+  let phrase n =
+    String.concat " " (List.init n (fun _ -> Distribution.sample word_dist rng))
+  in
+  let author () =
+    Tree.element "author"
+      [ Tree.leaf "initial"
+          (String.make 1 (Char.chr (Char.code 'A' + Crypto.Prng.int rng 26)));
+        Tree.leaf "last" (Distribution.sample last_dist rng) ]
+  in
+  let para () = Tree.leaf "para" (phrase (25 + Crypto.Prng.int rng 30)) in
+  let field () =
+    Tree.element "field"
+      [ Tree.leaf "fname" field_names.(Crypto.Prng.int rng (Array.length field_names));
+        Tree.leaf "units" (phrase 1);
+        Tree.leaf "explanation" (phrase (4 + Crypto.Prng.int rng 6)) ]
+  in
+  let keyword () = Tree.leaf "keyword" (phrase 1) in
+  let revision i =
+    Tree.element "revision"
+      [ Tree.leaf "date"
+          (Printf.sprintf "%04d-%02d" (Crypto.Prng.int_in rng 1970 2005)
+             (Crypto.Prng.int_in rng 1 12));
+        Tree.leaf "description" (phrase (6 + (i mod 4))) ]
+  in
+  let dataset i =
+    (* 1-2 authors: keeps {initial, last} the strict optimum cover. *)
+    let authors = List.init (1 + Crypto.Prng.int rng 2) (fun _ -> author ()) in
+    let paras = List.init (3 + Crypto.Prng.int rng 5) (fun _ -> para ()) in
+    let fields = List.init (4 + Crypto.Prng.int rng 8) (fun _ -> field ()) in
+    let keywords = List.init (2 + Crypto.Prng.int rng 4) (fun _ -> keyword ()) in
+    let revisions = List.init (1 + Crypto.Prng.int rng 3) revision in
+    Tree.element "dataset"
+      (List.concat
+         [ [ Tree.leaf "title" (Printf.sprintf "%s %d" (phrase 4) i);
+             Tree.leaf "altname" (Printf.sprintf "ADC-%05d" (Crypto.Prng.int rng 99_999));
+             Tree.leaf "date"
+               (Printf.sprintf "%04d-%02d" (Crypto.Prng.int_in rng 1970 2005)
+                  (Crypto.Prng.int_in rng 1 12));
+             Tree.leaf "publisher" (Distribution.sample publisher_dist rng);
+             Tree.leaf "city" (Distribution.sample city_dist rng) ];
+           authors;
+           [ Tree.leaf "age" (string_of_int (Crypto.Prng.int_in rng 1 40));
+             Tree.element "keywords" keywords;
+             Tree.element "abstract" paras;
+             Tree.element "tableHead" fields;
+             Tree.element "history" revisions ] ])
+  in
+  Xmlcore.Doc.of_tree (Tree.element "datasets" (List.init datasets dataset))
+
+let constraints () =
+  [ Secure.Sc.parse "//author:(/initial, /last)";
+    Secure.Sc.parse "//dataset:(/title, //last)";
+    Secure.Sc.parse "//dataset:(/publisher, //last)";
+    Secure.Sc.parse "//dataset:(/date, //initial)";
+    Secure.Sc.parse "//dataset:(/city, //initial)";
+    Secure.Sc.parse "//dataset:(/age, //initial)" ]
+
+(* One dataset record serializes to roughly 3 KB. *)
+let datasets_for_bytes bytes = max 1 (bytes / 3_000)

@@ -1,0 +1,18 @@
+(** NASA-like synthetic astronomical dataset (the paper's real
+    dataset, substituted — see DESIGN.md).
+
+    Mimics the University of Washington repository's NASA ADC dataset
+    shape at the granularity the paper's constraint graph (Figure 8(b))
+    uses: [datasets/dataset] records with title, date, publisher, city,
+    one or more [author(initial, last)] entries, an age field and an
+    abstract.  Documents are deeper and more text-heavy than XMark's,
+    which is what drives the Qm/Ql differences in Figure 9. *)
+
+val generate : ?seed:int64 -> datasets:int -> unit -> Xmlcore.Doc.t
+
+val constraints : unit -> Secure.Sc.t list
+(** Association SCs whose optimal cover is [{initial, last}] — the
+    cover the paper reports for its NASA experiments. *)
+
+val datasets_for_bytes : int -> int
+(** Approximate dataset count that serializes to the requested size. *)

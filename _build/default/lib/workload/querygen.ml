@@ -1,0 +1,147 @@
+module Ast = Xpath.Ast
+module Doc = Xmlcore.Doc
+
+type family = Qs | Qm | Ql | Qv
+
+let family_to_string = function
+  | Qs -> "Qs"
+  | Qm -> "Qm"
+  | Ql -> "Ql"
+  | Qv -> "Qv"
+
+let all_families = [ Qs; Qm; Ql; Qv ]
+
+(* Tag chain from the root to [node], root first. *)
+let tag_chain doc node =
+  let rec up acc n =
+    let acc = Doc.tag doc n :: acc in
+    match Doc.parent doc n with
+    | None -> acc
+    | Some p -> up acc p
+  in
+  up [] node
+
+(* Build a path from a tag chain, randomly turning some child steps
+   into descendant steps (and dropping the intermediate tags they
+   absorb is not needed — // still names the next tag). *)
+let path_of_chain rng chain =
+  let steps =
+    List.mapi
+      (fun i tag ->
+        let axis =
+          if i = 0 then Ast.Child (* the root step of an absolute path *)
+          else if Crypto.Prng.int rng 100 < 30 then Ast.Descendant_or_self
+          else Ast.Child
+        in
+        Ast.step axis (Ast.Tag tag))
+      chain
+  in
+  Ast.path ~absolute:true steps
+
+(* Sample distinct target nodes at a given depth predicate.  Sampling
+   is per distinct tag first (one random representative each), so every
+   schema element — encrypted or not — is fairly represented in the
+   workload; remaining slots are filled with random extra nodes. *)
+let targets doc rng ~wanted ~eligible =
+  let by_tag = Hashtbl.create 32 in
+  Doc.iter doc (fun n ->
+      if eligible n then begin
+        let tag = Doc.tag doc n in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_tag tag) in
+        Hashtbl.replace by_tag tag (n :: prev)
+      end);
+  let tags = Array.of_seq (Hashtbl.to_seq_keys by_tag) in
+  Array.sort String.compare tags;
+  Crypto.Prng.shuffle rng tags;
+  let representatives =
+    Array.to_list
+      (Array.map
+         (fun tag ->
+           Crypto.Prng.choice rng (Array.of_list (Hashtbl.find by_tag tag)))
+         tags)
+  in
+  let extras =
+    let pool = Array.of_list (List.concat_map (fun t -> Hashtbl.find by_tag t) (Array.to_list tags)) in
+    if Array.length pool = 0 then []
+    else begin
+      Crypto.Prng.shuffle rng pool;
+      Array.to_list (Array.sub pool 0 (min wanted (Array.length pool)))
+    end
+  in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take wanted (representatives @ extras)
+
+let distinct_paths paths =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let s = Ast.to_string p in
+      if Hashtbl.mem seen s then false
+      else begin
+        Hashtbl.add seen s ();
+        true
+      end)
+    paths
+
+let generate ?(seed = 17L) doc family ~count =
+  let rng = Crypto.Prng.create seed in
+  let height = Doc.height doc in
+  let depth_wanted =
+    match family with
+    | Qs -> 1
+    | Qm -> max 1 (height / 2)
+    | Ql | Qv -> height (* refined by the eligibility predicate below *)
+  in
+  let eligible n =
+    match family with
+    | Qs -> Doc.depth_of doc n = 1
+    | Qm -> Doc.depth_of doc n = depth_wanted
+    | Ql | Qv -> Doc.is_leaf doc n
+  in
+  (* Oversample: distinct tag chains collapse after dedup. *)
+  let nodes = targets doc rng ~wanted:(count * 5) ~eligible in
+  let base = List.map (fun n -> n, path_of_chain rng (tag_chain doc n)) nodes in
+  let paths =
+    match family with
+    | Qs | Qm | Ql -> List.map snd base
+    | Qv ->
+      (* Attach an equality or range predicate on the target leaf's
+         value to the leaf's parent step, outputting the parent. *)
+      List.filter_map
+        (fun (n, p) ->
+          match Doc.value doc n, Doc.parent doc n with
+          | Some v, Some _ ->
+            (match List.rev p.Ast.steps with
+             | leaf_step :: parent_step :: above ->
+               let op =
+                 if Crypto.Prng.bool rng
+                    && float_of_string_opt v <> None
+                 then Ast.Ge
+                 else Ast.Eq
+               in
+               let pred =
+                 Ast.Compare
+                   ( Ast.path ~absolute:false
+                       [ Ast.step Ast.Child leaf_step.Ast.test ],
+                     op, v )
+               in
+               let parent_step =
+                 { parent_step with
+                   Ast.predicates = parent_step.Ast.predicates @ [ pred ] }
+               in
+               Some { p with Ast.steps = List.rev (parent_step :: above) }
+             | _ -> None)
+          | _ -> None)
+        base
+  in
+  let paths = distinct_paths paths in
+  (* Keep only queries that are non-empty on the document. *)
+  let nonempty = List.filter (fun p -> Xpath.Eval.matches doc p) paths in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take count nonempty

@@ -1,0 +1,23 @@
+(** Query workload generator (Section 7.1's query set).
+
+    Three families over any document:
+    - [Qs] — output the children of the root,
+    - [Qm] — output nodes at depth [h/2] (h = tree height),
+    - [Ql] — output leaf nodes,
+    plus a fourth family beyond the paper's three:
+    - [Qv] — leaf-output queries carrying a value predicate, to
+      exercise the OPESS/B-tree path.
+
+    Queries are tag paths from the root to a sampled target node, with
+    a random subset of steps compressed into descendant ([//]) axes. *)
+
+type family = Qs | Qm | Ql | Qv
+
+val family_to_string : family -> string
+val all_families : family list
+
+val generate :
+  ?seed:int64 -> Xmlcore.Doc.t -> family -> count:int -> Xpath.Ast.path list
+(** [generate doc family ~count] returns up to [count] distinct
+    queries (fewer when the document offers less variety).  Every query
+    is guaranteed non-empty on [doc]. *)

@@ -1,0 +1,71 @@
+module Tree = Xmlcore.Tree
+
+let first_names =
+  [| "Kasidit"; "Ewa"; "Moustapha"; "Rosalia"; "Shooichi"; "Jinpo"; "Fatima";
+     "Huei"; "Malgorzata"; "Dirk"; "Amitabha"; "Carmela"; "Benjamin"; "Yuki";
+     "Anna"; "Piotr"; "Leon"; "Sara"; "Tomas"; "Ines" |]
+
+let last_names =
+  [| "Luo"; "Santos"; "Galang"; "Molina"; "Kobayashi"; "Weber"; "Novak";
+     "Fischer"; "Rossi"; "Larsson"; "Vega"; "Okafor"; "Demir"; "Haas" |]
+
+let cities =
+  [| "Vancouver"; "Seoul"; "Amsterdam"; "Toronto"; "Lisbon"; "Oslo";
+     "Kyoto"; "Napoli"; "Gdansk"; "Quito" |]
+
+let countries = [| "Canada"; "Korea"; "Netherlands"; "Portugal"; "Norway"; "Japan" |]
+
+let interests =
+  [| "category1"; "category2"; "category3"; "category4"; "category5";
+     "category6"; "category7"; "category8" |]
+
+let generate ?(seed = 11L) ~persons () =
+  let rng = Crypto.Prng.create seed in
+  let name_dist =
+    Distribution.zipf
+      (Array.init 60 (fun i ->
+           Printf.sprintf "%s %s"
+             first_names.(i mod Array.length first_names)
+             last_names.((i * 7) mod Array.length last_names)))
+  in
+  let city_dist = Distribution.zipf ~exponent:0.9 cities in
+  let country_dist = Distribution.zipf ~exponent:0.7 countries in
+  let interest_dist = Distribution.zipf interests in
+  let income_dist =
+    Distribution.zipf ~exponent:0.8
+      (Array.init 25 (fun i -> string_of_int (20_000 + (i * 4_000))))
+  in
+  let person i =
+    let creditcard =
+      Printf.sprintf "%04d %04d %04d %04d" (Crypto.Prng.int rng 10_000)
+        (Crypto.Prng.int rng 10_000) (Crypto.Prng.int rng 10_000)
+        (Crypto.Prng.int rng 10_000)
+    in
+    let interest_count = Crypto.Prng.int rng 4 in
+    Tree.element "person"
+      [ Tree.leaf "name" (Distribution.sample name_dist rng);
+        Tree.leaf "emailaddress"
+          (Printf.sprintf "mailto:person%d@example.net" i);
+        Tree.element "address"
+          [ Tree.leaf "street" (Printf.sprintf "%d Main St" (1 + Crypto.Prng.int rng 99));
+            Tree.leaf "city" (Distribution.sample city_dist rng);
+            Tree.leaf "country" (Distribution.sample country_dist rng);
+            Tree.leaf "zipcode" (string_of_int (10_000 + Crypto.Prng.int rng 89_999)) ];
+        Tree.leaf "creditcard" creditcard;
+        Tree.element "profile"
+          (Tree.attribute "income" (Distribution.sample income_dist rng)
+           :: Tree.leaf "age" (string_of_int (Crypto.Prng.int_in rng 18 80))
+           :: List.init interest_count (fun _ ->
+                  Tree.leaf "interest" (Distribution.sample interest_dist rng))) ]
+  in
+  Xmlcore.Doc.of_tree
+    (Tree.element "site" [ Tree.element "people" (List.init persons person) ])
+
+let constraints () =
+  [ Secure.Sc.parse "//person:(/name, /creditcard)";
+    Secure.Sc.parse "//person:(/name, /emailaddress)";
+    Secure.Sc.parse "//person:(/profile/@income, /creditcard)";
+    Secure.Sc.parse "//person:(/address/city, /creditcard)" ]
+
+(* One person serializes to roughly 360 bytes. *)
+let persons_for_bytes bytes = max 1 (bytes / 360)

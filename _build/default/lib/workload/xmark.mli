@@ -1,0 +1,19 @@
+(** XMark-like synthetic auction data (the paper's synthetic dataset).
+
+    Mimics the slice of the XMark benchmark schema the paper's
+    constraint graph mentions (Figure 8(a)): [site/people/person] with
+    name, emailaddress, address (street, city, country, zipcode),
+    creditcard and a profile with an [@income] attribute, interests and
+    age.  Person counts scale the document; leaf values are drawn from
+    Zipf-skewed pools so the frequency-attack surface matches the
+    paper's model.  See DESIGN.md for why this substitutes for the real
+    XMark generator. *)
+
+val generate : ?seed:int64 -> persons:int -> unit -> Xmlcore.Doc.t
+
+val constraints : unit -> Secure.Sc.t list
+(** Association SCs whose optimal cover is [{creditcard, name}] — the
+    cover the paper reports for its XMark experiments. *)
+
+val persons_for_bytes : int -> int
+(** Approximate person count that serializes to the requested size. *)

@@ -1,0 +1,1 @@
+lib/xmlcore/doc.ml: Array Format Hashtbl List Option Tree

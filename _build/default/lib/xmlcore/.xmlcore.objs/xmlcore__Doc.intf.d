@@ -1,0 +1,1 @@
+lib/xmlcore/doc.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/xmlcore/parser.ml: Buffer Char Doc List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xmlcore/parser.mli: Doc Tree

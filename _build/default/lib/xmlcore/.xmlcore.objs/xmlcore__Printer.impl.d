@@ -1,0 +1,1 @@
+lib/xmlcore/printer.ml: Buffer Doc List String Tree

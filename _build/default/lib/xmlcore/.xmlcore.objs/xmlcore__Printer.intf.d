@@ -1,0 +1,1 @@
+lib/xmlcore/printer.mli: Doc Tree

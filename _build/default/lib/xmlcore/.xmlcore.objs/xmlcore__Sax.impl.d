@@ -1,0 +1,1 @@
+lib/xmlcore/sax.ml: Buffer Bytes Char Hashtbl List Option Printf String Tree

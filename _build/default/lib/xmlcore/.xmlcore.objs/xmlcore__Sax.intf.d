@@ -1,0 +1,1 @@
+lib/xmlcore/sax.mli: Tree

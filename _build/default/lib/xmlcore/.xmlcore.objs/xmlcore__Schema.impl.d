@@ -1,0 +1,1 @@
+lib/xmlcore/schema.ml: Doc Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/xmlcore/schema.mli: Doc Format

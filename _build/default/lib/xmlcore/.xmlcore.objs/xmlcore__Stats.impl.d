@@ -1,0 +1,1 @@
+lib/xmlcore/stats.ml: Doc Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/xmlcore/stats.mli: Doc Format

@@ -1,0 +1,1 @@
+lib/xmlcore/tree.ml: Format List String

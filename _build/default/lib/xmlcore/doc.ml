@@ -1,0 +1,120 @@
+type node = int
+
+type t = {
+  tags : string array;
+  values : string option array;
+  parents : int array;            (* -1 for root *)
+  children : int list array;      (* in document order *)
+  depths : int array;
+  subtree_sizes : int array;      (* node count of subtree rooted here *)
+  by_tag : (string, int list) Hashtbl.t;  (* doc-order node lists *)
+}
+
+let root _ = 0
+let node_count t = Array.length t.tags
+let tag t n = t.tags.(n)
+let value t n = t.values.(n)
+let parent t n = if t.parents.(n) < 0 then None else Some t.parents.(n)
+let children t n = t.children.(n)
+let child_count t n = List.length t.children.(n)
+let is_leaf t n = t.values.(n) <> None
+let depth_of t n = t.depths.(n)
+let subtree_node_count t n = t.subtree_sizes.(n)
+
+let of_tree tree =
+  let tags = ref [] and values = ref [] and parents = ref [] in
+  let children_rev = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  (* Assign preorder ids; returns subtree node count. *)
+  let rec walk parent node =
+    match node with
+    | Tree.Text _ -> invalid_arg "Doc.of_tree: bare text node (mixed content unsupported)"
+    | Tree.Element (tag, child_list) ->
+      let id = !next_id in
+      incr next_id;
+      let value, element_children =
+        match child_list with
+        | [ Tree.Text v ] -> Some v, []
+        | cs ->
+          let elements =
+            List.map
+              (function
+                | Tree.Element _ as e -> e
+                | Tree.Text _ ->
+                  invalid_arg "Doc.of_tree: mixed content (text beside elements)")
+              cs
+          in
+          None, elements
+      in
+      tags := tag :: !tags;
+      values := value :: !values;
+      parents := parent :: !parents;
+      (match parent with
+       | -1 -> ()
+       | p ->
+         let prev = Option.value ~default:[] (Hashtbl.find_opt children_rev p) in
+         Hashtbl.replace children_rev p (id :: prev));
+      let size =
+        List.fold_left (fun acc c -> acc + walk id c) 1 element_children
+      in
+      size
+  in
+  let _total = walk (-1) tree in
+  let n = !next_id in
+  let tags = Array.of_list (List.rev !tags) in
+  let values = Array.of_list (List.rev !values) in
+  let parents = Array.of_list (List.rev !parents) in
+  let children =
+    Array.init n (fun i ->
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt children_rev i)))
+  in
+  let depths = Array.make n 0 in
+  for i = 1 to n - 1 do
+    depths.(i) <- depths.(parents.(i)) + 1
+  done;
+  let subtree_sizes = Array.make n 1 in
+  for i = n - 1 downto 1 do
+    subtree_sizes.(parents.(i)) <- subtree_sizes.(parents.(i)) + subtree_sizes.(i)
+  done;
+  let by_tag = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_tag tags.(i)) in
+    Hashtbl.replace by_tag tags.(i) (i :: prev)
+  done;
+  { tags; values; parents; children; depths; subtree_sizes; by_tag }
+
+let rec subtree t n =
+  match t.values.(n) with
+  | Some v -> Tree.leaf t.tags.(n) v
+  | None -> Tree.element t.tags.(n) (List.map (subtree t) t.children.(n))
+
+let to_tree t = subtree t 0
+
+let height t = Array.fold_left max 0 t.depths
+
+(* Preorder ids make the subtree of [n] exactly the contiguous id range
+   [n, n + subtree_size n). *)
+let descendants t n =
+  List.init (t.subtree_sizes.(n) - 1) (fun i -> n + 1 + i)
+
+let descendant_or_self t n =
+  List.init t.subtree_sizes.(n) (fun i -> n + i)
+
+let is_ancestor t a b = a < b && b < a + t.subtree_sizes.(a)
+
+let iter t f =
+  for i = 0 to node_count t - 1 do
+    f i
+  done
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun n -> acc := f !acc n);
+  !acc
+
+let nodes_with_tag t tag = Option.value ~default:[] (Hashtbl.find_opt t.by_tag tag)
+
+let pp_node t fmt n =
+  match t.values.(n) with
+  | Some v -> Format.fprintf fmt "<%s #%d = %S>" t.tags.(n) n v
+  | None -> Format.fprintf fmt "<%s #%d>" t.tags.(n) n

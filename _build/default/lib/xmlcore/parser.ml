@@ -1,0 +1,241 @@
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let advance st n = st.pos <- st.pos + n
+
+let expect st prefix =
+  if looking_at st prefix then advance st (String.length prefix)
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st 1
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+(* '#' is admitted beyond XML's NameChar because the paper's running
+   example uses tags like "policy#". *)
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' | '#' -> true | _ -> false)
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+   | Some c when is_name_start c -> advance st 1
+   | _ -> fail st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st 1
+  done;
+  String.sub st.input start (st.pos - start)
+
+let decode_entity st =
+  (* Called just past '&'. Returns the decoded string. *)
+  let semi =
+    match String.index_from_opt st.input st.pos ';' with
+    | Some i when i - st.pos <= 10 -> i
+    | Some _ | None -> fail st "unterminated entity reference"
+  in
+  let name = String.sub st.input st.pos (semi - st.pos) in
+  st.pos <- semi + 1;
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let code =
+        try
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string (String.sub name 1 (String.length name - 1))
+        with Failure _ -> fail st "malformed character reference"
+      in
+      if code < 0x80 then String.make 1 (Char.chr code)
+      else begin
+        (* Minimal UTF-8 encoding for non-ASCII references. *)
+        let buf = Buffer.create 4 in
+        let add_utf8 c =
+          if c < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+          end
+        in
+        add_utf8 code;
+        Buffer.contents buf
+      end
+    end
+    else fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_quoted_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) -> advance st 1; q
+    | _ -> fail st "expected a quoted attribute value"
+  in
+  let out = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' -> advance st 1; Buffer.add_string out (decode_entity st); loop ()
+    | Some c -> advance st 1; Buffer.add_char out c; loop ()
+  in
+  loop ();
+  Buffer.contents out
+
+(* Skip <!-- ... -->, <? ... ?> and <!DOCTYPE ...> / <![CDATA handled apart. *)
+let skip_misc st =
+  let rec loop () =
+    skip_spaces st;
+    if looking_at st "<!--" then begin
+      (match
+         let rec find i =
+           if i + 3 > String.length st.input then None
+           else if String.sub st.input i 3 = "-->" then Some i
+           else find (i + 1)
+         in
+         find (st.pos + 4)
+       with
+       | Some i -> st.pos <- i + 3
+       | None -> fail st "unterminated comment");
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      (match
+         let rec find i =
+           if i + 2 > String.length st.input then None
+           else if String.sub st.input i 2 = "?>" then Some i
+           else find (i + 1)
+         in
+         find (st.pos + 2)
+       with
+       | Some i -> st.pos <- i + 2
+       | None -> fail st "unterminated processing instruction");
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      (* Skip to the matching '>' accounting for an internal subset. *)
+      let depth = ref 0 and finished = ref false in
+      advance st 9;
+      while not !finished do
+        match peek st with
+        | None -> fail st "unterminated DOCTYPE"
+        | Some '[' -> incr depth; advance st 1
+        | Some ']' -> decr depth; advance st 1
+        | Some '>' when !depth = 0 -> advance st 1; finished := true
+        | Some _ -> advance st 1
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_cdata st =
+  expect st "<![CDATA[";
+  let close =
+    let rec find i =
+      if i + 3 > String.length st.input then fail st "unterminated CDATA section"
+      else if String.sub st.input i 3 = "]]>" then i
+      else find (i + 1)
+    in
+    find st.pos
+  in
+  let content = String.sub st.input st.pos (close - st.pos) in
+  st.pos <- close + 3;
+  content
+
+let rec parse_element st =
+  expect st "<";
+  let tag = parse_name st in
+  (* Attributes. *)
+  let attrs = ref [] in
+  let rec attr_loop () =
+    skip_spaces st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_spaces st;
+      expect st "=";
+      skip_spaces st;
+      let v = parse_quoted_value st in
+      attrs := Tree.attribute name v :: !attrs;
+      attr_loop ()
+    | Some _ | None -> ()
+  in
+  attr_loop ();
+  let attrs = List.rev !attrs in
+  if looking_at st "/>" then begin
+    advance st 2;
+    Tree.Element (tag, attrs)
+  end
+  else begin
+    expect st ">";
+    let children = parse_content st tag in
+    Tree.Element (tag, attrs @ children)
+  end
+
+(* Parse element content until the matching close tag of [parent_tag]. *)
+and parse_content st parent_tag =
+  let elements = ref [] in
+  let text = Buffer.create 16 in
+  let finished = ref false in
+  while not !finished do
+    match peek st with
+    | None -> fail st (Printf.sprintf "unterminated element <%s>" parent_tag)
+    | Some '<' ->
+      if looking_at st "</" then begin
+        advance st 2;
+        let close = parse_name st in
+        skip_spaces st;
+        expect st ">";
+        if not (String.equal close parent_tag) then
+          fail st (Printf.sprintf "mismatched close tag </%s> for <%s>" close parent_tag);
+        finished := true
+      end
+      else if looking_at st "<![CDATA[" then Buffer.add_string text (parse_cdata st)
+      else if looking_at st "<!--" || looking_at st "<?" then skip_misc st
+      else elements := parse_element st :: !elements
+    | Some '&' -> advance st 1; Buffer.add_string text (decode_entity st)
+    | Some c -> advance st 1; Buffer.add_char text c
+  done;
+  let text_content = Buffer.contents text in
+  let significant_text = String.trim text_content <> "" in
+  match List.rev !elements, significant_text with
+  | [], true -> [ Tree.Text text_content ]
+  | [], false -> []
+  | elements, false -> elements
+  | _ :: _, true -> fail st (Printf.sprintf "mixed content under <%s>" parent_tag)
+
+let parse s =
+  let st = { input = s; pos = 0 } in
+  skip_misc st;
+  skip_spaces st;
+  if peek st <> Some '<' then fail st "expected a root element";
+  let root = parse_element st in
+  skip_misc st;
+  skip_spaces st;
+  if st.pos <> String.length s then fail st "trailing content after root element";
+  root
+
+let parse_doc s = Doc.of_tree (parse s)

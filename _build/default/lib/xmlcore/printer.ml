@@ -1,0 +1,92 @@
+let escape_with escape_quote s =
+  let needs_escape = function
+    | '&' | '<' | '>' -> true
+    | '"' -> escape_quote
+    | _ -> false
+  in
+  if String.exists needs_escape s then begin
+    let out = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string out "&amp;"
+        | '<' -> Buffer.add_string out "&lt;"
+        | '>' -> Buffer.add_string out "&gt;"
+        | '"' when escape_quote -> Buffer.add_string out "&quot;"
+        | c -> Buffer.add_char out c)
+      s;
+    Buffer.contents out
+  end
+  else s
+
+let escape_text = escape_with false
+let escape_attr = escape_with true
+
+(* Split children into attribute leaves (emitted on the open tag) and
+   ordinary children. *)
+let partition_attributes children =
+  List.partition
+    (function
+      | Tree.Element (tag, [ Tree.Text _ ]) -> Tree.is_attribute_tag tag
+      | Tree.Element _ | Tree.Text _ -> false)
+    children
+
+let add_attributes out attrs =
+  List.iter
+    (function
+      | Tree.Element (tag, [ Tree.Text v ]) ->
+        Buffer.add_char out ' ';
+        Buffer.add_string out (String.sub tag 1 (String.length tag - 1));
+        Buffer.add_string out "=\"";
+        Buffer.add_string out (escape_attr v);
+        Buffer.add_char out '"'
+      | Tree.Element _ | Tree.Text _ -> assert false)
+    attrs
+
+let rec add_tree ~indent ~level out node =
+  let pad () =
+    if indent then begin
+      if Buffer.length out > 0 then Buffer.add_char out '\n';
+      Buffer.add_string out (String.make (2 * level) ' ')
+    end
+  in
+  match node with
+  | Tree.Text v ->
+    pad ();
+    Buffer.add_string out (escape_text v)
+  | Tree.Element (tag, children) ->
+    let attrs, rest = partition_attributes children in
+    pad ();
+    Buffer.add_char out '<';
+    Buffer.add_string out tag;
+    add_attributes out attrs;
+    (match rest with
+     | [] -> Buffer.add_string out "/>"
+     | [ Tree.Text v ] ->
+       Buffer.add_char out '>';
+       Buffer.add_string out (escape_text v);
+       Buffer.add_string out "</";
+       Buffer.add_string out tag;
+       Buffer.add_char out '>'
+     | rest ->
+       Buffer.add_char out '>';
+       List.iter (add_tree ~indent ~level:(level + 1) out) rest;
+       if indent then begin
+         Buffer.add_char out '\n';
+         Buffer.add_string out (String.make (2 * level) ' ')
+       end;
+       Buffer.add_string out "</";
+       Buffer.add_string out tag;
+       Buffer.add_char out '>')
+
+let tree_to_string ?(indent = false) t =
+  let out = Buffer.create 1024 in
+  add_tree ~indent ~level:0 out t;
+  Buffer.contents out
+
+let doc_to_string ?indent doc = tree_to_string ?indent (Doc.to_tree doc)
+
+let serialized_size t =
+  (* A Buffer-free size computation would duplicate the printer logic;
+     measuring through the buffer keeps the two definitions identical. *)
+  String.length (tree_to_string t)

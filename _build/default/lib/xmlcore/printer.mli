@@ -1,0 +1,25 @@
+(** XML serialization.
+
+    Serialized size is what the paper's size-based attacker observes and
+    what the transmission-cost model counts, so serialization is
+    deterministic: attributes are emitted as ["@"]-tagged child elements
+    were parsed from (i.e., real XML attributes on the opening tag), in
+    document order. *)
+
+val escape_text : string -> string
+(** Escape [& < >] (text content). *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quote (attribute values). *)
+
+val tree_to_string : ?indent:bool -> Tree.t -> string
+(** Serialize a tree.  [indent] (default false) adds newlines and
+    two-space indentation for readability; size-sensitive code must use
+    the default compact form. *)
+
+val doc_to_string : ?indent:bool -> Doc.t -> string
+(** Serialize an indexed document. *)
+
+val serialized_size : Tree.t -> int
+(** [serialized_size t] = [String.length (tree_to_string t)] without
+    building the intermediate string. *)

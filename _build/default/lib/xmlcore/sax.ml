@@ -1,0 +1,372 @@
+type event =
+  | Start_element of string
+  | Attribute of string * string
+  | Text of string
+  | End_element of string
+
+exception Parse_error of { position : int; message : string }
+
+(* Incremental input with a compacting window: [data.[pos - base)] is
+   not yet consumed; [ensure] pulls more chunks on demand and [gc]
+   drops the consumed prefix so channel parsing stays bounded. *)
+type input = {
+  refill : unit -> string option;
+  mutable data : string;
+  mutable base : int;       (* absolute offset of data.[0] *)
+  mutable pos : int;        (* absolute position *)
+  mutable exhausted : bool;
+}
+
+let of_string s =
+  { refill = (fun () -> None); data = s; base = 0; pos = 0; exhausted = true }
+
+let of_channel ~chunk_bytes ic =
+  let refill () =
+    let chunk = Bytes.create chunk_bytes in
+    let n = input ic chunk 0 chunk_bytes in
+    if n = 0 then None else Some (Bytes.sub_string chunk 0 n)
+  in
+  { refill; data = ""; base = 0; pos = 0; exhausted = false }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let gc st =
+  let consumed = st.pos - st.base in
+  if consumed > 1 lsl 16 then begin
+    st.data <- String.sub st.data consumed (String.length st.data - consumed);
+    st.base <- st.pos
+  end
+
+let rec ensure st n =
+  if st.pos - st.base + n > String.length st.data && not st.exhausted then begin
+    (match st.refill () with
+     | Some chunk -> st.data <- st.data ^ chunk
+     | None -> st.exhausted <- true);
+    ensure st n
+  end
+
+let peek_at st k =
+  ensure st (k + 1);
+  let i = st.pos - st.base + k in
+  if i < String.length st.data then Some st.data.[i] else None
+
+let peek st = peek_at st 0
+
+let advance st n =
+  st.pos <- st.pos + n;
+  gc st
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  ensure st n;
+  let i = st.pos - st.base in
+  i + n <= String.length st.data && String.sub st.data i n = prefix
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st 1
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char c =
+  is_name_start c
+  || (match c with '0' .. '9' | '-' | '.' | '#' -> true | _ -> false)
+
+let parse_name st =
+  let out = Buffer.create 12 in
+  (match peek st with
+   | Some c when is_name_start c ->
+     Buffer.add_char out c;
+     advance st 1
+   | _ -> fail st "expected a name");
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c ->
+      Buffer.add_char out c;
+      advance st 1;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  Buffer.contents out
+
+let decode_entity st =
+  (* Past '&'; read to ';'. *)
+  let name = Buffer.create 8 in
+  let rec loop () =
+    match peek st with
+    | Some ';' -> advance st 1
+    | Some c when Buffer.length name <= 10 ->
+      Buffer.add_char name c;
+      advance st 1;
+      loop ()
+    | Some _ | None -> fail st "unterminated entity reference"
+  in
+  loop ();
+  match Buffer.contents name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | name when String.length name > 1 && name.[0] = '#' ->
+    let code =
+      try
+        if name.[1] = 'x' || name.[1] = 'X' then
+          int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+        else int_of_string (String.sub name 1 (String.length name - 1))
+      with Failure _ -> fail st "malformed character reference"
+    in
+    if code < 0x80 then String.make 1 (Char.chr code)
+    else begin
+      let out = Buffer.create 4 in
+      if code < 0x800 then begin
+        Buffer.add_char out (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char out (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char out (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char out (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char out (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents out
+    end
+  | name -> fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_quoted st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st 1;
+      q
+    | _ -> fail st "expected a quoted attribute value"
+  in
+  let out = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' ->
+      advance st 1;
+      Buffer.add_string out (decode_entity st);
+      loop ()
+    | Some c ->
+      Buffer.add_char out c;
+      advance st 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents out
+
+let skip_until st terminator what =
+  let n = String.length terminator in
+  let rec loop () =
+    ensure st n;
+    if looking_at st terminator then advance st n
+    else
+      match peek st with
+      | None -> fail st ("unterminated " ^ what)
+      | Some _ ->
+        advance st 1;
+        loop ()
+  in
+  loop ()
+
+let skip_misc st =
+  let rec loop () =
+    skip_spaces st;
+    if looking_at st "<!--" then begin
+      advance st 4;
+      skip_until st "-->" "comment";
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      advance st 2;
+      skip_until st "?>" "processing instruction";
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      advance st 9;
+      let depth = ref 0 and finished = ref false in
+      while not !finished do
+        match peek st with
+        | None -> fail st "unterminated DOCTYPE"
+        | Some '[' -> incr depth; advance st 1
+        | Some ']' -> decr depth; advance st 1
+        | Some '>' when !depth = 0 ->
+          advance st 1;
+          finished := true
+        | Some _ -> advance st 1
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let read_cdata st out =
+  advance st 9 (* <![CDATA[ *);
+  let rec loop () =
+    ensure st 3;
+    if looking_at st "]]>" then advance st 3
+    else
+      match peek st with
+      | None -> fail st "unterminated CDATA section"
+      | Some c ->
+        Buffer.add_char out c;
+        advance st 1;
+        loop ()
+  in
+  loop ()
+
+(* One element, recursively; [emit] receives the event stream. *)
+let rec parse_element st emit =
+  (* at '<' *)
+  advance st 1;
+  let tag = parse_name st in
+  emit (Start_element tag);
+  let rec attrs () =
+    skip_spaces st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_spaces st;
+      if peek st <> Some '=' then fail st "expected '='";
+      advance st 1;
+      skip_spaces st;
+      emit (Attribute (name, parse_quoted st));
+      attrs ()
+    | Some _ | None -> ()
+  in
+  attrs ();
+  if looking_at st "/>" then begin
+    advance st 2;
+    emit (End_element tag)
+  end
+  else begin
+    if peek st <> Some '>' then fail st "expected '>'";
+    advance st 1;
+    content st emit tag
+  end
+
+and content st emit parent =
+  let text = Buffer.create 16 in
+  let saw_element = ref false in
+  let flush_text () =
+    let s = Buffer.contents text in
+    Buffer.clear text;
+    if String.trim s <> "" then begin
+      if !saw_element then fail st (Printf.sprintf "mixed content under <%s>" parent);
+      emit (Text s)
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> fail st (Printf.sprintf "unterminated element <%s>" parent)
+    | Some '<' ->
+      if looking_at st "</" then begin
+        flush_text ();
+        advance st 2;
+        let close = parse_name st in
+        skip_spaces st;
+        if peek st <> Some '>' then fail st "expected '>'";
+        advance st 1;
+        if close <> parent then
+          fail st (Printf.sprintf "mismatched </%s> for <%s>" close parent);
+        emit (End_element parent)
+      end
+      else if looking_at st "<![CDATA[" then begin
+        read_cdata st text;
+        loop ()
+      end
+      else if looking_at st "<!--" || looking_at st "<?" then begin
+        skip_misc st;
+        loop ()
+      end
+      else begin
+        (* Child element: text before it must be insignificant. *)
+        if String.trim (Buffer.contents text) <> "" then
+          fail st (Printf.sprintf "mixed content under <%s>" parent);
+        Buffer.clear text;
+        saw_element := true;
+        parse_element st emit;
+        loop ()
+      end
+    | Some '&' ->
+      advance st 1;
+      Buffer.add_string text (decode_entity st);
+      loop ()
+    | Some c ->
+      Buffer.add_char text c;
+      advance st 1;
+      loop ()
+  in
+  loop ()
+
+let run st emit =
+  skip_misc st;
+  skip_spaces st;
+  if peek st <> Some '<' then fail st "expected a root element";
+  parse_element st emit;
+  skip_misc st;
+  skip_spaces st;
+  if peek st <> None then fail st "trailing content after root element"
+
+let parse s emit = run (of_string s) emit
+
+let parse_channel ?(chunk_bytes = 65_536) ic emit =
+  run (of_channel ~chunk_bytes ic) emit
+
+(* --- Consumers ----------------------------------------------------- *)
+
+let tree_of_events produce =
+  (* Stack of (tag, reversed children); attributes become "@" leaves. *)
+  let stack = ref [] in
+  let result = ref None in
+  let push_child child =
+    match !stack with
+    | (tag, children) :: rest -> stack := (tag, child :: children) :: rest
+    | [] -> result := Some child
+  in
+  produce (fun event ->
+      match event with
+      | Start_element tag -> stack := (tag, []) :: !stack
+      | Attribute (name, v) -> push_child (Tree.attribute name v)
+      | Text v ->
+        (* Text may follow attribute leaves (e.g. a decoy-salted leaf
+           element) but never a child element. *)
+        (match !stack with
+         | (tag, children) :: rest
+           when List.for_all
+                  (function
+                    | Tree.Element (t, [ Tree.Text _ ]) -> Tree.is_attribute_tag t
+                    | Tree.Element _ | Tree.Text _ -> false)
+                  children ->
+           stack := (tag, Tree.Text v :: children) :: rest
+         | _ -> invalid_arg "Sax.tree_of_events: text event out of place")
+      | End_element _ ->
+        (match !stack with
+         | (tag, children) :: rest ->
+           stack := rest;
+           push_child (Tree.Element (tag, List.rev children))
+         | [] -> invalid_arg "Sax.tree_of_events: unbalanced end event"));
+  match !result, !stack with
+  | Some tree, [] -> tree
+  | _ -> invalid_arg "Sax.tree_of_events: incomplete event stream"
+
+let census s =
+  let counts = Hashtbl.create 64 in
+  let bump tag =
+    Hashtbl.replace counts tag (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag))
+  in
+  parse s (fun event ->
+      match event with
+      | Start_element tag -> bump tag
+      | Attribute (name, _) -> bump ("@" ^ name)
+      | Text _ | End_element _ -> ());
+  Hashtbl.fold (fun tag c acc -> (tag, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

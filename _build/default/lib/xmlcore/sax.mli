@@ -1,0 +1,38 @@
+(** Streaming (SAX-style) XML parsing.
+
+    Emits events instead of building a tree, so arbitrarily large
+    documents can be scanned in constant memory — census-style passes
+    (tag statistics, schema inference, size estimation) do not need the
+    indexed document at all.  {!parse_channel} reads incrementally from
+    a channel in fixed-size chunks.
+
+    The accepted language matches {!Parser} (same element/attribute/
+    entity/CDATA/comment handling, attributes as ["@"]-tagged leaf
+    events), and the tree builders are verified against it in the test
+    suite. *)
+
+type event =
+  | Start_element of string   (** opening tag *)
+  | Attribute of string * string  (** name (without ["@"]), value *)
+  | Text of string            (** significant (non-whitespace) text *)
+  | End_element of string     (** closing tag (also after self-closing) *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> (event -> unit) -> unit
+(** Stream a complete document from a string.
+    @raise Parse_error on malformed input (including mixed content). *)
+
+val parse_channel : ?chunk_bytes:int -> in_channel -> (event -> unit) -> unit
+(** Stream from a channel, reading [chunk_bytes] (default 64 KiB) at a
+    time. *)
+
+val tree_of_events : ((event -> unit) -> unit) -> Tree.t
+(** Drive a producer and rebuild the tree — the bridge used to check
+    SAX against the DOM parser: [tree_of_events (parse s)] equals
+    [Parser.parse s]. *)
+
+val census : string -> (string * int) list
+(** One-pass tag census over a serialized document, sorted by tag —
+    equivalent to [Stats.tag_census (Parser.parse_doc s)] without
+    building anything. *)

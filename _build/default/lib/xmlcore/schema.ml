@@ -1,0 +1,108 @@
+type element_shape = {
+  tag : string;
+  child_tags : string list;
+  min_children : int;
+  max_children : int;
+  is_leaf : bool;
+  leaf_domain : string list;
+}
+
+type t = {
+  shapes : (string, element_shape) Hashtbl.t;
+  root : string;
+}
+
+let shape t tag = Hashtbl.find_opt t.shapes tag
+
+let tags t =
+  Hashtbl.fold (fun tag _ acc -> tag :: acc) t.shapes [] |> List.sort String.compare
+
+let root_tag t = t.root
+
+let infer doc =
+  let acc = Hashtbl.create 32 in
+  let update tag ~children ~value =
+    let child_count = List.length children in
+    let prev =
+      Option.value
+        ~default:
+          { tag;
+            child_tags = [];
+            min_children = max_int;
+            max_children = 0;
+            is_leaf = false;
+            leaf_domain = [] }
+        (Hashtbl.find_opt acc tag)
+    in
+    let child_tags =
+      List.sort_uniq String.compare (children @ prev.child_tags)
+    in
+    let leaf_domain =
+      match value with
+      | Some v -> List.sort_uniq String.compare (v :: prev.leaf_domain)
+      | None -> prev.leaf_domain
+    in
+    Hashtbl.replace acc tag
+      { tag;
+        child_tags;
+        min_children = min prev.min_children child_count;
+        max_children = max prev.max_children child_count;
+        is_leaf = prev.is_leaf || value <> None;
+        leaf_domain }
+  in
+  Doc.iter doc (fun n ->
+      update (Doc.tag doc n)
+        ~children:(List.map (Doc.tag doc) (Doc.children doc n))
+        ~value:(Doc.value doc n));
+  { shapes = acc; root = Doc.tag doc (Doc.root doc) }
+
+let conforms doc t =
+  let exception Violation of string in
+  let check n =
+    let tag = Doc.tag doc n in
+    match Hashtbl.find_opt t.shapes tag with
+    | None -> raise (Violation (Printf.sprintf "unknown tag %s" tag))
+    | Some shape ->
+      let children = Doc.children doc n in
+      let count = List.length children in
+      if count < shape.min_children || count > shape.max_children then
+        raise
+          (Violation
+             (Printf.sprintf "%s has %d children (allowed %d..%d)" tag count
+                shape.min_children shape.max_children));
+      List.iter
+        (fun c ->
+          let ct = Doc.tag doc c in
+          if not (List.mem ct shape.child_tags) then
+            raise (Violation (Printf.sprintf "%s may not contain %s" tag ct)))
+        children;
+      (match Doc.value doc n with
+       | None -> ()
+       | Some v ->
+         if not shape.is_leaf then
+           raise (Violation (Printf.sprintf "%s is not a leaf tag" tag));
+         if not (List.mem v shape.leaf_domain) then
+           raise
+             (Violation (Printf.sprintf "%s value %S outside the domain" tag v)))
+  in
+  if Doc.tag doc (Doc.root doc) <> t.root then
+    Error (Printf.sprintf "root is %s, expected %s" (Doc.tag doc (Doc.root doc)) t.root)
+  else
+    match Doc.iter doc check with
+    | () -> Ok ()
+    | exception Violation msg -> Error msg
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>root: %s@," t.root;
+  List.iter
+    (fun tag ->
+      match shape t tag with
+      | None -> ()
+      | Some s ->
+        Format.fprintf fmt "%s: children {%s} x%d..%d%s@," s.tag
+          (String.concat "," s.child_tags) s.min_children s.max_children
+          (if s.is_leaf then
+             Printf.sprintf "; leaf domain of %d values" (List.length s.leaf_domain)
+           else ""))
+    (tags t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,36 @@
+(** Lightweight schema summaries inferred from documents.
+
+    The security definitions quantify over candidate databases "with
+    the same schema"; this module gives that notion teeth: {!infer}
+    summarises a document's structure (per-tag child sets, occurrence
+    bounds, leaf domains) and {!conforms} checks a candidate against
+    it.  The candidate enumerator of the secure library only emits
+    documents that conform. *)
+
+type element_shape = {
+  tag : string;
+  child_tags : string list;          (** tags observed as children, sorted *)
+  min_children : int;
+  max_children : int;
+  is_leaf : bool;                    (** carries text in some occurrence *)
+  leaf_domain : string list;         (** distinct observed values, sorted *)
+}
+
+type t
+
+val infer : Doc.t -> t
+(** Summarise every tag of the document. *)
+
+val shape : t -> string -> element_shape option
+
+val tags : t -> string list
+(** All tags, sorted. *)
+
+val root_tag : t -> string
+
+val conforms : Doc.t -> t -> (unit, string) result
+(** Every node's tag is known, its children use allowed child tags
+    within the observed occurrence bounds, and leaf values come from
+    the observed domain.  [Error] describes the first violation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type histogram = (string * int) list
+
+let histogram_of_values values =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    values;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let leaf_tags doc =
+  let tags = Hashtbl.create 64 in
+  Doc.iter doc (fun n -> if Doc.is_leaf doc n then Hashtbl.replace tags (Doc.tag doc n) ());
+  Hashtbl.fold (fun tag () acc -> tag :: acc) tags [] |> List.sort String.compare
+
+let value_histogram doc ~tag =
+  let values =
+    List.filter_map (fun n -> Doc.value doc n) (Doc.nodes_with_tag doc tag)
+  in
+  histogram_of_values values
+
+let all_histograms doc =
+  List.map (fun tag -> tag, value_histogram doc ~tag) (leaf_tags doc)
+
+let tag_census doc =
+  let counts = Hashtbl.create 64 in
+  Doc.iter doc (fun n ->
+      let tag = Doc.tag doc n in
+      Hashtbl.replace counts tag (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag)));
+  Hashtbl.fold (fun tag c acc -> (tag, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let distinct_count h = List.length h
+
+let total_count h = List.fold_left (fun acc (_, c) -> acc + c) 0 h
+
+let flatness = function
+  | [] -> 1.0
+  | (_, c0) :: rest ->
+    let mn, mx =
+      List.fold_left (fun (mn, mx) (_, c) -> min mn c, max mx c) (c0, c0) rest
+    in
+    float_of_int mn /. float_of_int mx
+
+let pp_histogram fmt h =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (v, c) -> Format.fprintf fmt "%-20s %d@," v c) h;
+  Format.fprintf fmt "@]"

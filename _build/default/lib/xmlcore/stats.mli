@@ -1,0 +1,32 @@
+(** Document statistics.
+
+    The attacker of Section 3.3 knows, for each attribute (leaf element
+    tag or attribute name), the exact multiset of values — i.e. the
+    frequency histogram this module computes.  The same histograms feed
+    OPESS (which must flatten them) and the attack simulators (which try
+    to exploit them). *)
+
+type histogram = (string * int) list
+(** Distinct values with occurrence counts, sorted by value. *)
+
+val leaf_tags : Doc.t -> string list
+(** Distinct tags that carry text values, sorted. *)
+
+val value_histogram : Doc.t -> tag:string -> histogram
+(** Frequency histogram of the values under leaf nodes tagged [tag]. *)
+
+val all_histograms : Doc.t -> (string * histogram) list
+(** [(tag, histogram)] for every leaf tag, sorted by tag. *)
+
+val tag_census : Doc.t -> (string * int) list
+(** Count of nodes per tag, sorted by tag. *)
+
+val distinct_count : histogram -> int
+val total_count : histogram -> int
+
+val flatness : histogram -> float
+(** Ratio (min count / max count) over the histogram's entries; 1.0 is
+    perfectly flat, values near 0 are highly skewed.  Empty histograms
+    are flat by convention. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit

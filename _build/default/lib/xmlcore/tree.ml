@@ -1,0 +1,52 @@
+type t =
+  | Element of string * t list
+  | Text of string
+
+let element tag children = Element (tag, children)
+
+let leaf tag v = Element (tag, [ Text v ])
+
+let attribute name v = leaf ("@" ^ name) v
+
+let is_attribute_tag tag = String.length tag > 0 && tag.[0] = '@'
+
+let tag = function
+  | Element (tag, _) -> Some tag
+  | Text _ -> None
+
+let rec node_count = function
+  | Text _ -> 1
+  | Element (_, children) -> 1 + List.fold_left (fun acc c -> acc + node_count c) 0 children
+
+let rec depth = function
+  | Text _ -> 0
+  | Element (_, children) ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec equal a b =
+  match a, b with
+  | Text x, Text y -> String.equal x y
+  | Element (ta, ca), Element (tb, cb) ->
+    String.equal ta tb && List.length ca = List.length cb && List.for_all2 equal ca cb
+  | Text _, Element _ | Element _, Text _ -> false
+
+let rec fold f acc t =
+  let acc = f acc t in
+  match t with
+  | Text _ -> acc
+  | Element (_, children) -> List.fold_left (fold f) acc children
+
+let leaf_values t =
+  let collect acc node =
+    match node with
+    | Element (tag, [ Text v ]) -> (tag, v) :: acc
+    | Element _ | Text _ -> acc
+  in
+  List.rev (fold collect [] t)
+
+let rec pp fmt = function
+  | Text v -> Format.fprintf fmt "%S" v
+  | Element (tag, children) ->
+    Format.fprintf fmt "@[<hov 1><%s%a>@]" tag
+      (fun fmt cs -> List.iter (fun c -> Format.fprintf fmt "@ %a" pp c) cs)
+      children

@@ -1,0 +1,50 @@
+(** Pure XML tree values.
+
+    This is the construction-time representation: immutable, no node
+    identity.  {!Doc} turns a tree into an indexed document with node
+    ids, parent links and preorder positions.
+
+    Following the paper (footnote 1, Section 4.1) data values appear
+    only at leaves and there is no mixed content: an element has either
+    child elements or a single text value, never both.  Attributes are
+    modelled as leaf children tagged with a ["@"]-prefixed name, which
+    is how the paper's example (Figure 2) treats [@coverage]. *)
+
+type t =
+  | Element of string * t list  (** [Element (tag, children)] *)
+  | Text of string              (** Leaf data value *)
+
+val element : string -> t list -> t
+(** [element tag children] builds an element node. *)
+
+val leaf : string -> string -> t
+(** [leaf tag v] is an element with a single text child:
+    [Element (tag, [Text v])]. *)
+
+val attribute : string -> string -> t
+(** [attribute name v] is [leaf ("@" ^ name) v]. *)
+
+val is_attribute_tag : string -> bool
+(** [is_attribute_tag tag] tests for the ["@"] prefix. *)
+
+val tag : t -> string option
+(** Tag of an element, [None] for text. *)
+
+val node_count : t -> int
+(** Number of nodes (elements and text leaves) in the tree. *)
+
+val depth : t -> int
+(** Height of the tree: a single element has depth 1, text adds none. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over every subtree (including text leaves). *)
+
+val leaf_values : t -> (string * string) list
+(** [(tag, value)] for every leaf element/attribute, in document order.
+    The tag is that of the immediate parent element of the text. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug pretty-printer (single line). *)

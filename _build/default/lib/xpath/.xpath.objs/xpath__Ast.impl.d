@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Buffer Format Hashtbl List String

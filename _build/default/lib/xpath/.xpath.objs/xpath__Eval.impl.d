@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Hashtbl List Nav Option String Xmlcore

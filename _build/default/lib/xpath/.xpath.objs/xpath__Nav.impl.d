@@ -1,0 +1,1 @@
+lib/xpath/nav.ml: Int List Xmlcore

@@ -1,0 +1,174 @@
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type node_test =
+  | Tag of string
+  | Wildcard
+
+type axis =
+  | Child
+  | Descendant_or_self
+  | Parent
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+type predicate =
+  | Exists of path
+  | Compare of path * op * string
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+and step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+}
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+let self_path = { absolute = false; steps = [] }
+
+let step ?(predicates = []) axis test = { axis; test; predicates }
+
+let path ~absolute steps = { absolute; steps }
+
+let op_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec equal_path a b =
+  a.absolute = b.absolute
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 equal_step a.steps b.steps
+
+and equal_step a b =
+  a.axis = b.axis && a.test = b.test
+  && List.length a.predicates = List.length b.predicates
+  && List.for_all2 equal_predicate a.predicates b.predicates
+
+and equal_predicate a b =
+  match a, b with
+  | Exists p, Exists q -> equal_path p q
+  | Compare (p, op1, v1), Compare (q, op2, v2) ->
+    equal_path p q && op1 = op2 && String.equal v1 v2
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+    equal_predicate a1 b1 && equal_predicate a2 b2
+  | Not a, Not b -> equal_predicate a b
+  | (Exists _ | Compare _ | And _ | Or _ | Not _), _ -> false
+
+let needs_quoting v =
+  v = "" || not (String.for_all (function '0' .. '9' | '.' | '-' -> true | _ -> false) v)
+
+let rec path_to_buffer out p =
+  if p.steps = [] && not p.absolute then Buffer.add_char out '.'
+  else
+    List.iteri
+      (fun i s ->
+        let separator =
+          match s.axis with
+          | Child | Parent | Following_sibling | Preceding_sibling | Following
+          | Preceding ->
+            "/"
+          | Descendant_or_self -> "//"
+        in
+        (* A leading child step of a relative path has no separator. *)
+        if p.absolute || i > 0 || s.axis = Descendant_or_self then
+          Buffer.add_string out separator;
+        (match s.axis, s.test with
+         | Parent, Wildcard -> Buffer.add_string out ".."
+         | Parent, Tag tag -> Buffer.add_string out ("parent::" ^ tag)
+         | Following_sibling, Tag tag ->
+           Buffer.add_string out ("following-sibling::" ^ tag)
+         | Following_sibling, Wildcard ->
+           Buffer.add_string out "following-sibling::*"
+         | Preceding_sibling, Tag tag ->
+           Buffer.add_string out ("preceding-sibling::" ^ tag)
+         | Preceding_sibling, Wildcard ->
+           Buffer.add_string out "preceding-sibling::*"
+         | Following, Tag tag -> Buffer.add_string out ("following::" ^ tag)
+         | Following, Wildcard -> Buffer.add_string out "following::*"
+         | Preceding, Tag tag -> Buffer.add_string out ("preceding::" ^ tag)
+         | Preceding, Wildcard -> Buffer.add_string out "preceding::*"
+         | (Child | Descendant_or_self), Tag tag -> Buffer.add_string out tag
+         | (Child | Descendant_or_self), Wildcard -> Buffer.add_char out '*');
+        List.iter
+          (fun pred ->
+            Buffer.add_char out '[';
+            predicate_to_buffer out pred;
+            Buffer.add_char out ']')
+          s.predicates)
+      p.steps
+
+and predicate_to_buffer out = function
+  | Exists q -> path_to_buffer out q
+  | Compare (q, op, v) ->
+    path_to_buffer out q;
+    Buffer.add_string out (op_to_string op);
+    if needs_quoting v then begin
+      Buffer.add_char out '\'';
+      Buffer.add_string out v;
+      Buffer.add_char out '\''
+    end
+    else Buffer.add_string out v
+  | And (a, b) ->
+    predicate_operand out a;
+    Buffer.add_string out " and ";
+    predicate_operand out b
+  | Or (a, b) ->
+    predicate_operand out a;
+    Buffer.add_string out " or ";
+    predicate_operand out b
+  | Not a ->
+    Buffer.add_string out "not(";
+    predicate_to_buffer out a;
+    Buffer.add_char out ')'
+
+(* Parenthesise compound operands so the rendering re-parses with the
+   same associativity. *)
+and predicate_operand out pred =
+  match pred with
+  | And _ | Or _ ->
+    Buffer.add_char out '(';
+    predicate_to_buffer out pred;
+    Buffer.add_char out ')'
+  | Exists _ | Compare _ | Not _ -> predicate_to_buffer out pred
+
+let to_string p =
+  let out = Buffer.create 32 in
+  path_to_buffer out p;
+  Buffer.contents out
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let tags_of_path p =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let add tag =
+    if not (Hashtbl.mem seen tag) then begin
+      Hashtbl.add seen tag ();
+      order := tag :: !order
+    end
+  in
+  let rec walk_path p = List.iter walk_step p.steps
+  and walk_step s =
+    (match s.test with Tag tag -> add tag | Wildcard -> ());
+    List.iter walk_predicate s.predicates
+  and walk_predicate = function
+    | Exists q -> walk_path q
+    | Compare (q, _, _) -> walk_path q
+    | And (a, b) | Or (a, b) ->
+      walk_predicate a;
+      walk_predicate b
+    | Not a -> walk_predicate a
+  in
+  walk_path p;
+  List.rev !order

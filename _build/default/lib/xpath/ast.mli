@@ -1,0 +1,69 @@
+(** Abstract syntax for the XPath fragment used by the paper.
+
+    The fragment covers everything appearing in the paper's security
+    constraints and experiment queries:
+    - absolute and relative location paths,
+    - [child] ([/]) and [descendant-or-self] ([//]) axes,
+    - name tests, the [*] wildcard, and attribute tests ([@name] — in
+      our data model attributes are ["@"]-prefixed leaf children, so an
+      attribute test is a child-axis name test on ["@name"]),
+    - existence predicates [\[p\]] and comparison predicates
+      [\[p op literal\]] with [op] one of [=, !=, <, <=, >, >=], where
+      [p] may be [.] (the context node itself). *)
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type node_test =
+  | Tag of string   (** name test; attribute tests use the ["@"] prefix *)
+  | Wildcard        (** [*] — any element (not attributes) *)
+
+type axis =
+  | Child                (** [/] *)
+  | Descendant_or_self   (** [//] *)
+  | Parent               (** [..] or [parent::t] *)
+  | Following_sibling    (** [following-sibling::t] — Section 5.1 names this
+                             axis as efficiently computable on DSI intervals *)
+  | Preceding_sibling    (** [preceding-sibling::t] *)
+  | Following            (** [following::t] — after the context subtree *)
+  | Preceding            (** [preceding::t] — before the context, excluding
+                             ancestors *)
+
+type predicate =
+  | Exists of path                  (** [\[p\]] *)
+  | Compare of path * op * string   (** [\[p op literal\]]; empty relative
+                                        path means [.] *)
+  | And of predicate * predicate    (** [\[a and b\]] *)
+  | Or of predicate * predicate     (** [\[a or b\]] *)
+  | Not of predicate                (** [\[not(a)\]] *)
+
+and step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+}
+
+and path = {
+  absolute : bool;   (** true when rooted at the document root *)
+  steps : step list;
+}
+
+val self_path : path
+(** The relative path [.] (no steps). *)
+
+val step : ?predicates:predicate list -> axis -> node_test -> step
+
+val path : absolute:bool -> step list -> path
+
+val equal_path : path -> path -> bool
+
+val op_to_string : op -> string
+
+val to_string : path -> string
+(** Render back to XPath surface syntax (parseable by {!Parser}). *)
+
+val pp : Format.formatter -> path -> unit
+
+val tags_of_path : path -> string list
+(** Every tag mentioned in the path including inside predicates,
+    without duplicates, in first-appearance order.  Used by the scheme
+    constructor and the query translator. *)

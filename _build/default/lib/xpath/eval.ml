@@ -1,0 +1,123 @@
+let compare_values v op literal =
+  let result =
+    match float_of_string_opt v, float_of_string_opt literal with
+    | Some a, Some b -> compare a b
+    | Some _, None | None, Some _ | None, None -> String.compare v literal
+  in
+  match op with
+  | Ast.Eq -> result = 0
+  | Ast.Neq -> result <> 0
+  | Ast.Lt -> result < 0
+  | Ast.Le -> result <= 0
+  | Ast.Gt -> result > 0
+  | Ast.Ge -> result >= 0
+
+module Make (N : Nav.S) = struct
+  let test_matches doc node = function
+    | Ast.Tag tag -> String.equal (N.tag doc node) tag
+    | Ast.Wildcard -> not (Xmlcore.Tree.is_attribute_tag (N.tag doc node))
+
+  let sort_unique nodes = List.sort_uniq N.compare_node nodes
+
+  (* [None] origin is the virtual document node of an absolute path:
+     its only child is the root, its descendants are all nodes. *)
+  let preceding_siblings doc n =
+    match N.parent doc n with
+    | None -> []
+    | Some p ->
+      let rec before = function
+        | [] -> []
+        | c :: rest -> if N.compare_node c n = 0 then [] else c :: before rest
+      in
+      before (N.children doc p)
+
+  let ancestors doc n =
+    let rec up acc m =
+      match N.parent doc m with
+      | None -> acc
+      | Some p -> up (p :: acc) p
+    in
+    up [] n
+
+  (* Nodes strictly after the context's subtree / strictly before the
+     context excluding its ancestors (standard XPath semantics). *)
+  let following doc n =
+    let in_subtree = Hashtbl.create 64 in
+    List.iter (fun d -> Hashtbl.replace in_subtree d ()) (N.descendants doc n);
+    List.filter
+      (fun m -> N.compare_node m n > 0 && not (Hashtbl.mem in_subtree m))
+      (N.all_nodes doc)
+
+  let preceding doc n =
+    let ancestor_set = Hashtbl.create 16 in
+    List.iter (fun a -> Hashtbl.replace ancestor_set a ()) (ancestors doc n);
+    List.filter
+      (fun m -> N.compare_node m n < 0 && not (Hashtbl.mem ancestor_set m))
+      (N.all_nodes doc)
+
+  let axis_candidates doc origin axis =
+    match origin, axis with
+    | None, Ast.Child -> [ N.root doc ]
+    | None, Ast.Descendant_or_self -> N.all_nodes doc
+    | None, (Ast.Parent | Ast.Following_sibling | Ast.Preceding_sibling
+            | Ast.Following | Ast.Preceding) ->
+      []
+    | Some n, Ast.Child -> N.children doc n
+    | Some n, Ast.Descendant_or_self -> N.descendants doc n
+    | Some n, Ast.Parent -> Option.to_list (N.parent doc n)
+    | Some n, Ast.Following_sibling -> N.following_siblings doc n
+    | Some n, Ast.Preceding_sibling -> preceding_siblings doc n
+    | Some n, Ast.Following -> following doc n
+    | Some n, Ast.Preceding -> preceding doc n
+
+  let rec eval_steps doc origins steps =
+    match steps with
+    | [] -> sort_unique (List.filter_map (fun o -> o) origins)
+    | step :: rest ->
+      let selected =
+        List.concat_map
+          (fun origin ->
+            List.filter
+              (fun candidate ->
+                test_matches doc candidate step.Ast.test
+                && List.for_all (predicate_holds doc candidate) step.Ast.predicates)
+              (axis_candidates doc origin step.Ast.axis))
+          origins
+      in
+      eval_steps doc (List.map (fun n -> Some n) (sort_unique selected)) rest
+
+  and predicate_holds doc node = function
+    | Ast.And (a, b) -> predicate_holds doc node a && predicate_holds doc node b
+    | Ast.Or (a, b) -> predicate_holds doc node a || predicate_holds doc node b
+    | Ast.Not a -> not (predicate_holds doc node a)
+    | Ast.Exists p -> eval_steps doc [ Some node ] p.Ast.steps <> []
+    | Ast.Compare (p, op, literal) ->
+      let targets =
+        if p.Ast.steps = [] then [ node ] else eval_steps doc [ Some node ] p.Ast.steps
+      in
+      List.exists
+        (fun m ->
+          match N.value doc m with
+          | Some v -> compare_values v op literal
+          | None -> false)
+        targets
+
+  let eval_from doc context p =
+    if p.Ast.absolute then eval_steps doc [ None ] p.Ast.steps
+    else eval_steps doc (List.map (fun n -> Some n) context) p.Ast.steps
+
+  let eval doc p =
+    if p.Ast.absolute then eval_steps doc [ None ] p.Ast.steps
+    else eval_steps doc [ Some (N.root doc) ] p.Ast.steps
+
+  let matches doc p = eval doc p <> []
+
+  let eval_union doc paths = sort_unique (List.concat_map (eval doc) paths)
+end
+
+module Plain = Make (Nav.Doc_nav)
+
+let eval = Plain.eval
+let eval_from = Plain.eval_from
+let matches = Plain.matches
+let eval_union = Plain.eval_union

@@ -1,0 +1,56 @@
+(** Navigation interface the evaluator is parameterised over.
+
+    {!Xmlcore.Doc} is the canonical instance; the secure client adds a
+    composite instance that stitches the public skeleton together with
+    decrypted blocks without materialising a combined document. *)
+
+module type S = sig
+  type doc
+  type node
+
+  val root : doc -> node
+  val children : doc -> node -> node list
+  (** Child elements in document order. *)
+
+  val descendants : doc -> node -> node list
+  (** Proper descendants in document order. *)
+
+  val parent : doc -> node -> node option
+  (** [None] for the root. *)
+
+  val following_siblings : doc -> node -> node list
+  (** Siblings strictly after the node, in document order. *)
+
+  val all_nodes : doc -> node list
+  (** Every node in document order (for absolute [//] steps). *)
+
+  val tag : doc -> node -> string
+  val value : doc -> node -> string option
+
+  val compare_node : node -> node -> int
+  (** Document order; used for sorting and deduplication. *)
+end
+
+module Doc_nav = struct
+  type doc = Xmlcore.Doc.t
+  type node = Xmlcore.Doc.node
+
+  let root = Xmlcore.Doc.root
+  let children = Xmlcore.Doc.children
+  let descendants = Xmlcore.Doc.descendants
+  let parent = Xmlcore.Doc.parent
+  let all_nodes doc = List.init (Xmlcore.Doc.node_count doc) (fun i -> i)
+  let tag = Xmlcore.Doc.tag
+  let value = Xmlcore.Doc.value
+  let compare_node = Int.compare
+
+  let following_siblings doc n =
+    match Xmlcore.Doc.parent doc n with
+    | None -> []
+    | Some p ->
+      let rec after = function
+        | [] -> []
+        | c :: rest -> if c = n then rest else after rest
+      in
+      after (Xmlcore.Doc.children doc p)
+end

@@ -1,0 +1,291 @@
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_spaces st =
+  while (match peek st with Some (' ' | '\t' | '\n') -> true | _ -> false) do
+    advance st 1
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' | '#' -> true | _ -> false)
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+   | Some c when is_name_start c -> advance st 1
+   | _ -> fail st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st 1
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_nametest st =
+  match peek st with
+  | Some '*' -> advance st 1; Ast.Wildcard
+  | Some '@' -> advance st 1; Ast.Tag ("@" ^ parse_name st)
+  | Some c when is_name_start c -> Ast.Tag (parse_name st)
+  | Some _ | None -> fail st "expected a name test"
+
+let parse_literal st =
+  skip_spaces st;
+  match peek st with
+  | Some (('\'' | '"') as quote) ->
+    advance st 1;
+    let close =
+      match String.index_from_opt st.input st.pos quote with
+      | Some i -> i
+      | None -> fail st "unterminated string literal"
+    in
+    let v = String.sub st.input st.pos (close - st.pos) in
+    st.pos <- close + 1;
+    v
+  | Some ('0' .. '9' | '-') ->
+    let start = st.pos in
+    if peek st = Some '-' then advance st 1;
+    while (match peek st with Some ('0' .. '9' | '.') -> true | _ -> false) do
+      advance st 1
+    done;
+    if st.pos = start then fail st "expected a literal";
+    String.sub st.input start (st.pos - start)
+  | Some _ | None -> fail st "expected a literal"
+
+let parse_op st =
+  skip_spaces st;
+  if looking_at st "!=" then begin advance st 2; Some Ast.Neq end
+  else if looking_at st "<=" then begin advance st 2; Some Ast.Le end
+  else if looking_at st ">=" then begin advance st 2; Some Ast.Ge end
+  else if looking_at st "=" then begin advance st 1; Some Ast.Eq end
+  else if looking_at st "<" then begin advance st 1; Some Ast.Lt end
+  else if looking_at st ">" then begin advance st 1; Some Ast.Gt end
+  else None
+
+(* Steps of a path after its leading separator handling.  [first_axis]
+   is the axis of the first step.  Explicit axes ([..], [parent::],
+   [following-sibling::]) are only reachable through a single slash. *)
+let rec parse_steps st first_axis =
+  let parse_one_step axis =
+    if looking_at st ".." then begin
+      if axis <> Ast.Child then fail st "'..' must follow a single '/'";
+      advance st 2;
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Parent Ast.Wildcard
+    end
+    else if looking_at st "parent::" then begin
+      if axis <> Ast.Child then fail st "parent:: must follow a single '/'";
+      advance st 8;
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Parent test
+    end
+    else if looking_at st "following-sibling::" then begin
+      if axis <> Ast.Child then fail st "following-sibling:: must follow a single '/'";
+      advance st 19;
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Following_sibling test
+    end
+    else if looking_at st "preceding-sibling::" then begin
+      if axis <> Ast.Child then fail st "preceding-sibling:: must follow a single '/'";
+      advance st 19;
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Preceding_sibling test
+    end
+    else if looking_at st "following::" then begin
+      if axis <> Ast.Child then fail st "following:: must follow a single '/'";
+      advance st 11;
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Following test
+    end
+    else if looking_at st "preceding::" then begin
+      if axis <> Ast.Child then fail st "preceding:: must follow a single '/'";
+      advance st 11;
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates Ast.Preceding test
+    end
+    else begin
+      let test = parse_nametest st in
+      let predicates = parse_predicates st in
+      Ast.step ~predicates axis test
+    end
+  in
+  let rec loop acc axis =
+    let acc = parse_one_step axis :: acc in
+    if looking_at st "//" then begin advance st 2; loop acc Ast.Descendant_or_self end
+    else if looking_at st "/" then begin advance st 1; loop acc Ast.Child end
+    else List.rev acc
+  in
+  loop [] first_axis
+
+and parse_predicates st =
+  let rec loop acc =
+    skip_spaces st;
+    if looking_at st "[" then begin
+      advance st 1;
+      let pred = parse_pred_or st in
+      skip_spaces st;
+      if not (looking_at st "]") then fail st "expected ']'";
+      advance st 1;
+      loop (pred :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* Boolean predicate grammar: or < and < unary; 'and'/'or' bind like
+   XPath 1.0, [not(...)] and parentheses group. *)
+and parse_pred_or st =
+  let left = parse_pred_and st in
+  skip_spaces st;
+  if at_boolean_keyword st "or" then begin
+    advance st 2;
+    Ast.Or (left, parse_pred_or st)
+  end
+  else left
+
+and parse_pred_and st =
+  let left = parse_pred_unary st in
+  skip_spaces st;
+  if at_boolean_keyword st "and" then begin
+    advance st 3;
+    Ast.And (left, parse_pred_and st)
+  end
+  else left
+
+and parse_pred_unary st =
+  skip_spaces st;
+  if at_boolean_keyword st "not" then begin
+    let saved = st.pos in
+    advance st 3;
+    skip_spaces st;
+    if looking_at st "(" then begin
+      advance st 1;
+      let inner = parse_pred_or st in
+      skip_spaces st;
+      if not (looking_at st ")") then fail st "expected ')'";
+      advance st 1;
+      Ast.Not inner
+    end
+    else begin
+      (* A tag that merely starts with "not". *)
+      st.pos <- saved;
+      parse_pred_atom st
+    end
+  end
+  else if looking_at st "(" then begin
+    advance st 1;
+    let inner = parse_pred_or st in
+    skip_spaces st;
+    if not (looking_at st ")") then fail st "expected ')'";
+    advance st 1;
+    inner
+  end
+  else parse_pred_atom st
+
+and parse_pred_atom st =
+  skip_spaces st;
+  let inner = parse_relative_path st in
+  match parse_op st with
+  | None -> Ast.Exists inner
+  | Some op ->
+    let literal = parse_literal st in
+    Ast.Compare (inner, op, literal)
+
+(* 'and'/'or'/'not' are keywords only when not part of a longer name;
+   'not' additionally requires a following '('. *)
+and at_boolean_keyword st kw =
+  looking_at st kw
+  && (let after = st.pos + String.length kw in
+      after >= String.length st.input
+      ||
+      match st.input.[after] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '#' -> false
+      | _ -> true)
+
+(* Relative path inside a predicate: '.', './/a', './a', 'a/b', '//a',
+   '@x' ... *)
+and parse_relative_path st =
+  skip_spaces st;
+  if looking_at st ".//" then begin
+    advance st 3;
+    Ast.path ~absolute:false (parse_steps st Ast.Descendant_or_self)
+  end
+  else if looking_at st ".." then
+    (* Leading parent step(s), e.g. [../sibling = 'x']. *)
+    Ast.path ~absolute:false (parse_steps st Ast.Child)
+  else if looking_at st "./" then begin
+    advance st 2;
+    Ast.path ~absolute:false (parse_steps st Ast.Child)
+  end
+  else if looking_at st "." then begin
+    advance st 1;
+    Ast.self_path
+  end
+  else if looking_at st "//" then begin
+    advance st 2;
+    Ast.path ~absolute:false (parse_steps st Ast.Descendant_or_self)
+  end
+  else if looking_at st "/" then begin
+    advance st 1;
+    Ast.path ~absolute:false (parse_steps st Ast.Child)
+  end
+  else Ast.path ~absolute:false (parse_steps st Ast.Child)
+
+let split_union input =
+  (* Split on '|' at depth 0, outside quotes. *)
+  let n = String.length input in
+  let parts = ref [] in
+  let start = ref 0 in
+  let depth = ref 0 in
+  let quote = ref None in
+  for i = 0 to n - 1 do
+    match !quote, input.[i] with
+    | Some q, c -> if c = q then quote := None
+    | None, (('\'' | '"') as q) -> quote := Some q
+    | None, '[' -> incr depth
+    | None, ']' -> decr depth
+    | None, '|' when !depth = 0 ->
+      parts := String.sub input !start (i - !start) :: !parts;
+      start := i + 1
+    | None, _ -> ()
+  done;
+  parts := String.sub input !start (n - !start) :: !parts;
+  List.rev !parts
+
+let parse input =
+  let st = { input; pos = 0 } in
+  skip_spaces st;
+  let result =
+    if looking_at st "//" then begin
+      advance st 2;
+      Ast.path ~absolute:true (parse_steps st Ast.Descendant_or_self)
+    end
+    else if looking_at st "/" then begin
+      advance st 1;
+      Ast.path ~absolute:true (parse_steps st Ast.Child)
+    end
+    else parse_relative_path st
+  in
+  skip_spaces st;
+  if st.pos <> String.length input then fail st "trailing input after path";
+  result
+
+let parse_union input =
+  List.map (fun branch -> parse (String.trim branch)) (split_union input)

@@ -1,0 +1,24 @@
+(** Parser for the XPath fragment of {!Ast}.
+
+    Grammar (whitespace allowed between tokens):
+    {v
+      path      ::= '.' | ['/' | '//'] step (('/' | '//') step)*
+      step      ::= nametest predicate*
+      nametest  ::= NAME | '@' NAME | '*'
+      predicate ::= '[' relpath (op literal)? ']'
+      relpath   ::= '.' ('/'|'//' step)* | step (('/'|'//') step)*
+                  | './/' step ...            (leading self-descendant)
+      op        ::= '=' | '!=' | '<' | '<=' | '>' | '>='
+      literal   ::= '\'' chars '\'' | '"' chars '"' | number
+    v} *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> Ast.path
+(** @raise Parse_error on malformed input. *)
+
+val parse_union : string -> Ast.path list
+(** [parse_union "//a | //b/c"] splits on top-level [|] (outside
+    predicates and literals) and parses each branch; a single path
+    yields a one-element list.
+    @raise Parse_error on malformed input or an empty branch. *)

@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: Buffer Format List Printf String Xpath

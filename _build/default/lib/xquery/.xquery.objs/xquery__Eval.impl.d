@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Float List Printf String Xmlcore Xpath

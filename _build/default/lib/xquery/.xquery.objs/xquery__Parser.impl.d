@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast List Printf String Xpath

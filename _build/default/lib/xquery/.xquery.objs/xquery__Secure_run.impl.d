@@ -1,0 +1,1 @@
+lib/xquery/secure_run.ml: Ast Eval List Secure Xmlcore

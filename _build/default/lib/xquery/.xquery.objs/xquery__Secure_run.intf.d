@@ -1,0 +1,1 @@
+lib/xquery/secure_run.mli: Ast Secure Xmlcore

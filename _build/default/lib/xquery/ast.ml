@@ -1,0 +1,85 @@
+type expr = {
+  var : string;
+  steps : Xpath.Ast.path option;
+}
+
+type item =
+  | Text of string
+  | Splice of expr
+  | Elem of string * item list
+
+type condition = {
+  subject : string option;
+  path : Xpath.Ast.path;
+  op : Xpath.Ast.op;
+  literal : string;
+}
+
+type order = {
+  key : Xpath.Ast.path;
+  descending : bool;
+}
+
+type t = {
+  for_var : string;
+  source : Xpath.Ast.path;
+  lets : (string * Xpath.Ast.path) list;
+  where : condition list;
+  order_by : order option;
+  return : item;
+}
+
+let expr_to_string e =
+  match e.steps with
+  | None -> "$" ^ e.var
+  | Some p -> Printf.sprintf "$%s/%s" e.var (Xpath.Ast.to_string p)
+
+let rec item_to_buffer out = function
+  | Text s -> Buffer.add_string out s
+  | Splice e ->
+    Buffer.add_char out '{';
+    Buffer.add_string out (expr_to_string e);
+    Buffer.add_char out '}'
+  | Elem (tag, items) ->
+    Buffer.add_char out '<';
+    Buffer.add_string out tag;
+    Buffer.add_char out '>';
+    List.iter (item_to_buffer out) items;
+    Buffer.add_string out "</";
+    Buffer.add_string out tag;
+    Buffer.add_char out '>'
+
+let condition_to_string c =
+  let subject =
+    match c.subject with
+    | Some v when c.path.Xpath.Ast.steps = [] -> "$" ^ v
+    | Some v -> Printf.sprintf "$%s/%s" v (Xpath.Ast.to_string c.path)
+    | None -> Xpath.Ast.to_string c.path
+  in
+  Printf.sprintf "%s %s '%s'" subject (Xpath.Ast.op_to_string c.op) c.literal
+
+let to_string t =
+  let out = Buffer.create 128 in
+  Buffer.add_string out
+    (Printf.sprintf "for $%s in %s" t.for_var (Xpath.Ast.to_string t.source));
+  List.iter
+    (fun (v, p) ->
+      Buffer.add_string out
+        (Printf.sprintf " let $%s := %s" v (Xpath.Ast.to_string p)))
+    t.lets;
+  (match t.where with
+   | [] -> ()
+   | conds ->
+     Buffer.add_string out " where ";
+     Buffer.add_string out (String.concat " and " (List.map condition_to_string conds)));
+  (match t.order_by with
+   | None -> ()
+   | Some { key; descending } ->
+     Buffer.add_string out
+       (Printf.sprintf " order by %s%s" (Xpath.Ast.to_string key)
+          (if descending then " descending" else "")));
+  Buffer.add_string out " return ";
+  item_to_buffer out t.return;
+  Buffer.contents out
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,53 @@
+(** FLWOR expressions — a compact XQuery core on top of the XPath
+    fragment (the paper uses "XPath, the core of XQuery"; this layer
+    restores the rest of the query surface a client application would
+    write).
+
+    {v
+      for $p in //patient
+      let $ins := .//insurance
+      where $p/age >= 40 and .//disease = 'flu'
+      order by $p/age descending
+      return <row>{$p/pname}{$ins//@coverage}</row>
+    v}
+
+    Restrictions (checked at evaluation time): [let], [where] and
+    [return] paths are {e relative} — they navigate downward from their
+    binding, so a secure evaluation can run them inside returned
+    blocks. *)
+
+type expr = {
+  var : string;                     (** without the [$] *)
+  steps : Xpath.Ast.path option;    (** [None] = the variable itself *)
+}
+
+type item =
+  | Text of string
+  | Splice of expr                  (** [{$v}] or [{$v/path}] *)
+  | Elem of string * item list      (** element constructor *)
+
+type condition = {
+  subject : string option;  (** [None] = the [for] variable *)
+  path : Xpath.Ast.path;    (** relative; empty = the binding itself *)
+  op : Xpath.Ast.op;
+  literal : string;
+}
+
+type order = {
+  key : Xpath.Ast.path;     (** relative to the [for] binding *)
+  descending : bool;
+}
+
+type t = {
+  for_var : string;
+  source : Xpath.Ast.path;
+  lets : (string * Xpath.Ast.path) list;
+  where : condition list;   (** conjunction *)
+  order_by : order option;
+  return : item;
+}
+
+val to_string : t -> string
+(** Render back to surface syntax. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+module X = Xpath.Ast
+
+let lookup env var =
+  match List.assoc_opt var env with
+  | Some nodes -> nodes
+  | None -> invalid_arg (Printf.sprintf "Xquery: unbound variable $%s" var)
+
+let environment doc binding (q : Ast.t) =
+  let base = [ q.Ast.for_var, [ binding ] ] in
+  List.fold_left
+    (fun env (v, path) ->
+      let bound = Xpath.Eval.eval_from doc (lookup env q.Ast.for_var) path in
+      (v, bound) :: env)
+    base q.Ast.lets
+
+let condition_holds doc env (q : Ast.t) (c : Ast.condition) =
+  let subject_nodes =
+    match c.Ast.subject with
+    | None -> lookup env q.Ast.for_var
+    | Some v -> lookup env v
+  in
+  let targets =
+    if c.Ast.path.X.steps = [] then subject_nodes
+    else Xpath.Eval.eval_from doc subject_nodes c.Ast.path
+  in
+  List.exists
+    (fun n ->
+      match Doc.value doc n with
+      | Some v -> Xpath.Eval.compare_values v c.Ast.op c.Ast.literal
+      | None -> false)
+    targets
+
+let rec instantiate doc env (item : Ast.item) : Tree.t list =
+  match item with
+  | Ast.Text s -> [ Tree.Text s ]
+  | Ast.Splice { var; steps } ->
+    let nodes = lookup env var in
+    let nodes =
+      match steps with
+      | None -> nodes
+      | Some p -> Xpath.Eval.eval_from doc nodes p
+    in
+    List.map (Doc.subtree doc) nodes
+  | Ast.Elem (tag, items) ->
+    [ Tree.element tag (List.concat_map (instantiate doc env) items) ]
+
+(* First text value at or below a node (for order keys). *)
+let rec value_of doc n =
+  match Doc.value doc n with
+  | Some v -> Some v
+  | None ->
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> value_of doc c)
+      None (Doc.children doc n)
+
+let order_key doc binding (q : Ast.t) =
+  match q.Ast.order_by with
+  | None -> None
+  | Some { key; _ } ->
+    let nodes =
+      if key.X.steps = [] then [ binding ]
+      else Xpath.Eval.eval_from doc [ binding ] key
+    in
+    List.fold_left
+      (fun acc n -> match acc with Some _ -> acc | None -> value_of doc n)
+      None nodes
+
+let eval_in_binding doc binding (q : Ast.t) =
+  let env = environment doc binding q in
+  if List.for_all (condition_holds doc env q) q.Ast.where then
+    instantiate doc env q.Ast.return
+  else []
+
+let key_compare a b =
+  match float_of_string_opt a, float_of_string_opt b with
+  | Some x, Some y -> Float.compare x y
+  | Some _, None | None, Some _ | None, None -> String.compare a b
+
+(* Sort (key, fragments) rows; keyless rows sink to the end. *)
+let sort_rows (q : Ast.t) rows =
+  match q.Ast.order_by with
+  | None -> rows
+  | Some { descending; _ } ->
+    let compare_rows (ka, _) (kb, _) =
+      match ka, kb with
+      | Some a, Some b -> if descending then key_compare b a else key_compare a b
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None -> 0
+    in
+    List.stable_sort compare_rows rows
+
+let eval doc (q : Ast.t) =
+  let bindings = Xpath.Eval.eval doc q.Ast.source in
+  let rows =
+    List.map (fun b -> order_key doc b q, eval_in_binding doc b q) bindings
+  in
+  List.concat_map snd (sort_rows q rows)
+
+let pushdown (q : Ast.t) =
+  (* Conditions over the for variable become comparison predicates on
+     the source's last step. *)
+  let pushable, _rest =
+    List.partition
+      (fun (c : Ast.condition) ->
+        match c.Ast.subject with
+        | None -> true
+        | Some v -> String.equal v q.Ast.for_var)
+      q.Ast.where
+  in
+  match List.rev q.Ast.source.X.steps with
+  | [] -> q.Ast.source
+  | last :: before ->
+    let extra =
+      List.map
+        (fun (c : Ast.condition) -> X.Compare (c.Ast.path, c.Ast.op, c.Ast.literal))
+        pushable
+    in
+    let last = { last with X.predicates = last.X.predicates @ extra } in
+    { q.Ast.source with X.steps = List.rev (last :: before) }

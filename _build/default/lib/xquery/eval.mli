@@ -1,0 +1,32 @@
+(** FLWOR evaluation.
+
+    {!eval} is the plaintext reference semantics.  {!Secure_run.evaluate}
+    (in this library) runs the same query through the hosted protocol:
+    the [for] path and every pushable [where] condition are folded into
+    one XPath query for the server ({!pushdown}), and the FLWOR clauses
+    are then re-evaluated client-side inside each returned binding —
+    sound because all clause paths are relative (navigate downward from
+    their binding). *)
+
+val eval : Xmlcore.Doc.t -> Ast.t -> Xmlcore.Tree.t list
+(** Reference semantics over a plaintext document: one result fragment
+    list, bindings in document order (or [order by] order). *)
+
+val pushdown : Ast.t -> Xpath.Ast.path
+(** The [for] source with every condition on the [for] variable turned
+    into an XPath comparison predicate.  Conditions over [let]
+    variables stay client-side. *)
+
+val eval_in_binding : Xmlcore.Doc.t -> Xmlcore.Doc.node -> Ast.t -> Xmlcore.Tree.t list
+(** Evaluate the let/where/return clauses for one binding node
+    (used both by {!eval} and by the secure path, where the binding is
+    the root of a reconstructed answer document).  Returns the
+    instantiated fragments ([] when [where] fails). *)
+
+val order_key : Xmlcore.Doc.t -> Xmlcore.Doc.node -> Ast.t -> string option
+(** The binding's [order by] key value, if any. *)
+
+val sort_rows :
+  Ast.t -> (string option * 'a) list -> (string option * 'a) list
+(** Stable [order by] sort of (key, row) pairs — numeric-aware, keyless
+    rows last; identity when the query has no [order by]. *)

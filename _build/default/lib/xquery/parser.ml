@@ -1,0 +1,343 @@
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_spaces st =
+  while (match peek st with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false) do
+    advance st 1
+  done
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+(* A keyword must be followed by a non-name character. *)
+let at_keyword st kw =
+  looking_at st kw
+  && (st.pos + String.length kw >= String.length st.input
+      ||
+      match st.input.[st.pos + String.length kw] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> false
+      | _ -> true)
+
+let expect_keyword st kw =
+  skip_spaces st;
+  if at_keyword st kw then advance st (String.length kw)
+  else fail st (Printf.sprintf "expected '%s'" kw)
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+   | Some ('a' .. 'z' | 'A' .. 'Z' | '_') -> advance st 1
+   | _ -> fail st "expected a name");
+  let continue () =
+    match peek st with
+    | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '#' | '@') -> true
+    | _ -> false
+  in
+  while continue () do
+    advance st 1
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_var st =
+  skip_spaces st;
+  if peek st <> Some '$' then fail st "expected '$'";
+  advance st 1;
+  parse_name st
+
+(* Scan forward from the current position to find where a path ends:
+   at depth 0 (outside predicates and quotes), a path ends before any
+   of the stop words, before '}', or at end of input. *)
+let path_end st ~stop_words =
+  let n = String.length st.input in
+  let rec scan i depth quote =
+    if i >= n then i
+    else
+      match quote, st.input.[i] with
+      | Some q, c -> scan (i + 1) depth (if c = q then None else quote)
+      | None, ('\'' | '"') -> scan (i + 1) depth (Some st.input.[i])
+      | None, '[' -> scan (i + 1) (depth + 1) None
+      | None, ']' -> scan (i + 1) (depth - 1) None
+      | None, '}' when depth = 0 -> i
+      | None, (' ' | '\t' | '\n' | '\r') when depth = 0 ->
+        (* Possible boundary: check for a stop word after the spaces. *)
+        let j = ref i in
+        while
+          !j < n
+          && (match st.input.[!j] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+        do
+          incr j
+        done;
+        let saved = st.pos in
+        st.pos <- !j;
+        let stops = List.exists (fun kw -> at_keyword st kw) stop_words in
+        st.pos <- saved;
+        if stops || !j >= n then i else scan !j depth None
+      | None, _ -> scan (i + 1) depth None
+  in
+  scan st.pos 0 None
+
+let parse_path st ~stop_words =
+  skip_spaces st;
+  let stop = path_end st ~stop_words in
+  let text = String.trim (String.sub st.input st.pos (stop - st.pos)) in
+  if text = "" then fail st "expected a path";
+  (match Xpath.Parser.parse text with
+   | path ->
+     st.pos <- stop;
+     path
+   | exception Xpath.Parser.Parse_error { position; message } ->
+     raise
+       (Parse_error { position = st.pos + position; message = "in path: " ^ message }))
+
+(* Relative form: strip a leading '/' meaning "from the binding". *)
+let as_relative path = { path with Xpath.Ast.absolute = false }
+
+(* [$v], [$v/relpath] or [.] / [./relpath] style expressions inside
+   braces and conditions. *)
+let parse_expr st ~stop_words ~default_var =
+  skip_spaces st;
+  if peek st = Some '$' then begin
+    let var = parse_var st in
+    if peek st = Some '/' then begin
+      advance st 1;
+      let path = as_relative (parse_path st ~stop_words) in
+      { Ast.var; steps = Some path }
+    end
+    else { Ast.var; steps = None }
+  end
+  else begin
+    let path = as_relative (parse_path st ~stop_words) in
+    { Ast.var = default_var; steps = Some path }
+  end
+
+(* Conditions: expr op literal. The xpath sub-parser would swallow the
+   comparison as a predicate-less trailing token, so locate the
+   operator first. *)
+let find_operator st =
+  let n = String.length st.input in
+  let rec scan i depth quote =
+    if i >= n then None
+    else
+      match quote, st.input.[i] with
+      | Some q, c -> scan (i + 1) depth (if c = q then None else quote)
+      | None, ('\'' | '"') -> scan (i + 1) depth (Some st.input.[i])
+      | None, '[' -> scan (i + 1) (depth + 1) None
+      | None, ']' -> scan (i + 1) (depth - 1) None
+      | None, ('=' | '<' | '>' | '!') when depth = 0 -> Some i
+      | None, _ -> scan (i + 1) depth None
+  in
+  scan st.pos 0 None
+
+let parse_condition st ~default_var =
+  skip_spaces st;
+  let op_pos =
+    match find_operator st with
+    | Some i -> i
+    | None -> fail st "expected a comparison"
+  in
+  let lhs_text = String.trim (String.sub st.input st.pos (op_pos - st.pos)) in
+  if lhs_text = "" then fail st "expected a comparison subject";
+  let subject, path =
+    if lhs_text.[0] = '$' then begin
+      (* $var or $var/relpath *)
+      match String.index_opt lhs_text '/' with
+      | None ->
+        let var = String.sub lhs_text 1 (String.length lhs_text - 1) in
+        Some var, Xpath.Ast.self_path
+      | Some slash ->
+        let var = String.sub lhs_text 1 (slash - 1) in
+        let rest = String.sub lhs_text (slash + 1) (String.length lhs_text - slash - 1) in
+        (match Xpath.Parser.parse rest with
+         | p -> Some var, as_relative p
+         | exception Xpath.Parser.Parse_error { message; _ } ->
+           fail st ("in condition path: " ^ message))
+    end
+    else
+      match Xpath.Parser.parse lhs_text with
+      | p -> None, as_relative p
+      | exception Xpath.Parser.Parse_error { message; _ } ->
+        fail st ("in condition path: " ^ message)
+  in
+  ignore default_var;
+  st.pos <- op_pos;
+  let op =
+    if looking_at st "!=" then begin advance st 2; Xpath.Ast.Neq end
+    else if looking_at st "<=" then begin advance st 2; Xpath.Ast.Le end
+    else if looking_at st ">=" then begin advance st 2; Xpath.Ast.Ge end
+    else if looking_at st "=" then begin advance st 1; Xpath.Ast.Eq end
+    else if looking_at st "<" then begin advance st 1; Xpath.Ast.Lt end
+    else if looking_at st ">" then begin advance st 1; Xpath.Ast.Gt end
+    else fail st "expected a comparison operator"
+  in
+  skip_spaces st;
+  let literal =
+    match peek st with
+    | Some (('\'' | '"') as quote) ->
+      advance st 1;
+      let close =
+        match String.index_from_opt st.input st.pos quote with
+        | Some i -> i
+        | None -> fail st "unterminated literal"
+      in
+      let v = String.sub st.input st.pos (close - st.pos) in
+      st.pos <- close + 1;
+      v
+    | Some ('0' .. '9' | '-') ->
+      let start = st.pos in
+      if peek st = Some '-' then advance st 1;
+      while (match peek st with Some ('0' .. '9' | '.') -> true | _ -> false) do
+        advance st 1
+      done;
+      String.sub st.input start (st.pos - start)
+    | Some _ | None -> fail st "expected a literal"
+  in
+  { Ast.subject; path; op; literal }
+
+(* --- Templates ----------------------------------------------------- *)
+
+let rec parse_item st ~default_var =
+  skip_spaces st;
+  if looking_at st "</" then fail st "unexpected close tag"
+  else if peek st = Some '<' then begin
+    advance st 1;
+    let tag = parse_name st in
+    skip_spaces st;
+    if peek st <> Some '>' then fail st "expected '>'";
+    advance st 1;
+    let items = ref [] in
+    let finished = ref false in
+    while not !finished do
+      skip_spaces st;
+      if looking_at st "</" then begin
+        advance st 2;
+        let close = parse_name st in
+        if close <> tag then
+          fail st (Printf.sprintf "mismatched </%s> for <%s>" close tag);
+        skip_spaces st;
+        if peek st <> Some '>' then fail st "expected '>'";
+        advance st 1;
+        finished := true
+      end
+      else if peek st = Some '<' then items := parse_item st ~default_var :: !items
+      else if peek st = Some '{' then begin
+        advance st 1;
+        let e = parse_expr st ~stop_words:[] ~default_var in
+        skip_spaces st;
+        if peek st <> Some '}' then fail st "expected '}'";
+        advance st 1;
+        items := Ast.Splice e :: !items
+      end
+      else begin
+        (* Text run until <, { or } *)
+        let start = st.pos in
+        while
+          (match peek st with
+           | Some ('<' | '{' | '}') | None -> false
+           | Some _ -> true)
+        do
+          advance st 1
+        done;
+        if st.pos = start then fail st "unterminated element constructor";
+        let text = String.trim (String.sub st.input start (st.pos - start)) in
+        if text <> "" then items := Ast.Text text :: !items
+      end
+    done;
+    Ast.Elem (tag, List.rev !items)
+  end
+  else if peek st = Some '{' then begin
+    advance st 1;
+    let e = parse_expr st ~stop_words:[] ~default_var in
+    skip_spaces st;
+    if peek st <> Some '}' then fail st "expected '}'";
+    advance st 1;
+    Ast.Splice e
+  end
+  else fail st "expected an element constructor or a splice"
+
+(* --- Whole query --------------------------------------------------- *)
+
+let clause_words = [ "let"; "where"; "order"; "return"; "and"; "descending" ]
+
+let parse input =
+  let st = { input; pos = 0 } in
+  expect_keyword st "for";
+  let for_var = parse_var st in
+  expect_keyword st "in";
+  let source = parse_path st ~stop_words:clause_words in
+  let lets = ref [] in
+  let rec parse_lets () =
+    skip_spaces st;
+    if at_keyword st "let" then begin
+      advance st 3;
+      let v = parse_var st in
+      skip_spaces st;
+      if not (looking_at st ":=") then fail st "expected ':='";
+      advance st 2;
+      let p = as_relative (parse_path st ~stop_words:clause_words) in
+      lets := (v, p) :: !lets;
+      parse_lets ()
+    end
+  in
+  parse_lets ();
+  let where = ref [] in
+  skip_spaces st;
+  if at_keyword st "where" then begin
+    advance st 5;
+    let rec conds () =
+      where := parse_condition st ~default_var:for_var :: !where;
+      skip_spaces st;
+      if at_keyword st "and" then begin
+        advance st 3;
+        conds ()
+      end
+    in
+    conds ()
+  end;
+  let order_by = ref None in
+  skip_spaces st;
+  if at_keyword st "order" then begin
+    advance st 5;
+    expect_keyword st "by";
+    skip_spaces st;
+    (* The key may be written relative to the for variable: $v/path. *)
+    let key =
+      if peek st = Some '$' then begin
+        let v = parse_var st in
+        if v <> for_var then
+          fail st (Printf.sprintf "order key must use the for variable $%s" for_var);
+        if peek st = Some '/' then begin
+          advance st 1;
+          as_relative (parse_path st ~stop_words:clause_words)
+        end
+        else Xpath.Ast.self_path
+      end
+      else as_relative (parse_path st ~stop_words:clause_words)
+    in
+    skip_spaces st;
+    let descending =
+      if at_keyword st "descending" then begin
+        advance st 10;
+        true
+      end
+      else false
+    in
+    order_by := Some { Ast.key; descending }
+  end;
+  expect_keyword st "return";
+  let return = parse_item st ~default_var:for_var in
+  skip_spaces st;
+  if st.pos <> String.length input then fail st "trailing input after return clause";
+  { Ast.for_var;
+    source;
+    lets = List.rev !lets;
+    where = List.rev !where;
+    order_by = !order_by;
+    return }

@@ -1,0 +1,18 @@
+(** Parser for the FLWOR surface syntax of {!Ast}.
+
+    {v
+      query    ::= 'for' '$'NAME 'in' xpath
+                   [ 'let' '$'NAME ':=' relpath ] ...
+                   [ 'where' cond [ 'and' cond ] ... ]
+                   [ 'order' 'by' relpath [ 'descending' ] ]
+                   'return' template
+      cond     ::= ( '$'NAME [ '/' relpath ] | relpath ) op literal
+      template ::= '<'TAG'>' body... '</'TAG'>'
+                 | '{' '$'NAME [ '/' relpath ] '}'
+      body     ::= template | text
+    v} *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> Ast.t
+(** @raise Parse_error on malformed input. *)

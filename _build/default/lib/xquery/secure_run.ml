@@ -1,0 +1,18 @@
+module Doc = Xmlcore.Doc
+
+let evaluate system (q : Ast.t) =
+  let server_query = Eval.pushdown q in
+  let bindings, cost = Secure.System.evaluate system server_query in
+  (* Each answer is one binding's subtree; re-index it and run the
+     remaining clauses from its root. *)
+  let rows =
+    List.map
+      (fun tree ->
+        let doc = Doc.of_tree tree in
+        let root = Doc.root doc in
+        Eval.order_key doc root q, Eval.eval_in_binding doc root q)
+      bindings
+  in
+  List.concat_map snd (Eval.sort_rows q rows), cost
+
+let reference system q = Eval.eval (Secure.System.doc system) q

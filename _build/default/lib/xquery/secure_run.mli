@@ -1,0 +1,16 @@
+(** FLWOR over the hosted protocol.
+
+    The [for] path plus every pushable [where] condition go to the
+    server as one translated XPath query; every returned binding
+    subtree is re-indexed client-side and the full FLWOR semantics
+    (lets, residual conditions, ordering, templates) run inside it.
+    Because every clause path is relative, the result equals
+    {!Eval.eval} on the plaintext document — tested across schemes. *)
+
+val evaluate :
+  Secure.System.t -> Ast.t -> Xmlcore.Tree.t list * Secure.System.cost
+(** Answers plus the protocol cost of the underlying XPath round
+    trip. *)
+
+val reference : Secure.System.t -> Ast.t -> Xmlcore.Tree.t list
+(** {!Eval.eval} on the plaintext document (ground truth). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Crypto Int64 List QCheck QCheck_alcotest Xmlcore

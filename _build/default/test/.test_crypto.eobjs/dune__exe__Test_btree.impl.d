@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Gen Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_composite.ml: Alcotest Crypto Helpers List QCheck QCheck_alcotest Secure String Workload Xmlcore Xpath

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Crypto Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dsi.ml: Alcotest Dsi Helpers List QCheck QCheck_alcotest Workload Xmlcore

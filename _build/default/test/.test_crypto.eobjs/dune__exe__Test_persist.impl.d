@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Bytes Char Filename Fun Helpers List Secure String Sys Workload Xpath

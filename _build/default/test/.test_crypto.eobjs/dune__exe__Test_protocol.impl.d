@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Int64 List QCheck QCheck_alcotest Secure String Workload Xpath

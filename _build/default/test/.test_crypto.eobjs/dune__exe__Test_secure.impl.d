@@ -1,0 +1,1 @@
+test/test_secure.ml: Alcotest Btree Bytes Char Crypto Float Helpers Int64 List Option Printf QCheck QCheck_alcotest Secure String Workload Xmlcore Xpath

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Dsi Helpers List Printf Secure String Workload Xmlcore Xpath

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Btree Crypto Float Hashtbl Helpers List Option Printf QCheck QCheck_alcotest Secure String Workload Xmlcore Xpath

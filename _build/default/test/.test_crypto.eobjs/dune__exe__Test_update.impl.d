@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Dsi Float Helpers List Printf QCheck QCheck_alcotest Secure Workload Xmlcore Xpath

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Crypto Hashtbl List Option Printf Secure String Workload Xmlcore Xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Bytes Char Filename Fun Helpers List Printf QCheck QCheck_alcotest String Sys Workload Xmlcore

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Helpers List Printf QCheck QCheck_alcotest Workload Xmlcore Xpath

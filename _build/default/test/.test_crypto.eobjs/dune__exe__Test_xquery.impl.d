@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest List Printf Secure String Workload Xmlcore Xpath Xquery

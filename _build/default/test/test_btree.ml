@@ -1,0 +1,263 @@
+(* B-tree tests: invariants, range scans, duplicates. *)
+
+let insert_many t pairs = List.iter (fun (k, v) -> Btree.insert t k v) pairs
+
+let keys_of pairs = List.map fst pairs
+
+let reference_range pairs ~lo ~hi =
+  List.filter (fun (k, _) -> k >= lo && k <= hi)
+    (List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs)
+
+let arbitrary_pairs =
+  QCheck.(
+    make
+      ~print:(fun l ->
+        String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%Ld:%d" k v) l))
+      (Gen.list_size (Gen.int_range 0 400)
+         (Gen.pair (Gen.map Int64.of_int (Gen.int_range 0 100)) Gen.nat)))
+
+let validates_prop =
+  QCheck.Test.make ~name:"invariants hold after random inserts" ~count:200
+    arbitrary_pairs
+    (fun pairs ->
+      let t = Btree.create ~min_degree:3 () in
+      insert_many t pairs;
+      Btree.validate t = Ok ())
+
+let sorted_iteration_prop =
+  QCheck.Test.make ~name:"iteration yields sorted keys" ~count:200 arbitrary_pairs
+    (fun pairs ->
+      let t = Btree.create ~min_degree:3 () in
+      insert_many t pairs;
+      keys_of (Btree.to_list t) = List.sort compare (keys_of pairs))
+
+let range_matches_reference_prop =
+  QCheck.Test.make ~name:"range = filtered sorted list" ~count:200
+    QCheck.(pair arbitrary_pairs (pair (int_bound 100) (int_bound 100)))
+    (fun (pairs, (a, b)) ->
+      let lo = Int64.of_int (min a b) and hi = Int64.of_int (max a b) in
+      let t = Btree.create ~min_degree:3 () in
+      insert_many t pairs;
+      keys_of (Btree.range t ~lo ~hi) = keys_of (reference_range pairs ~lo ~hi))
+
+let insertion_order_irrelevant_prop =
+  QCheck.Test.make ~name:"insertion order does not change key sequence" ~count:100
+    arbitrary_pairs
+    (fun pairs ->
+      let t1 = Btree.create ~min_degree:4 () in
+      insert_many t1 pairs;
+      let t2 = Btree.create ~min_degree:4 () in
+      insert_many t2 (List.rev pairs);
+      keys_of (Btree.to_list t1) = keys_of (Btree.to_list t2))
+
+let duplicates () =
+  let t = Btree.create ~min_degree:2 () in
+  List.iter (fun v -> Btree.insert t 7L v) [ 1; 2; 3; 4; 5 ];
+  Btree.insert t 3L 0;
+  Btree.insert t 9L 9;
+  Alcotest.(check int) "length" 7 (Btree.length t);
+  Alcotest.(check (list int)) "find_all preserves insertion order"
+    [ 1; 2; 3; 4; 5 ] (Btree.find_all t 7L);
+  Alcotest.(check (list int)) "absent key" [] (Btree.find_all t 8L)
+
+let min_max () =
+  let t = Btree.create () in
+  Alcotest.(check (option int64)) "empty min" None (Btree.min_key t);
+  Alcotest.(check (option int64)) "empty max" None (Btree.max_key t);
+  List.iter (fun k -> Btree.insert t (Int64.of_int k) k) [ 42; 7; 99; 0; 13 ];
+  Alcotest.(check (option int64)) "min" (Some 0L) (Btree.min_key t);
+  Alcotest.(check (option int64)) "max" (Some 99L) (Btree.max_key t)
+
+let growth () =
+  (* Height grows logarithmically; all leaves at one depth is part of
+     validate, so just sanity-check the trend. *)
+  let t = Btree.create ~min_degree:2 () in
+  Alcotest.(check int) "empty height" 1 (Btree.height t);
+  for i = 1 to 1000 do
+    Btree.insert t (Int64.of_int i) i
+  done;
+  Alcotest.(check bool) "height sane" true
+    (Btree.height t >= 4 && Btree.height t <= 12);
+  Alcotest.(check bool) "node count sane" true (Btree.node_count t >= 100);
+  (match Btree.validate t with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e)
+
+let ascending_descending () =
+  (* Sorted and reverse-sorted insertion are the classic worst cases. *)
+  List.iter
+    (fun order ->
+      let t = Btree.create ~min_degree:3 () in
+      List.iter (fun k -> Btree.insert t (Int64.of_int k) k) order;
+      (match Btree.validate t with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      Alcotest.(check int) "all present" 500 (Btree.length t))
+    [ List.init 500 (fun i -> i); List.init 500 (fun i -> 499 - i) ]
+
+let empty_range () =
+  let t = Btree.create () in
+  List.iter (fun k -> Btree.insert t (Int64.of_int k) k) [ 10; 20; 30 ];
+  Alcotest.(check int) "gap range" 0 (List.length (Btree.range t ~lo:11L ~hi:19L));
+  Alcotest.(check int) "inverted range" 0 (List.length (Btree.range t ~lo:30L ~hi:10L));
+  Alcotest.(check int) "inclusive bounds" 2
+    (List.length (Btree.range t ~lo:10L ~hi:20L))
+
+(* --- Deletion ----------------------------------------------------- *)
+
+(* Reference model: sorted association list with stable duplicates. *)
+let model_delete pairs k p =
+  let rec go acc = function
+    | [] -> None
+    | (key, v) :: rest when key = k && p v -> Some (List.rev_append acc rest)
+    | entry :: rest -> go (entry :: acc) rest
+  in
+  go [] pairs
+
+let delete_matches_model_prop =
+  QCheck.Test.make ~name:"delete agrees with a list model" ~count:300
+    QCheck.(pair arbitrary_pairs (small_list (int_bound 100)))
+    (fun (pairs, to_delete) ->
+      let t = Btree.create ~min_degree:2 () in
+      insert_many t pairs;
+      let model = ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs) in
+      List.for_all
+        (fun k ->
+          let k = Int64.of_int k in
+          let expected = model_delete !model k (fun _ -> true) in
+          let found = Btree.delete t k (fun _ -> true) in
+          (match expected with
+           | Some next -> model := next
+           | None -> ());
+          let structure_ok = Btree.validate t = Ok () in
+          found = Option.is_some expected
+          && structure_ok
+          && Btree.to_list t = !model)
+        to_delete)
+
+let delete_with_predicate_prop =
+  QCheck.Test.make ~name:"predicate deletion picks first match" ~count:200
+    arbitrary_pairs
+    (fun pairs ->
+      let t = Btree.create ~min_degree:3 () in
+      insert_many t pairs;
+      let model = ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs) in
+      List.for_all
+        (fun (k, v) ->
+          (* Delete specifically payload v under key k. *)
+          let expected = model_delete !model k (fun v' -> v' = v) in
+          let found = Btree.delete t k (fun v' -> v' = v) in
+          (match expected with Some next -> model := next | None -> ());
+          found = Option.is_some expected
+          && Btree.validate t = Ok ()
+          && Btree.to_list t = !model)
+        pairs)
+
+let delete_everything_prop =
+  QCheck.Test.make ~name:"deleting all entries empties the tree" ~count:100
+    arbitrary_pairs
+    (fun pairs ->
+      let t = Btree.create ~min_degree:2 () in
+      insert_many t pairs;
+      List.iter (fun (k, _) -> ignore (Btree.delete t k (fun _ -> true))) pairs;
+      Btree.length t = 0 && Btree.to_list t = [] && Btree.validate t = Ok ())
+
+let delete_all_duplicates () =
+  let t = Btree.create ~min_degree:2 () in
+  for i = 1 to 20 do
+    Btree.insert t 5L i;
+    Btree.insert t 7L i
+  done;
+  Alcotest.(check int) "removes every duplicate" 20
+    (Btree.delete_all t 5L (fun _ -> true));
+  Alcotest.(check int) "others untouched" 20 (Btree.length t);
+  Alcotest.(check bool) "absent afterwards" true (Btree.find_all t 5L = []);
+  Alcotest.(check int) "partial predicate" 10
+    (Btree.delete_all t 7L (fun v -> v mod 2 = 0));
+  Alcotest.(check (list int)) "odd survivors"
+    [ 1; 3; 5; 7; 9; 11; 13; 15; 17; 19 ]
+    (Btree.find_all t 7L)
+
+let delete_interleaved_with_insert =
+  QCheck.Test.make ~name:"interleaved insert/delete keeps invariants" ~count:100
+    QCheck.(list (pair bool (int_bound 50)))
+    (fun ops ->
+      let t = Btree.create ~min_degree:2 () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_insert, k) ->
+          let key = Int64.of_int k in
+          if is_insert then begin
+            Btree.insert t key k;
+            model := List.stable_sort (fun (a, _) (b, _) -> compare a b)
+                ((key, k) :: !model)
+          end
+          else begin
+            match model_delete !model key (fun _ -> true) with
+            | Some next ->
+              ignore (Btree.delete t key (fun _ -> true));
+              model := next
+            | None -> ignore (Btree.delete t key (fun _ -> true))
+          end;
+          Btree.validate t = Ok () && Btree.to_list t = !model)
+        ops)
+
+(* --- Bulk loading -------------------------------------------------- *)
+
+let bulk_load_matches_inserts_prop =
+  QCheck.Test.make ~name:"bulk_load = repeated insert" ~count:300
+    QCheck.(pair (int_range 2 6) arbitrary_pairs)
+    (fun (degree, pairs) ->
+      let loaded = Btree.bulk_load ~min_degree:degree pairs in
+      let inserted = Btree.create ~min_degree:degree () in
+      insert_many inserted pairs;
+      Btree.validate loaded = Ok ()
+      && Btree.to_list loaded = Btree.to_list inserted
+      && Btree.length loaded = List.length pairs)
+
+let bulk_load_sizes () =
+  (* Edge sizes around node-capacity boundaries. *)
+  List.iter
+    (fun n ->
+      let entries = List.init n (fun i -> Int64.of_int i, i) in
+      let t = Btree.bulk_load ~min_degree:3 entries in
+      (match Btree.validate t with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "n=%d: %s" n e);
+      Alcotest.(check int) (Printf.sprintf "n=%d length" n) n (Btree.length t);
+      Alcotest.(check (list int)) (Printf.sprintf "n=%d contents" n)
+        (List.init n (fun i -> i))
+        (List.map snd (Btree.to_list t)))
+    [ 0; 1; 2; 4; 5; 6; 10; 11; 12; 25; 36; 100; 1000 ];
+  (* Range queries behave identically after bulk load. *)
+  let entries = List.init 500 (fun i -> Int64.of_int (i mod 50), i) in
+  let t = Btree.bulk_load ~min_degree:4 entries in
+  Alcotest.(check int) "duplicate-heavy range" 30
+    (List.length (Btree.range t ~lo:10L ~hi:12L))
+
+let min_degree_guard () =
+  Alcotest.check_raises "min_degree >= 2"
+    (Invalid_argument "Btree.create: min_degree must be >= 2")
+    (fun () -> ignore (Btree.create ~min_degree:1 ()))
+
+let () =
+  Alcotest.run "btree"
+    [ ( "unit",
+        [ Alcotest.test_case "duplicates" `Quick duplicates;
+          Alcotest.test_case "min/max" `Quick min_max;
+          Alcotest.test_case "growth" `Quick growth;
+          Alcotest.test_case "sorted insert orders" `Quick ascending_descending;
+          Alcotest.test_case "empty ranges" `Quick empty_range;
+          Alcotest.test_case "min_degree guard" `Quick min_degree_guard ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ validates_prop; sorted_iteration_prop; range_matches_reference_prop;
+            insertion_order_irrelevant_prop ] );
+      ( "bulk load",
+        Alcotest.test_case "boundary sizes" `Quick bulk_load_sizes
+        :: List.map QCheck_alcotest.to_alcotest [ bulk_load_matches_inserts_prop ] );
+      ( "deletion",
+        Alcotest.test_case "delete_all with duplicates" `Quick delete_all_duplicates
+        :: List.map QCheck_alcotest.to_alcotest
+             [ delete_matches_model_prop; delete_with_predicate_prop;
+               delete_everything_prop; delete_interleaved_with_insert ] ) ]

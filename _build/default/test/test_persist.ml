@@ -1,0 +1,103 @@
+(* Persistence tests: save/load round trips, integrity checks. *)
+
+module System = Secure.System
+module Persist = Secure.Persist
+
+let parse = Xpath.Parser.parse
+
+let build_system () =
+  let doc = Workload.Health.generate ~patients:40 () in
+  let scs = Workload.Health.constraints () in
+  fst (System.setup ~master:"persist-master" doc scs Secure.Scheme.Opt)
+
+let queries =
+  [ "//patient/pname"; "//patient[.//disease='flu']/pname";
+    "//insurance/@coverage"; "//patient[age>=50]/SSN"; "//treat/doctor" ]
+
+let roundtrip_preserves_answers () =
+  let sys = build_system () in
+  let restored = Persist.of_string ~master:"persist-master" (Persist.to_string sys) in
+  List.iter
+    (fun q ->
+      let query = parse q in
+      let expected, _ = System.evaluate sys query in
+      let got, _ = System.evaluate restored query in
+      Helpers.check_trees_equal q expected got)
+    queries;
+  (* Aggregates survive too (catalog reconstruction). *)
+  List.iter
+    (fun q ->
+      let query = parse q in
+      Alcotest.(check (option string)) ("max " ^ q)
+        (fst (System.aggregate sys `Max query))
+        (fst (System.aggregate restored `Max query)))
+    [ "//age"; "//disease" ]
+
+let roundtrip_via_file () =
+  let sys = build_system () in
+  let path = Filename.temp_file "sxq" ".host" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save sys path;
+      let restored = Persist.load ~master:"persist-master" path in
+      let q = parse "//patient[.//disease='flu']/pname" in
+      Helpers.check_trees_equal "file roundtrip"
+        (fst (System.evaluate sys q))
+        (fst (System.evaluate restored q)))
+
+let stable_encoding () =
+  let sys = build_system () in
+  Alcotest.(check bool) "deterministic encoding" true
+    (Persist.to_string sys = Persist.to_string sys)
+
+let wrong_master_rejected () =
+  let sys = build_system () in
+  let data = Persist.to_string sys in
+  (match Persist.of_string ~master:"wrong" data with
+   | _ -> Alcotest.fail "wrong master must be rejected"
+   | exception Persist.Corrupt _ -> ())
+
+let tampering_rejected () =
+  let sys = build_system () in
+  let data = Bytes.of_string (Persist.to_string sys) in
+  (* Flip a byte in the middle of the payload. *)
+  let i = Bytes.length data / 2 in
+  Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 0x40));
+  (match Persist.of_string ~master:"persist-master" (Bytes.to_string data) with
+   | _ -> Alcotest.fail "tampered file must be rejected"
+   | exception Persist.Corrupt _ -> ())
+
+let truncation_rejected () =
+  let sys = build_system () in
+  let data = Persist.to_string sys in
+  List.iter
+    (fun keep ->
+      match Persist.of_string ~master:"persist-master" (String.sub data 0 keep) with
+      | _ -> Alcotest.failf "truncation to %d must be rejected" keep
+      | exception Persist.Corrupt _ -> ())
+    [ 0; 7; 40; String.length data / 2; String.length data - 1 ]
+
+let updated_system_persists () =
+  let sys = build_system () in
+  let sys2, _ =
+    System.update sys
+      (Secure.Update.Set_value (parse "//patient/age", "64"))
+  in
+  let restored = Persist.of_string ~master:"persist-master" (Persist.to_string sys2) in
+  let q = parse "//patient[age=64]/pname" in
+  Helpers.check_trees_equal "post-update persistence"
+    (fst (System.evaluate sys2 q))
+    (fst (System.evaluate restored q))
+
+let () =
+  Alcotest.run "persist"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "answers preserved" `Quick roundtrip_preserves_answers;
+          Alcotest.test_case "file io" `Quick roundtrip_via_file;
+          Alcotest.test_case "deterministic" `Quick stable_encoding;
+          Alcotest.test_case "after update" `Quick updated_system_persists ] );
+      ( "integrity",
+        [ Alcotest.test_case "wrong master" `Quick wrong_master_rejected;
+          Alcotest.test_case "tampering" `Quick tampering_rejected;
+          Alcotest.test_case "truncation" `Quick truncation_rejected ] ) ]

@@ -1,0 +1,141 @@
+(* Wire protocol tests: request/response codecs. *)
+
+module Squery = Secure.Squery
+module Protocol = Secure.Protocol
+module System = Secure.System
+
+let translate_all () =
+  (* Translate a battery of real queries and roundtrip each request. *)
+  let doc = Workload.Health.doc () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+  List.iter
+    (fun q ->
+      let squery = Secure.Client.translate (System.client sys) (Xpath.Parser.parse q) in
+      let roundtripped = Protocol.roundtrip_request squery in
+      Alcotest.(check string) q (Squery.to_string squery)
+        (Squery.to_string roundtripped))
+    [ "//patient"; "//patient[pname='Betty']//disease"; "//insurance/policy#";
+      "//patient[.//insurance//@coverage>='10000']//SSN"; "//*";
+      "//disease/.."; "//pname/following-sibling::SSN";
+      "//treat[disease='flu'][doctor!='Smith']/doctor";
+      "/hospital/patient/age" ]
+
+let response_roundtrip () =
+  let doc = Workload.Health.doc () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+  let squery =
+    Secure.Client.translate (System.client sys)
+      (Xpath.Parser.parse "//patient[pname='Betty']//disease")
+  in
+  let response = Secure.Server.answer (System.server sys) squery in
+  let rt = Protocol.roundtrip_response response in
+  Alcotest.(check int) "block count"
+    (List.length response.Secure.Server.blocks)
+    (List.length rt.Secure.Server.blocks);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "id" a.Secure.Encrypt.id b.Secure.Encrypt.id;
+      Alcotest.(check string) "ciphertext" a.Secure.Encrypt.ciphertext
+        b.Secure.Encrypt.ciphertext;
+      Alcotest.(check bool) "decoy flag" a.Secure.Encrypt.has_decoy
+        b.Secure.Encrypt.has_decoy)
+    response.Secure.Server.blocks rt.Secure.Server.blocks;
+  Alcotest.(check int) "stats" response.Secure.Server.btree_hits
+    rt.Secure.Server.btree_hits
+
+let malformed_rejected () =
+  let rejects data =
+    match Protocol.decode_request data with
+    | _ -> Alcotest.failf "%S should be rejected" data
+    | exception Protocol.Malformed _ -> ()
+  in
+  rejects "";
+  rejects "\255\255\255\255\255\255\255\255";
+  rejects (String.make 100 '\000' ^ "x");
+  (* Valid prefix with trailing garbage. *)
+  let good =
+    Protocol.encode_request
+      { Squery.absolute = true;
+        steps =
+          [ { Squery.axis = Xpath.Ast.Child;
+              test = Squery.Tokens [ Squery.Clear "a" ];
+              predicates = [] } ] }
+  in
+  rejects (good ^ "junk");
+  (match Protocol.decode_response "\001" with
+   | _ -> Alcotest.fail "bad response accepted"
+   | exception Protocol.Malformed _ -> ())
+
+(* Random squery generator for the roundtrip property. *)
+let squery_gen =
+  let open QCheck.Gen in
+  let token =
+    oneof
+      [ map (fun s -> Squery.Clear ("t" ^ s)) (string_size (int_range 0 5));
+        map (fun s -> Squery.Enc s) (string_size (int_range 1 16)) ]
+  in
+  let test =
+    oneof
+      [ return Squery.Any;
+        map (fun ts -> Squery.Tokens ts) (list_size (int_range 1 3) token) ]
+  in
+  let axis =
+    oneofl
+      [ Xpath.Ast.Child; Xpath.Ast.Descendant_or_self; Xpath.Ast.Parent;
+        Xpath.Ast.Following_sibling ]
+  in
+  let rec path depth =
+    let* absolute = bool in
+    let* steps = list_size (int_range 1 3) (step depth) in
+    return { Squery.absolute; steps }
+  and step depth =
+    let* axis = axis in
+    let* test = test in
+    let* predicates =
+      if depth = 0 then return []
+      else list_size (int_range 0 2) (predicate (depth - 1))
+    in
+    return { Squery.axis; test; predicates }
+  and predicate depth =
+    let* choice = int_range 0 (if depth = 0 then 1 else 4) in
+    match choice with
+    | 0 ->
+      let* q = path depth in
+      return (Squery.Exists q)
+    | 1 ->
+      let* q = path depth in
+      let* ranges =
+        list_size (int_range 0 2)
+          (map2 (fun a b -> Int64.of_int (min a b), Int64.of_int (max a b)) nat nat)
+      in
+      let* known = bool in
+      return
+        (Squery.Value (q, if known then Squery.Ranges ranges else Squery.Unknown))
+    | 2 ->
+      let* a = predicate (depth - 1) in
+      let* b = predicate (depth - 1) in
+      return (Squery.P_and (a, b))
+    | 3 ->
+      let* a = predicate (depth - 1) in
+      let* b = predicate (depth - 1) in
+      return (Squery.P_or (a, b))
+    | _ ->
+      let* a = predicate (depth - 1) in
+      return (Squery.P_not a)
+  in
+  path 2
+
+let request_roundtrip_prop =
+  QCheck.Test.make ~name:"encode/decode request = id" ~count:300
+    (QCheck.make ~print:Squery.to_string squery_gen)
+    (fun q -> Squery.to_string (Protocol.roundtrip_request q) = Squery.to_string q)
+
+let () =
+  Alcotest.run "protocol"
+    [ ( "requests",
+        [ Alcotest.test_case "real queries roundtrip" `Quick translate_all;
+          Alcotest.test_case "malformed rejected" `Quick malformed_rejected ]
+        @ List.map QCheck_alcotest.to_alcotest [ request_roundtrip_prop ] );
+      ("responses", [ Alcotest.test_case "roundtrip" `Quick response_roundtrip ]) ]

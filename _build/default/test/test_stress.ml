@@ -1,0 +1,103 @@
+(* Medium-scale end-to-end stress: catches anything that only breaks
+   past toy sizes (float precision in DSI intervals, join scaling,
+   OPESS domains with hundreds of distinct values, block selection over
+   thousands of blocks). *)
+
+module System = Secure.System
+module Qg = Workload.Querygen
+
+let norm = Helpers.norm_trees
+
+let run_workload name doc scs kinds =
+  List.iter
+    (fun kind ->
+      let sys, _ = System.setup doc scs kind in
+      List.iter
+        (fun fam ->
+          List.iter
+            (fun q ->
+              let expected = norm (System.reference sys q) in
+              let got, _ = System.evaluate sys q in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s/%s/%s %s" name
+                   (Secure.Scheme.kind_to_string kind)
+                   (Qg.family_to_string fam) (Xpath.Ast.to_string q))
+                expected (norm got))
+            (Qg.generate doc fam ~count:6))
+        Qg.all_families)
+    kinds
+
+let xmark_medium () =
+  let doc = Workload.Xmark.generate ~persons:3000 () in
+  run_workload "xmark" doc (Workload.Xmark.constraints ())
+    [ Secure.Scheme.Opt; Secure.Scheme.Top ]
+
+let nasa_medium () =
+  let doc = Workload.Nasa.generate ~datasets:400 () in
+  run_workload "nasa" doc (Workload.Nasa.constraints ())
+    [ Secure.Scheme.Opt; Secure.Scheme.Sub ]
+
+let spine_doc depth =
+  let rec spine d =
+    if d = 0 then Xmlcore.Tree.leaf "leaf" (string_of_int d)
+    else
+      Xmlcore.Tree.element "level"
+        [ Xmlcore.Tree.leaf "marker" (string_of_int d); spine (d - 1) ]
+  in
+  Xmlcore.Doc.of_tree (Xmlcore.Tree.element "root" [ spine depth ])
+
+let deep_document () =
+  (* Depth 18 is comfortably inside double-precision resolution
+     (5^18 << 2^53); real XML rarely exceeds depth ~15. *)
+  let doc = spine_doc 18 in
+  let assignment = Dsi.Assign.assign ~key:"deep" doc in
+  (match Dsi.Assign.validate assignment with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let scs = [ Secure.Sc.parse "//leaf" ] in
+  let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+  List.iter
+    (fun q ->
+      let query = Xpath.Parser.parse q in
+      Helpers.check_trees_equal q
+        (System.reference sys query)
+        (fst (System.evaluate sys query)))
+    [ "//leaf"; "//level/level/level//leaf"; "//marker[.='7']"; "//level[marker='3']/leaf" ]
+
+let too_deep_fails_loudly () =
+  (* Past the precision budget the assignment must refuse with the
+     documented diagnostic, not silently corrupt the index. *)
+  let doc = spine_doc 40 in
+  (match Dsi.Assign.assign ~key:"deep" doc with
+   | _ -> Alcotest.fail "expected a precision failure"
+   | exception Invalid_argument msg ->
+     Alcotest.(check bool) "explains the precision limit" true
+       (String.length msg > 40))
+
+let wide_document () =
+  (* 20k children under one node stresses sibling gap arithmetic and
+     the child-axis sweeps. *)
+  let doc =
+    Xmlcore.Doc.of_tree
+      (Xmlcore.Tree.element "root"
+         (List.init 20_000 (fun i ->
+              Xmlcore.Tree.leaf "item" (string_of_int (i mod 100)))))
+  in
+  let assignment = Dsi.Assign.assign ~key:"wide" doc in
+  (match Dsi.Assign.validate assignment with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let sys, _ = System.setup doc [ Secure.Sc.parse "//item" ] Secure.Scheme.Opt in
+  let q = Xpath.Parser.parse "//item[.='42']" in
+  Alcotest.(check int) "two hundred hits" 200
+    (List.length (fst (System.evaluate sys q)))
+
+let () =
+  Alcotest.run "stress"
+    [ ( "medium scale",
+        [ Alcotest.test_case "xmark 3000 persons" `Slow xmark_medium;
+          Alcotest.test_case "nasa 400 datasets" `Slow nasa_medium ] );
+      ( "extreme shapes",
+        [ Alcotest.test_case "depth 18" `Quick deep_document;
+          Alcotest.test_case "too deep fails loudly" `Quick too_deep_fails_loudly;
+          Alcotest.test_case "fanout 20k" `Slow wide_document ] ) ]

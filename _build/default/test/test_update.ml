@@ -1,0 +1,231 @@
+(* Update subsystem tests: tree edits, re-hosting, and the DSI
+   gap-insertion primitive. *)
+
+module Doc = Xmlcore.Doc
+module Tree = Xmlcore.Tree
+module System = Secure.System
+module Update = Secure.Update
+
+let parse = Xpath.Parser.parse
+
+let fresh_system () =
+  let doc = Workload.Health.doc () in
+  let scs = Workload.Health.constraints () in
+  System.setup doc scs Secure.Scheme.Opt
+
+(* --- Edits on plain documents ------------------------------------- *)
+
+let insert_child () =
+  let doc = Workload.Health.doc () in
+  let new_patient =
+    Tree.element "patient"
+      [ Tree.leaf "pname" "Zoe"; Tree.leaf "SSN" "111222333";
+        Tree.element "treat"
+          [ Tree.leaf "disease" "asthma"; Tree.leaf "doctor" "Lee" ];
+        Tree.leaf "age" "29" ]
+  in
+  let edited =
+    Doc.of_tree
+      (Update.apply doc
+         (Update.Insert_child
+            { parent = parse "/hospital"; position = 99; subtree = new_patient }))
+  in
+  Alcotest.(check int) "three patients" 3
+    (List.length (Doc.nodes_with_tag edited "patient"));
+  Alcotest.(check int) "appended last: no following siblings" 0
+    (List.length
+       (Xpath.Eval.eval edited (parse "//patient[pname='Zoe']/following-sibling::*")));
+  Alcotest.(check int) "original patients precede Zoe" 2
+    (List.length
+       (Xpath.Eval.eval edited (parse "//patient[following-sibling::patient[pname='Zoe']]")));
+  (* position 0 prepends *)
+  let edited0 =
+    Doc.of_tree
+      (Update.apply doc
+         (Update.Insert_child
+            { parent = parse "/hospital"; position = 0; subtree = new_patient }))
+  in
+  (match Doc.children edited0 (Doc.root edited0) with
+   | first :: _ ->
+     Alcotest.(check (option string)) "first child is Zoe's record" (Some "Zoe")
+       (Doc.value edited0 (List.hd (Doc.nodes_with_tag edited0 "pname")));
+     ignore first
+   | [] -> Alcotest.fail "no children")
+
+let delete_nodes () =
+  let doc = Workload.Health.doc () in
+  let edited = Doc.of_tree (Update.apply doc (Update.Delete_nodes (parse "//treat"))) in
+  Alcotest.(check int) "no treats" 0 (List.length (Doc.nodes_with_tag edited "treat"));
+  Alcotest.(check int) "no diseases either" 0
+    (List.length (Doc.nodes_with_tag edited "disease"));
+  Alcotest.(check int) "patients intact" 2
+    (List.length (Doc.nodes_with_tag edited "patient"))
+
+let set_value () =
+  let doc = Workload.Health.doc () in
+  let edited =
+    Doc.of_tree
+      (Update.apply doc (Update.Set_value (parse "//patient[pname='Matt']/age", "41")))
+  in
+  Alcotest.(check (list string)) "age updated" [ "41" ]
+    (List.filter_map (fun n -> Doc.value edited n)
+       (Xpath.Eval.eval edited (parse "//patient[pname='Matt']/age")));
+  Alcotest.(check (list string)) "other age untouched" [ "35" ]
+    (List.filter_map (fun n -> Doc.value edited n)
+       (Xpath.Eval.eval edited (parse "//patient[pname='Betty']/age")))
+
+let invalid_edits () =
+  let doc = Workload.Health.doc () in
+  let raises f = match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Update.apply doc (Update.Delete_nodes (parse "/hospital")));
+  raises (fun () -> Update.apply doc (Update.Set_value (parse "//patient", "x")));
+  raises (fun () -> Update.apply doc (Update.Delete_nodes (parse "//absent")));
+  raises (fun () ->
+      Update.apply doc
+        (Update.Insert_child
+           { parent = parse "//pname"; position = 0; subtree = Tree.leaf "x" "1" }))
+
+let apply_all_sees_earlier_edits () =
+  let doc = Workload.Health.doc () in
+  let edited =
+    Update.apply_all doc
+      [ Update.Insert_child
+          { parent = parse "//patient[pname='Betty']";
+            position = 99;
+            subtree = Tree.leaf "note" "recheck" };
+        Update.Set_value (parse "//note", "done") ]
+  in
+  Alcotest.(check (list string)) "second edit sees the first" [ "done" ]
+    (List.filter_map (fun n -> Doc.value edited n)
+       (Xpath.Eval.eval edited (parse "//note")))
+
+(* --- Re-hosting through System.update ------------------------------ *)
+
+let update_rehosts_securely () =
+  let sys, _ = fresh_system () in
+  let new_patient =
+    Tree.element "patient"
+      [ Tree.leaf "pname" "Zoe"; Tree.leaf "SSN" "111222333";
+        Tree.element "treat"
+          [ Tree.leaf "disease" "asthma"; Tree.leaf "doctor" "Lee" ];
+        Tree.leaf "age" "29";
+        Tree.element "insurance"
+          [ Tree.attribute "coverage" "20000"; Tree.leaf "policy#" "99999" ] ]
+  in
+  let sys2, cost =
+    System.update sys
+      (Update.Insert_child
+         { parent = parse "/hospital"; position = 99; subtree = new_patient })
+  in
+  Alcotest.(check bool) "setup cost reported" true (cost.System.block_count > 0);
+  (* The new data is queryable through the full protocol... *)
+  let answers, _ = System.evaluate sys2 (parse "//patient[pname='Zoe']//disease") in
+  Helpers.check_trees_equal "new patient queryable"
+    (System.reference sys2 (parse "//patient[pname='Zoe']//disease"))
+    answers;
+  (* ...and the SCs are enforced on the edited document (Zoe's
+     insurance is encrypted). *)
+  (match
+     Secure.Scheme.enforces (System.doc sys2) (System.scheme sys2)
+       (Workload.Health.constraints ())
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (* Deleting her again restores the original answers. *)
+  let sys3, _ = System.update sys2 (Update.Delete_nodes (parse "//patient[pname='Zoe']")) in
+  Alcotest.(check int) "back to two patients" 2
+    (List.length (Xpath.Eval.eval (System.doc sys3) (parse "//patient")))
+
+let update_changes_value_index () =
+  let sys, _ = fresh_system () in
+  let sys2, _ =
+    System.update sys (Update.Set_value (parse "//patient[pname='Matt']/age", "77"))
+  in
+  let answers, _ = System.evaluate sys2 (parse "//patient[age>=70]/pname") in
+  Helpers.check_trees_equal "value predicate sees the new value"
+    (System.reference sys2 (parse "//patient[age>=70]/pname"))
+    answers;
+  Alcotest.(check int) "exactly Matt" 1 (List.length answers)
+
+(* --- DSI gap insertion --------------------------------------------- *)
+
+let gap_insertion_fits =
+  QCheck.Test.make ~name:"interval_in_gap stays inside and leaves slack" ~count:300
+    QCheck.(triple small_string (pair (float_bound_exclusive 1.0) pos_float) small_nat)
+    (fun (key, (lo, width), label) ->
+      let width = Float.min (Float.max width 1e-6) 10.0 in
+      let hi = lo +. width in
+      let iv = Dsi.Assign.interval_in_gap ~key ~label ~lo ~hi in
+      iv.Dsi.Interval.lo > lo && iv.Dsi.Interval.hi < hi
+      && iv.Dsi.Interval.lo < iv.Dsi.Interval.hi)
+
+let gap_insertion_between_siblings () =
+  let doc = Workload.Health.doc () in
+  let a = Dsi.Assign.assign ~key:"gap-test" doc in
+  (* Insert between the two patients: the gap between their intervals
+     absorbs a new interval without touching either. *)
+  (match Doc.nodes_with_tag doc "patient" with
+   | [ p1; p2 ] ->
+     let i1 = Dsi.Assign.interval a p1 and i2 = Dsi.Assign.interval a p2 in
+     let fresh =
+       Dsi.Assign.interval_in_gap ~key:"gap-test" ~label:12345
+         ~lo:i1.Dsi.Interval.hi ~hi:i2.Dsi.Interval.lo
+     in
+     Alcotest.(check bool) "after first" true (fresh.Dsi.Interval.lo > i1.Dsi.Interval.hi);
+     Alcotest.(check bool) "before second" true (fresh.Dsi.Interval.hi < i2.Dsi.Interval.lo);
+     (* And inside the shared parent. *)
+     let root_iv = Dsi.Assign.interval a (Doc.root doc) in
+     Alcotest.(check bool) "inside parent" true (Dsi.Interval.contains root_iv fresh)
+   | _ -> Alcotest.fail "expected two patients");
+  (* Degenerate gap rejected. *)
+  Alcotest.(check bool) "empty gap rejected" true
+    (match Dsi.Assign.interval_in_gap ~key:"k" ~label:0 ~lo:0.5 ~hi:0.5 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let random_edits_stay_consistent =
+  QCheck.Test.make ~name:"random value edits keep the protocol exact" ~count:20
+    QCheck.(pair (int_range 1 15) (int_range 20 90))
+    (fun (patient_index, new_age) ->
+      let doc = Workload.Health.generate ~patients:20 () in
+      let scs = Workload.Health.constraints () in
+      let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+      (* Pick an existing patient by position via its pname value. *)
+      let pnames =
+        List.filter_map
+          (fun n -> Doc.value (System.doc sys) n)
+          (Xpath.Eval.eval (System.doc sys) (parse "//pname"))
+      in
+      let target = List.nth pnames (patient_index mod List.length pnames) in
+      let sys2, _ =
+        System.update sys
+          (Update.Set_value
+             ( parse (Printf.sprintf "//patient[pname='%s']/age" target),
+               string_of_int new_age ))
+      in
+      List.for_all
+        (fun q ->
+          let query = parse q in
+          Helpers.norm_trees (System.reference sys2 query)
+          = Helpers.norm_trees (fst (System.evaluate sys2 query)))
+        [ Printf.sprintf "//patient[age=%d]/pname" new_age;
+          "//patient[age>=50]/SSN"; "//pname" ])
+
+let () =
+  Alcotest.run "update"
+    [ ( "edits",
+        [ Alcotest.test_case "insert child" `Quick insert_child;
+          Alcotest.test_case "delete nodes" `Quick delete_nodes;
+          Alcotest.test_case "set value" `Quick set_value;
+          Alcotest.test_case "invalid edits" `Quick invalid_edits;
+          Alcotest.test_case "apply_all sequencing" `Quick apply_all_sees_earlier_edits ] );
+      ( "rehost",
+        [ Alcotest.test_case "secure re-host" `Quick update_rehosts_securely;
+          Alcotest.test_case "value index refresh" `Quick update_changes_value_index ]
+        @ List.map QCheck_alcotest.to_alcotest [ random_edits_stay_consistent ] );
+      ( "dsi gaps",
+        Alcotest.test_case "between siblings" `Quick gap_insertion_between_siblings
+        :: List.map QCheck_alcotest.to_alcotest [ gap_insertion_fits ] ) ]

@@ -1,0 +1,159 @@
+(* Workload generator tests: distributions, document generators,
+   query generators. *)
+
+module Doc = Xmlcore.Doc
+
+let distribution_sampling () =
+  let rng = Crypto.Prng.create 1L in
+  let d = Workload.Distribution.zipf [| "a"; "b"; "c"; "d" |] in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Distribution.sample d rng in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let count v = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+  (* Zipf(1): P(a) = 1/H4, P(b) = 1/2H4 ... strictly decreasing. *)
+  Alcotest.(check bool) "skew ordering" true (count "a" > count "b" && count "b" > count "c");
+  Alcotest.(check int) "all samples accounted" 10_000
+    (count "a" + count "b" + count "c" + count "d")
+
+let distribution_uniform () =
+  let rng = Crypto.Prng.create 2L in
+  let d = Workload.Distribution.uniform [| "x"; "y" |] in
+  let hits = ref 0 in
+  for _ = 1 to 2_000 do
+    if Workload.Distribution.sample d rng = "x" then incr hits
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!hits > 800 && !hits < 1200)
+
+let distribution_guards () =
+  Alcotest.check_raises "empty support"
+    (Invalid_argument "Distribution.uniform: empty support")
+    (fun () -> ignore (Workload.Distribution.uniform [||]));
+  Alcotest.check_raises "bad weights"
+    (Invalid_argument "Distribution: weights must sum to a positive value")
+    (fun () -> ignore (Workload.Distribution.weighted [ "a", 0.0 ]))
+
+let health_figure2 () =
+  let doc = Workload.Health.doc () in
+  Alcotest.(check int) "patients" 2 (List.length (Doc.nodes_with_tag doc "patient"));
+  Alcotest.(check int) "insurances" 3 (List.length (Doc.nodes_with_tag doc "insurance"));
+  Alcotest.(check int) "constraints" 4 (List.length (Workload.Health.constraints ()))
+
+let generators_deterministic () =
+  let a = Workload.Xmark.generate ~seed:5L ~persons:50 () in
+  let b = Workload.Xmark.generate ~seed:5L ~persons:50 () in
+  Alcotest.(check bool) "same seed, same doc" true
+    (Xmlcore.Tree.equal (Doc.to_tree a) (Doc.to_tree b));
+  let c = Workload.Xmark.generate ~seed:6L ~persons:50 () in
+  Alcotest.(check bool) "different seed, different doc" false
+    (Xmlcore.Tree.equal (Doc.to_tree a) (Doc.to_tree c))
+
+let generators_scale () =
+  let small = Workload.Nasa.generate ~datasets:10 () in
+  let large = Workload.Nasa.generate ~datasets:100 () in
+  Alcotest.(check bool) "scales with parameter" true
+    (Doc.node_count large > 5 * Doc.node_count small);
+  let bytes = String.length (Xmlcore.Printer.doc_to_string large) in
+  let predicted = Workload.Nasa.datasets_for_bytes bytes in
+  Alcotest.(check bool) "size predictor within 2x" true
+    (predicted > 40 && predicted < 250)
+
+let generators_satisfiable_constraints () =
+  (* The shipped SC sets must be enforceable on their own documents. *)
+  let check doc scs =
+    List.iter
+      (fun kind ->
+        let scheme = Secure.Scheme.build doc scs kind in
+        match Secure.Scheme.enforces doc scheme scs with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "%s: %s" (Secure.Scheme.kind_to_string kind) e)
+      Secure.Scheme.all_kinds
+  in
+  check (Workload.Xmark.generate ~persons:40 ()) (Workload.Xmark.constraints ());
+  check (Workload.Nasa.generate ~datasets:40 ()) (Workload.Nasa.constraints ());
+  check (Workload.Health.generate ~patients:40 ()) (Workload.Health.constraints ());
+  check (Workload.Dblp.generate ~papers:40 ()) (Workload.Dblp.constraints ())
+
+let dblp_protocol_correctness () =
+  let doc = Workload.Dblp.generate ~papers:45 () in
+  Alcotest.(check bool) "deep hierarchy" true (Doc.height doc >= 4);
+  let scs = Workload.Dblp.constraints () in
+  List.iter
+    (fun kind ->
+      let sys, _ = Secure.System.setup doc scs kind in
+      List.iter
+        (fun fam ->
+          List.iter
+            (fun q ->
+              let expected =
+                List.sort compare
+                  (List.map Xmlcore.Printer.tree_to_string
+                     (Secure.System.reference sys q))
+              in
+              let got, _ = Secure.System.evaluate sys q in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s/%s %s" (Secure.Scheme.kind_to_string kind)
+                   (Workload.Querygen.family_to_string fam)
+                   (Xpath.Ast.to_string q))
+                expected
+                (List.sort compare (List.map Xmlcore.Printer.tree_to_string got)))
+            (Workload.Querygen.generate doc fam ~count:4))
+        Workload.Querygen.all_families)
+    [ Secure.Scheme.Opt; Secure.Scheme.Sub ]
+
+let querygen_families () =
+  let doc = Workload.Nasa.generate ~datasets:60 () in
+  List.iter
+    (fun fam ->
+      let queries = Workload.Querygen.generate doc fam ~count:6 in
+      Alcotest.(check bool)
+        (Workload.Querygen.family_to_string fam ^ " produces queries")
+        true
+        (List.length queries > 0);
+      (* All generated queries are non-empty on the document. *)
+      List.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (Xpath.Ast.to_string q ^ " non-empty")
+            true (Xpath.Eval.matches doc q))
+        queries;
+      (* Distinct. *)
+      let strings = List.map Xpath.Ast.to_string queries in
+      Alcotest.(check int) "distinct" (List.length strings)
+        (List.length (List.sort_uniq String.compare strings)))
+    Workload.Querygen.all_families
+
+let querygen_depth_targets () =
+  let doc = Workload.Nasa.generate ~datasets:60 () in
+  (* Qs outputs children of the root. *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun n -> Alcotest.(check int) "depth 1" 1 (Doc.depth_of doc n))
+        (Xpath.Eval.eval doc q))
+    (Workload.Querygen.generate doc Workload.Querygen.Qs ~count:3);
+  (* Ql outputs leaves. *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun n -> Alcotest.(check bool) "leaf" true (Doc.is_leaf doc n))
+        (Xpath.Eval.eval doc q))
+    (Workload.Querygen.generate doc Workload.Querygen.Ql ~count:3)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "distribution",
+        [ Alcotest.test_case "zipf sampling" `Quick distribution_sampling;
+          Alcotest.test_case "uniform" `Quick distribution_uniform;
+          Alcotest.test_case "guards" `Quick distribution_guards ] );
+      ( "generators",
+        [ Alcotest.test_case "figure 2" `Quick health_figure2;
+          Alcotest.test_case "deterministic" `Quick generators_deterministic;
+          Alcotest.test_case "scaling" `Quick generators_scale;
+          Alcotest.test_case "constraints enforceable" `Slow generators_satisfiable_constraints;
+          Alcotest.test_case "dblp protocol correctness" `Slow dblp_protocol_correctness ] );
+      ( "querygen",
+        [ Alcotest.test_case "families" `Quick querygen_families;
+          Alcotest.test_case "depth targets" `Quick querygen_depth_targets ] ) ]

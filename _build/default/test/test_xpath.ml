@@ -1,0 +1,351 @@
+(* XPath fragment tests: parser, printer, evaluator. *)
+
+module Ast = Xpath.Ast
+module Doc = Xmlcore.Doc
+
+let parse = Xpath.Parser.parse
+
+let doc () = Workload.Health.doc ()
+
+let eval_values d q =
+  List.filter_map (fun n -> Doc.value d n) (Xpath.Eval.eval d (parse q))
+
+(* --- Parser ------------------------------------------------------ *)
+
+let parser_shapes () =
+  let p = parse "//patient" in
+  Alcotest.(check bool) "absolute" true p.Ast.absolute;
+  Alcotest.(check int) "one step" 1 (List.length p.Ast.steps);
+  (match p.Ast.steps with
+   | [ { Ast.axis = Ast.Descendant_or_self; test = Ast.Tag "patient"; predicates = [] } ] -> ()
+   | _ -> Alcotest.fail "wrong step");
+  let p = parse "/a/b//c" in
+  (match List.map (fun s -> s.Ast.axis) p.Ast.steps with
+   | [ Ast.Child; Ast.Child; Ast.Descendant_or_self ] -> ()
+   | _ -> Alcotest.fail "wrong axes");
+  let p = parse "//insurance//@coverage" in
+  (match List.rev p.Ast.steps with
+   | { Ast.test = Ast.Tag "@coverage"; _ } :: _ -> ()
+   | _ -> Alcotest.fail "attribute test");
+  let p = parse "//*" in
+  (match p.Ast.steps with
+   | [ { Ast.test = Ast.Wildcard; _ } ] -> ()
+   | _ -> Alcotest.fail "wildcard")
+
+let parser_predicates () =
+  let p = parse "//patient[pname='Betty'][.//disease='diarrhea']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Compare (q1, Ast.Eq, "Betty"); Ast.Compare (q2, Ast.Eq, "diarrhea") ]; _ } ] ->
+     Alcotest.(check bool) "q1 relative child" true
+       (not q1.Ast.absolute
+        && List.map (fun s -> s.Ast.axis) q1.Ast.steps = [ Ast.Child ]);
+     Alcotest.(check bool) "q2 self-descendant" true
+       (List.map (fun s -> s.Ast.axis) q2.Ast.steps = [ Ast.Descendant_or_self ])
+   | _ -> Alcotest.fail "predicates");
+  let p = parse "//a[b >= 10][c != 'x'][d]" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Compare (_, Ast.Ge, "10"); Ast.Compare (_, Ast.Neq, "x"); Ast.Exists _ ]; _ } ] -> ()
+   | _ -> Alcotest.fail "ops");
+  (* The paper's Figure 7(b) query parses. *)
+  let p = parse "//patient[.//insurance//@coverage>='10000']//SSN" in
+  Alcotest.(check int) "two steps" 2 (List.length p.Ast.steps)
+
+let parser_self_comparison () =
+  let p = parse "//age[. >= 40]" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Compare (q, Ast.Ge, "40") ]; _ } ] ->
+     Alcotest.(check bool) "self path" true (q.Ast.steps = [])
+   | _ -> Alcotest.fail "self comparison")
+
+let parser_extended_axes () =
+  let p = parse "//treat/.." in
+  (match List.rev p.Ast.steps with
+   | { Ast.axis = Ast.Parent; test = Ast.Wildcard; _ } :: _ -> ()
+   | _ -> Alcotest.fail "expected parent step");
+  let p = parse "//disease/parent::treat" in
+  (match List.rev p.Ast.steps with
+   | { Ast.axis = Ast.Parent; test = Ast.Tag "treat"; _ } :: _ -> ()
+   | _ -> Alcotest.fail "expected named parent step");
+  let p = parse "//pname/following-sibling::SSN" in
+  (match List.rev p.Ast.steps with
+   | { Ast.axis = Ast.Following_sibling; test = Ast.Tag "SSN"; _ } :: _ -> ()
+   | _ -> Alcotest.fail "expected following-sibling step");
+  (* Inside predicates too. *)
+  let p = parse "//SSN[../pname='Betty']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Compare (q, Ast.Eq, "Betty") ]; _ } ] ->
+     (match q.Ast.steps with
+      | [ { Ast.axis = Ast.Parent; _ }; { Ast.axis = Ast.Child; Ast.test = Ast.Tag "pname"; _ } ] -> ()
+      | _ -> Alcotest.fail "expected ../pname")
+   | _ -> Alcotest.fail "expected one predicate");
+  (* Explicit axes need a single slash. *)
+  (match parse "//a//.." with
+   | _ -> Alcotest.fail "'//..' should not parse"
+   | exception Xpath.Parser.Parse_error _ -> ())
+
+let eval_extended_axes () =
+  let d = doc () in
+  Alcotest.(check (list string)) "parent of disease values via treat" []
+    (eval_values d "//disease/..");
+  Alcotest.(check int) "treat parents" 4
+    (List.length (Xpath.Eval.eval d (parse "//disease/..")));
+  Alcotest.(check int) "named parent" 4
+    (List.length (Xpath.Eval.eval d (parse "//disease/parent::treat")));
+  Alcotest.(check int) "wrong named parent" 0
+    (List.length (Xpath.Eval.eval d (parse "//disease/parent::patient")));
+  Alcotest.(check (list string)) "SSN after pname" [ "276543"; "763895" ]
+    (List.sort compare (eval_values d "//pname/following-sibling::SSN"));
+  Alcotest.(check int) "nothing precedes pname" 0
+    (List.length (Xpath.Eval.eval d (parse "//SSN/following-sibling::pname")));
+  Alcotest.(check (list string)) "predicate with parent nav" [ "763895" ]
+    (eval_values d "//SSN[../pname='Betty']");
+  (* doctor follows disease inside each treat *)
+  Alcotest.(check int) "doctor follows disease" 4
+    (List.length (Xpath.Eval.eval d (parse "//disease/following-sibling::doctor")));
+  (* second insurance of Matt follows the first *)
+  Alcotest.(check int) "insurance follows insurance" 1
+    (List.length (Xpath.Eval.eval d (parse "//insurance/following-sibling::insurance")))
+
+let parser_errors () =
+  let fails s =
+    match parse s with
+    | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+    | exception Xpath.Parser.Parse_error _ -> ()
+  in
+  fails "//";
+  fails "//a[";
+  fails "//a[b=]";
+  fails "//a]b";
+  fails ""
+
+let boolean_predicates_parse () =
+  let p = parse "//patient[pname='Betty' or pname='Matt']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Or (Ast.Compare _, Ast.Compare _) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "or shape");
+  let p = parse "//treat[disease='flu' and doctor='Walker']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.And (Ast.Compare _, Ast.Compare _) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "and shape");
+  let p = parse "//patient[not(insurance)]" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Not (Ast.Exists _) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "not shape");
+  (* 'and' binds tighter than 'or'; parens override. *)
+  let p = parse "//a[b='1' or c='2' and d='3']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Or (Ast.Compare _, Ast.And _) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "precedence");
+  let p = parse "//a[(b='1' or c='2') and d='3']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.And (Ast.Or _, Ast.Compare _) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "parens");
+  (* A tag that merely starts with a keyword is still a tag. *)
+  let p = parse "//a[notes='x']" in
+  (match p.Ast.steps with
+   | [ { Ast.predicates = [ Ast.Compare _ ]; _ } ] -> ()
+   | _ -> Alcotest.fail "notes is a tag")
+
+let boolean_predicates_eval () =
+  let d = doc () in
+  Alcotest.(check (list string)) "or" [ "Betty"; "Matt" ]
+    (eval_values d "//patient[pname='Betty' or pname='Matt']/pname");
+  Alcotest.(check (list string)) "and" [ "Betty" ]
+    (eval_values d "//patient[age>=30 and .//disease='flu']/pname");
+  Alcotest.(check (list string)) "not exists" []
+    (eval_values d "//patient[not(insurance)]/pname");
+  Alcotest.(check (list string)) "not compare" [ "Betty" ]
+    (eval_values d "//patient[not(age>=40)]/pname");
+  Alcotest.(check (list string)) "mixed" [ "Matt" ]
+    (eval_values d
+       "//patient[(pname='Matt' or pname='Nobody') and not(age<40)]/pname")
+
+let eval_document_order_axes () =
+  let d = doc () in
+  (* preceding-sibling mirrors following-sibling. *)
+  Alcotest.(check (list string)) "pname precedes SSN" [ "Betty"; "Matt" ]
+    (List.sort compare (eval_values d "//SSN/preceding-sibling::pname"));
+  Alcotest.(check int) "nothing precedes pname" 0
+    (List.length (Xpath.Eval.eval d (parse "//pname/preceding-sibling::*")));
+  (* following:: reaches across subtrees (Betty's SSN is followed by
+     everything in Matt's record too). *)
+  let betty_ssn_following =
+    Xpath.Eval.eval d (parse "//patient[pname='Betty']/SSN/following::disease")
+  in
+  Alcotest.(check int) "all four diseases follow Betty's SSN" 4
+    (List.length betty_ssn_following);
+  (* preceding:: excludes ancestors. *)
+  let age_preceding = Xpath.Eval.eval d (parse "//patient[pname='Matt']/age/preceding::patient") in
+  Alcotest.(check int) "only Betty's record precedes (Matt is an ancestor)" 1
+    (List.length age_preceding);
+  (* following excludes descendants: Betty's second treat plus Matt's
+     two, deduplicated across the two context nodes. *)
+  Alcotest.(check int) "treats after Betty's treats" 3
+    (List.length
+       (Xpath.Eval.eval d (parse "//patient[pname='Betty']/treat/following::treat")))
+
+let union_parsing () =
+  Alcotest.(check int) "three branches" 3
+    (List.length (Xpath.Parser.parse_union "//a | //b/c | /d"));
+  Alcotest.(check int) "single path" 1
+    (List.length (Xpath.Parser.parse_union "//a"));
+  (* '|' inside a literal does not split. *)
+  Alcotest.(check int) "literal pipe" 1
+    (List.length (Xpath.Parser.parse_union "//a[b='x|y']"));
+  (match Xpath.Parser.parse_union "//a | " with
+   | _ -> Alcotest.fail "empty branch should fail"
+   | exception Xpath.Parser.Parse_error _ -> ())
+
+let union_eval () =
+  let d = doc () in
+  let nodes = Xpath.Eval.eval_union d (Xpath.Parser.parse_union "//pname | //SSN") in
+  Alcotest.(check int) "both branches" 4 (List.length nodes);
+  (* Overlapping branches deduplicate. *)
+  let overlap =
+    Xpath.Eval.eval_union d (Xpath.Parser.parse_union "//disease | //treat/disease")
+  in
+  Alcotest.(check int) "dedup" 4 (List.length overlap);
+  (* Document order across branches. *)
+  let ordered =
+    Xpath.Eval.eval_union d (Xpath.Parser.parse_union "//SSN | //pname")
+  in
+  Alcotest.(check bool) "sorted" true (ordered = List.sort compare ordered)
+
+let to_string_roundtrip () =
+  List.iter
+    (fun q ->
+      let p = parse q in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" q)
+        true
+        (Ast.equal_path p (parse (Ast.to_string p))))
+    [ "//patient"; "/a/b//c"; "//a[b='x']"; "//a[.//b>=10][c]/d";
+      "//insurance//@coverage"; "//*[a='1']"; "//age[.>=40]";
+      "//patient[pname='Betty'][.//disease='diarrhea']/SSN";
+      "//disease/.."; "//disease/parent::treat";
+      "//pname/following-sibling::SSN"; "//SSN[../pname='Betty']";
+      "//patient[pname='Betty' or pname='Matt']";
+      "//treat[disease='flu' and doctor='Walker']/doctor";
+      "//patient[not(age>=40)]"; "//a[(b='1' or c='2') and not(d)]" ]
+
+let tags_of_path () =
+  let p = parse "//patient[pname='Betty'][.//disease='x']//treat/doctor" in
+  Alcotest.(check (list string)) "tags"
+    [ "patient"; "pname"; "disease"; "treat"; "doctor" ]
+    (Ast.tags_of_path p)
+
+(* --- Evaluator --------------------------------------------------- *)
+
+let eval_axes () =
+  let d = doc () in
+  Alcotest.(check int) "//patient" 2 (List.length (Xpath.Eval.eval d (parse "//patient")));
+  Alcotest.(check int) "/hospital" 1 (List.length (Xpath.Eval.eval d (parse "/hospital")));
+  Alcotest.(check int) "/patient (root mismatch)" 0
+    (List.length (Xpath.Eval.eval d (parse "/patient")));
+  Alcotest.(check int) "//disease" 4 (List.length (Xpath.Eval.eval d (parse "//disease")));
+  Alcotest.(check int) "//patient//disease" 4
+    (List.length (Xpath.Eval.eval d (parse "//patient//disease")));
+  Alcotest.(check int) "//patient/disease (not children)" 0
+    (List.length (Xpath.Eval.eval d (parse "//patient/disease")));
+  Alcotest.(check int) "//insurance/@coverage" 3
+    (List.length (Xpath.Eval.eval d (parse "//insurance/@coverage")));
+  (* Wildcard skips attributes: Betty's insurance has 2 policy#
+     children; Matt's two insurances have 1 each. *)
+  Alcotest.(check int) "//insurance/*" 4
+    (List.length (Xpath.Eval.eval d (parse "//insurance/*")))
+
+let eval_predicates () =
+  let d = doc () in
+  Alcotest.(check (list string)) "Betty's diseases" [ "diarrhea"; "flu" ]
+    (eval_values d "//patient[pname='Betty']//disease");
+  Alcotest.(check (list string)) "who has leukemia" [ "Matt" ]
+    (eval_values d "//patient[.//disease='leukemia']/pname");
+  Alcotest.(check (list string)) "age >= 40" [ "Matt" ]
+    (eval_values d "//patient[age>=40]/pname");
+  Alcotest.(check (list string)) "age > 40" []
+    (eval_values d "//patient[age>40]/pname");
+  Alcotest.(check (list string)) "numeric not lexicographic" [ "Betty"; "Matt" ]
+    (eval_values d "//patient[age>=5]/pname");
+  Alcotest.(check (list string)) "self comparison" [ "40" ]
+    (eval_values d "//age[.>=40]");
+  Alcotest.(check (list string)) "coverage filter" [ "Betty" ]
+    (eval_values d "//patient[.//insurance/@coverage>=100000]/pname");
+  Alcotest.(check (list string)) "exists predicate" [ "Betty"; "Matt" ]
+    (eval_values d "//patient[insurance]/pname");
+  Alcotest.(check (list string)) "neq" [ "Matt" ]
+    (eval_values d "//patient[pname!='Betty']/pname")
+
+let eval_figure7 () =
+  let d = doc () in
+  (* Figure 7(b): coverage >= 10000 holds for Betty (1000000) and Matt
+     (10000); both patients' SSNs come back. *)
+  Alcotest.(check int) "paper query" 2
+    (List.length
+       (Xpath.Eval.eval d (parse "//patient[.//insurance//@coverage>='10000']//SSN")))
+
+let eval_doc_order_dedup =
+  QCheck.Test.make ~name:"results sorted and distinct" ~count:100
+    Helpers.arbitrary_doc
+    (fun d ->
+      List.for_all
+        (fun q ->
+          let ns = Xpath.Eval.eval d (parse q) in
+          ns = List.sort_uniq compare ns)
+        [ "//a"; "//a//b"; "//*"; "//a[b='x']"; "/root//c" ])
+
+let eval_from_context () =
+  let d = doc () in
+  (match Xpath.Eval.eval d (parse "//patient") with
+   | [ betty; matt ] ->
+     let q = { (parse "//disease") with Ast.absolute = false } in
+     Alcotest.(check int) "from betty" 2
+       (List.length (Xpath.Eval.eval_from d [ betty ] q));
+     Alcotest.(check int) "from matt" 2
+       (List.length (Xpath.Eval.eval_from d [ matt ] q))
+   | _ -> Alcotest.fail "expected two patients")
+
+let compare_values_cases () =
+  let open Xpath.Eval in
+  Alcotest.(check bool) "numeric" true (compare_values "9" Ast.Lt "10");
+  Alcotest.(check bool) "lexicographic" false (compare_values "b9" Ast.Lt "a10");
+  Alcotest.(check bool) "eq" true (compare_values "10.0" Ast.Eq "10");
+  Alcotest.(check bool) "string eq" true (compare_values "xy" Ast.Eq "xy");
+  Alcotest.(check bool) "mixed falls back to string" true
+    (compare_values "10x" Ast.Gt "10")
+
+(* Brute-force scan cross-checks the evaluator's descendant axis. *)
+let brute_descendant_tag d tag =
+  List.filter (fun n -> Doc.tag d n = tag) (List.init (Doc.node_count d) (fun i -> i))
+
+let eval_vs_brute =
+  QCheck.Test.make ~name:"//tag = brute-force scan" ~count:100
+    Helpers.arbitrary_doc
+    (fun d ->
+      List.for_all
+        (fun tag ->
+          Xpath.Eval.eval d (parse ("//" ^ tag)) = brute_descendant_tag d tag)
+        [ "a"; "b"; "item"; "name" ])
+
+let () =
+  Alcotest.run "xpath"
+    [ ( "parser",
+        [ Alcotest.test_case "shapes" `Quick parser_shapes;
+          Alcotest.test_case "predicates" `Quick parser_predicates;
+          Alcotest.test_case "self comparison" `Quick parser_self_comparison;
+          Alcotest.test_case "extended axes" `Quick parser_extended_axes;
+          Alcotest.test_case "boolean predicates" `Quick boolean_predicates_parse;
+          Alcotest.test_case "boolean predicate eval" `Quick boolean_predicates_eval;
+          Alcotest.test_case "document-order axes" `Quick eval_document_order_axes;
+          Alcotest.test_case "unions" `Quick union_parsing;
+          Alcotest.test_case "union eval" `Quick union_eval;
+          Alcotest.test_case "errors" `Quick parser_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick to_string_roundtrip;
+          Alcotest.test_case "tags_of_path" `Quick tags_of_path ] );
+      ( "eval",
+        [ Alcotest.test_case "axes" `Quick eval_axes;
+          Alcotest.test_case "extended axes" `Quick eval_extended_axes;
+          Alcotest.test_case "predicates" `Quick eval_predicates;
+          Alcotest.test_case "figure 7 query" `Quick eval_figure7;
+          Alcotest.test_case "context evaluation" `Quick eval_from_context;
+          Alcotest.test_case "compare_values" `Quick compare_values_cases ]
+        @ List.map QCheck_alcotest.to_alcotest [ eval_doc_order_dedup; eval_vs_brute ] ) ]

@@ -1,0 +1,209 @@
+(* FLWOR layer tests: parser, reference evaluation, secure evaluation
+   equivalence across schemes. *)
+
+module Ast = Xquery.Ast
+module System = Secure.System
+
+let parse = Xquery.Parser.parse
+
+let doc () = Workload.Health.doc ()
+
+let render trees = List.map Xmlcore.Printer.tree_to_string trees
+
+(* --- Parser -------------------------------------------------------- *)
+
+let parser_shapes () =
+  let q =
+    parse
+      "for $p in //patient let $t := .//treat where $p/age >= 40 and \
+       .//disease = 'flu' order by $p/age descending return \
+       <row>{$p/pname}{$t/doctor}</row>"
+  in
+  Alcotest.(check string) "for var" "p" q.Ast.for_var;
+  Alcotest.(check int) "one let" 1 (List.length q.Ast.lets);
+  Alcotest.(check int) "two conditions" 2 (List.length q.Ast.where);
+  Alcotest.(check bool) "ordered desc" true
+    (match q.Ast.order_by with Some { Ast.descending; _ } -> descending | None -> false);
+  (match q.Ast.return with
+   | Ast.Elem ("row", [ Ast.Splice _; Ast.Splice _ ]) -> ()
+   | _ -> Alcotest.fail "template shape");
+  (* Condition subjects. *)
+  (match q.Ast.where with
+   | [ c1; c2 ] ->
+     Alcotest.(check (option string)) "explicit var" (Some "p") c1.Ast.subject;
+     Alcotest.(check (option string)) "implicit for var" None c2.Ast.subject
+   | _ -> Alcotest.fail "conditions")
+
+let parser_minimal () =
+  let q = parse "for $x in //disease return {$x}" in
+  Alcotest.(check int) "no lets" 0 (List.length q.Ast.lets);
+  Alcotest.(check int) "no conditions" 0 (List.length q.Ast.where);
+  (match q.Ast.return with
+   | Ast.Splice { Ast.var = "x"; steps = None } -> ()
+   | _ -> Alcotest.fail "bare splice")
+
+let parser_errors () =
+  let fails s =
+    match parse s with
+    | _ -> Alcotest.failf "%S should not parse" s
+    | exception Xquery.Parser.Parse_error _ -> ()
+  in
+  fails "for x in //a return {$x}";
+  fails "for $x in //a";
+  fails "for $x in //a return <r>{$x}</s>";
+  fails "for $x in //a where b ~ 3 return {$x}";
+  fails "for $x in //a return {$x} trailing"
+
+let to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = parse s in
+      let q2 = parse (Ast.to_string q) in
+      Alcotest.(check string) s (Ast.to_string q) (Ast.to_string q2))
+    [ "for $p in //patient return <r>{$p/pname}</r>";
+      "for $p in //patient where $p/age >= 40 return {$p}";
+      "for $p in //patient let $t := .//treat order by $p/age return \
+       <row>{$t/disease}</row>" ]
+
+(* --- Reference evaluation ------------------------------------------ *)
+
+let eval_basic () =
+  let d = doc () in
+  let results =
+    Xquery.Eval.eval d (parse "for $p in //patient return <name>{$p/pname}</name>")
+  in
+  Alcotest.(check (list string)) "wrapped names"
+    [ "<name><pname>Betty</pname></name>"; "<name><pname>Matt</pname></name>" ]
+    (render results)
+
+let eval_where () =
+  let d = doc () in
+  let results =
+    Xquery.Eval.eval d
+      (parse
+         "for $p in //patient where .//disease = 'leukemia' return {$p/pname}")
+  in
+  Alcotest.(check (list string)) "filtered" [ "<pname>Matt</pname>" ] (render results);
+  let empty =
+    Xquery.Eval.eval d
+      (parse "for $p in //patient where $p/age > 99 return {$p/pname}")
+  in
+  Alcotest.(check int) "no matches" 0 (List.length empty)
+
+let eval_let_and_conditions_on_lets () =
+  let d = doc () in
+  let results =
+    Xquery.Eval.eval d
+      (parse
+         "for $p in //patient let $i := .//insurance where $i/@coverage >= \
+          '500000' return {$p/pname}")
+  in
+  Alcotest.(check (list string)) "let condition" [ "<pname>Betty</pname>" ]
+    (render results)
+
+let eval_order_by () =
+  let d = doc () in
+  let ascending =
+    Xquery.Eval.eval d
+      (parse "for $p in //patient order by $p/age return {$p/age}")
+  in
+  Alcotest.(check (list string)) "ascending" [ "<age>35</age>"; "<age>40</age>" ]
+    (render ascending);
+  let descending =
+    Xquery.Eval.eval d
+      (parse "for $p in //patient order by $p/age descending return {$p/age}")
+  in
+  Alcotest.(check (list string)) "descending" [ "<age>40</age>"; "<age>35</age>" ]
+    (render descending)
+
+let eval_nested_template () =
+  let d = doc () in
+  let results =
+    Xquery.Eval.eval d
+      (parse
+         "for $t in //treat where $t/doctor = 'Smith' return \
+          <case><who>{$t/disease}</who><label>smith-case</label></case>")
+  in
+  Alcotest.(check int) "two smith cases" 2 (List.length results);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "label present" true
+        (let needle = "<label>smith-case</label>" in
+         let rec has i =
+           i + String.length needle <= String.length s
+           && (String.sub s i (String.length needle) = needle || has (i + 1))
+         in
+         has 0))
+    (render results)
+
+let pushdown_shape () =
+  let q =
+    parse
+      "for $p in //patient let $i := .//insurance where $p/age >= 40 and \
+       $i/@coverage >= '10000' return {$p/pname}"
+  in
+  let pushed = Xquery.Eval.pushdown q in
+  (* Only the for-var condition is pushed; the let condition stays. *)
+  Alcotest.(check string) "pushdown" "//patient[age>=40]"
+    (Xpath.Ast.to_string pushed)
+
+(* --- Secure evaluation across schemes ------------------------------ *)
+
+let flwor_queries =
+  [ "for $p in //patient return <name>{$p/pname}</name>";
+    "for $p in //patient where .//disease = 'diarrhea' return {$p/SSN}";
+    "for $p in //patient where $p/age >= 40 return <r>{$p/pname}{$p/age}</r>";
+    "for $t in //treat where $t/doctor != 'Smith' return {$t/disease}";
+    "for $p in //patient let $i := .//insurance where $i/@coverage >= '500000' \
+     return {$p/pname}";
+    "for $p in //patient order by $p/age descending return {$p/pname}";
+    "for $x in //insurance return <pol>{$x/policy#}</pol>" ]
+
+let secure_equals_reference () =
+  let d = doc () in
+  let scs = Workload.Health.constraints () in
+  List.iter
+    (fun kind ->
+      let sys, _ = System.setup d scs kind in
+      List.iter
+        (fun qs ->
+          let q = parse qs in
+          let expected = Xquery.Secure_run.reference sys q in
+          let got, _cost = Xquery.Secure_run.evaluate sys q in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: %s" (Secure.Scheme.kind_to_string kind) qs)
+            (render expected) (render got))
+        flwor_queries)
+    Secure.Scheme.all_kinds
+
+let secure_on_generated () =
+  let d = Workload.Health.generate ~patients:60 () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup d scs Secure.Scheme.Opt in
+  List.iter
+    (fun qs ->
+      let q = parse qs in
+      Alcotest.(check (list string)) qs
+        (render (Xquery.Secure_run.reference sys q))
+        (render (fst (Xquery.Secure_run.evaluate sys q))))
+    [ "for $p in //patient where $p/age >= 90 order by $p/age return \
+       <senior>{$p/pname}{$p/age}</senior>";
+      "for $t in //treat where $t/disease = 'flu' return {$t/doctor}" ]
+
+let () =
+  Alcotest.run "xquery"
+    [ ( "parser",
+        [ Alcotest.test_case "shapes" `Quick parser_shapes;
+          Alcotest.test_case "minimal" `Quick parser_minimal;
+          Alcotest.test_case "errors" `Quick parser_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick to_string_roundtrip ] );
+      ( "eval",
+        [ Alcotest.test_case "basic" `Quick eval_basic;
+          Alcotest.test_case "where" `Quick eval_where;
+          Alcotest.test_case "lets" `Quick eval_let_and_conditions_on_lets;
+          Alcotest.test_case "order by" `Quick eval_order_by;
+          Alcotest.test_case "nested template" `Quick eval_nested_template;
+          Alcotest.test_case "pushdown" `Quick pushdown_shape ] );
+      ( "secure",
+        [ Alcotest.test_case "all schemes" `Quick secure_equals_reference;
+          Alcotest.test_case "generated hospital" `Slow secure_on_generated ] ) ]
