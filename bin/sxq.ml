@@ -156,6 +156,46 @@ let host_cmd =
     Term.(const run $ doc_file_arg $ sc_arg $ scheme_arg $ master_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+
+let verify_cmd =
+  let bundle_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BUNDLE"
+           ~doc:"Hosted bundle file written by $(b,host -o).")
+  in
+  let run path master =
+    let report = Secure.Persist.verify_file ~master path in
+    Printf.printf "%s: %d bytes\n" path report.Secure.Persist.file_bytes;
+    Printf.printf "sections:\n";
+    List.iter
+      (fun (name, status) ->
+        let s =
+          match status with
+          | Secure.Persist.Section_ok -> "ok"
+          | Secure.Persist.Section_failed m -> "FAILED (" ^ m ^ ")"
+          | Secure.Persist.Section_unreached -> "unreached"
+        in
+        Printf.printf "  %-16s %s\n" name s)
+      report.Secure.Persist.sections;
+    Printf.printf "blocks: %d/%d decrypt ok\n"
+      (report.Secure.Persist.blocks_total
+       - List.length report.Secure.Persist.blocks_bad)
+      report.Secure.Persist.blocks_total;
+    List.iter
+      (fun (id, why) -> Printf.printf "  block %d: %s\n" id why)
+      report.Secure.Persist.blocks_bad;
+    Printf.printf "verdict: %s\n"
+      (Secure.Persist.verdict_to_string report.Secure.Persist.verdict);
+    if report.Secure.Persist.verdict <> Secure.Persist.Intact then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check a hosted bundle's integrity (magic, framing, HMAC trailer, \
+             per-section decodability, per-block decryptability) and report a \
+             per-section status instead of a bare Corrupt exception.")
+    Term.(const run $ bundle_arg $ master_arg)
+
+(* ------------------------------------------------------------------ *)
 (* query                                                               *)
 
 let query_cmd =
@@ -173,7 +213,14 @@ let query_cmd =
   in
   let run path query scs scheme master verbose hosted =
     let sys =
-      if hosted then Secure.Persist.load ~master path
+      if hosted then
+        (try Secure.Persist.load ~master path
+         with Secure.Persist.Corrupt m ->
+           Printf.eprintf
+             "sxq: cannot load %s: %s\n(run `sxq verify %s` for a per-section \
+              diagnosis)\n"
+             path m path;
+           exit 1)
       else begin
         let doc = load_doc path in
         let scs = parse_scs scs in
@@ -319,5 +366,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; stats_cmd; host_cmd; query_cmd; aggregate_cmd;
-            xquery_cmd; attack_cmd ]))
+          [ generate_cmd; stats_cmd; host_cmd; verify_cmd; query_cmd;
+            aggregate_cmd; xquery_cmd; attack_cmd ]))

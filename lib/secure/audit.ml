@@ -3,9 +3,11 @@ type entry = {
   block_ids : int list;
 }
 
-type t = { mutable entries : entry list }
+type t = { mutable entries : entry list; mutable replayed_frames : int }
 
-let create () = { entries = [] }
+let create () = { entries = []; replayed_frames = 0 }
+
+let record_replays t n = t.replayed_frames <- t.replayed_frames + n
 
 let record t ~request ~response =
   let block_ids =
@@ -20,6 +22,7 @@ type analysis = {
   distinct_requests : int;
   repeated_requests : int;
   distinct_patterns : int;
+  replayed_frames : int;
   top_co_accessed : ((int * int) * int) list;
 }
 
@@ -58,13 +61,15 @@ let analyze t =
     distinct_requests;
     repeated_requests = queries - distinct_requests;
     distinct_patterns;
+    replayed_frames = t.replayed_frames;
     top_co_accessed }
 
 let pp_analysis fmt a =
   Format.fprintf fmt
     "@[<v>%d queries observed; %d distinct requests (%d recognisable repeats);@,\
-     %d distinct block-access patterns@,"
-    a.queries a.distinct_requests a.repeated_requests a.distinct_patterns;
+     %d distinct block-access patterns; %d retransmitted frames (linkable)@,"
+    a.queries a.distinct_requests a.repeated_requests a.distinct_patterns
+    a.replayed_frames;
   List.iter
     (fun ((x, y), c) ->
       Format.fprintf fmt "blocks %d and %d co-returned %d times@," x y c)

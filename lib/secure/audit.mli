@@ -19,6 +19,15 @@ val create : unit -> t
 val record : t -> request:string -> response:Server.response -> unit
 (** Log one exchange: the encoded request bytes and the response. *)
 
+val record_replays : t -> int -> unit
+(** Log retransmitted frames the server recognised (its {!Session}
+    replay cache hits).  Retries are a leakage surface the reliable
+    seed protocol did not have: a retransmitted frame is byte-identical
+    to its original, so the server links the two deliveries with
+    certainty, and retry {e timing} additionally fingerprints the
+    client's loss environment.  Feed {!Session.endpoint_stats}
+    [.replayed] here to keep the channel measured. *)
+
 val observed : t -> int
 (** Exchanges logged. *)
 
@@ -30,6 +39,9 @@ type analysis = {
       (** queries the server recognises as exact repeats *)
   distinct_patterns : int;
       (** distinct returned block-id sets *)
+  replayed_frames : int;
+      (** session-layer retransmits the server linked (see
+          {!record_replays}) *)
   top_co_accessed : ((int * int) * int) list;
       (** block pairs most often returned together (top 10) — the
           co-location inference channel *)

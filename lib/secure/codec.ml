@@ -60,6 +60,10 @@ module R = struct
 
   let list r f =
     let n = int r in
+    (* Every list element in the formats built on this codec consumes
+       at least one byte, so a count exceeding the remaining bytes is
+       adversarial — reject it before materialising anything. *)
+    if n > String.length r.data - r.pos then raise (Error "implausible list length");
     List.init n (fun _ -> f r)
 
   let at_end r = r.pos = String.length r.data

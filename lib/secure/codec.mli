@@ -28,6 +28,10 @@ module R : sig
   val float : t -> float
   val bool : t -> bool
   val string : t -> string
+
   val list : t -> (t -> 'a) -> 'a list
+  (** @raise Error when the element count exceeds the bytes remaining
+      (adversarial counts are rejected before allocation). *)
+
   val at_end : t -> bool
 end

@@ -3,7 +3,12 @@ module Interval = Dsi.Interval
 
 exception Corrupt of string
 
-let magic = "SXQHOST1"
+(* Format v2: magic, a 64-bit body length (so torn writes are
+   distinguishable from tampering before any MAC check), the body, and
+   an HMAC-SHA-256 trailer over everything before it. *)
+let magic = "SXQHOST2"
+let header_len = String.length magic + 8
+let mac_len = 32
 
 (* Primitive codecs live in Codec; readers raise Codec.Error, mapped
    to Corrupt at this module's boundary. *)
@@ -108,32 +113,46 @@ let kind_of_int = function
 (* ------------------------------------------------------------------ *)
 (* Whole-bundle codec                                                  *)
 
+(* The body is a sequence of named sections; writer and reader walk the
+   same list of names so verify can localise a failure (and a tear) to
+   one section. *)
 let encode_body system =
   let b = Buffer.create 65_536 in
+  let sections = ref [] in
+  let mark name = sections := (name, Buffer.length b) :: !sections in
   let doc = System.doc system in
   let scheme = System.scheme system in
   let db = System.db system in
   let meta = System.metadata system in
   W.string b (Crypto.Cipher.suite_to_string (System.cipher system));
+  mark "cipher-suite";
   W.string b (Xmlcore.Printer.doc_to_string doc);
+  mark "document";
   W.list b (fun b sc -> W.string b (Sc.to_string sc)) (System.constraints system);
+  mark "constraints";
   W.int b (kind_to_int scheme.Scheme.kind);
   W.list b W.int scheme.Scheme.block_roots;
   W.list b W.string scheme.Scheme.covered_tags;
+  mark "scheme";
   W.list b w_block db.Encrypt.blocks;
+  mark "blocks";
   W.string b (Xmlcore.Printer.tree_to_string db.Encrypt.skeleton);
+  mark "skeleton";
   W.list b W.string db.Encrypt.encrypted_tags;
   W.list b W.string db.Encrypt.plaintext_tags;
+  mark "tag-partition";
   W.list b
     (fun b (key, ivs) ->
       W.string b key;
       W.list b w_interval ivs)
     meta.Metadata.dsi_table;
+  mark "dsi-table";
   W.list b
     (fun b (id, iv) ->
       W.int b id;
       w_interval b iv)
     meta.Metadata.block_table;
+  mark "block-table";
   let entries = ref [] in
   Btree.iter meta.Metadata.btree (fun k v -> entries := (k, v) :: !entries);
   W.list b
@@ -141,101 +160,361 @@ let encode_body system =
       W.i64 b k;
       w_target b v)
     (List.rev !entries);
+  mark "value-btree";
   W.list b w_catalog meta.Metadata.catalogs;
+  mark "opess-catalogs";
   W.list b W.string meta.Metadata.indexed_tags;
-  Buffer.contents b
+  mark "indexed-tags";
+  Buffer.contents b, List.rev !sections
+
+let section_offsets system =
+  let _, sections = encode_body system in
+  List.map (fun (name, off) -> name, header_len + off) sections
 
 let mac_key master =
   Crypto.Keys.derive (Crypto.Keys.create ~master ()) "persist-mac"
 
 let to_string system =
-  let body = encode_body system in
+  let body, _ = encode_body system in
   let master = System.master system in
-  let mac = Crypto.Hmac.mac ~key:(mac_key master) (magic ^ body) in
-  magic ^ body ^ mac
+  let b = Buffer.create (header_len + String.length body + mac_len) in
+  Buffer.add_string b magic;
+  W.i64 b (Int64.of_int (String.length body));
+  Buffer.add_string b body;
+  let prefix = Buffer.contents b in
+  prefix ^ Crypto.Hmac.mac ~key:(mac_key master) prefix
+
+(* --- Staged body reader -------------------------------------------- *)
+
+(* Decoded parts accumulate here; [stages] lists (name, thunk) in body
+   order.  of_string runs every stage and then assembles; verify runs
+   them one at a time, catching per-stage failures. *)
+type partial = {
+  mutable p_cipher : Crypto.Cipher.suite option;
+  mutable p_doc : Doc.t option;
+  mutable p_constraints : Sc.t list;
+  mutable p_kind : Scheme.kind option;
+  mutable p_block_roots : int list;
+  mutable p_covered_tags : string list;
+  mutable p_blocks : Encrypt.block list;
+  mutable p_skeleton : Xmlcore.Tree.t option;
+  mutable p_encrypted_tags : string list;
+  mutable p_plaintext_tags : string list;
+  mutable p_dsi_table : (string * Interval.t list) list;
+  mutable p_block_table : (int * Interval.t) list;
+  mutable p_btree_entries : (int64 * Metadata.target) list;
+  mutable p_catalogs : (string * Opess.t) list;
+  mutable p_indexed_tags : string list;
+}
+
+let fresh_partial () =
+  { p_cipher = None; p_doc = None; p_constraints = []; p_kind = None;
+    p_block_roots = []; p_covered_tags = []; p_blocks = []; p_skeleton = None;
+    p_encrypted_tags = []; p_plaintext_tags = []; p_dsi_table = [];
+    p_block_table = []; p_btree_entries = []; p_catalogs = []; p_indexed_tags = [] }
+
+let parse_or_corrupt what f x =
+  try f x with
+  | Corrupt _ as e -> raise e
+  | Xmlcore.Parser.Parse_error _ | Xpath.Parser.Parse_error _
+  | Invalid_argument _ ->
+    raise (Corrupt ("malformed " ^ what))
+
+let stages r p =
+  [ ( "cipher-suite",
+      fun () ->
+        match Crypto.Cipher.suite_of_string (R.string r) with
+        | Some s -> p.p_cipher <- Some s
+        | None -> raise (Corrupt "unknown cipher suite") );
+    ( "document",
+      fun () ->
+        p.p_doc <-
+          Some (parse_or_corrupt "document" Xmlcore.Parser.parse_doc (R.string r)) );
+    ( "constraints",
+      fun () ->
+        p.p_constraints <-
+          List.map (parse_or_corrupt "constraint" Sc.parse) (R.list r R.string) );
+    ( "scheme",
+      fun () ->
+        p.p_kind <- Some (kind_of_int (R.int r));
+        p.p_block_roots <- R.list r R.int;
+        p.p_covered_tags <- R.list r R.string );
+    ("blocks", fun () -> p.p_blocks <- R.list r r_block);
+    ( "skeleton",
+      fun () ->
+        p.p_skeleton <-
+          Some (parse_or_corrupt "skeleton" Xmlcore.Parser.parse (R.string r)) );
+    ( "tag-partition",
+      fun () ->
+        p.p_encrypted_tags <- R.list r R.string;
+        p.p_plaintext_tags <- R.list r R.string );
+    ( "dsi-table",
+      fun () ->
+        p.p_dsi_table <-
+          R.list r (fun r ->
+              let key = R.string r in
+              let ivs = R.list r r_interval in
+              key, ivs) );
+    ( "block-table",
+      fun () ->
+        p.p_block_table <-
+          R.list r (fun r ->
+              let id = R.int r in
+              let iv = r_interval r in
+              id, iv) );
+    ( "value-btree",
+      fun () ->
+        p.p_btree_entries <-
+          R.list r (fun r ->
+              let k = R.i64 r in
+              let v = r_target r in
+              k, v) );
+    ("opess-catalogs", fun () -> p.p_catalogs <- R.list r r_catalog);
+    ("indexed-tags", fun () -> p.p_indexed_tags <- R.list r R.string) ]
+
+(* --- Header / framing checks --------------------------------------- *)
+
+type framing =
+  | F_ok of string  (* the body *)
+  | F_torn of { expected_bytes : int; actual_bytes : int }
+  | F_tampered
+  | F_malformed of string
+
+(* [check_mac = false] lets verify inspect sections of a torn file. *)
+let check_framing ~master data =
+  let n = String.length data in
+  let magic_len = String.length magic in
+  if n < magic_len then begin
+    if String.equal data (String.sub magic 0 n) then
+      F_torn { expected_bytes = header_len + mac_len; actual_bytes = n }
+    else F_malformed "bad magic"
+  end
+  else if String.sub data 0 magic_len <> magic then F_malformed "bad magic"
+  else if n < header_len then
+    F_torn { expected_bytes = header_len + mac_len; actual_bytes = n }
+  else begin
+    let body_len =
+      let r = R.make data magic_len in
+      R.i64 r
+    in
+    if Int64.compare body_len 0L < 0
+       || Int64.compare body_len 0x40_0000_0000L > 0 then
+      F_malformed "implausible body length"
+    else begin
+      let body_len = Int64.to_int body_len in
+      let expected = header_len + body_len + mac_len in
+      if n < expected then F_torn { expected_bytes = expected; actual_bytes = n }
+      else if n > expected then F_malformed "trailing bytes"
+      else begin
+        let prefix = String.sub data 0 (header_len + body_len) in
+        let mac = String.sub data (header_len + body_len) mac_len in
+        if String.equal (Crypto.Hmac.mac ~key:(mac_key master) prefix) mac then
+          F_ok (String.sub data header_len body_len)
+        else F_tampered
+      end
+    end
+  end
+
+(* --- Full decode --------------------------------------------------- *)
 
 let rec of_string ~master data =
   try of_string_exn ~master data with Codec.Error m -> raise (Corrupt m)
 
 and of_string_exn ~master data =
-  let magic_len = String.length magic in
-  if String.length data < magic_len + 32 then raise (Corrupt "file too short");
-  if String.sub data 0 magic_len <> magic then raise (Corrupt "bad magic");
-  let mac = String.sub data (String.length data - 32) 32 in
-  let payload = String.sub data 0 (String.length data - 32) in
-  if Crypto.Hmac.mac ~key:(mac_key master) payload <> mac then
-    raise (Corrupt "MAC check failed (tampered file or wrong master secret)");
-  let r = R.make payload magic_len in
-  let parse_or_corrupt what f x =
-    try f x with
-    | Corrupt _ as e -> raise e
-    | Xmlcore.Parser.Parse_error _ | Xpath.Parser.Parse_error _
-    | Invalid_argument _ ->
-      raise (Corrupt ("malformed " ^ what))
+  let body =
+    match check_framing ~master data with
+    | F_ok body -> body
+    | F_torn { expected_bytes; actual_bytes } ->
+      raise
+        (Corrupt
+           (Printf.sprintf "torn write: expected %d bytes, got %d" expected_bytes
+              actual_bytes))
+    | F_tampered ->
+      raise (Corrupt "MAC check failed (tampered file or wrong master secret)")
+    | F_malformed m -> raise (Corrupt m)
   in
-  let cipher =
-    match Crypto.Cipher.suite_of_string (R.string r) with
-    | Some s -> s
-    | None -> raise (Corrupt "unknown cipher suite")
+  let r = R.make body 0 in
+  let p = fresh_partial () in
+  List.iter (fun (_, stage) -> stage ()) (stages r p);
+  if not (R.at_end r) then raise (Corrupt "trailing bytes");
+  let get what = function Some v -> v | None -> raise (Corrupt ("missing " ^ what)) in
+  let cipher = get "cipher" p.p_cipher in
+  let doc = get "document" p.p_doc in
+  let scheme =
+    { Scheme.kind = get "scheme kind" p.p_kind;
+      block_roots = p.p_block_roots;
+      covered_tags = p.p_covered_tags }
   in
-  let doc = parse_or_corrupt "document" Xmlcore.Parser.parse_doc (R.string r) in
-  let constraints =
-    List.map (parse_or_corrupt "constraint" Sc.parse) (R.list r R.string)
-  in
-  let kind = kind_of_int (R.int r) in
-  let block_roots = R.list r R.int in
-  let covered_tags = R.list r R.string in
-  let scheme = { Scheme.kind; block_roots; covered_tags } in
-  let blocks = R.list r r_block in
-  let skeleton = parse_or_corrupt "skeleton" Xmlcore.Parser.parse (R.string r) in
-  let encrypted_tags = R.list r R.string in
-  let plaintext_tags = R.list r R.string in
   let db =
-    { Encrypt.doc; scheme; blocks; skeleton; encrypted_tags; plaintext_tags }
-  in
-  let dsi_table =
-    R.list r (fun r ->
-        let key = R.string r in
-        let ivs = R.list r r_interval in
-        key, ivs)
-  in
-  let block_table =
-    R.list r (fun r ->
-        let id = R.int r in
-        let iv = r_interval r in
-        id, iv)
+    { Encrypt.doc;
+      scheme;
+      blocks = p.p_blocks;
+      skeleton = get "skeleton" p.p_skeleton;
+      encrypted_tags = p.p_encrypted_tags;
+      plaintext_tags = p.p_plaintext_tags }
   in
   let btree = Btree.create ~min_degree:16 () in
-  let entries =
-    R.list r (fun r ->
-        let k = R.i64 r in
-        let v = r_target r in
-        k, v)
-  in
-  List.iter (fun (k, v) -> Btree.insert btree k v) entries;
-  let catalogs = R.list r r_catalog in
-  let indexed_tags = R.list r R.string in
-  if r.R.pos <> String.length payload then raise (Corrupt "trailing bytes");
+  List.iter (fun (k, v) -> Btree.insert btree k v) p.p_btree_entries;
   (* The DSI assignment is deterministic in the master key: recompute
      rather than store. *)
   let keys = Crypto.Keys.create ~master () in
   let assignment = Dsi.Assign.assign ~key:(Crypto.Keys.dsi_key keys) doc in
   let metadata =
-    { Metadata.assignment; dsi_table; block_table; btree; catalogs; indexed_tags }
+    { Metadata.assignment;
+      dsi_table = p.p_dsi_table;
+      block_table = p.p_block_table;
+      btree;
+      catalogs = p.p_catalogs;
+      indexed_tags = p.p_indexed_tags }
   in
-  System.restore ~master ~cipher ~doc ~constraints ~scheme ~db ~metadata ()
+  System.restore ~master ~cipher ~doc ~constraints:p.p_constraints ~scheme ~db
+    ~metadata ()
 
-let save system path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string system))
+(* --- Verification (fsck) ------------------------------------------- *)
 
-let load ~master path =
+type verdict =
+  | Intact
+  | Torn of { expected_bytes : int; actual_bytes : int }
+  | Tampered
+  | Malformed of string
+
+type section_status = Section_ok | Section_failed of string | Section_unreached
+
+type report = {
+  file_bytes : int;
+  verdict : verdict;
+  sections : (string * section_status) list;
+  blocks_total : int;
+  blocks_bad : (int * string) list;
+}
+
+let verdict_to_string = function
+  | Intact -> "intact"
+  | Torn { expected_bytes; actual_bytes } ->
+    Printf.sprintf "torn write (expected %d bytes, got %d)" expected_bytes
+      actual_bytes
+  | Tampered -> "tampered (MAC mismatch or wrong master secret)"
+  | Malformed m -> "malformed: " ^ m
+
+let verify ~master data =
+  let framing = check_framing ~master data in
+  (* Section walk: even a torn or tampered body is worth parsing as far
+     as it goes, to localise the damage.  The body slice is whatever is
+     actually present past the header. *)
+  let body =
+    match framing with
+    | F_ok body -> Some body
+    | F_torn _ when String.length data > header_len ->
+      Some (String.sub data header_len (String.length data - header_len))
+    | F_torn _ | F_tampered | F_malformed _ ->
+      if String.length data > header_len + mac_len then
+        (* Tampered/malformed files still frame a body-sized slice when
+           the declared length is usable; fall back to everything after
+           the header minus a MAC-sized tail. *)
+        Some (String.sub data header_len (String.length data - header_len - mac_len))
+      else None
+  in
+  let sections_report, blocks, suite =
+    match body with
+    | None ->
+      ( List.map
+          (fun n -> n, Section_unreached)
+          [ "cipher-suite"; "document"; "constraints"; "scheme"; "blocks";
+            "skeleton"; "tag-partition"; "dsi-table"; "block-table";
+            "value-btree"; "opess-catalogs"; "indexed-tags" ],
+        [],
+        None )
+    | Some body ->
+      let r = R.make body 0 in
+      let p = fresh_partial () in
+      let failed = ref false in
+      let statuses =
+        List.map
+          (fun (name, stage) ->
+            if !failed then name, Section_unreached
+            else
+              match stage () with
+              | () -> name, Section_ok
+              | exception Codec.Error m ->
+                failed := true;
+                name, Section_failed m
+              | exception Corrupt m ->
+                failed := true;
+                name, Section_failed m)
+          (stages r p)
+      in
+      let statuses =
+        if (not !failed) && not (R.at_end r) then
+          statuses @ [ "trailer", Section_failed "trailing bytes" ]
+        else statuses
+      in
+      statuses, p.p_blocks, p.p_cipher
+  in
+  (* Per-block decryptability, under the declared cipher suite when the
+     cipher-suite section survived (XTEA otherwise). *)
+  let blocks_bad =
+    match blocks with
+    | [] -> []
+    | blocks ->
+      let suite = Option.value ~default:Crypto.Cipher.Xtea suite in
+      let keys = Crypto.Keys.create ~suite ~master () in
+      List.filter_map
+        (fun (b : Encrypt.block) ->
+          match Encrypt.decrypt_block ~keys b with
+          | (_ : Xmlcore.Tree.t) -> None
+          | exception Encrypt.Tampered id ->
+            Some (id, "authentication tag mismatch")
+          | exception _ -> Some (b.Encrypt.id, "undecryptable"))
+        blocks
+  in
+  let verdict =
+    match framing with
+    | F_ok _ ->
+      let section_failure =
+        List.find_map
+          (function name, Section_failed m -> Some (name ^ ": " ^ m) | _ -> None)
+          sections_report
+      in
+      (match section_failure with
+       | Some m -> Malformed m
+       | None when blocks_bad <> [] ->
+         Malformed (Printf.sprintf "%d undecryptable block(s)" (List.length blocks_bad))
+       | None -> Intact)
+    | F_torn { expected_bytes; actual_bytes } -> Torn { expected_bytes; actual_bytes }
+    | F_tampered -> Tampered
+    | F_malformed m -> Malformed m
+  in
+  { file_bytes = String.length data;
+    verdict;
+    sections = sections_report;
+    blocks_total = List.length blocks;
+    blocks_bad }
+
+(* --- File I/O ------------------------------------------------------ *)
+
+let read_file path =
   let ic = open_in_bin path in
-  let data =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_string ~master data
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Crash-safe: write to a temporary sibling, fsync, then atomically
+   rename over the destination.  A crash at any byte offset leaves
+   either the complete old bundle or the complete new one at [path];
+   the worst survivor is a torn [path ^ ".tmp"], which {!verify}
+   identifies as such. *)
+let save system path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (to_string system);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let load ~master path = of_string ~master (read_file path)
+let verify_file ~master path = verify ~master (read_file path)

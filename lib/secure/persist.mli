@@ -11,16 +11,22 @@
     re-assignment for the metadata record, skeleton indexing, server
     hash tables).
 
-    The format is integrity-checked with an HMAC trailer under a key
-    derived from the master secret, so a tampered or wrong-key file is
-    rejected rather than decrypted into garbage. *)
+    The on-disk frame is [magic | body length | body | HMAC-SHA-256],
+    the MAC keyed from the master secret.  The explicit body length
+    lets {!load} and {!verify} distinguish a {e torn write} (the file
+    stops before its declared end — a crash, not an attack) from
+    {e tampering} (right length, wrong MAC).  {!save} is crash-safe:
+    it writes a [.tmp] sibling, fsyncs, and atomically renames, so an
+    interruption at any byte offset leaves the previous bundle
+    loadable. *)
 
 exception Corrupt of string
-(** Raised by {!load} on bad magic, version mismatch, truncation or
-    MAC failure. *)
+(** Raised by {!load} on bad magic, torn writes, truncation or MAC
+    failure; the message distinguishes torn from tampered. *)
 
 val save : System.t -> string -> unit
-(** [save system path] writes the hosted bundle. *)
+(** [save system path] writes the hosted bundle atomically
+    (tmp + fsync + rename). *)
 
 val load : master:string -> string -> System.t
 (** [load ~master path] restores the system.
@@ -32,3 +38,42 @@ val to_string : System.t -> string
 
 val of_string : master:string -> string -> System.t
 (** In-memory decoding (what {!load} reads). *)
+
+(** {2 Verification (fsck for hosted bundles)} *)
+
+type verdict =
+  | Intact
+  | Torn of { expected_bytes : int; actual_bytes : int }
+      (** the file stops before its declared end: an interrupted write *)
+  | Tampered
+      (** framing complete but the HMAC trailer does not verify *)
+  | Malformed of string
+      (** structurally undecodable despite correct framing *)
+
+val verdict_to_string : verdict -> string
+
+type section_status = Section_ok | Section_failed of string | Section_unreached
+
+type report = {
+  file_bytes : int;
+  verdict : verdict;
+  sections : (string * section_status) list;
+      (** per body section, in on-disk order; decoding stops at the
+          first failure, localising a tear or flip to one section *)
+  blocks_total : int;
+  blocks_bad : (int * string) list;
+      (** blocks whose authentication tag or decryption fails *)
+}
+
+val verify : master:string -> string -> report
+(** Never raises: every defect is reported in the verdict/sections.
+    Section decoding is attempted even on torn or tampered files to
+    localise the damage. *)
+
+val verify_file : master:string -> string -> report
+
+val section_offsets : System.t -> (string * int) list
+(** Byte offset (within the full file) at which each body section of
+    [system]'s encoding ends — the section boundaries a torn write can
+    land on.  Used by the truncation tests and {!verify}
+    diagnostics. *)

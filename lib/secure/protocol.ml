@@ -81,22 +81,31 @@ and w_predicate b = function
     W.int b 4;
     w_predicate b x
 
-let rec r_path r =
+(* Adversarial wire bytes could encode predicate towers deep enough to
+   overflow the stack; no honest translation nests anywhere near this
+   limit. *)
+let max_depth = 64
+
+let deeper depth =
+  if depth >= max_depth then raise (Codec.Error "nesting too deep");
+  depth + 1
+
+let rec r_path depth r =
   let absolute = R.bool r in
-  let steps = R.list r r_step in
+  let steps = R.list r (r_step depth) in
   { Squery.absolute; steps }
 
-and r_step r =
+and r_step depth r =
   let axis = axis_of_int (R.int r) in
   let test = r_test r in
-  let predicates = R.list r r_predicate in
+  let predicates = R.list r (r_predicate (deeper depth)) in
   { Squery.axis; test; predicates }
 
-and r_predicate r =
+and r_predicate depth r =
   match R.int r with
-  | 0 -> Squery.Exists (r_path r)
+  | 0 -> Squery.Exists (r_path depth r)
   | 1 ->
-    let q = r_path r in
+    let q = r_path depth r in
     let range_set =
       if R.bool r then
         Squery.Ranges
@@ -108,14 +117,14 @@ and r_predicate r =
     in
     Squery.Value (q, range_set)
   | 2 ->
-    let x = r_predicate r in
-    let y = r_predicate r in
+    let x = r_predicate (deeper depth) r in
+    let y = r_predicate (deeper depth) r in
     Squery.P_and (x, y)
   | 3 ->
-    let x = r_predicate r in
-    let y = r_predicate r in
+    let x = r_predicate (deeper depth) r in
+    let y = r_predicate (deeper depth) r in
     Squery.P_or (x, y)
-  | 4 -> Squery.P_not (r_predicate r)
+  | 4 -> Squery.P_not (r_predicate (deeper depth) r)
   | n -> raise (Codec.Error (Printf.sprintf "unknown predicate tag %d" n))
 
 let encode_request q =
@@ -123,10 +132,13 @@ let encode_request q =
   w_path b q;
   Buffer.contents b
 
+(* The wire path's only escaping exception is Malformed: any Codec
+   error, unknown tag, implausible count or over-deep nesting maps
+   here, and the readers bounds-check before every access. *)
 let decode_request data =
   try
     let r = R.make data 0 in
-    let q = r_path r in
+    let q = r_path 0 r in
     if not (R.at_end r) then raise (Codec.Error "trailing bytes");
     q
   with Codec.Error m -> raise (Malformed m)

@@ -13,6 +13,12 @@
     production deployment. *)
 
 exception Malformed of string
+(** The {e only} exception the wire-facing decoders may raise: random,
+    truncated or bit-flipped buffers must map here, never to
+    [Invalid_argument], [Failure], [Stack_overflow] or an
+    out-of-bounds access (fuzzed in [test_protocol]).  Decoders
+    bounds-check every read, reject implausible list counts, and cap
+    predicate nesting depth. *)
 
 val encode_request : Squery.path -> string
 val decode_request : string -> Squery.path

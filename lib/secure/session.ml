@@ -1,0 +1,246 @@
+let log_src = Logs.Src.create "secure.session" ~doc:"Retrying session protocol"
+
+module Log = (val Logs.src_log log_src)
+
+type error =
+  | Timeout
+  | Tampered
+  | Malformed
+  | Stale
+  | Gave_up of int
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | Tampered -> "tampered"
+  | Malformed -> "malformed"
+  | Stale -> "stale"
+  | Gave_up n -> Printf.sprintf "gave up after %d attempts" n
+
+type config = {
+  max_attempts : int;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+}
+
+let default_config = { max_attempts = 4; base_backoff_ms = 10.0; max_backoff_ms = 200.0 }
+
+type stats = {
+  calls : int;
+  attempts : int;
+  retries : int;
+  timeouts : int;
+  tampered : int;
+  malformed : int;
+  stale : int;
+  gave_up : int;
+  retransmitted_bytes : int;
+  backoff_ms : float;
+}
+
+let zero_stats =
+  { calls = 0; attempts = 0; retries = 0; timeouts = 0; tampered = 0;
+    malformed = 0; stale = 0; gave_up = 0; retransmitted_bytes = 0;
+    backoff_ms = 0.0 }
+
+let faults_absorbed s = s.timeouts + s.tampered + s.malformed + s.stale
+
+(* --- Frame codec --------------------------------------------------- *)
+
+type kind = Request | Response
+
+let magic = "SXSF1"
+let mac_len = 32
+let kind_byte = function Request -> '\000' | Response -> '\001'
+
+let encode_frame ~mac_key ~kind ~seq payload =
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (kind_byte kind);
+  Codec.W.i64 b seq;
+  Codec.W.string b payload;
+  let body = Buffer.contents b in
+  body ^ Crypto.Hmac.mac ~key:mac_key body
+
+let decode_frame ~mac_key ~expect ?expect_seq data =
+  let magic_len = String.length magic in
+  (* Structural minimum: magic + kind + seq + payload length + MAC. *)
+  if String.length data < magic_len + 1 + 8 + 8 + mac_len then Error Malformed
+  else if String.sub data 0 magic_len <> magic then Error Malformed
+  else begin
+    let body_len = String.length data - mac_len in
+    let body = String.sub data 0 body_len in
+    let mac = String.sub data body_len mac_len in
+    if not (String.equal (Crypto.Hmac.mac ~key:mac_key body) mac) then Error Tampered
+    else begin
+      (* MAC verified: the body is exactly what the peer framed, so any
+         parse failure below means a protocol bug, not line noise —
+         still reported as Malformed rather than an escaped exception. *)
+      match
+        let r = Codec.R.make body (magic_len + 1) in
+        let seq = Codec.R.i64 r in
+        let payload = Codec.R.string r in
+        if not (Codec.R.at_end r) then raise (Codec.Error "trailing bytes");
+        seq, payload
+      with
+      | exception Codec.Error _ -> Error Malformed
+      | seq, payload ->
+        if body.[magic_len] <> kind_byte expect then Error Malformed
+        else
+          match expect_seq with
+          | Some want when not (Int64.equal want seq) -> Error Stale
+          | Some _ | None -> Ok (seq, payload)
+    end
+  end
+
+(* --- Client -------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  mac_key : string;
+  transport : Transport.t;
+  mutable next_seq : int64;
+  mutable st : stats;
+}
+
+let client ?(config = default_config) ~mac_key transport =
+  if config.max_attempts < 1 then invalid_arg "Session.client: max_attempts < 1";
+  { cfg = config; mac_key; transport; next_seq = 0L; st = zero_stats }
+
+let stats t = t.st
+let config t = t.cfg
+
+let record_fault t = function
+  | Timeout -> t.st <- { t.st with timeouts = t.st.timeouts + 1 }
+  | Tampered -> t.st <- { t.st with tampered = t.st.tampered + 1 }
+  | Malformed -> t.st <- { t.st with malformed = t.st.malformed + 1 }
+  | Stale -> t.st <- { t.st with stale = t.st.stale + 1 }
+  | Gave_up _ -> ()
+
+let call t payload =
+  let seq = t.next_seq in
+  t.next_seq <- Int64.add seq 1L;
+  t.st <- { t.st with calls = t.st.calls + 1 };
+  let frame = encode_frame ~mac_key:t.mac_key ~kind:Request ~seq payload in
+  let backoff = ref t.cfg.base_backoff_ms in
+  let rec attempt n =
+    if n > t.cfg.max_attempts then begin
+      t.st <- { t.st with gave_up = t.st.gave_up + 1 };
+      Log.warn (fun m -> m "seq %Ld: gave up after %d attempts" seq t.cfg.max_attempts);
+      Error (Gave_up t.cfg.max_attempts)
+    end
+    else begin
+      if n > 1 then begin
+        (* Simulated capped exponential backoff before each retry. *)
+        t.st <- { t.st with retries = t.st.retries + 1;
+                            retransmitted_bytes =
+                              t.st.retransmitted_bytes + String.length frame;
+                            backoff_ms = t.st.backoff_ms +. !backoff };
+        backoff := Float.min (!backoff *. 2.0) t.cfg.max_backoff_ms
+      end;
+      t.st <- { t.st with attempts = t.st.attempts + 1 };
+      let outcome =
+        match Transport.exchange t.transport frame with
+        | exception Transport.Dropped -> Error Timeout
+        | resp ->
+          Result.map snd
+            (decode_frame ~mac_key:t.mac_key ~expect:Response ~expect_seq:seq resp)
+      in
+      match outcome with
+      | Ok payload -> Ok payload
+      | Error fault ->
+        record_fault t fault;
+        Log.debug (fun m ->
+            m "seq %Ld attempt %d/%d: %s" seq n t.cfg.max_attempts
+              (error_to_string fault));
+        attempt (n + 1)
+    end
+  in
+  attempt 1
+
+(* --- Server endpoint ----------------------------------------------- *)
+
+(* Bounded LRU over request digests.  Capacity is small (default 128),
+   so the O(capacity) eviction scan is cheaper than a second index. *)
+module Lru = struct
+  type 'a t = {
+    capacity : int;
+    table : (string, 'a * int ref) Hashtbl.t;
+    mutable tick : int;
+  }
+
+  let create capacity = { capacity = max 1 capacity; table = Hashtbl.create 64; tick = 0 }
+
+  let touch t gen =
+    t.tick <- t.tick + 1;
+    gen := t.tick
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some (v, gen) ->
+      touch t gen;
+      Some v
+
+  let add t key v =
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.capacity then begin
+        let oldest =
+          Hashtbl.fold
+            (fun k (_, gen) acc ->
+              match acc with
+              | Some (_, best) when best <= !gen -> acc
+              | _ -> Some (k, !gen))
+            t.table None
+        in
+        match oldest with
+        | Some (k, _) -> Hashtbl.remove t.table k
+        | None -> ()
+      end;
+      let gen = ref 0 in
+      touch t gen;
+      Hashtbl.add t.table key (v, gen)
+    end
+end
+
+type endpoint_stats = {
+  served : int;
+  replayed : int;
+  discarded : int;
+}
+
+type endpoint = {
+  e_mac_key : string;
+  handler : string -> string;
+  cache : string Lru.t;
+  mutable est : endpoint_stats;
+}
+
+let endpoint ?(replay_cache = 128) ~mac_key ~handler () =
+  { e_mac_key = mac_key; handler; cache = Lru.create replay_cache;
+    est = { served = 0; replayed = 0; discarded = 0 } }
+
+let endpoint_stats e = e.est
+
+let serve e frame =
+  match decode_frame ~mac_key:e.e_mac_key ~expect:Request frame with
+  | Error _ ->
+    (* A real server cannot answer what it cannot authenticate: stay
+       silent and let the client time out. *)
+    e.est <- { e.est with discarded = e.est.discarded + 1 };
+    raise Transport.Dropped
+  | Ok (seq, payload) ->
+    let digest = Crypto.Sha256.digest frame in
+    (match Lru.find e.cache digest with
+     | Some cached ->
+       e.est <- { e.est with replayed = e.est.replayed + 1 };
+       cached
+     | None ->
+       (match e.handler payload with
+        | exception Protocol.Malformed _ ->
+          e.est <- { e.est with discarded = e.est.discarded + 1 };
+          raise Transport.Dropped
+        | answer ->
+          let resp = encode_frame ~mac_key:e.e_mac_key ~kind:Response ~seq answer in
+          Lru.add e.cache digest resp;
+          e.est <- { e.est with served = e.est.served + 1 };
+          resp))

@@ -1,0 +1,111 @@
+(** Reliable request/response sessions over an unreliable {!Transport}.
+
+    Every exchange is framed: a magic tag, a direction marker, a 64-bit
+    sequence number, the length-prefixed payload and an HMAC-SHA-256
+    trailer under a key derived from the client's master secret
+    ({!Crypto.Keys.derive}, label ["session-mac"] — provisioned to the
+    service provider at setup time, like the metadata).  The MAC
+    authenticates the frame end to end, the sequence number pins a
+    response to the request that caused it, and the direction marker
+    stops a reflected request from passing as a response.
+
+    {!call} retries on timeout, corruption and stale delivery with
+    capped exponential backoff.  Backoff time is {e simulated} (counted
+    in {!stats}, never slept) to match the repo's modelled-latency cost
+    convention; see {!System.link_bytes_per_ms}.
+
+    The server side ({!endpoint}) verifies request frames, discards
+    unverifiable ones (raising {!Transport.Dropped}, i.e. silence on
+    the wire), and keeps a bounded LRU of recent request digests so a
+    duplicated or retransmitted request is answered from cache instead
+    of re-evaluated — retries are idempotent by construction. *)
+
+type error =
+  | Timeout          (** nothing came back before the (simulated) deadline *)
+  | Tampered         (** frame present but its MAC does not verify *)
+  | Malformed        (** frame structure unparseable *)
+  | Stale            (** authentic frame for the wrong sequence number *)
+  | Gave_up of int   (** retries exhausted after this many attempts *)
+
+val error_to_string : error -> string
+
+type config = {
+  max_attempts : int;       (** total tries per call, >= 1 *)
+  base_backoff_ms : float;  (** simulated wait before the first retry *)
+  max_backoff_ms : float;   (** cap for the exponential schedule *)
+}
+
+val default_config : config
+(** 4 attempts, 10 ms doubling to a 200 ms cap. *)
+
+type stats = {
+  calls : int;
+  attempts : int;             (** transport exchanges, retries included *)
+  retries : int;
+  timeouts : int;
+  tampered : int;
+  malformed : int;
+  stale : int;
+  gave_up : int;              (** calls that exhausted their attempts *)
+  retransmitted_bytes : int;  (** request bytes beyond each first attempt *)
+  backoff_ms : float;         (** total simulated backoff *)
+}
+
+val faults_absorbed : stats -> int
+(** Faults survived by retrying: [timeouts + tampered + malformed +
+    stale], minus nothing — a fault on the final attempt of a
+    [gave_up] call is still counted here. *)
+
+(** {2 Client side} *)
+
+type t
+
+val client : ?config:config -> mac_key:string -> Transport.t -> t
+
+val call : t -> string -> (string, error) result
+(** [call t payload] runs one framed, verified, retried exchange and
+    returns the response payload.  [Error (Gave_up n)] after [n]
+    failed attempts; never raises on transport faults. *)
+
+val stats : t -> stats
+(** Cumulative; diff around a {!call} for per-call numbers. *)
+
+val config : t -> config
+
+(** {2 Server side} *)
+
+type endpoint
+
+val endpoint :
+  ?replay_cache:int -> mac_key:string -> handler:(string -> string) ->
+  unit -> endpoint
+(** [endpoint ~handler ()] wraps a raw request handler (payload bytes
+    to payload bytes) into a frame handler.  [replay_cache] bounds the
+    digest LRU (default 128 entries).  [handler] exceptions of type
+    {!Protocol.Malformed} are treated as an unanswerable request and
+    dropped. *)
+
+val serve : endpoint -> string -> string
+(** Frame handler suitable for {!Transport.loopback}.
+    @raise Transport.Dropped on unverifiable or unanswerable frames. *)
+
+type endpoint_stats = {
+  served : int;      (** requests evaluated by the handler *)
+  replayed : int;    (** requests answered from the replay cache *)
+  discarded : int;   (** frames dropped as unverifiable *)
+}
+
+val endpoint_stats : endpoint -> endpoint_stats
+
+(** {2 Frame codec} (exposed for tests) *)
+
+type kind = Request | Response
+
+val encode_frame : mac_key:string -> kind:kind -> seq:int64 -> string -> string
+
+val decode_frame :
+  mac_key:string -> expect:kind -> ?expect_seq:int64 -> string ->
+  (int64 * string, error) result
+(** Returns the frame's sequence number and payload.  [Error Stale]
+    when [expect_seq] is given and differs; {!Tampered} on MAC
+    mismatch; {!Malformed} on structural garbage. *)

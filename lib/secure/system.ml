@@ -5,6 +5,15 @@ let log_src = Logs.Src.create "secure.system" ~doc:"Hosted-system lifecycle"
 
 module Log = (val Logs.src_log log_src)
 
+(* The wire between client and server: a framed session over a
+   (possibly fault-injecting) transport.  Built once per system; the
+   endpoint wraps the server's answer function. *)
+type link = {
+  transport : Transport.t;
+  session : Session.t;
+  endpoint : Session.endpoint;
+}
+
 type t = {
   doc : Doc.t;
   master : string;
@@ -15,6 +24,7 @@ type t = {
   metadata : Metadata.t;
   client : Client.t;
   server : Server.t;
+  link : link;
 }
 
 type cost = {
@@ -26,6 +36,10 @@ type cost = {
   postprocess_ms : float;
   blocks_returned : int;
   answer_count : int;
+  attempts : int;
+  retransmitted_bytes : int;
+  faults_absorbed : int;
+  degraded : bool;
 }
 
 (* 100 Mbps = 12.5 MB/s = 12500 bytes per ms. *)
@@ -51,6 +65,23 @@ let timed f =
   let result = f () in
   result, now_ms () -. start
 
+let session_mac_label = "session-mac"
+
+let make_link ?session_config ?faults keys server =
+  let mac_key = Crypto.Keys.derive keys session_mac_label in
+  let handler request =
+    Protocol.encode_response (Server.answer server (Protocol.decode_request request))
+  in
+  let endpoint = Session.endpoint ~mac_key ~handler () in
+  let transport = Transport.loopback (Session.serve endpoint) in
+  let transport =
+    match faults with
+    | None -> transport
+    | Some (profile, seed) -> Transport.faulty ~profile ~seed transport
+  in
+  { transport; session = Session.client ?config:session_config ~mac_key transport;
+    endpoint }
+
 let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
     ?(value_index = Metadata.All_leaves) doc scs kind =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
@@ -73,7 +104,8 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
         metadata_ms
         (Crypto.Cipher.suite_to_string cipher));
   let system =
-    { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server }
+    { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server;
+      link = make_link keys server }
   in
   let cost =
     { scheme_build_ms;
@@ -92,6 +124,7 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
 let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
     ~metadata () =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
+  let server = Server.of_metadata metadata db in
   { doc;
     master;
     cipher;
@@ -100,7 +133,19 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
     db;
     metadata;
     client = Client.create ~keys metadata db;
-    server = Server.of_metadata metadata db }
+    server;
+    link = make_link keys server }
+
+(* Rewire the same hosted system behind a chaotic link.  The server
+   state is shared; only the wire path (and retry policy) changes. *)
+let with_faults ?session ~profile ~seed t =
+  let keys = Crypto.Keys.create ~suite:t.cipher ~master:t.master () in
+  { t with
+    link = make_link ?session_config:session ~faults:(profile, seed) keys t.server }
+
+let session_stats t = Session.stats t.link.session
+let transport_stats t = Transport.stats t.link.transport
+let endpoint_stats t = Session.endpoint_stats t.link.endpoint
 
 let doc t = t.doc
 let master t = t.master
@@ -112,7 +157,9 @@ let metadata t = t.metadata
 let client t = t.client
 let server t = t.server
 
-let cost_of ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms ~blocks ~answers =
+let cost_of ?(attempts = 1) ?(retransmitted_bytes = 0) ?(faults_absorbed = 0)
+    ?(degraded = false) ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
+    ~blocks ~answers () =
   { translate_ms;
     server_ms;
     transmit_bytes = bytes;
@@ -120,72 +167,62 @@ let cost_of ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms ~blocks 
     decrypt_ms;
     postprocess_ms;
     blocks_returned = blocks;
-    answer_count = answers }
+    answer_count = answers;
+    attempts;
+    retransmitted_bytes;
+    faults_absorbed;
+    degraded }
 
-let evaluate t query =
+(* Session-stat deltas around a group of calls, for the cost report. *)
+let session_snapshot t = Session.stats t.link.session
+
+let robustness_since t (before : Session.stats) =
+  let after = Session.stats t.link.session in
+  ( after.Session.attempts - before.Session.attempts,
+    after.Session.retransmitted_bytes - before.Session.retransmitted_bytes,
+    Session.faults_absorbed after - Session.faults_absorbed before )
+
+(* One verified round trip: frame, exchange (with retries), unframe,
+   decode.  A response that authenticates but fails protocol decoding
+   is reported as Malformed rather than letting the exception escape —
+   under a surviving fault schedule the caller must never crash. *)
+let exchange t squery =
+  let request = Protocol.encode_request squery in
+  match Session.call t.link.session request with
+  | Error e -> Error e
+  | Ok payload ->
+    (match Protocol.decode_response payload with
+     | exception Protocol.Malformed _ -> Error Session.Malformed
+     | response -> Ok (String.length request, response))
+
+let decrypt_response t (response : Server.response) =
+  timed (fun () ->
+      List.map
+        (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+        response.Server.blocks)
+
+let try_evaluate t query =
   (* Every exchange crosses the wire format: the server decodes the
      request bytes, the client decodes the response bytes — exactly the
-     Figure 1 data flow. *)
+     Figure 1 data flow, now framed and retried by the session layer. *)
   let squery, translate_ms = timed (fun () -> Client.translate t.client query) in
-  let request = Protocol.encode_request squery in
-  let response, server_ms =
-    timed (fun () -> Server.answer t.server (Protocol.decode_request request))
-  in
-  let response = Protocol.roundtrip_response response in
-  let decrypted, decrypt_ms =
-    timed (fun () ->
-        List.map
-          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-          response.Server.blocks)
-  in
-  let answers, postprocess_ms =
-    timed (fun () -> Client.evaluate_with t.client ~decrypted query)
-  in
-  ( answers,
-    cost_of ~translate_ms ~server_ms
-      ~bytes:(String.length request + response.Server.bytes)
-      ~decrypt_ms ~postprocess_ms
-      ~blocks:(List.length response.Server.blocks)
-      ~answers:(List.length answers) )
-
-(* Union queries: one server round per branch, one combined block set,
-   one client-side union evaluation (node-level dedup). *)
-let evaluate_union t queries =
-  let start = now_ms () in
-  let responses =
-    List.map
-      (fun q ->
-        let squery = Client.translate t.client q in
-        let request = Protocol.encode_request squery in
-        let response = Server.answer t.server (Protocol.decode_request request) in
-        String.length request, Protocol.roundtrip_response response)
-      queries
-  in
-  let server_ms = now_ms () -. start in
-  let blocks =
-    List.sort_uniq
-      (fun a b -> compare a.Encrypt.id b.Encrypt.id)
-      (List.concat_map (fun (_, r) -> r.Server.blocks) responses)
-  in
-  let bytes =
-    List.fold_left (fun acc (req, r) -> acc + req + r.Server.bytes) 0 responses
-  in
-  let decrypted, decrypt_ms =
-    timed (fun () ->
-        List.map
-          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-          blocks)
-  in
-  let answers, postprocess_ms =
-    timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
-  in
-  ( answers,
-    cost_of ~translate_ms:0.0 ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
-      ~blocks:(List.length blocks)
-      ~answers:(List.length answers) )
-
-let reference_union t queries =
-  List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)
+  let before = session_snapshot t in
+  match timed (fun () -> exchange t squery) with
+  | Error e, _ -> Error e
+  | Ok (request_bytes, response), server_ms ->
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    let decrypted, decrypt_ms = decrypt_response t response in
+    let answers, postprocess_ms =
+      timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+    in
+    Ok
+      ( answers,
+        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms
+          ~server_ms
+          ~bytes:(request_bytes + response.Server.bytes)
+          ~decrypt_ms ~postprocess_ms
+          ~blocks:(List.length response.Server.blocks)
+          ~answers:(List.length answers) () )
 
 let naive_evaluate t query =
   let blocks = Server.all_blocks t.server in
@@ -207,7 +244,98 @@ let naive_evaluate t query =
   ( answers,
     cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
       ~blocks:(List.length blocks)
-      ~answers:(List.length answers) )
+      ~answers:(List.length answers) () )
+
+(* Degradation ladder: the metadata path retries inside Session.call;
+   if it still fails, fall back to the naive ship-everything semantics
+   evaluated from the server state directly (no metadata round trip to
+   fail), so answers stay exact under any survivable fault schedule. *)
+let evaluate t query =
+  let before = session_snapshot t in
+  match try_evaluate t query with
+  | Ok result -> result
+  | Error err ->
+    Log.warn (fun m ->
+        m "metadata path failed (%s): degrading to naive evaluation"
+          (Session.error_to_string err));
+    let answers, cost = naive_evaluate t query in
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    answers, { cost with degraded = true; attempts; retransmitted_bytes; faults_absorbed }
+
+(* Union queries: one server round per branch, one combined block set,
+   one client-side union evaluation (node-level dedup). *)
+let try_evaluate_union t queries =
+  let start = now_ms () in
+  let before = session_snapshot t in
+  let rec rounds acc = function
+    | [] -> Ok (List.rev acc)
+    | q :: rest ->
+      (match exchange t (Client.translate t.client q) with
+       | Error e -> Error e
+       | Ok round -> rounds (round :: acc) rest)
+  in
+  match rounds [] queries with
+  | Error e -> Error e
+  | Ok responses ->
+    let server_ms = now_ms () -. start in
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    let blocks =
+      List.sort_uniq
+        (fun a b -> compare a.Encrypt.id b.Encrypt.id)
+        (List.concat_map (fun (_, r) -> r.Server.blocks) responses)
+    in
+    let bytes =
+      List.fold_left (fun acc (req, r) -> acc + req + r.Server.bytes) 0 responses
+    in
+    let decrypted, decrypt_ms =
+      timed (fun () ->
+          List.map
+            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+            blocks)
+    in
+    let answers, postprocess_ms =
+      timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
+    in
+    Ok
+      ( answers,
+        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms:0.0
+          ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
+          ~blocks:(List.length blocks)
+          ~answers:(List.length answers) () )
+
+let evaluate_union t queries =
+  let before = session_snapshot t in
+  match try_evaluate_union t queries with
+  | Ok result -> result
+  | Error err ->
+    Log.warn (fun m ->
+        m "union metadata path failed (%s): degrading to naive evaluation"
+          (Session.error_to_string err));
+    let blocks = Server.all_blocks t.server in
+    let bytes =
+      List.fold_left
+        (fun acc b ->
+          acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
+        0 blocks
+    in
+    let decrypted, decrypt_ms =
+      timed (fun () ->
+          List.map
+            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
+            blocks)
+    in
+    let answers, postprocess_ms =
+      timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
+    in
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    ( answers,
+      cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~degraded:true
+        ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
+        ~blocks:(List.length blocks)
+        ~answers:(List.length answers) () )
+
+let reference_union t queries =
+  List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)
 
 let reference t query =
   List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval t.doc query)
@@ -272,7 +400,8 @@ let aggregate t direction query =
       cost_of ~translate_ms ~server_ms ~bytes:response.Server.bytes ~decrypt_ms
         ~postprocess_ms
         ~blocks:(List.length response.Server.blocks)
-        ~answers:(match result with Some _ -> 1 | None -> 0) )
+        ~answers:(match result with Some _ -> 1 | None -> 0)
+        () )
 
 let count t query =
   (* COUNT cannot be answered from the index (splitting and scaling

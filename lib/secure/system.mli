@@ -24,6 +24,14 @@ type cost = {
   postprocess_ms : float;
   blocks_returned : int;
   answer_count : int;
+  attempts : int;
+      (** session-layer transport attempts this query cost (1 = clean) *)
+  retransmitted_bytes : int;
+      (** frame bytes re-sent by retries (robustness overhead) *)
+  faults_absorbed : int;
+      (** transport faults survived by the session layer *)
+  degraded : bool;
+      (** the metadata path gave up and the naive fallback answered *)
 }
 
 val total_ms : cost -> float
@@ -73,8 +81,37 @@ val metadata : t -> Metadata.t
 val client : t -> Client.t
 val server : t -> Server.t
 
+(** {2 Transport faults and the session layer}
+
+    Every {!evaluate} round trip is framed by {!Session} (sequence
+    numbers + HMAC trailer) and crosses a {!Transport}.  A freshly
+    {!setup} or {!restore}d system uses a perfect loopback; rewire it
+    with {!with_faults} to exercise the retry and degradation
+    machinery under a deterministic chaos schedule. *)
+
+val with_faults :
+  ?session:Session.config -> profile:Transport.profile -> seed:int64 -> t -> t
+(** [with_faults ~profile ~seed t] shares [t]'s server state but
+    routes the wire path through {!Transport.faulty}.  Systems derived
+    by {!update} / {!rotate} revert to the perfect loopback. *)
+
+val session_stats : t -> Session.stats
+val transport_stats : t -> Transport.stats
+val endpoint_stats : t -> Session.endpoint_stats
+
 val evaluate : t -> Xpath.Ast.path -> Xmlcore.Tree.t list * cost
-(** Full protocol round trip. *)
+(** Full protocol round trip.  Total under any fault schedule the
+    session layer can survive: retries absorb transient faults, and
+    once the configured attempts are exhausted the query {e degrades}
+    to {!naive_evaluate} semantics evaluated against the server state
+    directly ([cost.degraded = true]) — answers stay exact
+    ([Q(δ(Qs(η(D)))) = Q(D)]) either way. *)
+
+val try_evaluate :
+  t -> Xpath.Ast.path -> (Xmlcore.Tree.t list * cost, Session.error) result
+(** Strict variant: no degradation ladder.  [Error (Gave_up _)] after
+    the session layer exhausts its attempts; never raises on transport
+    faults. *)
 
 val evaluate_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list * cost
 (** Union query ([p1 | p2 | ...], cf. {!Xpath.Parser.parse_union}): one
@@ -82,10 +119,18 @@ val evaluate_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list * cost
     node-deduplicated union evaluation.  [translate_ms] is folded into
     [server_ms] in the reported cost. *)
 
+val try_evaluate_union :
+  t -> Xpath.Ast.path list -> (Xmlcore.Tree.t list * cost, Session.error) result
+(** Strict union evaluation (first failing branch aborts). *)
+
 val reference_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list
 
 val naive_evaluate : t -> Xpath.Ast.path -> Xmlcore.Tree.t list * cost
-(** Ship-everything baseline. *)
+(** Ship-everything baseline; also the degradation fallback.  Reads the
+    server state directly (no metadata round trip), so it succeeds
+    regardless of the fault schedule.  The MIN/MAX fast path of
+    {!aggregate} likewise bypasses the transport (its extreme-entry
+    exchange has no wire encoding yet). *)
 
 val reference : t -> Xpath.Ast.path -> Xmlcore.Tree.t list
 (** Ground truth: the query evaluated directly on the plaintext

@@ -1,0 +1,74 @@
+(** The network between client and server, made explicit.
+
+    The simulation runs in one process, but every exchange crosses this
+    abstraction as raw bytes: the client hands over a framed request and
+    either receives the framed response bytes or learns that the message
+    was lost in transit ({!Dropped}).  Two implementations:
+
+    - {!loopback} delivers perfectly to an in-process handler (the
+      honest, reliable service provider the seed repo assumed);
+    - {!faulty} wraps any transport with a deterministic fault schedule
+      — drops, duplicates, truncations, bit-flips, reordering and
+      latency — driven by a seeded {!Crypto.Prng}, so every chaos run
+      is byte-for-byte reproducible.
+
+    The faulty wrapper knows nothing about frame formats: it mangles
+    opaque bytes.  Detection and recovery are entirely {!Session}'s
+    job, which is exactly the layering a real DAS deployment needs. *)
+
+exception Dropped
+(** Raised by {!exchange} when the request or the response is lost in
+    transit (the synchronous analogue of a receive timeout). *)
+
+type t
+
+type profile = {
+  drop : float;        (** P(lose the message), per direction *)
+  duplicate : float;   (** P(deliver the request twice) *)
+  truncate : float;    (** P(cut the message short), per direction *)
+  flip : float;        (** P(flip one bit), per direction *)
+  reorder : float;     (** P(swap the response with one in flight) *)
+  delay_ms : float * float;
+      (** uniform simulated latency range added per exchange *)
+}
+
+val calm : profile
+(** All rates zero, no delay. *)
+
+val chaos : ?drop:float -> ?duplicate:float -> ?truncate:float ->
+  ?flip:float -> ?reorder:float -> ?delay_ms:float * float -> unit -> profile
+(** [calm] with the given rates overridden. *)
+
+type stats = {
+  exchanges : int;          (** calls to {!exchange} *)
+  delivered : int;          (** responses returned to the caller *)
+  dropped_requests : int;
+  dropped_responses : int;
+  duplicated : int;
+  truncated : int;
+  flipped : int;
+  reordered : int;          (** stale responses delivered or stashed *)
+  bytes_up : int;           (** request bytes put on the wire *)
+  bytes_down : int;         (** response bytes taken off the wire *)
+  delay_ms : float;         (** total simulated latency *)
+}
+
+val loopback : (string -> string) -> t
+(** [loopback handler] delivers every request to [handler] and returns
+    its response unchanged.  [handler] may itself raise {!Dropped} (a
+    server discarding an unverifiable frame). *)
+
+val faulty : ?profile:profile -> seed:int64 -> t -> t
+(** [faulty ~profile ~seed inner] injects faults around [inner].
+    Requests may be truncated, bit-flipped or dropped before delivery;
+    delivered requests may be duplicated (the server sees both copies);
+    responses may be truncated, bit-flipped, dropped or swapped with a
+    stale response still "in flight".  The schedule is a pure function
+    of [seed] and the call sequence. *)
+
+val exchange : t -> string -> string
+(** One synchronous round trip.  @raise Dropped on simulated loss. *)
+
+val stats : t -> stats
+(** Cumulative counters (all zero except [exchanges]/[delivered]/bytes
+    for a loopback). *)

@@ -51,12 +51,21 @@ let stable_encoding () =
   Alcotest.(check bool) "deterministic encoding" true
     (Persist.to_string sys = Persist.to_string sys)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let wrong_master_rejected () =
   let sys = build_system () in
   let data = Persist.to_string sys in
   (match Persist.of_string ~master:"wrong" data with
    | _ -> Alcotest.fail "wrong master must be rejected"
-   | exception Persist.Corrupt _ -> ())
+   | exception Persist.Corrupt m ->
+     (* A wrong master is indistinguishable from tampering — and must
+        not be misreported as a torn write. *)
+     Alcotest.(check bool) "reported as MAC failure" true
+       (contains ~sub:"MAC" m))
 
 let tampering_rejected () =
   let sys = build_system () in
@@ -75,8 +84,136 @@ let truncation_rejected () =
     (fun keep ->
       match Persist.of_string ~master:"persist-master" (String.sub data 0 keep) with
       | _ -> Alcotest.failf "truncation to %d must be rejected" keep
-      | exception Persist.Corrupt _ -> ())
+      | exception Persist.Corrupt m ->
+        (* Truncation is a crash artifact, not an attack: the error must
+           say "torn", never "tampered". *)
+        Alcotest.(check bool)
+          (Printf.sprintf "truncation to %d reported as torn" keep)
+          true (contains ~sub:"torn write" m))
     [ 0; 7; 40; String.length data / 2; String.length data - 1 ]
+
+let truncation_at_every_section_boundary () =
+  let sys = build_system () in
+  let data = Persist.to_string sys in
+  let offsets = Persist.section_offsets sys in
+  Alcotest.(check int) "twelve sections" 12 (List.length offsets);
+  List.iter
+    (fun (name, boundary) ->
+      List.iter
+        (fun cut ->
+          if cut >= 0 && cut < String.length data then begin
+            let torn = String.sub data 0 cut in
+            (* load refuses, as a torn write... *)
+            (match Persist.of_string ~master:"persist-master" torn with
+             | _ -> Alcotest.failf "cut at %s%+d accepted" name (cut - boundary)
+             | exception Persist.Corrupt m ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "%s cut %d torn" name cut)
+                 true (contains ~sub:"torn write" m));
+            (* ...and verify localises the tear: sections whose bytes
+               are fully present still decode, the straddling one
+               fails, the rest are unreached. *)
+            let report = Persist.verify ~master:"persist-master" torn in
+            (match report.Persist.verdict with
+             | Persist.Torn { expected_bytes; actual_bytes } ->
+               Alcotest.(check int) "expected full size" (String.length data)
+                 expected_bytes;
+               Alcotest.(check int) "actual cut size" cut actual_bytes
+             | v ->
+               Alcotest.failf "cut at %s%+d: verdict %s" name (cut - boundary)
+                 (Persist.verdict_to_string v));
+            List.iter
+              (fun (sec, sec_end) ->
+                match List.assoc_opt sec report.Persist.sections with
+                | None -> Alcotest.failf "section %s missing from report" sec
+                | Some status ->
+                  let present = sec_end <= cut in
+                  let ok = status = Persist.Section_ok in
+                  if present && not ok then
+                    Alcotest.failf "cut %d: complete section %s not ok" cut sec;
+                  if (not present) && ok then
+                    Alcotest.failf "cut %d: incomplete section %s reported ok" cut
+                      sec)
+              offsets
+          end)
+        [ boundary - 1; boundary; boundary + 1 ])
+    offsets
+
+let interrupted_save_preserves_previous_bundle () =
+  let sys = build_system () in
+  let sys2, _ =
+    System.update sys (Secure.Update.Set_value (parse "//patient/age", "64"))
+  in
+  let path = Filename.temp_file "sxq" ".host" in
+  let tmp = path ^ ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      Persist.save sys path;
+      let q = parse "//patient[.//disease='flu']/pname" in
+      let expected = fst (System.evaluate sys q) in
+      let new_data = Persist.to_string sys2 in
+      (* Simulate a crash mid-save at assorted byte offsets: save writes
+         to [path ^ ".tmp"] first, so the interruption leaves a torn tmp
+         next to an untouched previous bundle. *)
+      List.iter
+        (fun cut ->
+          let oc = open_out_bin tmp in
+          output_string oc (String.sub new_data 0 cut);
+          close_out oc;
+          (* The previous bundle is still loadable and answers as before. *)
+          let restored = Persist.load ~master:"persist-master" path in
+          Helpers.check_trees_equal
+            (Printf.sprintf "previous bundle survives crash at offset %d" cut)
+            expected
+            (fst (System.evaluate restored q));
+          (* fsck flags the torn tmp artifact. *)
+          let report = Persist.verify_file ~master:"persist-master" tmp in
+          match report.Persist.verdict with
+          | Persist.Torn _ -> ()
+          | v ->
+            Alcotest.failf "tmp torn at %d: verdict %s" cut
+              (Persist.verdict_to_string v))
+        [ 0; 1; 7; 15; 100; String.length new_data / 3;
+          String.length new_data - 1 ];
+      (* A completed save replaces the bundle atomically and cleans up. *)
+      Persist.save sys2 path;
+      Alcotest.(check bool) "tmp removed after successful save" false
+        (Sys.file_exists tmp);
+      let restored = Persist.load ~master:"persist-master" path in
+      Helpers.check_trees_equal "new bundle after completed save"
+        (fst (System.evaluate sys2 q))
+        (fst (System.evaluate restored q)))
+
+let verify_reports () =
+  let sys = build_system () in
+  let data = Persist.to_string sys in
+  (* Intact bundle: everything green. *)
+  let report = Persist.verify ~master:"persist-master" data in
+  Alcotest.(check string) "intact" "intact"
+    (Persist.verdict_to_string report.Persist.verdict);
+  List.iter
+    (fun (name, status) ->
+      if status <> Persist.Section_ok then
+        Alcotest.failf "section %s not ok on intact bundle" name)
+    report.Persist.sections;
+  Alcotest.(check bool) "blocks seen" true (report.Persist.blocks_total > 0);
+  Alcotest.(check int) "no bad blocks" 0 (List.length report.Persist.blocks_bad);
+  (* Bit flip: tampering, not a tear. *)
+  let flipped = Bytes.of_string data in
+  let i = Bytes.length flipped / 2 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x40));
+  let report = Persist.verify ~master:"persist-master" (Bytes.to_string flipped) in
+  (match report.Persist.verdict with
+   | Persist.Tampered | Persist.Malformed _ -> ()
+   | v -> Alcotest.failf "flip verdict %s" (Persist.verdict_to_string v));
+  (* Wrong master: MAC cannot verify. *)
+  let report = Persist.verify ~master:"eve" data in
+  match report.Persist.verdict with
+  | Persist.Tampered -> ()
+  | v -> Alcotest.failf "wrong master verdict %s" (Persist.verdict_to_string v)
 
 let updated_system_persists () =
   let sys = build_system () in
@@ -100,4 +237,10 @@ let () =
       ( "integrity",
         [ Alcotest.test_case "wrong master" `Quick wrong_master_rejected;
           Alcotest.test_case "tampering" `Quick tampering_rejected;
-          Alcotest.test_case "truncation" `Quick truncation_rejected ] ) ]
+          Alcotest.test_case "truncation" `Quick truncation_rejected;
+          Alcotest.test_case "section boundaries" `Quick
+            truncation_at_every_section_boundary ] );
+      ( "crash safety",
+        [ Alcotest.test_case "interrupted save" `Quick
+            interrupted_save_preserves_previous_bundle;
+          Alcotest.test_case "verify reports" `Quick verify_reports ] ) ]

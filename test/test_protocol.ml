@@ -68,6 +68,112 @@ let malformed_rejected () =
    | _ -> Alcotest.fail "bad response accepted"
    | exception Protocol.Malformed _ -> ())
 
+(* --- Adversarial-bytes fuzzing ------------------------------------- *)
+
+(* The wire decoders face attacker-controlled bytes; the contract is
+   that the only exception they may raise is [Protocol.Malformed] — no
+   Invalid_argument, Failure, Stack_overflow or out-of-bounds escape.
+   Seeded, so every run covers the same corpus. *)
+
+let decode_only_malformed ~what decode data =
+  match decode data with
+  | _ -> ()
+  | exception Protocol.Malformed _ -> ()
+  | exception e ->
+    Alcotest.failf "%s on %d bytes leaked %s" what (String.length data)
+      (Printexc.to_string e)
+
+let fuzz_decoders () =
+  let prng = Crypto.Prng.create 0xF022EDL in
+  let random_buffer () =
+    String.init (Crypto.Prng.int prng 300) (fun _ ->
+        Char.chr (Crypto.Prng.int prng 256))
+  in
+  (* Valid encodings to truncate and bit-flip. *)
+  let doc = Workload.Health.doc () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+  let requests =
+    List.map
+      (fun q ->
+        Protocol.encode_request
+          (Secure.Client.translate (System.client sys) (Xpath.Parser.parse q)))
+      [ "//patient[pname='Betty']//disease"; "//insurance/policy#";
+        "//treat[disease='flu'][doctor!='Smith']/doctor"; "//*" ]
+  in
+  let responses =
+    List.map
+      (fun q ->
+        Protocol.encode_response
+          (Secure.Server.answer (System.server sys)
+             (Secure.Client.translate (System.client sys) (Xpath.Parser.parse q))))
+      [ "//patient"; "//disease" ]
+  in
+  let truncated data =
+    String.sub data 0 (Crypto.Prng.int prng (String.length data))
+  in
+  let flipped data =
+    let b = Bytes.of_string data in
+    let i = Crypto.Prng.int prng (Bytes.length b) in
+    let bit = 1 lsl Crypto.Prng.int prng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+    Bytes.to_string b
+  in
+  for _ = 1 to 2000 do
+    let buf = random_buffer () in
+    decode_only_malformed ~what:"decode_request" Protocol.decode_request buf;
+    decode_only_malformed ~what:"decode_response" Protocol.decode_response buf
+  done;
+  List.iter
+    (fun data ->
+      for _ = 1 to 500 do
+        decode_only_malformed ~what:"decode_request (truncated)"
+          Protocol.decode_request (truncated data);
+        decode_only_malformed ~what:"decode_request (flipped)"
+          Protocol.decode_request (flipped data)
+      done)
+    requests;
+  List.iter
+    (fun data ->
+      for _ = 1 to 200 do
+        decode_only_malformed ~what:"decode_response (truncated)"
+          Protocol.decode_response (truncated data);
+        decode_only_malformed ~what:"decode_response (flipped)"
+          Protocol.decode_response (flipped data)
+      done)
+    responses
+
+let deep_nesting_rejected () =
+  (* A hand-built predicate tower deeper than any honest translation:
+     the depth guard must reject it with Malformed, not blow the
+     stack.  Encoding: P_not^n wrapping an Exists of an empty relative
+     path, hung off a single child step. *)
+  let b = Buffer.create 4096 in
+  let module W = Secure.Codec.W in
+  W.bool b false;            (* relative *)
+  W.int b 1;                 (* one step *)
+  W.int b 0;                 (* Child axis *)
+  W.bool b true;             (* Any test *)
+  W.int b 1;                 (* one predicate *)
+  for _ = 1 to 10_000 do
+    W.int b 4                (* P_not *)
+  done;
+  W.int b 0;                 (* Exists *)
+  W.bool b false;            (* relative path *)
+  W.int b 0;                 (* no steps *)
+  (match Protocol.decode_request (Buffer.contents b) with
+   | _ -> Alcotest.fail "unbounded nesting accepted"
+   | exception Protocol.Malformed m ->
+     Alcotest.(check string) "depth guard fired" "nesting too deep" m);
+  (* An implausible list count (larger than the remaining buffer) is
+     rejected up front rather than attempted. *)
+  let b = Buffer.create 16 in
+  W.bool b false;
+  W.int b 1_000_000;
+  match Protocol.decode_request (Buffer.contents b) with
+  | _ -> Alcotest.fail "implausible count accepted"
+  | exception Protocol.Malformed _ -> ()
+
 (* Random squery generator for the roundtrip property. *)
 let squery_gen =
   let open QCheck.Gen in
@@ -138,4 +244,7 @@ let () =
         [ Alcotest.test_case "real queries roundtrip" `Quick translate_all;
           Alcotest.test_case "malformed rejected" `Quick malformed_rejected ]
         @ List.map QCheck_alcotest.to_alcotest [ request_roundtrip_prop ] );
-      ("responses", [ Alcotest.test_case "roundtrip" `Quick response_roundtrip ]) ]
+      ("responses", [ Alcotest.test_case "roundtrip" `Quick response_roundtrip ]);
+      ( "adversarial",
+        [ Alcotest.test_case "fuzzed buffers" `Quick fuzz_decoders;
+          Alcotest.test_case "deep nesting" `Quick deep_nesting_rejected ] ) ]

@@ -76,17 +76,70 @@ let set_value () =
 
 let invalid_edits () =
   let doc = Workload.Health.doc () in
-  let raises f = match f () with
+  let raises ?expect f = match f () with
     | _ -> Alcotest.fail "expected Invalid_argument"
-    | exception Invalid_argument _ -> ()
+    | exception Invalid_argument m ->
+      (match expect with
+       | None -> ()
+       | Some sub ->
+         let contains ~sub s =
+           let n = String.length sub and len = String.length s in
+           let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "message %S mentions %S" m sub)
+           true (contains ~sub m))
   in
-  raises (fun () -> Update.apply doc (Update.Delete_nodes (parse "/hospital")));
-  raises (fun () -> Update.apply doc (Update.Set_value (parse "//patient", "x")));
-  raises (fun () -> Update.apply doc (Update.Delete_nodes (parse "//absent")));
-  raises (fun () ->
+  (* Deleting the document root leaves no document. *)
+  raises ~expect:"root"
+    (fun () -> Update.apply doc (Update.Delete_nodes (parse "/hospital")));
+  (* Set_value targets must be leaves. *)
+  raises ~expect:"not a leaf"
+    (fun () -> Update.apply doc (Update.Set_value (parse "//patient", "x")));
+  (* Paths that bind nothing are user errors, not silent no-ops. *)
+  raises ~expect:"binds nothing"
+    (fun () -> Update.apply doc (Update.Delete_nodes (parse "//absent")));
+  raises ~expect:"binds nothing"
+    (fun () -> Update.apply doc (Update.Set_value (parse "//absent", "v")));
+  raises ~expect:"binds nothing"
+    (fun () ->
       Update.apply doc
         (Update.Insert_child
-           { parent = parse "//pname"; position = 0; subtree = Tree.leaf "x" "1" }))
+           { parent = parse "//absent"; position = 0; subtree = Tree.leaf "x" "1" }));
+  (* Leaves cannot grow children. *)
+  raises ~expect:"leaf"
+    (fun () ->
+      Update.apply doc
+        (Update.Insert_child
+           { parent = parse "//pname"; position = 0; subtree = Tree.leaf "x" "1" }));
+  (* A failed edit must not have mutated the document. *)
+  Alcotest.(check int) "document unchanged after failures" 2
+    (List.length (Doc.nodes_with_tag doc "patient"))
+
+let insert_position_clamped () =
+  let doc = Workload.Health.doc () in
+  let note = Tree.leaf "note" "n" in
+  (* Negative positions clamp to a prepend rather than failing. *)
+  let edited =
+    Doc.of_tree
+      (Update.apply doc
+         (Update.Insert_child
+            { parent = parse "/hospital"; position = -5; subtree = note }))
+  in
+  (match Doc.children edited (Doc.root edited) with
+   | first :: _ -> Alcotest.(check string) "prepended" "note" (Doc.tag edited first)
+   | [] -> Alcotest.fail "no children");
+  (* Positions past the end clamp to an append. *)
+  let edited =
+    Doc.of_tree
+      (Update.apply doc
+         (Update.Insert_child
+            { parent = parse "/hospital"; position = 1_000; subtree = note }))
+  in
+  match List.rev (Doc.children edited (Doc.root edited)) with
+  | last :: _ -> Alcotest.(check string) "appended" "note" (Doc.tag edited last)
+  | [] -> Alcotest.fail "no children"
 
 let apply_all_sees_earlier_edits () =
   let doc = Workload.Health.doc () in
@@ -221,6 +274,7 @@ let () =
           Alcotest.test_case "delete nodes" `Quick delete_nodes;
           Alcotest.test_case "set value" `Quick set_value;
           Alcotest.test_case "invalid edits" `Quick invalid_edits;
+          Alcotest.test_case "position clamping" `Quick insert_position_clamped;
           Alcotest.test_case "apply_all sequencing" `Quick apply_all_sees_earlier_edits ] );
       ( "rehost",
         [ Alcotest.test_case "secure re-host" `Quick update_rehosts_securely;
