@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test lint check bench clean
 
 all: build
 
@@ -8,9 +8,16 @@ build:
 test:
 	dune runtest
 
-# Tier-1 gate: everything compiles and the full suite passes.
+# Static analysis gate: layering/trust-boundary, crypto hygiene,
+# robustness.  See docs/STATIC_ANALYSIS.md.  Exits non-zero on any
+# finding not covered by an inline suppression or lint.baseline.
+lint:
+	dune build bin/sxq_lint.exe && dune exec bin/sxq_lint.exe -- --root .
+
+# Tier-1 gate: everything compiles, the full suite passes, and the
+# tree is lint-clean.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) lint
 
 bench:
 	dune exec bench/main.exe

@@ -351,6 +351,38 @@ let attack_cmd =
              attribute.")
     Term.(const run $ doc_file_arg $ tag_arg)
 
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let lint_cmd =
+  let root_arg =
+    Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR"
+           ~doc:"Repository root to lint (lib/, bin/ and test/ under it).")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Baseline file (default: \\$(docv) is ROOT/lint.baseline).")
+  in
+  let run root baseline =
+    let findings, baselined =
+      Analysis.Lint.run ?baseline ~root ()
+    in
+    List.iter
+      (fun f -> print_endline (Analysis.Finding.to_string f))
+      findings;
+    match findings with
+    | [] -> Printf.eprintf "sxq lint: clean (%d baselined)\n" baselined
+    | fs ->
+      Printf.eprintf "sxq lint: %d finding(s), %d baselined\n"
+        (List.length fs) baselined;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the trust-boundary and crypto-hygiene static analysis (see \
+             docs/STATIC_ANALYSIS.md).")
+    Term.(const run $ root_arg $ baseline_arg)
+
 let () =
   (* SXQ_DEBUG=1 turns on debug logging from the secure.* sources. *)
   (match Sys.getenv_opt "SXQ_DEBUG" with
@@ -367,4 +399,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; stats_cmd; host_cmd; verify_cmd; query_cmd;
-            aggregate_cmd; xquery_cmd; attack_cmd ]))
+            aggregate_cmd; xquery_cmd; attack_cmd; lint_cmd ]))

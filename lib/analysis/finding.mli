@@ -1,0 +1,21 @@
+(** Lint findings: machine-readable, baseline-able. *)
+
+type t = {
+  rule : string;
+  file : string;  (** repo-relative path *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — one line, machine-parseable. *)
+
+val fingerprint : t -> string
+(** Line-number-independent identity used by the baseline file:
+    [rule<TAB>file<TAB>message].  Editing unrelated lines does not
+    invalidate a baselined finding; changing the code that produced it
+    does. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule. *)

@@ -1,0 +1,252 @@
+type kind =
+  | Lident of string
+  | Uident of string
+  | Keyword of string
+  | Int_lit
+  | String_lit
+  | Char_lit
+  | Op of string
+
+type token = {
+  kind : kind;
+  line : int;
+  col : int;
+}
+
+type comment = {
+  text : string;
+  start_line : int;
+  end_line : int;
+}
+
+type t = {
+  tokens : token array;
+  comments : comment list;
+}
+
+let keywords =
+  [ "and"; "as"; "assert"; "begin"; "class"; "constraint"; "do"; "done";
+    "downto"; "else"; "end"; "exception"; "external"; "false"; "for"; "fun";
+    "function"; "functor"; "if"; "in"; "include"; "inherit"; "initializer";
+    "lazy"; "let"; "match"; "method"; "module"; "mutable"; "new"; "nonrec";
+    "object"; "of"; "open"; "private"; "rec"; "sig"; "struct"; "then"; "to";
+    "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
+    "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "or" ]
+
+let keyword_table =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_table s
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let is_symbol_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '='
+  | '>' | '?' | '@' | '^' | '|' | '~' -> true
+  | _ -> false
+
+type state = {
+  src : string;
+  len : int;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* index of the first byte of the current line *)
+}
+
+let peek st k = if st.pos + k < st.len then Some st.src.[st.pos + k] else None
+let cur st = peek st 0
+
+let advance st =
+  (match cur st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | _ -> ());
+  st.pos <- st.pos + 1
+
+let col st = st.pos - st.bol + 1
+
+(* Skip a "..." literal; [st.pos] is on the opening quote. *)
+let skip_string st =
+  advance st;
+  let rec loop () =
+    match cur st with
+    | None -> ()
+    | Some '\\' ->
+      advance st;
+      (match cur st with None -> () | Some _ -> advance st);
+      loop ()
+    | Some '"' -> advance st
+    | Some _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
+
+(* Skip a {id|...|id} literal; [st.pos] is on the opening brace and the
+   caller has verified the shape.  Returns false if it was not actually
+   a quoted string (caller then treats '{' as punctuation). *)
+let try_skip_quoted_string st =
+  let j = ref (st.pos + 1) in
+  while
+    !j < st.len
+    && (let c = st.src.[!j] in (c >= 'a' && c <= 'z') || c = '_')
+  do
+    incr j
+  done;
+  if !j >= st.len || st.src.[!j] <> '|' then false
+  else begin
+    let id = String.sub st.src (st.pos + 1) (!j - st.pos - 1) in
+    let closing = "|" ^ id ^ "}" in
+    let clen = String.length closing in
+    (* advance past "{id|" *)
+    while st.pos <= !j do
+      advance st
+    done;
+    let matched = ref false in
+    while (not !matched) && st.pos < st.len do
+      if st.pos + clen <= st.len && String.sub st.src st.pos clen = closing then begin
+        for _ = 1 to clen do
+          advance st
+        done;
+        matched := true
+      end
+      else advance st
+    done;
+    true
+  end
+
+(* Skip a comment; [st.pos] is on '('. Collects the body text.  Strings
+   inside comments follow string lexing rules (OCaml requires them to be
+   well formed), so a "*)" inside a quoted string does not close the
+   comment. *)
+let skip_comment st =
+  let start_line = st.line in
+  let buf = Buffer.create 64 in
+  advance st;
+  advance st;
+  (* past "(*" *)
+  let depth = ref 1 in
+  let finished = ref false in
+  while (not !finished) && st.pos < st.len do
+    match cur st, peek st 1 with
+    | Some '*', Some ')' ->
+      decr depth;
+      advance st;
+      advance st;
+      if !depth = 0 then finished := true else Buffer.add_string buf "*)"
+    | Some '(', Some '*' ->
+      incr depth;
+      advance st;
+      advance st;
+      Buffer.add_string buf "(*"
+    | Some '"', _ ->
+      let s0 = st.pos in
+      skip_string st;
+      Buffer.add_string buf (String.sub st.src s0 (st.pos - s0))
+    | Some c, _ ->
+      Buffer.add_char buf c;
+      advance st
+    | None, _ -> finished := true
+  done;
+  { text = Buffer.contents buf; start_line; end_line = st.line }
+
+(* Char literal vs. type variable.  On the opening quote: ['\...'] and
+   ['c'] are char literals; everything else is a type-variable quote and
+   is simply skipped (the identifier after it lexes on its own). *)
+let lex_quote st emit =
+  let line = st.line and c0 = col st in
+  match peek st 1 with
+  | Some '\\' ->
+    advance st;
+    advance st;
+    (* past '\ ; consume escape body up to the closing quote *)
+    let budget = ref 5 in
+    let rec loop () =
+      match cur st with
+      | Some '\'' -> advance st
+      | Some _ when !budget > 0 ->
+        decr budget;
+        advance st;
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    emit { kind = Char_lit; line; col = c0 }
+  | Some _ when peek st 2 = Some '\'' ->
+    advance st;
+    advance st;
+    advance st;
+    emit { kind = Char_lit; line; col = c0 }
+  | _ -> advance st
+
+let lex_number st emit =
+  let line = st.line and c0 = col st in
+  let prev_exp () =
+    st.pos > 0 && (st.src.[st.pos - 1] = 'e' || st.src.[st.pos - 1] = 'E')
+  in
+  let rec loop () =
+    match cur st with
+    | Some c
+      when is_digit c || is_ident_start c || c = '.'
+           || ((c = '+' || c = '-') && prev_exp ()) ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  advance st;
+  loop ();
+  emit { kind = Int_lit; line; col = c0 }
+
+let lex_ident st emit =
+  let line = st.line and c0 = col st in
+  let start = st.pos in
+  while (match cur st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  let kind =
+    if is_keyword s then Keyword s
+    else if s.[0] >= 'A' && s.[0] <= 'Z' then Uident s
+    else Lident s
+  in
+  emit { kind; line; col = c0 }
+
+let lex_symbol st emit =
+  let line = st.line and c0 = col st in
+  let start = st.pos in
+  while (match cur st with Some c -> is_symbol_char c | None -> false) do
+    advance st
+  done;
+  emit { kind = Op (String.sub st.src start (st.pos - start)); line; col = c0 }
+
+let tokenize src =
+  let st = { src; len = String.length src; pos = 0; line = 1; bol = 0 } in
+  let tokens = ref [] in
+  let comments = ref [] in
+  let emit t = tokens := t :: !tokens in
+  while st.pos < st.len do
+    let line = st.line and c0 = col st in
+    match cur st, peek st 1 with
+    | Some (' ' | '\t' | '\r' | '\n'), _ -> advance st
+    | Some '(', Some '*' -> comments := skip_comment st :: !comments
+    | Some '"', _ ->
+      skip_string st;
+      emit { kind = String_lit; line; col = c0 }
+    | Some '{', _ when try_skip_quoted_string st ->
+      emit { kind = String_lit; line; col = c0 }
+    | Some '\'', _ -> lex_quote st emit
+    | Some c, _ when is_digit c -> lex_number st emit
+    | Some c, _ when is_ident_start c -> lex_ident st emit
+    | Some c, _ when is_symbol_char c -> lex_symbol st emit
+    | Some c, _ ->
+      advance st;
+      emit { kind = Op (String.make 1 c); line; col = c0 }
+    | None, _ -> ()
+  done;
+  { tokens = Array.of_list (List.rev !tokens); comments = List.rev !comments }

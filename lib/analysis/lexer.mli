@@ -1,0 +1,41 @@
+(** A lightweight OCaml lexer for static analysis.
+
+    This is not a full frontend: it produces a flat token stream with
+    positions, plus the comment list (needed for [lint: allow]
+    suppressions).  It understands the parts of the language that can
+    hide or fake tokens — nested comments, string literals (including
+    strings inside comments and [{id|...|id}] quoted strings), char
+    literals vs. type variables — so downstream rules never match text
+    inside a literal or a comment. *)
+
+type kind =
+  | Lident of string  (** lowercase identifier or keyword-free name *)
+  | Uident of string  (** capitalized identifier (module/constructor) *)
+  | Keyword of string (** OCaml keyword, including [true]/[false] *)
+  | Int_lit           (** any numeric literal *)
+  | String_lit        (** ["..."] or [{id|...|id}] *)
+  | Char_lit          (** ['c'] or ['\n'] *)
+  | Op of string      (** symbolic operator or single punctuation *)
+
+type token = {
+  kind : kind;
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+type comment = {
+  text : string;      (** comment body, without the delimiters *)
+  start_line : int;
+  end_line : int;
+}
+
+type t = {
+  tokens : token array;
+  comments : comment list;
+}
+
+val tokenize : string -> t
+(** [tokenize src] never raises: unterminated literals or comments are
+    closed at end of input. *)
+
+val is_keyword : string -> bool

@@ -1,0 +1,128 @@
+(* --- Suppression comments ------------------------------------------ *)
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+(* [lint: allow r1 r2] -> Some [r1; r2]; [lint: allow all] -> Some []. *)
+let parse_suppression text =
+  match split_words (String.trim text) with
+  | "lint:" :: "allow" :: rules when rules <> [] ->
+    if List.mem "all" rules then Some [] else Some rules
+  | _ -> None
+
+let suppressed (lex : Lexer.t) (f : Finding.t) =
+  List.exists
+    (fun (c : Lexer.comment) ->
+      match parse_suppression c.text with
+      | None -> false
+      | Some rules ->
+        (rules = [] || List.mem f.Finding.rule rules)
+        && f.Finding.line >= c.start_line
+        && f.Finding.line <= c.end_line + 1)
+    lex.comments
+
+(* --- Single unit ---------------------------------------------------- *)
+
+let check_source ?(policy = Policy.default) ~rel content =
+  let lex = Lexer.tokenize content in
+  Rules.check policy ~rel lex
+  |> List.filter (fun f -> not (suppressed lex f))
+
+(* --- Baseline ------------------------------------------------------- *)
+
+let load_baseline path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec loop acc =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop acc else loop (line :: acc)
+    in
+    loop []
+
+let apply_baseline entries findings =
+  let remaining = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let count = Option.value ~default:0 (Hashtbl.find_opt remaining e) in
+      Hashtbl.replace remaining e (count + 1))
+    entries;
+  List.filter
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      match Hashtbl.find_opt remaining fp with
+      | Some count when count > 0 ->
+        Hashtbl.replace remaining fp (count - 1);
+        false
+      | _ -> true)
+    findings
+
+let write_baseline path findings =
+  let oc = open_out_bin path in
+  output_string oc
+    "# sxq-lint baseline: one fingerprint (rule<TAB>file<TAB>message) per \
+     line.\n\
+     # Entries absorb existing findings so a new rule can land before every\n\
+     # violation is fixed.  Keep this file empty whenever possible.\n";
+  List.iter
+    (fun f ->
+      output_string oc (Finding.fingerprint f);
+      output_char oc '\n')
+    findings;
+  close_out oc
+
+(* --- Tree walk ------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let source_files ~root =
+  let out = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    (* Broken symlinks or unreadable entries raise Sys_error; skip them
+       rather than abort the whole walk. *)
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | true ->
+      Array.iter
+        (fun entry -> walk (Filename.concat rel entry))
+        (Sys.readdir abs)
+    | false ->
+      if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+      then out := rel :: !out
+  in
+  List.iter
+    (fun top ->
+      if Sys.file_exists (Filename.concat root top) then walk top)
+    [ "lib"; "bin"; "test" ];
+  List.sort String.compare !out
+
+let check_tree ?(policy = Policy.default) ~root () =
+  List.concat_map
+    (fun rel -> check_source ~policy ~rel (read_file (Filename.concat root rel)))
+    (source_files ~root)
+
+let run ?(policy = Policy.default) ?baseline ~root () =
+  let baseline_path =
+    match baseline with
+    | Some p -> p
+    | None -> Filename.concat root "lint.baseline"
+  in
+  let findings = check_tree ~policy ~root () in
+  let kept = apply_baseline (load_baseline baseline_path) findings in
+  let kept = List.sort Finding.compare kept in
+  kept, List.length findings - List.length kept

@@ -1,0 +1,86 @@
+type unit_kind =
+  | Library of string
+  | Binary
+  | Test_unit
+
+type t = {
+  roots : (string * string) list;
+  allowed : (string * string list) list;
+  boundary : (string * string list) list;
+  total_paths : string list;
+  random_ok : string list;
+}
+
+(* The layering DAG mirrors the dune dependency graph on purpose: dune
+   enforces link-time reachability, this table enforces *intent*.  A
+   library absent from a right-hand side cannot be referenced even
+   though dune's implicit transitive deps would let it link. *)
+let default =
+  {
+    roots =
+      [ "Xmlcore", "xmlcore";
+        "Xpath", "xpath";
+        "Crypto", "crypto";
+        "Btree", "btree";
+        "Dsi", "dsi";
+        "Secure", "secure";
+        "Xquery", "xquery";
+        "Workload", "workload";
+        "Analysis", "analysis" ];
+    allowed =
+      [ "xmlcore", [];
+        "btree", [];
+        "crypto", [];
+        "analysis", [];
+        "xpath", [ "xmlcore" ];
+        "dsi", [ "xmlcore"; "crypto" ];
+        "secure", [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi" ];
+        "xquery", [ "xmlcore"; "xpath"; "secure" ];
+        "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
+    (* The server evaluates queries over DSI intervals, OPESS
+       ciphertexts and encrypted blocks only.  Plaintext documents and
+       the key ring live strictly on the client side of the wire. *)
+    boundary =
+      [ ( "lib/secure/server.ml",
+          [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+            "Xmlcore.Printer"; "Crypto.Keys" ] );
+        ( "lib/secure/server.mli",
+          [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+            "Xmlcore.Printer"; "Crypto.Keys" ] ) ];
+    (* Paths reachable from hostile input: a malformed frame, query or
+       stored catalog must surface as a typed error, never as an
+       assertion failure or partial-projection exception. *)
+    total_paths =
+      [ "lib/secure/server.ml";
+        "lib/secure/session.ml";
+        "lib/secure/protocol.ml";
+        "lib/secure/codec.ml";
+        "lib/secure/transport.ml";
+        "lib/secure/opess.ml" ];
+    (* Everything random is derived from seeds through Crypto.Prng (or
+       the HMAC PRF); stdlib Random would break the chaos suite's
+       seeded reproducibility. *)
+    random_ok = [ "lib/crypto/prng.ml" ];
+  }
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let classify rel =
+  match strip_prefix ~prefix:"lib/" rel with
+  | Some rest -> (
+    match String.index_opt rest '/' with
+    | Some i -> Some (Library (String.sub rest 0 i))
+    | None -> None)
+  | None ->
+    if strip_prefix ~prefix:"bin/" rel <> None then Some Binary
+    else if strip_prefix ~prefix:"test/" rel <> None then Some Test_unit
+    else None
+
+let library_of_root t root = List.assoc_opt root t.roots
+
+let allowed_deps t lib =
+  match List.assoc_opt lib t.allowed with Some deps -> deps | None -> []

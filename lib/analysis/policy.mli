@@ -1,0 +1,40 @@
+(** The repo's checked-in layering and trust-boundary policy.
+
+    The policy is data, not code: the allowed inter-library dependency
+    DAG, the per-file forbidden module prefixes (the client/server trust
+    boundary), the files whose code must be total (no [assert false] /
+    [failwith] / partial projections), and the single module allowed to
+    use [Random].  [Rules] interprets it; tests build ad-hoc policies to
+    exercise each rule in isolation. *)
+
+type unit_kind =
+  | Library of string  (** a compilation unit under [lib/<name>/] *)
+  | Binary             (** under [bin/] *)
+  | Test_unit          (** under [test/] *)
+
+type t = {
+  roots : (string * string) list;
+      (** wrapped root module name -> library id, e.g. ["Xmlcore", "xmlcore"] *)
+  allowed : (string * string list) list;
+      (** library id -> library ids it may reference.  Binaries and
+          tests may reference everything. *)
+  boundary : (string * string list) list;
+      (** relative path -> dotted module prefixes it must never
+          reference (the trust boundary). *)
+  total_paths : string list;
+      (** relative paths where partiality is a lint error. *)
+  random_ok : string list;
+      (** relative paths allowed to reference [Random]. *)
+}
+
+val default : t
+(** This repository's policy. *)
+
+val classify : string -> unit_kind option
+(** [classify rel] maps a repo-relative path to the unit kind it is
+    linted as; [None] for paths outside [lib/], [bin/] and [test/]. *)
+
+val library_of_root : t -> string -> string option
+(** [library_of_root t "Xmlcore"] is [Some "xmlcore"]. *)
+
+val allowed_deps : t -> string -> string list

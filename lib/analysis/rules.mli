@@ -1,0 +1,34 @@
+(** The lint rules.
+
+    Every rule works on the {!Lexer} token stream — never on raw text —
+    so literals and comments cannot produce findings.  Rules are
+    heuristic where full type information would be needed (see
+    [docs/STATIC_ANALYSIS.md] for the precise approximations); anything
+    too clever for the heuristics is suppressed inline with
+    [(* lint: allow <rule> *)].
+
+    Rule identifiers: [layering], [trust-boundary], [mac-compare],
+    [random-source], [secret-print], [partiality]. *)
+
+type mref = {
+  path : string list;  (** dotted components, aliases expanded *)
+  line : int;
+  col : int;
+}
+
+val module_refs : Lexer.t -> mref list
+(** Capitalized module paths referenced by a compilation unit, with
+    single-step [module X = A.B] aliases expanded (to a fixed depth).
+    Module-definition binders ([module X]) are not references; the
+    right-hand side of an alias is. *)
+
+val is_binding_eq : Lexer.token array -> int -> bool
+(** Whether the [=] at token index [i] binds ([let x =], record fields,
+    optional-argument defaults, [for i =], type/module equations) rather
+    than compares.  Exposed for tests. *)
+
+val all_rule_ids : string list
+
+val check : Policy.t -> rel:string -> Lexer.t -> Finding.t list
+(** Run every rule applicable to [rel] under the policy.  Suppression
+    comments and the baseline are applied by {!Lint}, not here. *)

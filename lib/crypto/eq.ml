@@ -1,0 +1,9 @@
+let constant_time a b =
+  let la = String.length a and lb = String.length b in
+  (* Fold every byte difference into one accumulator; no early exit. *)
+  let acc = ref (la lxor lb) in
+  for i = 0 to min la lb - 1 do
+    acc := !acc lor (Char.code (String.unsafe_get a i)
+                     lxor Char.code (String.unsafe_get b i))
+  done;
+  !acc = 0

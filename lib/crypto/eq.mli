@@ -1,0 +1,14 @@
+(** Constant-time comparison.
+
+    [String.equal] (and structural [=]) exit at the first differing
+    byte, so an attacker who can submit guesses and time the check can
+    recover a MAC one byte at a time.  Every authenticator comparison
+    in the repo (session frames, block MACs, persisted-bundle trailers)
+    must go through {!constant_time}; the [mac-compare] lint rule
+    enforces this. *)
+
+val constant_time : string -> string -> bool
+(** [constant_time a b] is [String.equal a b], in time that depends
+    only on the length of the shorter string — never on where the
+    strings first differ.  Operand lengths are not hidden (MAC lengths
+    are public constants). *)

@@ -134,7 +134,7 @@ let decrypt_block ~keys block =
   if total < mac_tag_bytes then raise (Tampered block.id);
   let body = String.sub block.ciphertext 0 (total - mac_tag_bytes) in
   let tag = String.sub block.ciphertext (total - mac_tag_bytes) mac_tag_bytes in
-  if not (String.equal tag (block_mac ~keys ~id:block.id body)) then
+  if not (Crypto.Eq.constant_time tag (block_mac ~keys ~id:block.id body)) then
     raise (Tampered block.id);
   let serialized =
     Crypto.Cipher.decrypt (Crypto.Keys.block_cipher keys)

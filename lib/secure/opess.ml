@@ -72,12 +72,14 @@ let decompose ~m n =
    every value parses as a number, by lexicographic rank otherwise (the
    client keeps the rank mapping — it is this catalog). *)
 let numeric_positions histogram =
-  let numeric_values =
-    List.map (fun (v, _) -> float_of_string_opt v) histogram
+  let numeric =
+    List.filter_map
+      (fun (v, n) ->
+        Option.map (fun num -> v, num, n) (float_of_string_opt v))
+      histogram
   in
-  if List.for_all Option.is_some numeric_values then
-    List.map2 (fun (v, n) num -> v, Option.get num, n) histogram numeric_values
-    |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b)
+  if List.length numeric = List.length histogram then
+    List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) numeric
   else
     List.sort (fun (a, _) (b, _) -> String.compare a b) histogram
     |> List.mapi (fun i (v, n) -> v, float_of_int i, n)
@@ -181,6 +183,27 @@ let occurrence_cipher t ~value ~occurrence =
     in
     pick 0 entry.chunks
 
+(* First and last ciphertext of an entry's chunk list (chunks are built
+   sorted ascending).  [None] only for a chunkless entry, which [build]
+   never produces but [of_parts] cannot rule out. *)
+let chunk_span entry =
+  match entry.chunks with
+  | [] -> None
+  | first :: rest ->
+    let last = List.fold_left (fun _ c -> c) first rest in
+    Some (first.cipher, last.cipher)
+
+(* Span of a run of entries in catalog order: the first non-empty
+   entry's low cipher to the last non-empty entry's high cipher. *)
+let entries_span entries =
+  List.fold_left
+    (fun acc entry ->
+      match chunk_span entry, acc with
+      | None, acc -> acc
+      | Some span, None -> Some span
+      | Some (_, hi), Some (lo, _) -> Some (lo, hi))
+    None entries
+
 let translate t op literal =
   let qualifies entry = Xpath.Eval.compare_values entry.value op literal in
   (* Entries are sorted by numeric position; qualifying entries form
@@ -199,29 +222,10 @@ let translate t op literal =
         let acc = match current with None -> acc | Some r -> r :: acc in
         runs acc None rest
   in
-  let to_range (first, last) =
-    let first_cipher =
-      match first.chunks with c :: _ -> c.cipher | [] -> assert false
-    in
-    let last_cipher =
-      match List.rev last.chunks with c :: _ -> c.cipher | [] -> assert false
-    in
-    first_cipher, last_cipher
-  in
-  List.map to_range (runs [] None t.entries)
+  let to_range (first, last) = entries_span [ first; last ] in
+  List.filter_map to_range (runs [] None t.entries)
 
-let full_range t =
-  match t.entries with
-  | [] -> None
-  | first :: _ ->
-    let last = List.nth t.entries (List.length t.entries - 1) in
-    let first_cipher =
-      match first.chunks with c :: _ -> c.cipher | [] -> assert false
-    in
-    let last_cipher =
-      match List.rev last.chunks with c :: _ -> c.cipher | [] -> assert false
-    in
-    Some (first_cipher, last_cipher)
+let full_range t = entries_span t.entries
 
 let ciphertext_histogram t =
   List.concat_map

@@ -308,7 +308,8 @@ let check_framing ~master data =
       else begin
         let prefix = String.sub data 0 (header_len + body_len) in
         let mac = String.sub data (header_len + body_len) mac_len in
-        if String.equal (Crypto.Hmac.mac ~key:(mac_key master) prefix) mac then
+        if Crypto.Eq.constant_time (Crypto.Hmac.mac ~key:(mac_key master) prefix) mac
+        then
           F_ok (String.sub data header_len body_len)
         else F_tampered
       end

@@ -270,10 +270,13 @@ and chain_filter t state candidates q targets =
     (* Level i was joined from level i-1 (level 0 = candidates) via the
        axis of step i; walk back from the deepest survivors. *)
     let rev_axes = List.rev (List.map (fun s -> s.Squery.axis) q.Squery.steps) in
+    (* [candidates :: levels] is non-empty by construction, so dropping
+       the deepest level after reversal is total; the [[]] arm is
+       unreachable but typed. *)
     let rev_uppers =
       match List.rev (candidates :: levels) with
       | _deepest :: uppers -> uppers
-      | [] -> assert false
+      | [] -> []
     in
     List.fold_left2
       (fun survivors above axis -> join_backward t above axis survivors)

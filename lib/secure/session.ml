@@ -70,7 +70,8 @@ let decode_frame ~mac_key ~expect ?expect_seq data =
     let body_len = String.length data - mac_len in
     let body = String.sub data 0 body_len in
     let mac = String.sub data body_len mac_len in
-    if not (String.equal (Crypto.Hmac.mac ~key:mac_key body) mac) then Error Tampered
+    if not (Crypto.Eq.constant_time (Crypto.Hmac.mac ~key:mac_key body) mac)
+    then Error Tampered
     else begin
       (* MAC verified: the body is exactly what the peer framed, so any
          parse failure below means a protocol bug, not line noise —

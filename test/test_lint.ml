@@ -1,0 +1,398 @@
+(* sxq-lint tests: the OCaml lexer, each rule against inline fixtures,
+   suppression comments, baseline behaviour, and the gate property that
+   a seeded trust-boundary violation produces findings (which makes the
+   driver — and therefore `make check` — exit non-zero). *)
+
+module Lexer = Analysis.Lexer
+module Rules = Analysis.Rules
+module Policy = Analysis.Policy
+module Lint = Analysis.Lint
+module Finding = Analysis.Finding
+
+let rule_ids findings = List.map (fun f -> f.Finding.rule) findings
+
+let count_rule id findings =
+  List.length (List.filter (fun f -> f.Finding.rule = id) findings)
+
+let lint rel src = Lint.check_source ~rel src
+
+let check_rules name expected rel src =
+  Alcotest.(check (list string)) name expected
+    (List.sort_uniq String.compare (rule_ids (lint rel src)))
+
+(* --- Lexer ---------------------------------------------------------- *)
+
+let token_names (lex : Lexer.t) =
+  Array.to_list lex.tokens
+  |> List.filter_map (fun (t : Lexer.token) ->
+         match t.kind with
+         | Lexer.Lident s -> Some ("l:" ^ s)
+         | Lexer.Uident s -> Some ("u:" ^ s)
+         | Lexer.Keyword s -> Some ("k:" ^ s)
+         | _ -> None)
+
+let lexer_nested_comments () =
+  let lex =
+    Lexer.tokenize
+      "let a = 1 (* outer (* nested *) \"a string with *) inside\" tail *) let b = 2"
+  in
+  Alcotest.(check (list string)) "comment hides everything"
+    [ "k:let"; "l:a"; "k:let"; "l:b" ] (token_names lex);
+  Alcotest.(check int) "one comment" 1 (List.length lex.comments);
+  match lex.comments with
+  | [ c ] ->
+    Alcotest.(check bool) "body kept" true
+      (String.length c.Lexer.text > 0
+      && c.Lexer.start_line = 1 && c.Lexer.end_line = 1)
+  | _ -> Alcotest.fail "expected exactly one comment"
+
+let lexer_strings () =
+  let lex =
+    Lexer.tokenize "let s = \"not (* a comment *) \\\" still\" ^ other"
+  in
+  Alcotest.(check int) "no comments" 0 (List.length lex.comments);
+  let strings =
+    Array.to_list lex.tokens
+    |> List.filter (fun (t : Lexer.token) -> t.kind = Lexer.String_lit)
+  in
+  Alcotest.(check int) "one string" 1 (List.length strings);
+  Alcotest.(check (list string)) "idents survive"
+    [ "k:let"; "l:s"; "l:other" ] (token_names lex)
+
+let lexer_quoted_strings () =
+  let lex = Lexer.tokenize "let s = {|raw \" (* |} and {id| nested |x} |id}" in
+  Alcotest.(check int) "no comments" 0 (List.length lex.comments);
+  let strings =
+    Array.to_list lex.tokens
+    |> List.filter (fun (t : Lexer.token) -> t.kind = Lexer.String_lit)
+  in
+  Alcotest.(check int) "two quoted strings" 2 (List.length strings)
+
+let lexer_char_literals () =
+  (* 'x' and '\n' are chars; 'a in [type 'a t] is a type variable and
+     must not swallow the rest of the line as a literal. *)
+  let lex = Lexer.tokenize "let c = 'x' let nl = '\\n' type 'a t = 'a list" in
+  let chars =
+    Array.to_list lex.tokens
+    |> List.filter (fun (t : Lexer.token) -> t.kind = Lexer.Char_lit)
+  in
+  Alcotest.(check int) "two char literals" 2 (List.length chars);
+  Alcotest.(check bool) "type variable lexes as ident" true
+    (List.mem "l:a" (token_names lex))
+
+let lexer_positions () =
+  let lex = Lexer.tokenize "let a =\n  String.equal\n" in
+  let tok name =
+    Array.to_list lex.tokens
+    |> List.find (fun (t : Lexer.token) -> t.kind = Lexer.Uident name)
+  in
+  let t = tok "String" in
+  Alcotest.(check (pair int int)) "line/col" (2, 3) (t.line, t.col)
+
+(* --- Module references and aliases ---------------------------------- *)
+
+let refs_of src =
+  List.map
+    (fun r -> String.concat "." r.Rules.path)
+    (Rules.module_refs (Lexer.tokenize src))
+
+let module_refs_basic () =
+  let refs = refs_of "let f d = Crypto.Hmac.mac ~key:(Xpath.Parser.parse d)" in
+  Alcotest.(check bool) "Crypto.Hmac.mac" true (List.mem "Crypto.Hmac.mac" refs);
+  Alcotest.(check bool) "Xpath.Parser.parse" true
+    (List.mem "Xpath.Parser.parse" refs)
+
+let module_refs_alias () =
+  let refs = refs_of "module D = Xmlcore.Doc\nlet f d = D.tag d" in
+  Alcotest.(check bool) "alias expanded" true
+    (List.mem "Xmlcore.Doc.tag" refs);
+  Alcotest.(check bool) "binder is not a reference" true
+    (not (List.exists (fun r -> r = "D" || r = "D.tag") refs))
+
+let binding_vs_comparison () =
+  let src = "let f ?(u = dflt) v = { r with fld = v } in if a = b then ()" in
+  let lex = Lexer.tokenize src in
+  let eq_sites =
+    Array.to_list lex.tokens
+    |> List.mapi (fun i (t : Lexer.token) -> i, t)
+    |> List.filter (fun (_, (t : Lexer.token)) -> t.kind = Lexer.Op "=")
+    |> List.map (fun (i, _) -> Rules.is_binding_eq lex.tokens i)
+  in
+  (* ?(u = dflt), the function's own =, the record field: bindings;
+     the [if a = b]: a comparison. *)
+  Alcotest.(check (list bool)) "binding classification"
+    [ true; true; true; false ] eq_sites
+
+(* --- Layering ------------------------------------------------------- *)
+
+let layering_rejects_upward_dep () =
+  check_rules "crypto must not reach secure" [ "layering" ]
+    "lib/crypto/evil.ml" "let x = Secure.Server.answer"
+
+let layering_rejects_sideways_dep () =
+  check_rules "xmlcore must not reach xpath" [ "layering" ]
+    "lib/xmlcore/evil.ml" "let x = Xpath.Parser.parse"
+
+let layering_allows_declared_deps () =
+  check_rules "secure may use dsi/crypto/btree" []
+    "lib/secure/fine.ml"
+    "let x = Dsi.Interval.make 0.0 1.0\n\
+     let y = Crypto.Hmac.mac\n\
+     let z = Btree.range"
+
+let layering_ignores_bin_and_test () =
+  check_rules "binaries may use everything" [] "bin/tool.ml"
+    "let x = Secure.Server.answer\nlet y = Workload.Xmark.generate"
+
+(* --- Trust boundary ------------------------------------------------- *)
+
+let boundary_rejects_plaintext_on_server () =
+  (* The acceptance fixture: a synthetic Server -> Xmlcore.Doc
+     reference must be rejected. *)
+  check_rules "server.ml may not touch Xmlcore.Doc" [ "trust-boundary" ]
+    "lib/secure/server.ml" "let f d = Xmlcore.Doc.tag d 0"
+
+let boundary_rejects_keys_on_server () =
+  check_rules "server.ml may not touch the key ring" [ "trust-boundary" ]
+    "lib/secure/server.ml" "let f k = Crypto.Keys.dsi_key k"
+
+let boundary_sees_through_aliases () =
+  check_rules "module alias does not evade the boundary" [ "trust-boundary" ]
+    "lib/secure/server.ml" "module D = Xmlcore.Doc\nlet f d = D.tag d"
+
+let boundary_rejects_bare_open () =
+  check_rules "open Xmlcore defeats checking, so it is rejected"
+    [ "trust-boundary" ] "lib/secure/server.ml" "open Xmlcore"
+
+let boundary_is_per_file () =
+  check_rules "client code may use plaintext modules" []
+    "lib/secure/client_side.ml"
+    "let f d = Xmlcore.Doc.tag d 0\nlet g k = Crypto.Keys.dsi_key k"
+
+let boundary_allows_serverside_modules () =
+  check_rules "server.ml keeps its legitimate deps" []
+    "lib/secure/server.ml"
+    "module Interval = Dsi.Interval\nlet f = Btree.range\nlet g = Xpath.Ast.Child"
+
+(* --- Crypto hygiene ------------------------------------------------- *)
+
+let ct_rule_flags_string_equal () =
+  check_rules "String.equal on a mac" [ "mac-compare" ]
+    "lib/secure/fx1.ml" "let verify expected_hmac given = String.equal expected_hmac given"
+
+let ct_rule_flags_structural_eq () =
+  check_rules "structural = on a digest" [ "mac-compare" ]
+    "lib/secure/fx2.ml" "let ok st = st.digest = expected st"
+
+let ct_rule_ignores_bindings () =
+  check_rules "let-binding of a mac value is fine" []
+    "lib/secure/fx3.ml"
+    "let block_hmac = compute ()\nlet stored_digest = fetch ()"
+
+let ct_rule_ignores_neutral_names () =
+  check_rules "comparisons without sensitive names are fine" []
+    "lib/secure/fx4.ml" "let same a b = String.equal a b && a = b"
+
+let random_rule_flags_stdlib_random () =
+  check_rules "Random outside prng.ml" [ "random-source" ]
+    "lib/secure/fx5.ml" "let r () = Random.int 5"
+
+let random_rule_allows_prng () =
+  check_rules "prng.ml itself is exempt" [] "lib/crypto/prng.ml"
+    "let reseed () = Random.self_init ()"
+
+let print_rule_flags_secrets () =
+  check_rules "Printf of a *_key value" [ "secret-print" ]
+    "lib/secure/fx6.ml" "let dump k = Printf.printf \"%s\" k.session_key"
+
+let print_rule_ignores_public_values () =
+  check_rules "Printf of counters is fine" [] "lib/secure/fx7.ml"
+    "let dump n = Printf.printf \"%d blocks\" n"
+
+(* --- Robustness ----------------------------------------------------- *)
+
+let partiality_flagged_on_server_paths () =
+  let src =
+    "let f () = assert false\n\
+     let g l = List.hd l\n\
+     let h o = Option.get o\n\
+     let i () = failwith \"boom\""
+  in
+  let found = lint "lib/secure/server.ml" src in
+  Alcotest.(check int) "all four partial forms" 4
+    (count_rule "partiality" found)
+
+let partiality_scoped_to_policy_paths () =
+  check_rules "client-side code may still assert" []
+    "lib/xmlcore/printer_fx.ml" "let f () = assert false"
+
+let plain_assert_is_fine () =
+  check_rules "assert of a real invariant is not assert false" []
+    "lib/secure/opess.ml" "let f n = assert (n >= 0)"
+
+(* --- Suppression ---------------------------------------------------- *)
+
+let suppression_same_line () =
+  check_rules "trailing comment suppresses" []
+    "lib/secure/fx8.ml"
+    "let v given_hmac w = String.equal given_hmac w (* lint: allow mac-compare *)"
+
+let suppression_previous_line () =
+  check_rules "preceding-line comment suppresses" []
+    "lib/secure/fx9.ml"
+    "(* lint: allow mac-compare *)\n\
+     let v given_hmac w = String.equal given_hmac w"
+
+let suppression_wrong_rule () =
+  check_rules "naming a different rule does not suppress" [ "mac-compare" ]
+    "lib/secure/fx10.ml"
+    "(* lint: allow partiality *)\n\
+     let v given_hmac w = String.equal given_hmac w"
+
+let suppression_allow_all () =
+  check_rules "allow all suppresses any rule" []
+    "lib/secure/fx11.ml"
+    "(* lint: allow all *)\nlet r () = Random.int 5"
+
+let suppression_does_not_leak_down () =
+  let src =
+    "(* lint: allow random-source *)\n\
+     let a () = Random.int 5\n\
+     let b () = Random.int 6"
+  in
+  let found = lint "lib/secure/fx12.ml" src in
+  (* line 2 covered, line 3 not *)
+  Alcotest.(check int) "only the adjacent line is covered" 1
+    (count_rule "random-source" found)
+
+(* --- Baseline ------------------------------------------------------- *)
+
+let baseline_absorbs_known_findings () =
+  let src = "let r () = Random.int 5" in
+  let found = lint "lib/secure/fx13.ml" src in
+  Alcotest.(check int) "finding exists" 1 (List.length found);
+  let entries = List.map Finding.fingerprint found in
+  Alcotest.(check int) "baseline absorbs it" 0
+    (List.length (Lint.apply_baseline entries found))
+
+let baseline_entry_consumed_once () =
+  let src = "let a () = Random.int 5\nlet b () = Random.int 6" in
+  let found = lint "lib/secure/fx14.ml" src in
+  Alcotest.(check int) "two findings" 2 (List.length found);
+  (* Both findings share a fingerprint (same rule/file/message); one
+     entry must absorb only one of them. *)
+  let one = [ Finding.fingerprint (List.nth found 0) ] in
+  Alcotest.(check int) "one survives" 1
+    (List.length (Lint.apply_baseline one found))
+
+(* --- The gate ------------------------------------------------------- *)
+
+let seeded_violation_fails_the_gate () =
+  (* What `make check` runs: non-empty findings make the driver exit
+     non-zero.  A seeded boundary violation must therefore fail CI. *)
+  let found =
+    lint "lib/secure/server.ml" "let leak d = Xmlcore.Doc.value d 0"
+  in
+  Alcotest.(check bool) "driver would exit 1" true (found <> [])
+
+(* Dune may run the test binary from the sandbox or from the project
+   root, so locate the repo by walking up until we see dune-project
+   next to lib/ — a blind "../../.." can escape into the filesystem. *)
+let find_repo_root () =
+  let is_root d =
+    Sys.file_exists (Filename.concat d "dune-project")
+    && Sys.file_exists (Filename.concat d "lib")
+    && Sys.file_exists (Filename.concat d "lint.baseline")
+  in
+  let rec up d depth =
+    if depth > 8 then None
+    else if is_root d then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else up parent (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let shipped_tree_is_clean () =
+  (* Guarded so the test stays meaningful out of tree. *)
+  match find_repo_root () with
+  | None -> ()
+  | Some root ->
+    let findings, _ = Lint.run ~root () in
+    List.iter (fun f -> Printf.eprintf "%s\n" (Finding.to_string f)) findings;
+    Alcotest.(check int) "no findings in the shipped tree" 0
+      (List.length findings)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "lexer",
+        [ Alcotest.test_case "nested comments" `Quick lexer_nested_comments;
+          Alcotest.test_case "strings" `Quick lexer_strings;
+          Alcotest.test_case "quoted strings" `Quick lexer_quoted_strings;
+          Alcotest.test_case "char literals" `Quick lexer_char_literals;
+          Alcotest.test_case "positions" `Quick lexer_positions ] );
+      ( "refs",
+        [ Alcotest.test_case "paths" `Quick module_refs_basic;
+          Alcotest.test_case "aliases" `Quick module_refs_alias;
+          Alcotest.test_case "binding vs comparison" `Quick
+            binding_vs_comparison ] );
+      ( "layering",
+        [ Alcotest.test_case "upward dep rejected" `Quick
+            layering_rejects_upward_dep;
+          Alcotest.test_case "sideways dep rejected" `Quick
+            layering_rejects_sideways_dep;
+          Alcotest.test_case "declared deps allowed" `Quick
+            layering_allows_declared_deps;
+          Alcotest.test_case "bin/test exempt" `Quick
+            layering_ignores_bin_and_test ] );
+      ( "trust-boundary",
+        [ Alcotest.test_case "plaintext doc rejected" `Quick
+            boundary_rejects_plaintext_on_server;
+          Alcotest.test_case "key ring rejected" `Quick
+            boundary_rejects_keys_on_server;
+          Alcotest.test_case "alias seen through" `Quick
+            boundary_sees_through_aliases;
+          Alcotest.test_case "bare open rejected" `Quick
+            boundary_rejects_bare_open;
+          Alcotest.test_case "per-file scope" `Quick boundary_is_per_file;
+          Alcotest.test_case "server deps allowed" `Quick
+            boundary_allows_serverside_modules ] );
+      ( "crypto-hygiene",
+        [ Alcotest.test_case "String.equal flagged" `Quick
+            ct_rule_flags_string_equal;
+          Alcotest.test_case "structural = flagged" `Quick
+            ct_rule_flags_structural_eq;
+          Alcotest.test_case "bindings ignored" `Quick ct_rule_ignores_bindings;
+          Alcotest.test_case "neutral names ignored" `Quick
+            ct_rule_ignores_neutral_names;
+          Alcotest.test_case "Random flagged" `Quick
+            random_rule_flags_stdlib_random;
+          Alcotest.test_case "prng exempt" `Quick random_rule_allows_prng;
+          Alcotest.test_case "secret print flagged" `Quick
+            print_rule_flags_secrets;
+          Alcotest.test_case "public print fine" `Quick
+            print_rule_ignores_public_values ] );
+      ( "robustness",
+        [ Alcotest.test_case "partial forms flagged" `Quick
+            partiality_flagged_on_server_paths;
+          Alcotest.test_case "scoped to policy paths" `Quick
+            partiality_scoped_to_policy_paths;
+          Alcotest.test_case "plain assert fine" `Quick plain_assert_is_fine ]
+      );
+      ( "suppression",
+        [ Alcotest.test_case "same line" `Quick suppression_same_line;
+          Alcotest.test_case "previous line" `Quick suppression_previous_line;
+          Alcotest.test_case "wrong rule" `Quick suppression_wrong_rule;
+          Alcotest.test_case "allow all" `Quick suppression_allow_all;
+          Alcotest.test_case "bounded range" `Quick
+            suppression_does_not_leak_down ] );
+      ( "baseline",
+        [ Alcotest.test_case "absorbs findings" `Quick
+            baseline_absorbs_known_findings;
+          Alcotest.test_case "entry consumed once" `Quick
+            baseline_entry_consumed_once ] );
+      ( "gate",
+        [ Alcotest.test_case "seeded violation fails" `Quick
+            seeded_violation_fails_the_gate;
+          Alcotest.test_case "shipped tree clean" `Quick shipped_tree_is_clean
+        ] ) ]
