@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench clean
+.PHONY: all build test lint check bench bench-smoke clean
 
 all: build
 
@@ -14,13 +14,20 @@ test:
 lint:
 	dune build bin/sxq_lint.exe && dune exec bin/sxq_lint.exe -- --root .
 
-# Tier-1 gate: everything compiles, the full suite passes, and the
-# tree is lint-clean.
+# Tier-1 gate: everything compiles, the full suite passes, the tree is
+# lint-clean, and the cache experiment's equality assertions hold on a
+# tiny dataset.
 check:
-	dune build && dune runtest && $(MAKE) lint
+	dune build && dune runtest && $(MAKE) lint && $(MAKE) bench-smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Tiny-scale engine-cache experiment with machine-readable output
+# exercised end to end; its answer-equality and invalidation checks
+# abort the run on any mismatch.
+bench-smoke:
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 --scale tiny --json /dev/null
 
 clean:
 	dune clean

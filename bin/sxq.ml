@@ -264,6 +264,76 @@ let query_cmd =
           $ verbose_arg $ hosted_arg)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"XPath query to plan and evaluate through the engine.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Evaluation rounds (round 1 is cold, later rounds show \
+                 cache behaviour).")
+  in
+  let no_planner_arg =
+    Arg.(value & flag & info [ "no-planner" ]
+           ~doc:"Compile identity (left-to-right) plans.")
+  in
+  let no_caches_arg =
+    Arg.(value & flag & info [ "no-caches" ]
+           ~doc:"Disable the plan, result and block caches.")
+  in
+  let print_report round (report : Engine.report) =
+    Printf.printf "round %d: plan %s, result %s, blocks %d cached / %d shipped\n"
+      round
+      (Engine.outcome_to_string report.Engine.plan_outcome)
+      (Engine.outcome_to_string report.Engine.result_outcome)
+      report.Engine.block_hits report.Engine.block_misses;
+    if round = 1 then begin
+      Printf.printf "plan:\n%s\n" (Engine.Plan.to_string report.Engine.plan);
+      Printf.printf "%-6s %-20s %12s %12s %12s\n" "step" "axis" "estimated"
+        "actual" "surviving";
+      List.iter
+        (fun (s : Engine.Exec.step_actual) ->
+          Printf.printf "%-6d %-20s %12.1f %12d %12d\n" s.Engine.Exec.index
+            (Engine.Plan.axis_name s.Engine.Exec.axis)
+            s.Engine.Exec.estimated s.Engine.Exec.actual_raw
+            s.Engine.Exec.surviving)
+        report.Engine.steps
+    end;
+    Printf.printf
+      "  %d answer(s); %d block(s), %d bytes on the wire; plan %.2f + server \
+       %.2f + decrypt %.2f ms\n"
+      report.Engine.answer_count report.Engine.blocks_returned
+      report.Engine.transmit_bytes report.Engine.plan_ms
+      report.Engine.server_ms report.Engine.decrypt_ms
+  in
+  let run path query scs scheme master rounds no_planner no_caches =
+    let doc = load_doc path in
+    let scs = parse_scs scs in
+    let sys = fst (Secure.System.setup ~master doc scs scheme) in
+    let config =
+      { Engine.default_config with
+        planner = not no_planner;
+        caches = not no_caches }
+    in
+    let engine = Engine.create ~config sys in
+    let q = Xpath.Parser.parse query in
+    for round = 1 to Int.max 1 rounds do
+      let _, report = Engine.evaluate_report engine q in
+      print_report round report
+    done;
+    Printf.printf "engine: %s\n" (Engine.Stats.to_string (Engine.stats engine))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the engine's evaluation plan, per-step estimates vs. \
+             actuals, and cache outcomes for an XPath query.")
+    Term.(const run $ doc_file_arg $ query_arg $ sc_arg $ scheme_arg
+          $ master_arg $ rounds_arg $ no_planner_arg $ no_caches_arg)
+
+(* ------------------------------------------------------------------ *)
 (* aggregate                                                           *)
 
 let aggregate_cmd =
@@ -399,4 +469,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; stats_cmd; host_cmd; verify_cmd; query_cmd;
-            aggregate_cmd; xquery_cmd; attack_cmd; lint_cmd ]))
+            explain_cmd; aggregate_cmd; xquery_cmd; attack_cmd; lint_cmd ]))

@@ -24,6 +24,7 @@ let default =
         "Btree", "btree";
         "Dsi", "dsi";
         "Secure", "secure";
+        "Engine", "engine";
         "Xquery", "xquery";
         "Workload", "workload";
         "Analysis", "analysis" ];
@@ -35,18 +36,35 @@ let default =
         "xpath", [ "xmlcore" ];
         "dsi", [ "xmlcore"; "crypto" ];
         "secure", [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi" ];
+        (* The engine reorders and caches ciphertext-side evaluation:
+           it may see the query IR, intervals and the secure layer's
+           public surface, but never the plaintext document layer. *)
+        "engine", [ "xpath"; "dsi"; "secure" ];
         "xquery", [ "xmlcore"; "xpath"; "secure" ];
         "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
     (* The server evaluates queries over DSI intervals, OPESS
        ciphertexts and encrypted blocks only.  Plaintext documents and
        the key ring live strictly on the client side of the wire. *)
     boundary =
-      [ ( "lib/secure/server.ml",
-          [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
-            "Xmlcore.Printer"; "Crypto.Keys" ] );
-        ( "lib/secure/server.mli",
-          [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
-            "Xmlcore.Printer"; "Crypto.Keys" ] ) ];
+      ([ ( "lib/secure/server.ml",
+           [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+             "Xmlcore.Printer"; "Crypto.Keys" ] );
+         ( "lib/secure/server.mli",
+           [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+             "Xmlcore.Printer"; "Crypto.Keys" ] ) ]
+      (* The engine holds decrypted material only behind the opaque
+         Secure.Client.answer alias and never derives keys: no module
+         of it may name the plaintext-document layer or the key
+         ring. *)
+      @ List.concat_map
+          (fun name ->
+            let forbidden =
+              [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+                "Xmlcore.Printer"; "Crypto.Keys" ]
+            in
+            [ "lib/engine/" ^ name ^ ".ml", forbidden;
+              "lib/engine/" ^ name ^ ".mli", forbidden ])
+          [ "lru"; "stats"; "estimate"; "plan"; "planner"; "exec"; "engine" ]);
     (* Paths reachable from hostile input: a malformed frame, query or
        stored catalog must surface as a typed error, never as an
        assertion failure or partial-projection exception. *)

@@ -71,6 +71,26 @@ let ancestors_of_some ~descendants candidates =
         containers);
   List.filter (fun c -> Hashtbl.mem marked (c.Interval.lo, c.Interval.hi)) candidates
 
+(* Prepared-universe variants: the fixed side of the join (a server's
+   block representatives, a table entry reused across steps) is sorted
+   once with {!prepare_universe} instead of per call. *)
+
+let descendants_within_prepared ~ancestors candidates =
+  let kept = ref [] in
+  with_containers ancestors candidates (fun q containers ->
+      if containers <> [] then kept := q :: !kept);
+  List.rev !kept
+
+let ancestors_of_some_prepared ~descendants ~candidates =
+  let marked = Hashtbl.create 64 in
+  with_containers candidates descendants (fun _ containers ->
+      List.iter
+        (fun c -> Hashtbl.replace marked (c.Interval.lo, c.Interval.hi) ())
+        containers);
+  List.filter
+    (fun c -> Hashtbl.mem marked (c.Interval.lo, c.Interval.hi))
+    (Array.to_list candidates)
+
 (* Merge the prepared universe with the (sorted) parents into one
    sorted event array; duplicates are harmless to the sweep. *)
 let merge_events universe parents_sorted =

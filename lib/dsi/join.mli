@@ -32,6 +32,19 @@ val ancestors_of_some :
   descendants:Interval.t list -> Interval.t list -> Interval.t list
 (** Keep the candidates strictly containing at least one descendant. *)
 
+val descendants_within_prepared :
+  ancestors:universe -> Interval.t list -> Interval.t list
+(** {!descendants_within} with the ancestor side prepared once via
+    {!prepare_universe}: callers that probe the same fixed interval set
+    repeatedly (block representatives, a cached table entry) skip the
+    per-call sort. *)
+
+val ancestors_of_some_prepared :
+  descendants:Interval.t list -> candidates:universe -> Interval.t list
+(** {!ancestors_of_some} with the candidate side prepared once via
+    {!prepare_universe}.  The result preserves the prepared (document)
+    order. *)
+
 val children_within :
   universe:universe -> parents:Interval.t list ->
   Interval.t list -> Interval.t list

@@ -1,0 +1,221 @@
+module Lru = Lru
+module Stats = Stats
+module Estimate = Estimate
+module Plan = Plan
+module Planner = Planner
+module Exec = Exec
+
+let log_src = Logs.Src.create "engine" ~doc:"Cost-based evaluation engine"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  planner : bool;
+  caches : bool;
+  plan_capacity : int;
+  result_capacity : int;
+  block_capacity : int;
+}
+
+let default_config =
+  { planner = true;
+    caches = true;
+    plan_capacity = 128;
+    result_capacity = 64;
+    block_capacity = 256 }
+
+type outcome =
+  | Hit
+  | Miss
+  | Bypass
+
+let outcome_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypass -> "bypass"
+
+type t = {
+  config : config;
+  mutable system : Secure.System.t;
+  mutable est : Estimate.t;
+  plans : (string, Plan.t) Lru.t;
+  results : (string, Exec.run) Lru.t;
+  blocks : (int, Secure.Client.answer) Lru.t;
+  mutable plans_compiled : int;
+  mutable steps_reordered : int;
+  mutable invalidations : int;
+  mutable queries : int;
+}
+
+let flush t =
+  Lru.clear t.plans;
+  Lru.clear t.results;
+  Lru.clear t.blocks;
+  t.invalidations <- t.invalidations + 1;
+  Log.debug (fun m -> m "caches flushed (invalidation %d)" t.invalidations)
+
+(* Bind the engine to a hosting: refresh the statistics snapshot and
+   arm the invalidation hook that fires when this hosting is
+   superseded by update/rotate. *)
+let attach t system =
+  t.system <- system;
+  t.est <- Estimate.of_server (Secure.System.server system);
+  Secure.System.on_rehost system (fun () -> flush t)
+
+let create ?(config = default_config) system =
+  let cap c = if config.caches then Int.max 0 c else 0 in
+  let t =
+    { config;
+      system;
+      est = Estimate.of_server (Secure.System.server system);
+      plans = Lru.create (cap config.plan_capacity);
+      results = Lru.create (cap config.result_capacity);
+      blocks = Lru.create (cap config.block_capacity);
+      plans_compiled = 0;
+      steps_reordered = 0;
+      invalidations = 0;
+      queries = 0 }
+  in
+  Secure.System.on_rehost system (fun () -> flush t);
+  t
+
+let system t = t.system
+
+let update t edit =
+  (* System.update fires the old hosting's rehost hooks, which flush
+     this engine's caches; attach then re-arms on the new hosting. *)
+  let next, cost = Secure.System.update t.system edit in
+  attach t next;
+  cost
+
+let rotate t ~new_master =
+  let next, cost = Secure.System.rotate t.system ~new_master in
+  attach t next;
+  cost
+
+(* The cache key IS the wire request: the ciphertext encoding of the
+   translated query (Vernam tokens + OPESS ranges) that the server
+   sees on every evaluation anyway.  Exposed so tests can assert the
+   engine keys on nothing beyond it. *)
+let wire_request t query =
+  Secure.Protocol.encode_request
+    (Secure.Client.translate (Secure.System.client t.system) query)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let timed f =
+  let start = now_ms () in
+  let result = f () in
+  result, now_ms () -. start
+
+let plan_for t req squery =
+  match Lru.find t.plans req with
+  | Some plan -> plan, (if t.config.caches then Hit else Bypass)
+  | None ->
+    let plan = Planner.compile ~reorder:t.config.planner t.est squery in
+    t.plans_compiled <- t.plans_compiled + 1;
+    t.steps_reordered <- t.steps_reordered + Plan.reorder_span plan;
+    Lru.put t.plans req plan;
+    plan, (if t.config.caches then Miss else Bypass)
+
+let run_for t req plan squery =
+  match Lru.find t.results req with
+  | Some run -> run, (if t.config.caches then Hit else Bypass)
+  | None ->
+    let run = Exec.run (Secure.System.server t.system) plan squery in
+    Lru.put t.results req run;
+    run, (if t.config.caches then Miss else Bypass)
+
+type report = {
+  plan : Plan.t;
+  plan_outcome : outcome;
+  result_outcome : outcome;
+  steps : Exec.step_actual list;
+  request_bytes : int;
+  block_hits : int;
+  block_misses : int;
+  translate_ms : float;
+  plan_ms : float;
+  server_ms : float;
+  transmit_bytes : int;
+  decrypt_ms : float;
+  postprocess_ms : float;
+  blocks_returned : int;
+  blocks_decrypted : int;
+  answer_count : int;
+}
+
+let server_decrypt_ms r = r.server_ms +. r.decrypt_ms
+
+let evaluate_report t query =
+  t.queries <- t.queries + 1;
+  let client = Secure.System.client t.system in
+  let squery, translate_ms =
+    timed (fun () -> Secure.Client.translate client query)
+  in
+  let req = Secure.Protocol.encode_request squery in
+  let (plan, plan_outcome), plan_ms = timed (fun () -> plan_for t req squery) in
+  let (run, result_outcome), server_ms =
+    timed (fun () -> run_for t req plan squery)
+  in
+  (* Client-side block cache: a cached block is neither re-shipped nor
+     re-decrypted, so both byte and decrypt accounting follow it. *)
+  let hits_before = Lru.hits t.blocks in
+  let misses_before = Lru.misses t.blocks in
+  let shipped = ref 0 in
+  let decrypted, decrypt_ms =
+    timed (fun () ->
+        List.map
+          (fun b ->
+            let id = b.Secure.Encrypt.id in
+            match Lru.find t.blocks id with
+            | Some tree -> id, tree
+            | None ->
+              shipped :=
+                !shipped
+                + String.length b.Secure.Encrypt.ciphertext
+                + Secure.Encrypt.block_header_bytes;
+              let tree = Secure.Client.decrypt_block client b in
+              Lru.put t.blocks id tree;
+              id, tree)
+          run.Exec.response.Secure.Server.blocks)
+  in
+  let block_hits = Lru.hits t.blocks - hits_before in
+  let block_misses = Lru.misses t.blocks - misses_before in
+  let answers, postprocess_ms =
+    timed (fun () -> Secure.Client.evaluate_with client ~decrypted query)
+  in
+  ( answers,
+    { plan;
+      plan_outcome;
+      result_outcome;
+      steps = run.Exec.steps;
+      request_bytes = String.length req;
+      block_hits;
+      block_misses;
+      translate_ms;
+      plan_ms;
+      server_ms;
+      transmit_bytes = String.length req + !shipped;
+      decrypt_ms;
+      postprocess_ms;
+      blocks_returned = List.length run.Exec.response.Secure.Server.blocks;
+      blocks_decrypted = block_misses;
+      answer_count = List.length answers } )
+
+let evaluate t query = fst (evaluate_report t query)
+
+let stats t =
+  { Stats.queries = t.queries;
+    plans_compiled = t.plans_compiled;
+    steps_reordered = t.steps_reordered;
+    invalidations = t.invalidations;
+    plan_hits = Lru.hits t.plans;
+    plan_misses = Lru.misses t.plans;
+    plan_evictions = Lru.evictions t.plans;
+    result_hits = Lru.hits t.results;
+    result_misses = Lru.misses t.results;
+    result_evictions = Lru.evictions t.results;
+    block_hits = Lru.hits t.blocks;
+    block_misses = Lru.misses t.blocks;
+    block_evictions = Lru.evictions t.blocks }

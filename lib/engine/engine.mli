@@ -1,0 +1,101 @@
+(** Cost-based query-evaluation engine over the paper's protocol.
+
+    Sits between {!Secure.System} (hosting lifecycle) and the
+    {!Secure.Server} / {!Secure.Client} pair: translated queries are
+    compiled into order-only {!Plan}s (pivot selection + predicate
+    ordering from server-visible statistics), executed through the
+    server's own join primitives by {!Exec}, and memoised in three
+    caches —
+
+    - {e plan cache}: wire request -> compiled plan (server side);
+    - {e result memo}: wire request -> evaluated response (server side);
+    - {e block cache}: block id -> decrypted subtree (client side).
+
+    Every cache key is a ciphertext artifact the server already
+    observes (the encoded request of Vernam tokens and OPESS ranges, or
+    a block id); plaintext never reaches a key.  All three caches are
+    flushed by the {!Secure.System.on_rehost} hook, so answers after
+    {!update} / {!rotate} are computed against fresh artifacts only.
+    See docs/SECURITY.md ("What the engine's caches add") for the
+    leakage analysis. *)
+
+module Lru = Lru
+module Stats = Stats
+module Estimate = Estimate
+module Plan = Plan
+module Planner = Planner
+module Exec = Exec
+
+type config = {
+  planner : bool;   (** [false]: identity plans (left-to-right) *)
+  caches : bool;    (** [false]: every lookup is a counted bypass *)
+  plan_capacity : int;
+  result_capacity : int;
+  block_capacity : int;
+}
+
+val default_config : config
+(** planner and caches on; capacities 128 / 64 / 256. *)
+
+type outcome =
+  | Hit
+  | Miss
+  | Bypass  (** caches disabled by configuration *)
+
+val outcome_to_string : outcome -> string
+
+type t
+
+val create : ?config:config -> Secure.System.t -> t
+(** Bind an engine to a hosting and arm its invalidation hook. *)
+
+val system : t -> Secure.System.t
+(** The hosting currently bound (changes on {!update} / {!rotate}). *)
+
+val update : t -> Secure.Update.edit -> Secure.System.setup_cost
+(** {!Secure.System.update} + cache flush + re-bind, in one step: the
+    old hosting's rehost hook flushes all three caches before the new
+    hosting is attached. *)
+
+val rotate : t -> new_master:string -> Secure.System.setup_cost
+
+val flush : t -> unit
+(** Manual invalidation (counted like a rehost-triggered one). *)
+
+val wire_request : t -> Xpath.Ast.path -> string
+(** The ciphertext request encoding used as the plan/result cache key —
+    exactly {!Secure.Protocol.encode_request} of the translated query,
+    exposed so tests can assert the engine keys on nothing else. *)
+
+type report = {
+  plan : Plan.t;
+  plan_outcome : outcome;
+  result_outcome : outcome;
+  steps : Exec.step_actual list;   (** estimated vs actual, per step *)
+  request_bytes : int;
+  block_hits : int;       (** blocks served from the client cache *)
+  block_misses : int;     (** blocks shipped and decrypted *)
+  translate_ms : float;
+  plan_ms : float;
+  server_ms : float;
+  transmit_bytes : int;   (** request + blocks actually shipped *)
+  decrypt_ms : float;
+  postprocess_ms : float;
+  blocks_returned : int;  (** blocks the response references *)
+  blocks_decrypted : int;
+  answer_count : int;
+}
+
+val server_decrypt_ms : report -> float
+(** The E10 headline quantity: server evaluation + client decryption. *)
+
+val evaluate_report : t -> Xpath.Ast.path -> Secure.Client.answer list * report
+(** One full round trip through plan -> execute -> decrypt ->
+    post-process.  Answers are exact (identical to
+    {!Secure.System.evaluate}'s) for any planner/cache configuration:
+    plans only reorder sound joins, and the client re-evaluates the
+    original query over the decrypted view. *)
+
+val evaluate : t -> Xpath.Ast.path -> Secure.Client.answer list
+
+val stats : t -> Stats.t

@@ -1,0 +1,92 @@
+module Server = Secure.Server
+module Squery = Secure.Squery
+
+(* Everything here is computed from {!Secure.Server.index_stats} and
+   {!Secure.Server.test_count} — statistics the untrusted server
+   already derives from its own view (token entry counts, B-tree
+   shape).  No plaintext reaches the cost model. *)
+
+type t = {
+  server : Server.t;
+  index : Server.index_stats;
+  key_span : float;  (* width of the populated OPESS key space, >= 1 *)
+}
+
+let of_server server =
+  let index = Server.index_stats server in
+  let key_span =
+    match index.Server.key_lo, index.Server.key_hi with
+    | Some lo, Some hi -> Float.max 1.0 (Int64.to_float (Int64.sub hi lo) +. 1.0)
+    | Some _, None | None, Some _ | None, None -> 1.0
+  in
+  { server; index; key_span }
+
+let test_count t test = float_of_int (Server.test_count t.server test)
+
+(* Uniform-density model over the populated key span: expected B-tree
+   entries matched by one OPESS range. *)
+let range_count t (lo, hi) =
+  let entries = float_of_int t.index.Server.btree_entries in
+  if entries <= 0.0 || Int64.compare hi lo < 0 then 0.0
+  else
+    let width = Int64.to_float (Int64.sub hi lo) +. 1.0 in
+    Float.min entries (entries /. t.key_span *. width)
+
+let range_selectivity t ranges =
+  let entries = float_of_int t.index.Server.btree_entries in
+  if entries <= 0.0 then 0.0
+  else
+    let expected = List.fold_left (fun acc r -> acc +. range_count t r) 0.0 ranges in
+    Float.min 1.0 (expected /. entries)
+
+(* Work of walking a predicate chain: sum of its steps' lookup sizes. *)
+let path_lookup_cost t q =
+  List.fold_left
+    (fun acc step -> acc +. test_count t step.Squery.test)
+    0.0 q.Squery.steps
+
+(* (cost, selectivity) of applying one predicate to a candidate set.
+   Selectivities are heuristic — they only rank steps and predicates,
+   never affect which candidates survive. *)
+let rec predicate t = function
+  | Squery.P_and (a, b) ->
+    let ca, sa = predicate t a in
+    let cb, sb = predicate t b in
+    ca +. cb, Float.min sa sb
+  | Squery.P_or (a, b) ->
+    let ca, sa = predicate t a in
+    let cb, sb = predicate t b in
+    ca +. cb, Float.min 1.0 (sa +. sb)
+  | Squery.P_not inner ->
+    (* The server keeps every candidate under negation. *)
+    let c, _ = predicate t inner in
+    c, 1.0
+  | Squery.Exists q -> path_lookup_cost t q, 0.5
+  | Squery.Value (q, Squery.Unknown) ->
+    (* Unindexed value: only the structural chain prunes. *)
+    path_lookup_cost t q, (if q.Squery.steps = [] then 1.0 else 0.5)
+  | Squery.Value (q, Squery.Ranges ranges) ->
+    let sel = range_selectivity t ranges in
+    let chain = path_lookup_cost t q in
+    if q.Squery.steps = [] then chain, sel
+    else
+      (* Through a chain the range constrains a descendant, not the
+         candidate itself — damp the selectivity accordingly. *)
+      chain, Float.min 1.0 (sel *. 4.0)
+
+type step_est = {
+  raw : float;          (* DSI intervals the token lookup returns *)
+  selectivity : float;  (* product over the step's predicates *)
+  cost : float;         (* lookup + predicate-chain work *)
+}
+
+let step t s =
+  let raw = test_count t s.Squery.test in
+  let pred_cost, sel =
+    List.fold_left
+      (fun (c, sl) p ->
+        let pc, ps = predicate t p in
+        c +. pc, sl *. ps)
+      (0.0, 1.0) s.Squery.predicates
+  in
+  { raw; selectivity = sel; cost = raw +. pred_cost }

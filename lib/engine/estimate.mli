@@ -1,0 +1,34 @@
+(** Selectivity and cost estimates from server-visible metadata only.
+
+    Inputs are {!Secure.Server.test_count} (per-token DSI interval
+    counts) and {!Secure.Server.index_stats} (B-tree entry count and
+    populated key span, modelled as uniform density).  The estimates
+    rank structural-join steps and predicates for the planner; they are
+    never used to decide which candidates survive, so a wrong estimate
+    can cost time but not correctness. *)
+
+type t
+
+val of_server : Secure.Server.t -> t
+(** Snapshot the server's statistics.  Valid for one hosting
+    generation — rebuild after {!Secure.System.update}. *)
+
+val test_count : t -> Secure.Squery.test -> float
+
+val range_count : t -> int64 * int64 -> float
+(** Expected B-tree entries inside one OPESS range. *)
+
+val range_selectivity : t -> (int64 * int64) list -> float
+(** Expected fraction of B-tree entries covered by a range union,
+    clamped to [[0, 1]]; [0.0] for the empty union. *)
+
+val predicate : t -> Secure.Squery.predicate -> float * float
+(** [(cost, selectivity)] of applying one predicate. *)
+
+type step_est = {
+  raw : float;          (** DSI intervals the token lookup returns *)
+  selectivity : float;  (** product over the step's predicates *)
+  cost : float;         (** lookup + predicate-chain work *)
+}
+
+val step : t -> Secure.Squery.step -> step_est

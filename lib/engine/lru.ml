@@ -1,0 +1,90 @@
+(* Classic LRU: a hash table into a doubly-linked recency list.  The
+   list head is the most recently used entry; eviction pops the tail.
+   All operations are O(1) expected. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards the head (more recent) *)
+  mutable next : ('k, 'v) node option;  (* towards the tail (less recent) *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create capacity =
+  { capacity = Int.max 0 capacity;
+    table = Hashtbl.create (Int.max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let put t key value =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+     | Some node ->
+       node.value <- value;
+       unlink t node;
+       push_front t node
+     | None ->
+       let node = { key; value; prev = None; next = None } in
+       Hashtbl.replace t.table key node;
+       push_front t node);
+    if Hashtbl.length t.table > t.capacity then
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.key;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

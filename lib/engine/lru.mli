@@ -1,0 +1,32 @@
+(** Bounded least-recently-used map with hit/miss/eviction counters.
+
+    The engine's three caches (compiled plans, server-side result
+    memos, client-side decrypted blocks) are all instances of this one
+    structure; a capacity of [0] disables storage entirely, turning
+    every {!find} into a counted miss — that is how the engine's
+    cache-disabled mode is implemented without a second code path. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity]; negative capacities behave like [0]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Presence test that does {e not} touch recency or counters. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite; evicts the least recently used entry when the
+    capacity is exceeded.  A no-op at capacity [0]. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry.  Counters are cumulative and survive (the
+    invalidation story is part of what they measure). *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

@@ -1,0 +1,48 @@
+type step_plan = {
+  index : int;
+  axis : Xpath.Ast.axis;
+  est_raw : float;
+  est_selected : float;
+  pred_order : int list;
+  pre_applied : int list;
+}
+
+type t = {
+  steps : step_plan list;
+  pivot : int;
+  reordered : bool;
+}
+
+let identity_order n = List.init n (fun i -> i)
+
+let reorder_span t = t.pivot
+
+let axis_name = function
+  | Xpath.Ast.Child -> "child"
+  | Xpath.Ast.Descendant_or_self -> "descendant-or-self"
+  | Xpath.Ast.Parent -> "parent"
+  | Xpath.Ast.Following_sibling -> "following-sibling"
+  | Xpath.Ast.Preceding_sibling -> "preceding-sibling"
+  | Xpath.Ast.Following -> "following"
+  | Xpath.Ast.Preceding -> "preceding"
+
+let ints_to_string is = String.concat ";" (List.map string_of_int is)
+
+let step_to_string t sp =
+  Printf.sprintf "step %d%s %s: est %.1f -> %.1f%s%s" sp.index
+    (if t.pivot > 0 && sp.index = t.pivot then " [pivot]" else "")
+    (axis_name sp.axis) sp.est_raw sp.est_selected
+    (if sp.pred_order = identity_order (List.length sp.pred_order) then ""
+     else Printf.sprintf ", preds [%s]" (ints_to_string sp.pred_order))
+    (if t.pivot > 0 && sp.index = t.pivot && sp.pre_applied <> [] then
+       Printf.sprintf ", pre-applied [%s]" (ints_to_string sp.pre_applied)
+     else "")
+
+let to_string t =
+  let header =
+    if t.reordered then
+      Printf.sprintf "reordered: pivot at step %d, steps 1..%d pre-tightened"
+        t.pivot t.pivot
+    else "left-to-right (no profitable pivot)"
+  in
+  String.concat "\n" (header :: List.map (step_to_string t) t.steps)

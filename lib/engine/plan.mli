@@ -1,0 +1,36 @@
+(** Compiled evaluation plan for one translated query.
+
+    A plan never changes {e what} is computed — only the order: which
+    step's candidate set is tightened first (the pivot, whose
+    constraint back-propagates through the sound
+    {!Secure.Server.join_backward} direction before the forward pass)
+    and in which order each step's predicates apply.  Plans mention
+    step/predicate {e indices} and axis names only; tags exist in the
+    plan solely as the ciphertext tokens inside the query it was
+    compiled from. *)
+
+type step_plan = {
+  index : int;
+  axis : Xpath.Ast.axis;
+  est_raw : float;        (** estimated DSI intervals before joins *)
+  est_selected : float;   (** after the step's own predicates *)
+  pred_order : int list;  (** predicate application order (indices) *)
+  pre_applied : int list;
+      (** self value-range predicates hoisted before back-propagation
+          when this step is the pivot *)
+}
+
+type t = {
+  steps : step_plan list;
+  pivot : int;        (** [0] = plain left-to-right evaluation *)
+  reordered : bool;   (** [pivot > 0] *)
+}
+
+val identity_order : int -> int list
+
+val reorder_span : t -> int
+(** Number of steps whose evaluation order the plan changed. *)
+
+val axis_name : Xpath.Ast.axis -> string
+
+val to_string : t -> string

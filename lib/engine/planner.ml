@@ -1,0 +1,75 @@
+module Squery = Secure.Squery
+
+(* A pivot must beat the costliest step before it by this factor to
+   justify the extra back-propagation joins. *)
+let pivot_gain = 4.0
+
+let predicate_order est preds =
+  let keyed = List.mapi (fun j p -> j, Estimate.predicate est p) preds in
+  (* Most selective first; ties broken towards the cheaper predicate.
+     The stable sort keeps the written order on full ties, so plans for
+     predicate-free steps are the identity. *)
+  List.stable_sort
+    (fun (_, (ca, sa)) (_, (cb, sb)) ->
+      match Float.compare sa sb with 0 -> Float.compare ca cb | c -> c)
+    keyed
+  |> List.map fst
+
+let self_value_preds preds =
+  List.concat
+    (List.mapi
+       (fun j p ->
+         match p with
+         | Squery.Value (q, Squery.Ranges _) when q.Squery.steps = [] -> [ j ]
+         | Squery.Value _ | Squery.Exists _ | Squery.P_and _ | Squery.P_or _
+         | Squery.P_not _ -> [])
+       preds)
+
+let compile ?(reorder = true) est (squery : Squery.path) =
+  let annotated =
+    List.mapi
+      (fun i s ->
+        let e = Estimate.step est s in
+        let sp =
+          { Plan.index = i;
+            axis = s.Squery.axis;
+            est_raw = e.Estimate.raw;
+            est_selected = e.Estimate.raw *. e.Estimate.selectivity;
+            pred_order = predicate_order est s.Squery.predicates;
+            pre_applied = [] }
+        in
+        s, sp)
+      squery.Squery.steps
+  in
+  let plans = Array.of_list (List.map snd annotated) in
+  let n = Array.length plans in
+  let pivot =
+    if (not reorder) || n < 2 then 0
+    else begin
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if plans.(i).Plan.est_selected < plans.(!best).Plan.est_selected then
+          best := i
+      done;
+      let i = !best in
+      if i = 0 then 0
+      else begin
+        let max_before = ref 0.0 in
+        for j = 0 to i - 1 do
+          max_before := Float.max !max_before plans.(j).Plan.est_raw
+        done;
+        if !max_before > pivot_gain *. Float.max 1.0 plans.(i).Plan.est_selected
+        then i
+        else 0
+      end
+    end
+  in
+  let steps =
+    List.map
+      (fun (s, sp) ->
+        if pivot > 0 && sp.Plan.index = pivot then
+          { sp with Plan.pre_applied = self_value_preds s.Squery.predicates }
+        else sp)
+      annotated
+  in
+  { Plan.steps; pivot; reordered = pivot > 0 }

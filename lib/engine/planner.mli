@@ -1,0 +1,25 @@
+(** Cost-based plan compilation.
+
+    Two decisions, both order-only (see {!Plan}):
+
+    + {b pivot selection} — the step with the smallest selected
+      estimate becomes the pivot when the costliest step before it is
+      at least 4x larger; its candidate set (after hoisting its own
+      value-range predicates) back-propagates through
+      {!Secure.Server.join_backward} to shrink every earlier step's
+      seed before the ordinary forward pass runs;
+    + {b predicate ordering} — each step's predicates are applied most
+      selective first (ties broken towards the cheaper one), stably, so
+      estimate-free plans keep the written order.
+
+    Estimates come from {!Estimate}; compilation reads no candidate
+    data, so a plan depends only on the translated query and the
+    server's statistics snapshot. *)
+
+val pivot_gain : float
+
+val predicate_order : Estimate.t -> Secure.Squery.predicate list -> int list
+
+val compile : ?reorder:bool -> Estimate.t -> Secure.Squery.path -> Plan.t
+(** [~reorder:false] forces the left-to-right identity pivot (the
+    engine's planner-off mode) while still ordering predicates. *)

@@ -126,8 +126,11 @@ let aggregate_range t p =
 (* ------------------------------------------------------------------ *)
 (* Post-processing                                                     *)
 
-let decrypt_blocks t blocks =
-  List.map (fun b -> Encrypt.decrypt_block ~keys:t.keys b) blocks
+type answer = Tree.t
+
+let decrypt_block t b = Encrypt.decrypt_block ~keys:t.keys b
+
+let decrypt_blocks t blocks = List.map (decrypt_block t) blocks
 
 let composite t ~decrypted =
   Composite.create ~skeleton:t.skeleton_doc ~anchors:t.anchors

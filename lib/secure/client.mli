@@ -12,11 +12,22 @@
 
 type t
 
+type answer = Xmlcore.Tree.t
+(** An answer subtree (also a decrypted block's payload).  The alias
+    lets modules above the client — notably {!module:Engine} — handle
+    decrypted material opaquely without referencing the plaintext
+    document layer themselves. *)
+
 val create : keys:Crypto.Keys.t -> Metadata.t -> Encrypt.db -> t
 (** Build the client state after setup ({!Metadata.build} output plus
     the encrypted database it uploaded). *)
 
 val keys : t -> Crypto.Keys.t
+
+val decrypt_block : t -> Encrypt.block -> answer
+(** Decrypt one block with the client's derived keys (decoys are {e
+    not} removed here — {!evaluate_with} ignores them).
+    @raise Encrypt.Tampered when authentication fails. *)
 
 val translate : t -> Xpath.Ast.path -> Squery.path
 (** Translate a plaintext XPath query into the server IR.

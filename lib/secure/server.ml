@@ -4,11 +4,18 @@ let log_src = Logs.Src.create "secure.server" ~doc:"Untrusted-server query engin
 
 module Log = (val Logs.src_log log_src)
 
+(* Invariant: every interval list in [table] is sorted by
+   {!Interval.compare_by_lo} and duplicate-free — the sort is hoisted
+   into {!create} so per-step lookups need not re-sort (single-token
+   lookups, the common case, return the stored list as-is). *)
 type t = {
   table : (string, Interval.t list) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;    (* per-token interval counts *)
   universe : Interval.t list;          (* wildcard candidates *)
+  universe_count : int;
   prepared : Dsi.Join.universe;        (* for child-axis joins *)
   block_table : (int * Interval.t) list;
+  reps_prepared : Dsi.Join.universe;   (* block representatives, sorted once *)
   rep_by_id : (int, Interval.t) Hashtbl.t;
   id_by_rep : (float * float, int) Hashtbl.t;
   blocks_by_id : (int, Encrypt.block) Hashtbl.t;
@@ -24,7 +31,14 @@ type response = {
 
 let create ~dsi_table ~block_table ~btree ~blocks =
   let table = Hashtbl.create (List.length dsi_table) in
-  List.iter (fun (key, ivs) -> Hashtbl.replace table key ivs) dsi_table;
+  let counts = Hashtbl.create (List.length dsi_table) in
+  List.iter
+    (fun (key, ivs) ->
+      (* Establish the sortedness invariant once, at build time. *)
+      let ivs = List.sort_uniq Interval.compare_by_lo ivs in
+      Hashtbl.replace table key ivs;
+      Hashtbl.replace counts key (List.length ivs))
+    dsi_table;
   let universe =
     List.sort Interval.compare_by_lo (List.concat_map snd dsi_table)
   in
@@ -38,7 +52,17 @@ let create ~dsi_table ~block_table ~btree ~blocks =
       Hashtbl.replace rep_by_id id rep;
       Hashtbl.replace id_by_rep (rep.Interval.lo, rep.Interval.hi) id)
     block_table;
-  { table; universe; prepared; block_table; rep_by_id; id_by_rep; blocks_by_id; btree }
+  { table;
+    counts;
+    universe;
+    universe_count = List.length universe;
+    prepared;
+    block_table;
+    reps_prepared = Dsi.Join.prepare_universe (List.map snd block_table);
+    rep_by_id;
+    id_by_rep;
+    blocks_by_id;
+    btree }
 
 let of_metadata meta db =
   create ~dsi_table:meta.Metadata.dsi_table ~block_table:meta.Metadata.block_table
@@ -60,12 +84,30 @@ let stored_bytes t = block_bytes (all_blocks t)
 
 let lookup t = function
   | Squery.Any -> t.universe
+  | Squery.Tokens [ token ] ->
+    (* Fast path: table entries are sorted and duplicate-free already
+       (see {!create}), so the stored list is returned as-is. *)
+    Option.value ~default:[] (Hashtbl.find_opt t.table (Metadata.token_key token))
   | Squery.Tokens tokens ->
+    (* Multi-token tests (attribute Enc over several scramblings) still
+       need one merge pass over the per-token sorted lists. *)
     List.concat_map
       (fun token ->
         Option.value ~default:[] (Hashtbl.find_opt t.table (Metadata.token_key token)))
       tokens
     |> List.sort_uniq Interval.compare_by_lo
+
+(* Candidate count of a test without materialising the merge — the
+   planner's selectivity input.  Multi-token sums may double-count
+   intervals shared between tokens; as an estimate that is fine. *)
+let test_count t = function
+  | Squery.Any -> t.universe_count
+  | Squery.Tokens tokens ->
+    List.fold_left
+      (fun acc token ->
+        acc
+        + Option.value ~default:0 (Hashtbl.find_opt t.counts (Metadata.token_key token)))
+      0 tokens
 
 (* Document-order axes over intervals: [m] follows [o] iff m.lo > o.hi,
    precedes iff m.hi < o.lo.  Grouped hulls can hide the relationship
@@ -181,10 +223,11 @@ let filter_by_targets t candidates targets =
         reps := rep :: !reps)
     targets;
   let inside = Hashtbl.create 64 in
+  (* [descendants_within] sorts its ancestor side internally and the
+     sweep tolerates duplicates, so no pre-sort of [!reps] is needed. *)
   List.iter
     (fun c -> Hashtbl.replace inside (c.Interval.lo, c.Interval.hi) ())
-    (Dsi.Join.descendants_within ~ancestors:(List.sort_uniq Interval.compare_by_lo !reps)
-       candidates);
+    (Dsi.Join.descendants_within ~ancestors:!reps candidates);
   List.filter
     (fun c ->
       let key = c.Interval.lo, c.Interval.hi in
@@ -196,6 +239,10 @@ type eval_state = {
   mutable hits : int;        (* B-tree entries touched *)
   mutable witnesses : Interval.t list;  (* all surviving intervals, for block selection *)
 }
+
+let new_state () = { touched = 0; hits = 0; witnesses = [] }
+
+let add_hits state n = state.hits <- state.hits + n
 
 let register state survivors =
   state.touched <- state.touched + List.length survivors;
@@ -290,7 +337,7 @@ type step_report = {
 }
 
 let explain t query =
-  let state = { touched = 0; hits = 0; witnesses = [] } in
+  let state = new_state () in
   let levels = forward t state None query.Squery.steps in
   List.mapi
     (fun i (step, survivors) ->
@@ -300,20 +347,13 @@ let explain t query =
         surviving_candidates = List.length survivors })
     (List.combine query.Squery.steps levels)
 
-let answer t query =
-  Log.debug (fun m -> m "answer: %s" (Squery.to_string query));
-  let state = { touched = 0; hits = 0; witnesses = [] } in
-  let levels = forward t state None query.Squery.steps in
-  let distinguished =
-    match List.rev levels with
-    | last :: _ -> last
-    | [] -> []
-  in
-  (* Blocks to ship: any block whose representative interval covers
-     (contains or equals) a witness interval, plus blocks nested inside
-     a distinguished interval (needed to rebuild full answer
-     subtrees).  All three relations are computed with sweeps/hashes to
-     stay near-linear. *)
+(* Blocks to ship: any block whose representative interval covers
+   (contains or equals) a witness interval, plus blocks nested inside a
+   distinguished interval (needed to rebuild full answer subtrees).
+   All three relations are computed with sweeps/hashes to stay
+   near-linear; the block-representative side is prepared once at
+   {!create}. *)
+let select_blocks t ~witnesses ~distinguished ~candidate_intervals ~btree_hits =
   let reps = List.map snd t.block_table in
   let needed = Hashtbl.create 64 in
   let need rep =
@@ -321,19 +361,18 @@ let answer t query =
     | Some id -> Hashtbl.replace needed id ()
     | None -> ()
   in
-  let witnesses = List.sort_uniq Interval.compare_by_lo state.witnesses in
+  let witnesses = List.sort_uniq Interval.compare_by_lo witnesses in
   (* (a) reps strictly containing a witness *)
-  List.iter need (Dsi.Join.ancestors_of_some ~descendants:witnesses reps);
+  List.iter need
+    (Dsi.Join.ancestors_of_some_prepared ~descendants:witnesses
+       ~candidates:t.reps_prepared);
   (* (b) reps equal to a witness *)
   List.iter
     (fun w ->
       if Hashtbl.mem t.id_by_rep (w.Interval.lo, w.Interval.hi) then need w)
     witnesses;
   (* (c) reps strictly inside a distinguished interval *)
-  List.iter need
-    (Dsi.Join.descendants_within
-       ~ancestors:(List.sort_uniq Interval.compare_by_lo distinguished)
-       reps);
+  List.iter need (Dsi.Join.descendants_within ~ancestors:distinguished reps);
   let blocks =
     Hashtbl.fold
       (fun id () acc ->
@@ -343,13 +382,25 @@ let answer t query =
       needed []
     |> List.sort (fun a b -> compare a.Encrypt.id b.Encrypt.id)
   in
+  { blocks; bytes = block_bytes blocks; candidate_intervals; btree_hits }
+
+let answer t query =
+  Log.debug (fun m -> m "answer: %s" (Squery.to_string query));
+  let state = new_state () in
+  let levels = forward t state None query.Squery.steps in
+  let distinguished =
+    match List.rev levels with
+    | last :: _ -> last
+    | [] -> []
+  in
+  let response =
+    select_blocks t ~witnesses:state.witnesses ~distinguished
+      ~candidate_intervals:state.touched ~btree_hits:state.hits
+  in
   Log.debug (fun m ->
       m "answer: %d candidate intervals, %d btree hits, %d blocks shipped"
-        state.touched state.hits (List.length blocks));
-  { blocks;
-    bytes = block_bytes blocks;
-    candidate_intervals = state.touched;
-    btree_hits = state.hits }
+        state.touched state.hits (List.length response.blocks));
+  response
 
 (* MIN/MAX without shipping the whole candidate set (Section 6.4): OPE
    preserves order, so the extreme B-tree entry over the attribute's
@@ -358,7 +409,7 @@ let answer t query =
    candidates live in the skeleton the client already holds.  At most
    one block ships. *)
 let answer_extreme t query ~key_range ~direction =
-  let state = { touched = 0; hits = 0; witnesses = [] } in
+  let state = new_state () in
   let levels = forward t state None query.Squery.steps in
   let distinguished =
     match List.rev levels with
@@ -394,3 +445,25 @@ let answer_extreme t query ~key_range ~direction =
     bytes = block_bytes blocks;
     candidate_intervals = state.touched;
     btree_hits = state.hits }
+
+(* ------------------------------------------------------------------ *)
+(* Server-visible metadata summary (the planner's statistics source)   *)
+
+type index_stats = {
+  btree_entries : int;
+  btree_height : int;
+  key_lo : int64 option;
+  key_hi : int64 option;
+  table_tokens : int;
+  universe_intervals : int;
+  block_count : int;
+}
+
+let index_stats t =
+  { btree_entries = Btree.length t.btree;
+    btree_height = Btree.height t.btree;
+    key_lo = Btree.min_key t.btree;
+    key_hi = Btree.max_key t.btree;
+    table_tokens = Hashtbl.length t.table;
+    universe_intervals = t.universe_count;
+    block_count = List.length t.block_table }

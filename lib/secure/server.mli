@@ -69,3 +69,90 @@ val all_blocks : t -> Encrypt.block list
 
 val stored_bytes : t -> int
 (** Ciphertext bytes held by the server (headers included). *)
+
+(** {1 Engine support}
+
+    Building blocks of {!answer}, exposed so an external evaluation
+    engine ({!module:Engine}) can re-order structural-join steps and
+    memoise intermediate results while delegating every join and
+    predicate decision to the same code paths {!answer} uses.  All
+    inputs and outputs are ciphertext artifacts (DSI intervals, Vernam
+    tokens, OPESS ranges) — nothing here widens the server's view. *)
+
+type eval_state = {
+  mutable touched : int;
+      (** surviving intervals, summed over query nodes *)
+  mutable hits : int;  (** B-tree entries touched *)
+  mutable witnesses : Dsi.Interval.t list;
+      (** every surviving interval, for block selection *)
+}
+
+val new_state : unit -> eval_state
+
+val add_hits : eval_state -> int -> unit
+
+val register : eval_state -> Dsi.Interval.t list -> unit
+(** Record a step's survivors: counts them and adds them to the
+    witness set. *)
+
+val lookup : t -> Squery.test -> Dsi.Interval.t list
+(** DSI-table intervals of a test, sorted by lower endpoint and
+    duplicate-free. *)
+
+val test_count : t -> Squery.test -> int
+(** Candidate count of a test without materialising the token merge —
+    the planner's selectivity input.  Multi-token sums may
+    double-count; exact for the common single-token case. *)
+
+val join_forward :
+  t -> Dsi.Interval.t list option -> Xpath.Ast.axis -> Dsi.Interval.t list ->
+  Dsi.Interval.t list
+(** Prune a step's raw candidates against the surviving origin set
+    ([None] is the virtual document node of an absolute path). *)
+
+val join_backward :
+  t -> Dsi.Interval.t list -> Xpath.Ast.axis -> Dsi.Interval.t list ->
+  Dsi.Interval.t list
+(** Tighten an origin set to the members with a surviving successor —
+    the sound direction for pre-applying a selective later step. *)
+
+val btree_targets :
+  t -> (int64 * int64) list -> Metadata.target list * int
+(** Allowed targets of a value constraint (union of B-tree range
+    scans) and the number of entries touched. *)
+
+val filter_by_targets :
+  t -> Dsi.Interval.t list -> Metadata.target list -> Dsi.Interval.t list
+(** Keep candidates compatible with at least one allowed target. *)
+
+val filter_by_predicate :
+  t -> eval_state -> Dsi.Interval.t list -> Squery.predicate ->
+  Dsi.Interval.t list
+(** Filter a candidate set by one predicate, with back-propagation
+    through the predicate's chain; chain survivors are registered as
+    witnesses in [eval_state]. *)
+
+val select_blocks :
+  t ->
+  witnesses:Dsi.Interval.t list ->
+  distinguished:Dsi.Interval.t list ->
+  candidate_intervals:int ->
+  btree_hits:int ->
+  response
+(** Step 3 of {!answer}: map surviving intervals to the blocks that
+    must ship (representative covers a witness, or representative lies
+    inside a distinguished interval). *)
+
+type index_stats = {
+  btree_entries : int;          (** value-index size *)
+  btree_height : int;
+  key_lo : int64 option;        (** smallest OPESS key present *)
+  key_hi : int64 option;        (** largest OPESS key present *)
+  table_tokens : int;           (** distinct DSI-table entries *)
+  universe_intervals : int;     (** total intervals across all entries *)
+  block_count : int;
+}
+
+val index_stats : t -> index_stats
+(** Summary of the server-visible metadata; everything a cost model may
+    read is derived from what the server already stores. *)

@@ -25,7 +25,29 @@ type t = {
   client : Client.t;
   server : Server.t;
   link : link;
+  generation : int;
+  rehost_hooks : (unit -> unit) list ref;
+      (* observers (caches, engines) to notify when this hosting is
+         superseded by update/update_all/rotate; shared by the
+         with_faults record copy, which is the same hosting rewired *)
 }
+
+(* Re-hosting replaces every ciphertext artifact (blocks, tokens, OPE
+   keys, DSI weights), so anything derived from a system must be
+   dropped when its generation is superseded. *)
+let generation_counter = ref 0
+
+let next_generation () =
+  incr generation_counter;
+  !generation_counter
+
+let generation t = t.generation
+
+let on_rehost t f = t.rehost_hooks := f :: !(t.rehost_hooks)
+
+let fire_rehost t =
+  List.iter (fun f -> f ()) !(t.rehost_hooks);
+  t.rehost_hooks := []
 
 type cost = {
   translate_ms : float;
@@ -105,7 +127,9 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
         (Crypto.Cipher.suite_to_string cipher));
   let system =
     { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server;
-      link = make_link keys server }
+      link = make_link keys server;
+      generation = next_generation ();
+      rehost_hooks = ref [] }
   in
   let cost =
     { scheme_build_ms;
@@ -134,7 +158,9 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
     metadata;
     client = Client.create ~keys metadata db;
     server;
-    link = make_link keys server }
+    link = make_link keys server;
+    generation = next_generation ();
+    rehost_hooks = ref [] }
 
 (* Rewire the same hosted system behind a chaotic link.  The server
    state is shared; only the wire path (and retry policy) changes. *)
@@ -419,12 +445,25 @@ let reference_aggregate t direction query =
    (new block keys, pads, OPE keys, weights — everything re-derives).
    Old persisted bundles stop authenticating, by construction. *)
 let rotate t ~new_master =
-  setup ~master:new_master ~cipher:t.cipher t.doc t.constraints t.scheme.Scheme.kind
+  let result =
+    setup ~master:new_master ~cipher:t.cipher t.doc t.constraints t.scheme.Scheme.kind
+  in
+  fire_rehost t;
+  result
 
 let update t edit =
+  Log.info (fun m -> m "update: %s; re-hosting" (Update.describe edit));
   let edited = Doc.of_tree (Update.apply t.doc edit) in
-  setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+  let result =
+    setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+  in
+  fire_rehost t;
+  result
 
 let update_all t edits =
   let edited = Update.apply_all t.doc edits in
-  setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+  let result =
+    setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+  in
+  fire_rehost t;
+  result

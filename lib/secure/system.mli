@@ -81,6 +81,19 @@ val metadata : t -> Metadata.t
 val client : t -> Client.t
 val server : t -> Server.t
 
+val generation : t -> int
+(** Monotone hosting counter: every {!setup} / {!restore} result gets a
+    fresh generation.  Anything derived from a system's ciphertext
+    artifacts (cached plans, memoised candidates, decrypted blocks) is
+    valid for exactly one generation. *)
+
+val on_rehost : t -> (unit -> unit) -> unit
+(** Register an invalidation hook on this hosting.  All hooks fire
+    (once, then are dropped) when the system is superseded by
+    {!update}, {!update_all} or {!rotate} — the moment every derived
+    ciphertext artifact becomes stale.  {!with_faults} shares the hook
+    list of the system it rewires. *)
+
 (** {2 Transport faults and the session layer}
 
     Every {!evaluate} round trip is framed by {!Session} (sequence

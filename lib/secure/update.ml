@@ -83,3 +83,12 @@ let apply doc = function
 
 let apply_all doc edits =
   List.fold_left (fun doc edit -> Doc.of_tree (apply doc edit)) doc edits
+
+(* Shape-only rendering for logs: paths are plaintext the owner chose
+   to log, but replaced values never appear. *)
+let describe = function
+  | Insert_child { parent; position; _ } ->
+    Printf.sprintf "insert child at position %d under %s" position
+      (Ast.to_string parent)
+  | Delete_nodes path -> "delete nodes at " ^ Ast.to_string path
+  | Set_value (path, _) -> "set value at " ^ Ast.to_string path

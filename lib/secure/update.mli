@@ -32,3 +32,8 @@ val apply : Xmlcore.Doc.t -> edit -> Xmlcore.Tree.t
 val apply_all : Xmlcore.Doc.t -> edit list -> Xmlcore.Doc.t
 (** Fold {!apply} over a batch (re-indexing between edits so later
     paths see earlier edits). *)
+
+val describe : edit -> string
+(** One-line rendering of an edit's {e shape} for logs: the path and
+    position only — replacement values and inserted subtrees are never
+    included. *)

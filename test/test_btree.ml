@@ -235,6 +235,88 @@ let bulk_load_sizes () =
   Alcotest.(check int) "duplicate-heavy range" 30
     (List.length (Btree.range t ~lo:10L ~hi:12L))
 
+(* Bulk loading packs nodes as full as the invariants allow, so the
+   very first deletions force borrows and merges that incremental
+   insertion rarely sets up.  Same list model as the delete suite. *)
+let bulk_load_delete_prop =
+  QCheck.Test.make ~name:"deletes from a bulk-loaded tree (borrow/merge)"
+    ~count:200
+    QCheck.(pair (int_range 2 6) (pair arbitrary_pairs (small_list (int_bound 100))))
+    (fun (degree, (pairs, to_delete)) ->
+      let t = Btree.bulk_load ~min_degree:degree pairs in
+      let model = ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs) in
+      List.for_all
+        (fun k ->
+          let k = Int64.of_int k in
+          let expected = model_delete !model k (fun _ -> true) in
+          let found = Btree.delete t k (fun _ -> true) in
+          (match expected with Some next -> model := next | None -> ());
+          found = Option.is_some expected
+          && Btree.validate t = Ok ()
+          && Btree.to_list t = !model)
+        to_delete)
+
+let bulk_load_interleaved_prop =
+  QCheck.Test.make ~name:"bulk load then interleaved insert/delete" ~count:100
+    QCheck.(pair arbitrary_pairs (list (pair bool (int_bound 50))))
+    (fun (pairs, ops) ->
+      let t = Btree.bulk_load ~min_degree:2 pairs in
+      let model = ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs) in
+      List.for_all
+        (fun (is_insert, k) ->
+          let key = Int64.of_int k in
+          if is_insert then begin
+            Btree.insert t key k;
+            (* insert appends after existing duplicates of the key, so
+               the model entry goes at the tail of the equal-key run *)
+            model := List.stable_sort (fun (a, _) (b, _) -> compare a b)
+                (!model @ [ key, k ])
+          end
+          else begin
+            (match model_delete !model key (fun _ -> true) with
+             | Some next -> model := next
+             | None -> ());
+            ignore (Btree.delete t key (fun _ -> true))
+          end;
+          Btree.validate t = Ok () && Btree.to_list t = !model)
+        ops)
+
+let duplicate_chunk_boundaries () =
+  (* Duplicate runs longer than a node straddle leaf boundaries after a
+     bulk load; point and span ranges must still see every copy, in
+     insertion order, at every (degree, run-length) combination. *)
+  List.iter
+    (fun degree ->
+      List.iter
+        (fun run ->
+          let entries =
+            List.concat_map
+              (fun k -> List.init run (fun i -> Int64.of_int k, (k * 1000) + i))
+              [ 0; 1; 2; 3; 4 ]
+          in
+          let t = Btree.bulk_load ~min_degree:degree entries in
+          (match Btree.validate t with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "degree=%d run=%d: %s" degree run e);
+          Alcotest.(check (list int))
+            (Printf.sprintf "degree=%d run=%d find_all order" degree run)
+            (List.init run (fun i -> 2000 + i))
+            (Btree.find_all t 2L);
+          Alcotest.(check (list int))
+            (Printf.sprintf "degree=%d run=%d point range" degree run)
+            (List.init run (fun i -> 2000 + i))
+            (List.map snd (Btree.range t ~lo:2L ~hi:2L));
+          Alcotest.(check int)
+            (Printf.sprintf "degree=%d run=%d span range" degree run)
+            (3 * run)
+            (List.length (Btree.range t ~lo:1L ~hi:3L));
+          Alcotest.(check bool)
+            (Printf.sprintf "degree=%d run=%d full range = contents" degree run)
+            true
+            (Btree.range t ~lo:0L ~hi:4L = Btree.to_list t))
+        [ 1; 2; 3; 5; 8; 17 ])
+    [ 2; 3; 4 ]
+
 let min_degree_guard () =
   Alcotest.check_raises "min_degree >= 2"
     (Invalid_argument "Btree.create: min_degree must be >= 2")
@@ -255,7 +337,11 @@ let () =
             insertion_order_irrelevant_prop ] );
       ( "bulk load",
         Alcotest.test_case "boundary sizes" `Quick bulk_load_sizes
-        :: List.map QCheck_alcotest.to_alcotest [ bulk_load_matches_inserts_prop ] );
+        :: Alcotest.test_case "duplicate runs at chunk boundaries" `Quick
+             duplicate_chunk_boundaries
+        :: List.map QCheck_alcotest.to_alcotest
+             [ bulk_load_matches_inserts_prop; bulk_load_delete_prop;
+               bulk_load_interleaved_prop ] );
       ( "deletion",
         Alcotest.test_case "delete_all with duplicates" `Quick delete_all_duplicates
         :: List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,272 @@
+(* Engine tests: LRU mechanics, planner shape, answer equality across
+   schemes and cache configurations (including immediately after an
+   update), eviction behaviour at tiny capacities, the server-side
+   sortedness invariant behind the lookup fast path, and cache-key
+   hygiene (the key is exactly the wire request; plaintext never
+   reaches it). *)
+
+module System = Secure.System
+module Scheme = Secure.Scheme
+module Qg = Workload.Querygen
+
+let doc = Workload.Health.generate ~patients:60 ()
+let scs = Workload.Health.constraints ()
+
+let systems = Hashtbl.create 4
+
+let system kind =
+  match Hashtbl.find_opt systems kind with
+  | Some sys -> sys
+  | None ->
+    let sys, _ = System.setup ~master:"test-engine" doc scs kind in
+    Hashtbl.replace systems kind sys;
+    sys
+
+let parse = Xpath.Parser.parse
+
+let workload () =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun fam -> Qg.generate ~seed:42L doc fam ~count:3)
+       [ Qg.Qs; Qg.Qm; Qg.Ql; Qg.Qv ])
+
+(* --- LRU ------------------------------------------------------------ *)
+
+let lru_basics () =
+  let c = Engine.Lru.create 2 in
+  Engine.Lru.put c 1 "a";
+  Engine.Lru.put c 2 "b";
+  Alcotest.(check (option string)) "find refreshes" (Some "a")
+    (Engine.Lru.find c 1);
+  Engine.Lru.put c 3 "c";
+  (* 2 was least recently used (1 was refreshed by the find). *)
+  Alcotest.(check (option string)) "evicted" None (Engine.Lru.find c 2);
+  Alcotest.(check (option string)) "survivor" (Some "a") (Engine.Lru.find c 1);
+  Alcotest.(check (option string)) "newcomer" (Some "c") (Engine.Lru.find c 3);
+  Alcotest.(check int) "one eviction" 1 (Engine.Lru.evictions c);
+  Alcotest.(check int) "length capped" 2 (Engine.Lru.length c)
+
+let lru_update_in_place () =
+  let c = Engine.Lru.create 4 in
+  Engine.Lru.put c 7 "old";
+  Engine.Lru.put c 7 "new";
+  Alcotest.(check int) "no duplicate entry" 1 (Engine.Lru.length c);
+  Alcotest.(check (option string)) "value replaced" (Some "new")
+    (Engine.Lru.find c 7);
+  Alcotest.(check int) "no eviction" 0 (Engine.Lru.evictions c)
+
+let lru_zero_capacity () =
+  (* Capacity 0 is the disabled mode: every find is a counted miss. *)
+  let c = Engine.Lru.create 0 in
+  Engine.Lru.put c 1 "a";
+  Alcotest.(check (option string)) "nothing stored" None (Engine.Lru.find c 1);
+  Alcotest.(check int) "length stays 0" 0 (Engine.Lru.length c);
+  Alcotest.(check int) "misses counted" 1 (Engine.Lru.misses c);
+  Alcotest.(check int) "no hits" 0 (Engine.Lru.hits c)
+
+let lru_clear_keeps_counters () =
+  let c = Engine.Lru.create 8 in
+  Engine.Lru.put c 1 "a";
+  ignore (Engine.Lru.find c 1);
+  ignore (Engine.Lru.find c 2);
+  Engine.Lru.clear c;
+  Alcotest.(check int) "empty" 0 (Engine.Lru.length c);
+  Alcotest.(check (option string)) "entries gone" None (Engine.Lru.find c 1);
+  Alcotest.(check int) "hits survive clear" 1 (Engine.Lru.hits c);
+  Alcotest.(check bool) "misses survive clear" true (Engine.Lru.misses c >= 2)
+
+(* --- Planner -------------------------------------------------------- *)
+
+let squery_of kind q =
+  Secure.Client.translate (System.client (system kind)) (parse q)
+
+let planner_identity_when_disabled () =
+  let sys = system Scheme.Opt in
+  let est = Engine.Estimate.of_server (System.server sys) in
+  let squery = squery_of Scheme.Opt "//patient[age>=60]/pname" in
+  let plan = Engine.Planner.compile ~reorder:false est squery in
+  Alcotest.(check int) "step count preserved"
+    (List.length squery.Secure.Squery.steps)
+    (List.length plan.Engine.Plan.steps);
+  Alcotest.(check bool) "not reordered" false plan.Engine.Plan.reordered;
+  Alcotest.(check int) "no pivot span" 0 (Engine.Plan.reorder_span plan)
+
+let planner_plans_every_workload_query () =
+  let sys = system Scheme.Opt in
+  let est = Engine.Estimate.of_server (System.server sys) in
+  List.iter
+    (fun q ->
+      let squery = Secure.Client.translate (System.client sys) q in
+      let plan = Engine.Planner.compile est squery in
+      Alcotest.(check int) "plan covers all steps"
+        (List.length squery.Secure.Squery.steps)
+        (List.length plan.Engine.Plan.steps);
+      (* A pivot, when chosen, is a valid step index. *)
+      Alcotest.(check bool) "pivot in range" true
+        (plan.Engine.Plan.pivot >= 0
+        && plan.Engine.Plan.pivot < max 1 (List.length plan.Engine.Plan.steps)))
+    (workload ())
+
+let application_order_sanitised () =
+  Alcotest.(check (list int)) "dedup, drop out-of-range, append missing"
+    [ 2; 0; 1 ]
+    (Engine.Exec.application_order [ 2; 0; 0; 5 ] 3);
+  Alcotest.(check (list int)) "empty order is identity" [ 0; 1 ]
+    (Engine.Exec.application_order [] 2)
+
+(* --- Answer equality ------------------------------------------------ *)
+
+let off_config =
+  { Engine.default_config with Engine.planner = false; Engine.caches = false }
+
+let equality_across_schemes () =
+  (* Cold, warm and fully-disabled engine runs must all agree with the
+     unplanned, uncached System.evaluate, for every scheme. *)
+  let queries = workload () in
+  List.iter
+    (fun kind ->
+      let sys = system kind in
+      let eng = Engine.create sys in
+      let off = Engine.create ~config:off_config sys in
+      List.iter
+        (fun q ->
+          let reference = fst (System.evaluate sys q) in
+          let label what =
+            Printf.sprintf "%s %s" (Scheme.kind_to_string kind) what
+          in
+          Alcotest.(check bool) (label "cold") true
+            (Engine.evaluate eng q = reference);
+          Alcotest.(check bool) (label "warm") true
+            (Engine.evaluate eng q = reference);
+          Alcotest.(check bool) (label "caches+planner off") true
+            (Engine.evaluate off q = reference))
+        queries)
+    Scheme.all_kinds
+
+let update_invalidates () =
+  let sys, _ = System.setup ~master:"test-engine-upd" doc scs Scheme.Opt in
+  let eng = Engine.create sys in
+  let q = parse "//patient[age>=60]/pname" in
+  ignore (Engine.evaluate eng q);
+  let _, warm = Engine.evaluate_report eng q in
+  Alcotest.(check bool) "warm run hits the result memo" true
+    (warm.Engine.result_outcome = Engine.Hit);
+  let _cost =
+    Engine.update eng (Secure.Update.Set_value (parse "//patient/age", "61"))
+  in
+  let answers, post = Engine.evaluate_report eng q in
+  Alcotest.(check bool) "post-update run misses" true
+    (post.Engine.result_outcome = Engine.Miss);
+  Alcotest.(check bool) "post-update answers exact" true
+    (answers = fst (System.evaluate (Engine.system eng) q));
+  Alcotest.(check bool) "invalidation counted" true
+    ((Engine.stats eng).Engine.Stats.invalidations >= 1)
+
+let tiny_capacity_eviction () =
+  (* Capacities of 1/1/2 force constant eviction; answers must not
+     change, only hit rates. *)
+  let sys = system Scheme.Opt in
+  let eng =
+    Engine.create
+      ~config:
+        { Engine.default_config with
+          Engine.plan_capacity = 1;
+          Engine.result_capacity = 1;
+          Engine.block_capacity = 2 }
+      sys
+  in
+  let queries = workload () in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "answers exact under eviction pressure" true
+        (Engine.evaluate eng q = fst (System.evaluate sys q)))
+    (queries @ queries);
+  let stats = Engine.stats eng in
+  Alcotest.(check bool) "evictions happened" true
+    (stats.Engine.Stats.result_evictions > 0)
+
+(* --- Server sortedness invariant (lookup fast path) ----------------- *)
+
+let lookup_fast_path_sorted () =
+  (* Server.create normalises every table entry, so the single-token
+     fast path may return the stored list as-is.  Pin the invariant and
+     the fast path's equality with the merging path. *)
+  let sys = system Scheme.Opt in
+  let server = System.server sys in
+  let squery = squery_of Scheme.Opt "//patient//pname" in
+  List.iter
+    (fun (step : Secure.Squery.step) ->
+      let ivs = Secure.Server.lookup server step.Secure.Squery.test in
+      Alcotest.(check bool) "sorted and duplicate-free" true
+        (ivs = List.sort_uniq Dsi.Interval.compare_by_lo ivs);
+      match step.Secure.Squery.test with
+      | Secure.Squery.Tokens [ token ] ->
+        (* A duplicated token exercises the general merging path; the
+           result must match the fast path exactly. *)
+        let merged =
+          Secure.Server.lookup server (Secure.Squery.Tokens [ token; token ])
+        in
+        Alcotest.(check bool) "fast path = merge path" true (merged = ivs)
+      | _ -> ())
+    squery.Secure.Squery.steps
+
+(* --- Cache-key hygiene ---------------------------------------------- *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let wire_request_is_the_protocol_encoding () =
+  let sys = system Scheme.Opt in
+  let eng = Engine.create sys in
+  let q = parse "//patient[age>=60]/pname" in
+  Alcotest.(check string) "key = encode_request of the translation"
+    (Secure.Protocol.encode_request
+       (Secure.Client.translate (System.client sys) q))
+    (Engine.wire_request eng q)
+
+let key_hides_encrypted_tags_and_values () =
+  (* Under the sub scheme whole patient records are encrypted, so inner
+     tags reach the wire only as Vernam tokens and compared values only
+     as OPESS ranges: neither plaintext may appear in the cache key. *)
+  let sys = system Scheme.Sub in
+  let eng = Engine.create sys in
+  let req = Engine.wire_request eng (parse "//patient[disease='Flu']/pname") in
+  Alcotest.(check bool) "encrypted tag absent" false
+    (contains_substring req "disease");
+  (* The value literal is translated to OPESS int64 ranges (or Unknown),
+     so its plaintext must not survive either.  A letter-bearing literal
+     keeps the check from tripping on range digits. *)
+  Alcotest.(check bool) "compared value absent" false
+    (contains_substring req "Flu")
+
+let () =
+  Alcotest.run "engine"
+    [ ( "lru",
+        [ Alcotest.test_case "basics" `Quick lru_basics;
+          Alcotest.test_case "update in place" `Quick lru_update_in_place;
+          Alcotest.test_case "zero capacity" `Quick lru_zero_capacity;
+          Alcotest.test_case "clear keeps counters" `Quick
+            lru_clear_keeps_counters ] );
+      ( "planner",
+        [ Alcotest.test_case "identity when disabled" `Quick
+            planner_identity_when_disabled;
+          Alcotest.test_case "plans every workload query" `Quick
+            planner_plans_every_workload_query;
+          Alcotest.test_case "application order sanitised" `Quick
+            application_order_sanitised ] );
+      ( "equality",
+        [ Alcotest.test_case "all schemes, warm/cold/off" `Slow
+            equality_across_schemes;
+          Alcotest.test_case "update invalidates" `Quick update_invalidates;
+          Alcotest.test_case "tiny capacities" `Quick tiny_capacity_eviction ]
+      );
+      ( "server-invariants",
+        [ Alcotest.test_case "lookup fast path sorted" `Quick
+            lookup_fast_path_sorted ] );
+      ( "hygiene",
+        [ Alcotest.test_case "key is the wire request" `Quick
+            wire_request_is_the_protocol_encoding;
+          Alcotest.test_case "key hides plaintext" `Quick
+            key_hides_encrypted_tags_and_values ] ) ]

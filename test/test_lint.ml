@@ -144,6 +144,22 @@ let layering_ignores_bin_and_test () =
   check_rules "binaries may use everything" [] "bin/tool.ml"
     "let x = Secure.Server.answer\nlet y = Workload.Xmark.generate"
 
+let layering_engine_cannot_reach_xmlcore () =
+  (* The engine sits above the secure layer but below the plaintext
+     world: a new engine source reaching Xmlcore breaches layering, and
+     in a module named by the per-file boundary table it additionally
+     breaches the trust boundary. *)
+  check_rules "fresh engine file: layering only" [ "layering" ]
+    "lib/engine/evil.ml" "let leak d = Xmlcore.Doc.tag d 0";
+  check_rules "listed engine module: both rules" [ "layering"; "trust-boundary" ]
+    "lib/engine/exec.ml" "let leak d = Xmlcore.Doc.tag d 0"
+
+let layering_engine_declared_deps_ok () =
+  check_rules "engine may use xpath/dsi/secure" [] "lib/engine/fine.ml"
+    "let a = Secure.Server.lookup\n\
+     let b = Dsi.Interval.contains\n\
+     let c = Xpath.Ast.Child"
+
 (* --- Trust boundary ------------------------------------------------- *)
 
 let boundary_rejects_plaintext_on_server () =
@@ -173,6 +189,14 @@ let boundary_allows_serverside_modules () =
   check_rules "server.ml keeps its legitimate deps" []
     "lib/secure/server.ml"
     "module Interval = Dsi.Interval\nlet f = Btree.range\nlet g = Xpath.Ast.Child"
+
+let boundary_rejects_keys_in_engine () =
+  (* Any engine module deriving keys would move decryption across the
+     trust boundary; crypto is also absent from the engine's allowed
+     deps, so layering fires alongside. *)
+  check_rules "engine may not touch the key ring"
+    [ "layering"; "trust-boundary" ]
+    "lib/engine/exec.ml" "let k keys = Crypto.Keys.block_key keys 0"
 
 (* --- Crypto hygiene ------------------------------------------------- *)
 
@@ -344,7 +368,11 @@ let () =
           Alcotest.test_case "declared deps allowed" `Quick
             layering_allows_declared_deps;
           Alcotest.test_case "bin/test exempt" `Quick
-            layering_ignores_bin_and_test ] );
+            layering_ignores_bin_and_test;
+          Alcotest.test_case "engine cannot reach xmlcore" `Quick
+            layering_engine_cannot_reach_xmlcore;
+          Alcotest.test_case "engine declared deps allowed" `Quick
+            layering_engine_declared_deps_ok ] );
       ( "trust-boundary",
         [ Alcotest.test_case "plaintext doc rejected" `Quick
             boundary_rejects_plaintext_on_server;
@@ -356,7 +384,9 @@ let () =
             boundary_rejects_bare_open;
           Alcotest.test_case "per-file scope" `Quick boundary_is_per_file;
           Alcotest.test_case "server deps allowed" `Quick
-            boundary_allows_serverside_modules ] );
+            boundary_allows_serverside_modules;
+          Alcotest.test_case "key ring rejected in engine" `Quick
+            boundary_rejects_keys_in_engine ] );
       ( "crypto-hygiene",
         [ Alcotest.test_case "String.equal flagged" `Quick
             ct_rule_flags_string_equal;
