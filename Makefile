@@ -27,7 +27,7 @@ bench:
 # exercised end to end; its answer-equality and invalidation checks
 # abort the run on any mismatch.
 bench-smoke:
-	dune build bench/main.exe && dune exec bench/main.exe -- e10 --scale tiny --json /dev/null
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 --scale tiny --json /dev/null
 
 clean:
 	dune clean

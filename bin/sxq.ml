@@ -36,6 +36,24 @@ let master_arg =
   Arg.(value & opt string "sxq-master-key" & info [ "k"; "key" ] ~docv:"KEY"
          ~doc:"Master secret for key derivation.")
 
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Size of the domain pool used for hosting and evaluation.  The \
+               default 1 is fully sequential; any other value changes only \
+               wall-clock time, never answers or wire traffic.")
+
+(* [f] gets [None] for --domains 1 so the sequential code path is
+   byte-for-byte the pre-pool one; otherwise the pool is torn down
+   (domains joined) before the command returns. *)
+let with_pool domains f =
+  if domains <= 1 then f None
+  else begin
+    let pool = Parallel.Pool.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 let load_doc path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -125,10 +143,11 @@ let host_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
            ~doc:"Persist the hosted bundle for later $(b,query --hosted) runs.")
   in
-  let run path scs scheme master out =
+  let run path scs scheme master out domains =
+    with_pool domains @@ fun pool ->
     let doc = load_doc path in
     let scs = parse_scs scs in
-    let sys, cost = Secure.System.setup ~master doc scs scheme in
+    let sys, cost = Secure.System.setup ~master ?pool doc scs scheme in
     (match out with
      | None -> ()
      | Some file ->
@@ -153,7 +172,8 @@ let host_cmd =
   Cmd.v
     (Cmd.info "host"
        ~doc:"Build the hosted (encrypted) form of a document and report sizes.")
-    Term.(const run $ doc_file_arg $ sc_arg $ scheme_arg $ master_arg $ out_arg)
+    Term.(const run $ doc_file_arg $ sc_arg $ scheme_arg $ master_arg $ out_arg
+          $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -211,7 +231,8 @@ let query_cmd =
            ~doc:"Treat DOC as a persisted bundle from $(b,host -o) instead of \
                  XML (skips setup).")
   in
-  let run path query scs scheme master verbose hosted =
+  let run path query scs scheme master verbose hosted domains =
+    with_pool domains @@ fun pool ->
     let sys =
       if hosted then
         (try Secure.Persist.load ~master path
@@ -224,7 +245,7 @@ let query_cmd =
       else begin
         let doc = load_doc path in
         let scs = parse_scs scs in
-        fst (Secure.System.setup ~master doc scs scheme)
+        fst (Secure.System.setup ~master ?pool doc scs scheme)
       end
     in
     let branches = Xpath.Parser.parse_union query in
@@ -261,7 +282,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Evaluate an XPath query through the full secure protocol.")
     Term.(const run $ doc_file_arg $ query_arg $ sc_arg $ scheme_arg $ master_arg
-          $ verbose_arg $ hosted_arg)
+          $ verbose_arg $ hosted_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

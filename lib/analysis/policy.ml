@@ -9,6 +9,7 @@ type t = {
   boundary : (string * string list) list;
   total_paths : string list;
   random_ok : string list;
+  concurrency_ok : string list;
 }
 
 (* The layering DAG mirrors the dune dependency graph on purpose: dune
@@ -27,19 +28,23 @@ let default =
         "Engine", "engine";
         "Xquery", "xquery";
         "Workload", "workload";
-        "Analysis", "analysis" ];
+        "Analysis", "analysis";
+        "Parallel", "parallel" ];
     allowed =
       [ "xmlcore", [];
         "btree", [];
         "crypto", [];
         "analysis", [];
+        (* The task-pool library sits below everything: it knows
+           nothing of documents or ciphertexts, it only schedules. *)
+        "parallel", [];
         "xpath", [ "xmlcore" ];
         "dsi", [ "xmlcore"; "crypto" ];
-        "secure", [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi" ];
+        "secure", [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi"; "parallel" ];
         (* The engine reorders and caches ciphertext-side evaluation:
            it may see the query IR, intervals and the secure layer's
            public surface, but never the plaintext document layer. *)
-        "engine", [ "xpath"; "dsi"; "secure" ];
+        "engine", [ "xpath"; "dsi"; "secure"; "parallel" ];
         "xquery", [ "xmlcore"; "xpath"; "secure" ];
         "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
     (* The server evaluates queries over DSI intervals, OPESS
@@ -79,6 +84,10 @@ let default =
        the HMAC PRF); stdlib Random would break the chaos suite's
        seeded reproducibility. *)
     random_ok = [ "lib/crypto/prng.ml" ];
+    (* Domains, mutexes and atomics are confined behind the pool API:
+       everything else must go through Parallel.Pool / Parallel.Lock,
+       whose merge contract is what makes parallelism deterministic. *)
+    concurrency_ok = [ "lib/parallel/" ];
   }
 
 let strip_prefix ~prefix s =

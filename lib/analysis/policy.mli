@@ -25,6 +25,10 @@ type t = {
       (** relative paths where partiality is a lint error. *)
   random_ok : string list;
       (** relative paths allowed to reference [Random]. *)
+  concurrency_ok : string list;
+      (** relative path prefixes allowed to reference concurrency
+          primitives ([Domain], [Mutex], [Condition], [Atomic], ...);
+          everywhere else they must go through [Parallel]. *)
 }
 
 val default : t

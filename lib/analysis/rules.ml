@@ -6,7 +6,7 @@ type mref = {
 
 let all_rule_ids =
   [ "layering"; "trust-boundary"; "mac-compare"; "random-source";
-    "secret-print"; "partiality" ]
+    "secret-print"; "partiality"; "concurrency" ]
 
 (* --- Module-reference extraction ----------------------------------- *)
 
@@ -232,6 +232,44 @@ let random_source policy ~rel refs =
         | _ -> None)
       refs
 
+(* Raw concurrency primitives are confined behind the Parallel library
+   (the policy's [concurrency_ok] prefixes): its pool's deterministic
+   merge is the only sanctioned way to fan work across domains, and a
+   stray Mutex or Atomic elsewhere would be invisible to that
+   argument. *)
+let concurrency_roots =
+  [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread"; "Semaphore" ]
+
+let concurrency policy ~rel refs =
+  if
+    List.exists
+      (fun prefix -> starts_with ~prefix rel)
+      policy.Policy.concurrency_ok
+  then []
+  else
+    List.filter_map
+      (fun r ->
+        let root =
+          match r.path with
+          | "Stdlib" :: root :: _ -> Some root
+          | root :: _ -> Some root
+          | [] -> None
+        in
+        match root with
+        | Some root when List.mem root concurrency_roots ->
+          Some
+            { Finding.rule = "concurrency";
+              file = rel;
+              line = r.line;
+              col = r.col;
+              message =
+                Printf.sprintf
+                  "%s is a raw concurrency primitive; only lib/parallel may \
+                   touch it — use Parallel.Pool / Parallel.Lock"
+                  (dotted r.path) }
+        | _ -> None)
+      refs
+
 (* Token-pattern helpers over the array. *)
 let path3 tokens i m f =
   let n = Array.length tokens in
@@ -378,6 +416,7 @@ let check policy ~rel (lex : Lexer.t) =
     structural
     @ trust_boundary policy ~rel refs
     @ random_source policy ~rel refs
+    @ concurrency policy ~rel refs
     @ mac_compare ~rel lex
     @ secret_print ~rel lex
     @ partiality policy ~rel lex

@@ -8,7 +8,7 @@
     [(* lint: allow <rule> *)].
 
     Rule identifiers: [layering], [trust-boundary], [mac-compare],
-    [random-source], [secret-print], [partiality]. *)
+    [random-source], [secret-print], [partiality], [concurrency]. *)
 
 type mref = {
   path : string list;  (** dotted components, aliases expanded *)

@@ -41,6 +41,10 @@ type t = {
   plans : (string, Plan.t) Lru.t;
   results : (string, Exec.run) Lru.t;
   blocks : (int, Secure.Client.answer) Lru.t;
+  lock : Parallel.Lock.t;
+      (* guards every cache and counter touch during [evaluate_batch];
+         the sequential entry points run on one domain and need it only
+         because a batch may be in flight on the same engine *)
   mutable plans_compiled : int;
   mutable steps_reordered : int;
   mutable invalidations : int;
@@ -71,6 +75,7 @@ let create ?(config = default_config) system =
       plans = Lru.create (cap config.plan_capacity);
       results = Lru.create (cap config.result_capacity);
       blocks = Lru.create (cap config.block_capacity);
+      lock = Parallel.Lock.create ();
       plans_compiled = 0;
       steps_reordered = 0;
       invalidations = 0;
@@ -204,6 +209,101 @@ let evaluate_report t query =
       answer_count = List.length answers } )
 
 let evaluate t query = fst (evaluate_report t query)
+
+(* Batched evaluation over the system's domain pool.  Answers are
+   cache-independent, so result [i] is exactly [evaluate t queries.(i)];
+   only the cache accounting can differ from a sequential replay
+   (concurrent lanes may both miss on the same key and compile or
+   decrypt twice — the last put wins, and both values are equal).
+   Every cache and counter touch goes through [t.lock]; the expensive
+   work — plan compilation, server execution, block decryption,
+   post-processing — runs outside it.  Translation stays on the
+   calling domain: OPESS translation memoises inside each catalog's
+   OPE instance. *)
+let evaluate_batch t queries =
+  let locked f = Parallel.Lock.protect t.lock f in
+  let lane (query, squery, req, translate_ms) =
+    locked (fun () -> t.queries <- t.queries + 1);
+    let client = Secure.System.client t.system in
+    let (plan, plan_outcome), plan_ms =
+      timed (fun () ->
+          match locked (fun () -> Lru.find t.plans req) with
+          | Some plan -> plan, (if t.config.caches then Hit else Bypass)
+          | None ->
+            let plan = Planner.compile ~reorder:t.config.planner t.est squery in
+            locked (fun () ->
+                t.plans_compiled <- t.plans_compiled + 1;
+                t.steps_reordered <- t.steps_reordered + Plan.reorder_span plan;
+                Lru.put t.plans req plan);
+            plan, (if t.config.caches then Miss else Bypass))
+    in
+    let (run, result_outcome), server_ms =
+      timed (fun () ->
+          match locked (fun () -> Lru.find t.results req) with
+          | Some run -> run, (if t.config.caches then Hit else Bypass)
+          | None ->
+            let run = Exec.run (Secure.System.server t.system) plan squery in
+            locked (fun () -> Lru.put t.results req run);
+            run, (if t.config.caches then Miss else Bypass))
+    in
+    let shipped = ref 0 in
+    let block_hits = ref 0 in
+    let block_misses = ref 0 in
+    let decrypted, decrypt_ms =
+      timed (fun () ->
+          List.map
+            (fun b ->
+              let id = b.Secure.Encrypt.id in
+              match locked (fun () -> Lru.find t.blocks id) with
+              | Some tree ->
+                incr block_hits;
+                id, tree
+              | None ->
+                incr block_misses;
+                shipped :=
+                  !shipped
+                  + String.length b.Secure.Encrypt.ciphertext
+                  + Secure.Encrypt.block_header_bytes;
+                let tree = Secure.Client.decrypt_block client b in
+                locked (fun () -> Lru.put t.blocks id tree);
+                id, tree)
+            run.Exec.response.Secure.Server.blocks)
+    in
+    let answers, postprocess_ms =
+      timed (fun () -> Secure.Client.evaluate_with client ~decrypted query)
+    in
+    ( answers,
+      { plan;
+        plan_outcome;
+        result_outcome;
+        steps = run.Exec.steps;
+        request_bytes = String.length req;
+        block_hits = !block_hits;
+        block_misses = !block_misses;
+        translate_ms;
+        plan_ms;
+        server_ms;
+        transmit_bytes = String.length req + !shipped;
+        decrypt_ms;
+        postprocess_ms;
+        blocks_returned = List.length run.Exec.response.Secure.Server.blocks;
+        blocks_decrypted = !block_misses;
+        answer_count = List.length answers } )
+  in
+  match Secure.System.pool t.system with
+  | Some p when Parallel.Pool.size p > 1 ->
+    let client = Secure.System.client t.system in
+    let translated =
+      Array.map
+        (fun q ->
+          let squery, translate_ms =
+            timed (fun () -> Secure.Client.translate client q)
+          in
+          q, squery, Secure.Protocol.encode_request squery, translate_ms)
+        queries
+    in
+    Parallel.Pool.map p lane translated
+  | Some _ | None -> Array.map (fun q -> evaluate_report t q) queries
 
 let stats t =
   { Stats.queries = t.queries;

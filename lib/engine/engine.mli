@@ -98,4 +98,14 @@ val evaluate_report : t -> Xpath.Ast.path -> Secure.Client.answer list * report
 
 val evaluate : t -> Xpath.Ast.path -> Secure.Client.answer list
 
+val evaluate_batch :
+  t -> Xpath.Ast.path array -> (Secure.Client.answer list * report) array
+(** Evaluate independent queries, fanning them across the system's
+    domain pool (sequentially when it has none).  Answers at index [i]
+    are exactly [evaluate_report t queries.(i)]'s; every cache and
+    counter touch is serialised through an internal lock, so only the
+    hit/miss accounting can differ from a sequential replay (two lanes
+    may concurrently miss on the same key and duplicate a compile or a
+    decrypt — both compute equal values). *)
+
 val stats : t -> Stats.t

@@ -1,0 +1,4 @@
+type t = Mutex.t
+
+let create () = Mutex.create ()
+let protect l f = Mutex.protect l f

@@ -1,0 +1,13 @@
+(** A mutual-exclusion lock for callers of {!Pool} that must serialise
+    a small commit step (e.g. cache writes) while the surrounding
+    computation runs on several domains.  Wrapping the stdlib mutex
+    here keeps every concurrency primitive inside [lib/parallel], as
+    the [concurrency] lint rule demands. *)
+
+type t
+
+val create : unit -> t
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect l f] runs [f ()] with [l] held; the lock is released on
+    return and on exception.  Not reentrant. *)

@@ -1,0 +1,195 @@
+(* Fixed-size domain pool.  See pool.mli for the contract; the two
+   invariants the implementation must keep are:
+
+   - determinism: chunks are claimed in any order but merged by chunk
+     index, and on failure the exception from the lowest-indexed
+     failing chunk wins, so every entry point behaves exactly like its
+     sequential equivalent;
+
+   - reentrancy: a [map] issued while the pool is already running one
+     (nested call from inside [f], or a second domain sharing the
+     pool) must not deadlock.  A single [busy] flag arbitrates: the
+     loser of the compare-and-set runs sequentially on its own
+     domain. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : unit -> unit;
+  mutable generation : int;
+  mutable pending : int; (* chunks of the current job not yet finished *)
+  stop : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  busy : bool Atomic.t;
+}
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* Workers sleep until the generation counter moves, run the then-
+   current job closure (which claims chunks until none remain), and go
+   back to sleep.  A worker that wakes late — after the job it was
+   signalled for has already been drained by others — simply finds no
+   chunk to claim and loops; the closure stays valid until the next
+   submission, which cannot start before the previous one completed. *)
+let rec worker_loop t last_gen =
+  Mutex.lock t.mutex;
+  while (not (Atomic.get t.stop)) && t.generation = last_gen do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if Atomic.get t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let job = t.job in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t gen
+  end
+
+let create ?domains () =
+  let requested =
+    match domains with Some d -> d | None -> recommended_domains ()
+  in
+  let size = max 1 (min 64 requested) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = ignore;
+      generation = 0;
+      pending = 0;
+      stop = Atomic.make false;
+      domains = [];
+      busy = Atomic.make false;
+    }
+  in
+  if size > 1 then
+    t.domains <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  Atomic.set t.stop true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ds
+
+(* Publish [body] as the current job, have the calling domain
+   participate, and wait until every chunk has completed (not merely
+   been claimed).  [body] must never raise. *)
+let run_chunks t nchunks body =
+  let next = Atomic.make 0 in
+  let runner () =
+    let rec claim () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        body c;
+        Mutex.lock t.mutex;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex;
+        claim ()
+      end
+    in
+    claim ()
+  in
+  Mutex.lock t.mutex;
+  t.pending <- nchunks;
+  t.job <- runner;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  runner ();
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.work_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(* About four chunks per domain: coarse enough to amortise the claim,
+   fine enough that one slow chunk cannot idle the rest of the pool
+   for long. *)
+let chunk_size t n =
+  let target = t.size * 4 in
+  max 1 ((n + target - 1) / target)
+
+(* Keep the exception of the lowest-indexed failing chunk — the one
+   sequential execution would have raised first. *)
+let record_failure failure c exn bt =
+  let rec cas () =
+    let cur = Atomic.get failure in
+    match cur with
+    | Some (c0, _, _) when c0 <= c -> ()
+    | _ -> if not (Atomic.compare_and_set failure cur (Some (c, exn, bt))) then cas ()
+  in
+  cas ()
+
+let reraise_any failure =
+  match Atomic.get failure with
+  | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let sequential t n =
+  t.size <= 1 || n <= 1 || Atomic.get t.stop
+  || not (Atomic.compare_and_set t.busy false true)
+
+let mapi t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if sequential t n then Array.mapi f xs
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
+    let chunk = chunk_size t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make nchunks [||] in
+    let failure = Atomic.make None in
+    let body c =
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) in
+      try results.(c) <- Array.init (hi - lo) (fun i -> f (lo + i) xs.(lo + i))
+      with exn -> record_failure failure c exn (Printexc.get_raw_backtrace ())
+    in
+    run_chunks t nchunks body;
+    reraise_any failure;
+    Array.concat (Array.to_list results)
+
+let map t f xs = mapi t (fun _ x -> f x) xs
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let map_reduce t ~map ~combine ~init xs =
+  let n = Array.length xs in
+  let seq () =
+    Array.fold_left (fun acc x -> combine acc (map x)) init xs
+  in
+  if n = 0 then init
+  else if sequential t n then seq ()
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
+    let chunk = chunk_size t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make nchunks None in
+    let failure = Atomic.make None in
+    let body c =
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) in
+      try
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := combine !acc (map xs.(i))
+        done;
+        results.(c) <- Some !acc
+      with exn -> record_failure failure c exn (Printexc.get_raw_backtrace ())
+    in
+    run_chunks t nchunks body;
+    reraise_any failure;
+    Array.fold_left
+      (fun acc r -> match r with Some v -> combine acc v | None -> acc)
+      init results

@@ -17,6 +17,8 @@ type db = {
   skeleton : Tree.t;
   encrypted_tags : string list;
   plaintext_tags : string list;
+  node_block : int array;
+  block_by_id : block array;
 }
 
 (* Models the EncryptedData / EncryptionMethod / CipherValue wrapper
@@ -106,10 +108,47 @@ let skeleton_of doc ~block_at =
   in
   rebuild (Doc.root doc)
 
-let encrypt ~keys doc scheme =
-  let blocks =
-    List.mapi (fun id root -> encrypt_one ~keys doc ~id root) scheme.Scheme.block_roots
+(* Shared constructor: every [db] — freshly encrypted or restored from
+   disk — goes through here so the derived node→block table exists by
+   construction.  Marking each block's [descendant_or_self] run once
+   makes [block_of_node] an O(1) array read instead of the old
+   O(nodes×blocks) ancestor scan. *)
+let make_db ~doc ~scheme ~blocks ~skeleton ~encrypted_tags ~plaintext_tags =
+  let node_block = Array.make (Doc.node_count doc) (-1) in
+  List.iter
+    (fun b ->
+      List.iter (fun n -> node_block.(n) <- b.id) (Doc.descendant_or_self doc b.root))
+    blocks;
+  let block_by_id =
+    Array.of_list (List.sort (fun a b -> Int.compare a.id b.id) blocks)
   in
+  Array.iteri
+    (fun i b -> if b.id <> i then invalid_arg "Encrypt.make_db: non-dense block ids")
+    block_by_id;
+  { doc; scheme; blocks; skeleton; encrypted_tags; plaintext_tags;
+    node_block; block_by_id }
+
+(* The derived-key memos inside [Keys] are mutable; touch every label
+   the per-block work needs before fanning out so parallel workers
+   only ever read them. *)
+let prewarm_block_keys ~keys =
+  ignore (Crypto.Keys.block_cipher keys);
+  ignore (Crypto.Keys.derive keys "block-mac");
+  ignore (Crypto.Keys.decoy_key keys)
+
+let encrypt ?pool ~keys doc scheme =
+  prewarm_block_keys ~keys;
+  let roots = Array.of_list scheme.Scheme.block_roots in
+  let encrypt_at id root = encrypt_one ~keys doc ~id root in
+  (* Each block's cipher+MAC depends only on (id, subtree): the nonce
+     is keyed by block id, so evaluation order is irrelevant and the
+     pooled path produces byte-identical ciphertexts. *)
+  let blocks_arr =
+    match pool with
+    | Some p -> Parallel.Pool.mapi p encrypt_at roots
+    | None -> Array.mapi encrypt_at roots
+  in
+  let blocks = Array.to_list blocks_arr in
   let root_to_block = Hashtbl.create 64 in
   List.iter (fun b -> Hashtbl.replace root_to_block b.root b.id) blocks;
   let skeleton = skeleton_of doc ~block_at:(Hashtbl.find_opt root_to_block) in
@@ -122,12 +161,8 @@ let encrypt ~keys doc scheme =
   let tags table =
     Hashtbl.fold (fun tag () acc -> tag :: acc) table [] |> List.sort String.compare
   in
-  { doc;
-    scheme;
-    blocks;
-    skeleton;
-    encrypted_tags = tags encrypted;
-    plaintext_tags = tags plaintext }
+  make_db ~doc ~scheme ~blocks ~skeleton ~encrypted_tags:(tags encrypted)
+    ~plaintext_tags:(tags plaintext)
 
 let decrypt_block ~keys block =
   let total = String.length block.ciphertext in
@@ -144,10 +179,14 @@ let decrypt_block ~keys block =
   let tree = Xmlcore.Parser.parse serialized in
   if block.has_decoy then strip_decoy tree else tree
 
+let block_id_of_node db n =
+  let id = db.node_block.(n) in
+  if id < 0 then None else Some id
+
 let block_of_node db n =
-  List.find_opt
-    (fun b -> b.root = n || Doc.is_ancestor db.doc b.root n)
-    db.blocks
+  match block_id_of_node db n with
+  | None -> None
+  | Some id -> Some db.block_by_id.(id)
 
 let encrypted_bytes db =
   List.fold_left

@@ -28,6 +28,8 @@ type db = {
   skeleton : Xmlcore.Tree.t;        (** public part with placeholders *)
   encrypted_tags : string list;     (** tags occurring inside blocks *)
   plaintext_tags : string list;     (** tags occurring outside blocks *)
+  node_block : int array;           (** node id → containing block id, -1 if none *)
+  block_by_id : block array;        (** blocks indexed by block id *)
 }
 
 val block_header_bytes : int
@@ -47,18 +49,47 @@ exception Tampered of int
 (** Raised by {!decrypt_block} when a block's authentication tag does
     not verify (block id attached). *)
 
-val encrypt : keys:Crypto.Keys.t -> Xmlcore.Doc.t -> Scheme.t -> db
+val make_db :
+  doc:Xmlcore.Doc.t ->
+  scheme:Scheme.t ->
+  blocks:block list ->
+  skeleton:Xmlcore.Tree.t ->
+  encrypted_tags:string list ->
+  plaintext_tags:string list ->
+  db
+(** Assemble a [db], computing the derived node→block lookup tables.
+    Every construction site (fresh encryption, restore from disk) must
+    go through here so {!block_of_node} stays O(1).
+    @raise Invalid_argument if block ids are not dense [0..n-1]. *)
+
+val encrypt :
+  ?pool:Parallel.Pool.t -> keys:Crypto.Keys.t -> Xmlcore.Doc.t -> Scheme.t -> db
 (** Encrypt the document under the scheme.  Blocks are
     encrypt-then-MAC: a truncated HMAC tag over (block id, ciphertext)
     is appended, so corruption and block-swapping are detected instead
-    of decrypting garbage. *)
+    of decrypting garbage.
+
+    When [pool] is given, per-block encryption fans out across its
+    domains.  Nonces are keyed by block id and results merge in block
+    order, so the output is byte-identical to the sequential path. *)
+
+val prewarm_block_keys : keys:Crypto.Keys.t -> unit
+(** Derive (and thereby memoise) every subkey that per-block
+    encryption and decryption touch.  The memo table inside
+    {!Crypto.Keys} is mutable, so any caller about to decrypt blocks
+    on several domains must warm the ring first; after that, workers
+    only read it.  [encrypt] warms its ring itself. *)
 
 val decrypt_block : keys:Crypto.Keys.t -> block -> Xmlcore.Tree.t
 (** Verify, decrypt and parse one block; the decoy (if any) is removed.
     @raise Tampered when the authentication tag fails. *)
 
 val block_of_node : db -> Xmlcore.Doc.node -> block option
-(** The block containing the node (as root or inner node), if any. *)
+(** The block containing the node (as root or inner node), if any.
+    O(1): served from the precomputed node→block table. *)
+
+val block_id_of_node : db -> Xmlcore.Doc.node -> int option
+(** Like {!block_of_node} but returns just the block id. *)
 
 val server_bytes : db -> int
 (** Total size the server stores: skeleton plus all ciphertexts plus

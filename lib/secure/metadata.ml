@@ -29,17 +29,12 @@ let encrypted_token ~keys tag =
        ~pad_id:(Crypto.Keys.tag_pad_id tag)
        tag)
 
-(* Block id containing node [n] (including block roots), or None. *)
+(* Block id containing node [n] (including block roots), or None.
+   Served from the node→block table [Encrypt.make_db] precomputed. *)
 let block_index db =
-  let doc = db.Encrypt.doc in
-  let lookup = Array.make (Doc.node_count doc) None in
-  List.iter
-    (fun b ->
-      List.iter
-        (fun n -> lookup.(n) <- Some b.Encrypt.id)
-        (Doc.descendant_or_self doc b.Encrypt.root))
-    db.Encrypt.blocks;
-  lookup
+  Array.map
+    (fun id -> if id < 0 then None else Some id)
+    db.Encrypt.node_block
 
 (* DSI index table rows: one per node, except that runs of adjacent
    same-tag siblings inside the same block collapse to their hull. *)
@@ -90,7 +85,7 @@ let table_rows ~keys db assignment block_of =
       | children -> group_children children);
   !rows
 
-let build ~keys ?(policy = All_leaves) db =
+let build ?pool ~keys ?(policy = All_leaves) db =
   let doc = db.Encrypt.doc in
   let assignment = Dsi.Assign.assign ~key:(Crypto.Keys.dsi_key keys) doc in
   let block_of = block_index db in
@@ -116,12 +111,23 @@ let build ~keys ?(policy = All_leaves) db =
   let leaf_tags = Xmlcore.Stats.leaf_tags doc in
   if List.length leaf_tags > 127 then
     invalid_arg "Metadata.build: more than 127 distinct leaf attributes";
+  (* Derive every per-attribute key up front: the [Keys] memo table is
+     mutable, so parallel workers must only read it.  Each catalog then
+     owns its own OPE instance and histogram, making the per-tag builds
+     independent; merging in tag order keeps attr ids and catalog order
+     identical to the sequential path. *)
+  let opess_keys =
+    List.map (fun tag -> Crypto.Keys.opess_key keys ~attribute:tag) leaf_tags
+  in
+  let build_catalog attr_id (tag, key) =
+    let histogram = Xmlcore.Stats.value_histogram doc ~tag in
+    tag, Opess.build ~key ~attr_id ~tag histogram
+  in
+  let keyed_tags = Array.of_list (List.combine leaf_tags opess_keys) in
   let catalogs =
-    List.mapi
-      (fun attr_id tag ->
-        let histogram = Xmlcore.Stats.value_histogram doc ~tag in
-        tag, Opess.build ~key:(Crypto.Keys.opess_key keys ~attribute:tag) ~attr_id ~tag histogram)
-      leaf_tags
+    match pool with
+    | Some p -> Array.to_list (Parallel.Pool.mapi p build_catalog keyed_tags)
+    | None -> Array.to_list (Array.mapi build_catalog keyed_tags)
   in
   let catalog_of = Hashtbl.create 32 in
   List.iter (fun (tag, c) -> Hashtbl.replace catalog_of tag c) catalogs;

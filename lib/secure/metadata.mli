@@ -43,7 +43,13 @@ type t = {
 val token_key : Squery.token -> string
 (** Injective string encoding of tokens used as DSI-table keys. *)
 
-val build : keys:Crypto.Keys.t -> ?policy:index_policy -> Encrypt.db -> t
+val build :
+  ?pool:Parallel.Pool.t -> keys:Crypto.Keys.t -> ?policy:index_policy -> Encrypt.db -> t
+(** Build the server-side metadata.  When [pool] is given, the
+    per-attribute OPESS catalog builds (each owning its own OPE
+    instance) fan out across its domains; catalogs merge in sorted-tag
+    order so attr ids and output are identical to the sequential
+    path. *)
 
 val catalog : t -> tag:string -> Opess.t option
 

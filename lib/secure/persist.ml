@@ -347,12 +347,9 @@ and of_string_exn ~master data =
       covered_tags = p.p_covered_tags }
   in
   let db =
-    { Encrypt.doc;
-      scheme;
-      blocks = p.p_blocks;
-      skeleton = get "skeleton" p.p_skeleton;
-      encrypted_tags = p.p_encrypted_tags;
-      plaintext_tags = p.p_plaintext_tags }
+    Encrypt.make_db ~doc ~scheme ~blocks:p.p_blocks
+      ~skeleton:(get "skeleton" p.p_skeleton)
+      ~encrypted_tags:p.p_encrypted_tags ~plaintext_tags:p.p_plaintext_tags
   in
   let btree = Btree.create ~min_degree:16 () in
   List.iter (fun (k, v) -> Btree.insert btree k v) p.p_btree_entries;

@@ -12,6 +12,7 @@ type link = {
   transport : Transport.t;
   session : Session.t;
   endpoint : Session.endpoint;
+  faulty : bool;
 }
 
 type t = {
@@ -25,6 +26,7 @@ type t = {
   client : Client.t;
   server : Server.t;
   link : link;
+  pool : Parallel.Pool.t option;
   generation : int;
   rehost_hooks : (unit -> unit) list ref;
       (* observers (caches, engines) to notify when this hosting is
@@ -102,18 +104,19 @@ let make_link ?session_config ?faults keys server =
     | Some (profile, seed) -> Transport.faulty ~profile ~seed transport
   in
   { transport; session = Session.client ?config:session_config ~mac_key transport;
-    endpoint }
+    endpoint;
+    faulty = faults <> None }
 
 let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
-    ?(value_index = Metadata.All_leaves) doc scs kind =
+    ?(value_index = Metadata.All_leaves) ?pool doc scs kind =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
   let scheme, scheme_build_ms = timed (fun () -> Scheme.build doc scs kind) in
   (match Scheme.enforces doc scheme scs with
    | Ok () -> ()
    | Error msg -> invalid_arg ("System.setup: scheme does not enforce SCs: " ^ msg));
-  let db, encrypt_ms = timed (fun () -> Encrypt.encrypt ~keys doc scheme) in
+  let db, encrypt_ms = timed (fun () -> Encrypt.encrypt ?pool ~keys doc scheme) in
   let metadata, metadata_ms =
-    timed (fun () -> Metadata.build ~keys ~policy:value_index db)
+    timed (fun () -> Metadata.build ?pool ~keys ~policy:value_index db)
   in
   let client = Client.create ~keys metadata db in
   let server = Server.of_metadata metadata db in
@@ -128,6 +131,7 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
   let system =
     { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server;
       link = make_link keys server;
+      pool;
       generation = next_generation ();
       rehost_hooks = ref [] }
   in
@@ -145,9 +149,12 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
 (* Rebuild the live client/server pair from persisted parts (used by
    Persist.load); no scheme construction, encryption or metadata work
    happens here. *)
-let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
-    ~metadata () =
+let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~scheme
+    ~db ~metadata () =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
+  (* A restored ring never ran [Encrypt.encrypt]: warm its derived-key
+     memo before any pooled decryption can read it concurrently. *)
+  Encrypt.prewarm_block_keys ~keys;
   let server = Server.of_metadata metadata db in
   { doc;
     master;
@@ -159,6 +166,7 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ~doc ~constraints ~scheme ~db
     client = Client.create ~keys metadata db;
     server;
     link = make_link keys server;
+    pool;
     generation = next_generation ();
     rehost_hooks = ref [] }
 
@@ -182,6 +190,7 @@ let db t = t.db
 let metadata t = t.metadata
 let client t = t.client
 let server t = t.server
+let pool t = t.pool
 
 let cost_of ?(attempts = 1) ?(retransmitted_bytes = 0) ?(faults_absorbed = 0)
     ?(degraded = false) ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
@@ -212,20 +221,34 @@ let robustness_since t (before : Session.stats) =
    decode.  A response that authenticates but fails protocol decoding
    is reported as Malformed rather than letting the exception escape —
    under a surviving fault schedule the caller must never crash. *)
-let exchange t squery =
+let exchange_on link squery =
   let request = Protocol.encode_request squery in
-  match Session.call t.link.session request with
+  match Session.call link.session request with
   | Error e -> Error e
   | Ok payload ->
     (match Protocol.decode_response payload with
      | exception Protocol.Malformed _ -> Error Session.Malformed
      | response -> Ok (String.length request, response))
 
-let decrypt_response t (response : Server.response) =
+let exchange t squery = exchange_on t.link squery
+
+(* The single candidate-block decrypt step shared by every evaluation
+   path: metadata protocol, naive fallback, unions and aggregates.
+   Per-block verify+decrypt is independent (nonce and MAC are keyed by
+   the block id) and results keep list order, so the pooled fan-out
+   returns exactly what the sequential fold would.  When called from
+   inside a pool worker (see [evaluate_batch]) the nested map degrades
+   to sequential on that worker — correct either way. *)
+let decrypt_blocks t blocks =
   timed (fun () ->
-      List.map
-        (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-        response.Server.blocks)
+      let keys = Client.keys t.client in
+      let one b = b.Encrypt.id, Encrypt.decrypt_block ~keys b in
+      match t.pool with
+      | Some p when Parallel.Pool.size p > 1 -> Parallel.Pool.map_list p one blocks
+      | Some _ | None -> List.map one blocks)
+
+let decrypt_response t (response : Server.response) =
+  decrypt_blocks t response.Server.blocks
 
 let try_evaluate t query =
   (* Every exchange crosses the wire format: the server decodes the
@@ -258,12 +281,7 @@ let naive_evaluate t query =
         acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
       0 blocks
   in
-  let decrypted, decrypt_ms =
-    timed (fun () ->
-        List.map
-          (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-          blocks)
-  in
+  let decrypted, decrypt_ms = decrypt_blocks t blocks in
   let answers, postprocess_ms =
     timed (fun () -> Client.evaluate_with t.client ~decrypted query)
   in
@@ -313,12 +331,7 @@ let try_evaluate_union t queries =
     let bytes =
       List.fold_left (fun acc (req, r) -> acc + req + r.Server.bytes) 0 responses
     in
-    let decrypted, decrypt_ms =
-      timed (fun () ->
-          List.map
-            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-            blocks)
-    in
+    let decrypted, decrypt_ms = decrypt_blocks t blocks in
     let answers, postprocess_ms =
       timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
     in
@@ -344,12 +357,7 @@ let evaluate_union t queries =
           acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
         0 blocks
     in
-    let decrypted, decrypt_ms =
-      timed (fun () ->
-          List.map
-            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-            blocks)
-    in
+    let decrypted, decrypt_ms = decrypt_blocks t blocks in
     let answers, postprocess_ms =
       timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
     in
@@ -359,6 +367,73 @@ let evaluate_union t queries =
         ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
         ~blocks:(List.length blocks)
         ~answers:(List.length answers) () )
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation                                                  *)
+
+(* Fan the independent queries of a workload across the pool, against
+   the shared read-only server.  Three things keep this exactly
+   equivalent to evaluating the queries one at a time:
+
+   - translation happens up front on the calling domain, in query
+     order: OPESS translation memoises inside each catalog's OPE
+     instance, which parallel translation would race on;
+
+   - each lane gets a private session link (the system's own session
+     is stateful: sequence numbers, stats), built over the same
+     endpoint handler, so every request/response crosses the same wire
+     format and the server answers from the same read-only state;
+
+   - results merge by input index (the pool's deterministic-merge
+     contract), so answers and costs line up with the query array.
+
+   A chaotic link serialises: retry schedules are deterministic per
+   session, and interleaving lanes over a shared fault schedule would
+   change which faults hit which query. *)
+let evaluate_batch t queries =
+  let sequentially () = Array.map (fun q -> evaluate t q) queries in
+  match t.pool with
+  | None -> sequentially ()
+  | Some _ when t.link.faulty -> sequentially ()
+  | Some p when Parallel.Pool.size p <= 1 -> sequentially ()
+  | Some p ->
+    let keys = Client.keys t.client in
+    (* Lane links derive the session MAC key from the (mutable) key
+       ring memo: warm it before fanning out. *)
+    ignore (Crypto.Keys.derive keys session_mac_label);
+    let translated =
+      Array.map (fun q -> q, timed (fun () -> Client.translate t.client q)) queries
+    in
+    Parallel.Pool.map p
+      (fun (query, (squery, translate_ms)) ->
+        let lane = make_link keys t.server in
+        let before = Session.stats lane.session in
+        match timed (fun () -> exchange_on lane squery) with
+        | Ok (request_bytes, response), server_ms ->
+          let attempts, retransmitted_bytes, faults_absorbed =
+            let after = Session.stats lane.session in
+            ( after.Session.attempts - before.Session.attempts,
+              after.Session.retransmitted_bytes - before.Session.retransmitted_bytes,
+              Session.faults_absorbed after - Session.faults_absorbed before )
+          in
+          let decrypted, decrypt_ms = decrypt_response t response in
+          let answers, postprocess_ms =
+            timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+          in
+          ( answers,
+            cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms
+              ~server_ms
+              ~bytes:(request_bytes + response.Server.bytes)
+              ~decrypt_ms ~postprocess_ms
+              ~blocks:(List.length response.Server.blocks)
+              ~answers:(List.length answers) () )
+        | Error err, _ ->
+          Log.warn (fun m ->
+              m "batch lane failed (%s): degrading to naive evaluation"
+                (Session.error_to_string err));
+          let answers, cost = naive_evaluate t query in
+          answers, { cost with degraded = true })
+      translated
 
 let reference_union t queries =
   List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)
@@ -411,12 +486,7 @@ let aggregate t direction query =
     let response, server_ms =
       timed (fun () -> Server.answer_extreme t.server squery ~key_range ~direction)
     in
-    let decrypted, decrypt_ms =
-      timed (fun () ->
-          List.map
-            (fun b -> b.Encrypt.id, Encrypt.decrypt_block ~keys:(Client.keys t.client) b)
-            response.Server.blocks)
-    in
+    let decrypted, decrypt_ms = decrypt_response t response in
     let result, postprocess_ms =
       timed (fun () ->
           extreme direction
@@ -446,7 +516,8 @@ let reference_aggregate t direction query =
    Old persisted bundles stop authenticating, by construction. *)
 let rotate t ~new_master =
   let result =
-    setup ~master:new_master ~cipher:t.cipher t.doc t.constraints t.scheme.Scheme.kind
+    setup ~master:new_master ~cipher:t.cipher ?pool:t.pool t.doc t.constraints
+      t.scheme.Scheme.kind
   in
   fire_rehost t;
   result
@@ -455,7 +526,8 @@ let update t edit =
   Log.info (fun m -> m "update: %s; re-hosting" (Update.describe edit));
   let edited = Doc.of_tree (Update.apply t.doc edit) in
   let result =
-    setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+    setup ~master:t.master ~cipher:t.cipher ?pool:t.pool edited t.constraints
+      t.scheme.Scheme.kind
   in
   fire_rehost t;
   result
@@ -463,7 +535,8 @@ let update t edit =
 let update_all t edits =
   let edited = Update.apply_all t.doc edits in
   let result =
-    setup ~master:t.master ~cipher:t.cipher edited t.constraints t.scheme.Scheme.kind
+    setup ~master:t.master ~cipher:t.cipher ?pool:t.pool edited t.constraints
+      t.scheme.Scheme.kind
   in
   fire_rehost t;
   result

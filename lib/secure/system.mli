@@ -53,12 +53,20 @@ val setup :
   ?master:string ->
   ?cipher:Crypto.Cipher.suite ->
   ?value_index:Metadata.index_policy ->
+  ?pool:Parallel.Pool.t ->
   Xmlcore.Doc.t -> Sc.t list -> Scheme.kind -> t * setup_cost
-(** @raise Invalid_argument when the scheme cannot enforce the SCs
+(** When [pool] is given, block encryption and OPESS catalog building
+    fan out across its domains during hosting, and the system keeps the
+    pool for candidate-block decryption and {!evaluate_batch}.  All
+    outputs — ciphertexts, metadata, answers — are byte-identical to a
+    pool-less setup; systems derived by {!update} / {!rotate} inherit
+    the pool.
+    @raise Invalid_argument when the scheme cannot enforce the SCs
     (should not happen for the four built-in kinds). *)
 
 val restore :
-  master:string -> ?cipher:Crypto.Cipher.suite -> doc:Xmlcore.Doc.t ->
+  master:string -> ?cipher:Crypto.Cipher.suite -> ?pool:Parallel.Pool.t ->
+  doc:Xmlcore.Doc.t ->
   constraints:Sc.t list -> scheme:Scheme.t -> db:Encrypt.db ->
   metadata:Metadata.t -> unit -> t
 (** Rebuild a live system from persisted parts without re-running
@@ -80,6 +88,9 @@ val db : t -> Encrypt.db
 val metadata : t -> Metadata.t
 val client : t -> Client.t
 val server : t -> Server.t
+
+val pool : t -> Parallel.Pool.t option
+(** The domain pool this system parallelises over, if any. *)
 
 val generation : t -> int
 (** Monotone hosting counter: every {!setup} / {!restore} result gets a
@@ -125,6 +136,15 @@ val try_evaluate :
 (** Strict variant: no degradation ladder.  [Error (Gave_up _)] after
     the session layer exhausts its attempts; never raises on transport
     faults. *)
+
+val evaluate_batch : t -> Xpath.Ast.path array -> (Xmlcore.Tree.t list * cost) array
+(** Evaluate independent queries of a workload, fanning them across
+    the system's pool against the shared read-only server (one private
+    session lane per query).  Result [i] — answers, protocol bytes,
+    blocks returned — is exactly what [evaluate t queries.(i)] returns;
+    only wall-clock changes.  Without a pool (or behind a
+    {!with_faults} link, whose deterministic fault schedule is
+    per-session) the queries run sequentially. *)
 
 val evaluate_union : t -> Xpath.Ast.path list -> Xmlcore.Tree.t list * cost
 (** Union query ([p1 | p2 | ...], cf. {!Xpath.Parser.parse_union}): one

@@ -225,6 +225,24 @@ let random_rule_allows_prng () =
   check_rules "prng.ml itself is exempt" [] "lib/crypto/prng.ml"
     "let reseed () = Random.self_init ()"
 
+let concurrency_rule_flags_primitives () =
+  check_rules "Domain.spawn outside lib/parallel" [ "concurrency" ]
+    "lib/secure/fx10.ml" "let d = Domain.spawn (fun () -> 1)";
+  check_rules "Mutex outside lib/parallel" [ "concurrency" ]
+    "lib/engine/fx10.ml" "let m = Mutex.create ()";
+  check_rules "Atomic outside lib/parallel" [ "concurrency" ]
+    "lib/secure/fx11.ml" "let c = Atomic.make 0";
+  check_rules "Stdlib-qualified primitive seen through" [ "concurrency" ]
+    "lib/secure/fx12.ml" "let c = Stdlib.Atomic.make 0";
+  check_rules "primitives flagged in tests too" [ "concurrency" ]
+    "test/fx10.ml" "let d = Domain.spawn (fun () -> 1)"
+
+let concurrency_rule_allows_parallel_lib () =
+  check_rules "lib/parallel may use the primitives" [] "lib/parallel/fx.ml"
+    "let w = Domain.spawn (fun () -> Mutex.create ())";
+  check_rules "the pool API is fine anywhere" [] "lib/secure/fx13.ml"
+    "let xs p = Parallel.Pool.map p succ [| 1; 2 |]"
+
 let print_rule_flags_secrets () =
   check_rules "Printf of a *_key value" [ "secret-print" ]
     "lib/secure/fx6.ml" "let dump k = Printf.printf \"%s\" k.session_key"
@@ -401,7 +419,11 @@ let () =
           Alcotest.test_case "secret print flagged" `Quick
             print_rule_flags_secrets;
           Alcotest.test_case "public print fine" `Quick
-            print_rule_ignores_public_values ] );
+            print_rule_ignores_public_values;
+          Alcotest.test_case "concurrency primitives flagged" `Quick
+            concurrency_rule_flags_primitives;
+          Alcotest.test_case "lib/parallel exempt" `Quick
+            concurrency_rule_allows_parallel_lib ] );
       ( "robustness",
         [ Alcotest.test_case "partial forms flagged" `Quick
             partiality_flagged_on_server_paths;
