@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-smoke clean
+.PHONY: all build test lint check bench bench-smoke trace-smoke clean
 
 all: build
 
@@ -15,19 +15,31 @@ lint:
 	dune build bin/sxq_lint.exe && dune exec bin/sxq_lint.exe -- --root .
 
 # Tier-1 gate: everything compiles, the full suite passes, the tree is
-# lint-clean, and the cache experiment's equality assertions hold on a
-# tiny dataset.
+# lint-clean, the cache/observability experiments' assertions hold on a
+# tiny dataset, and the trace CLI emits parseable JSON.
 check:
-	dune build && dune runtest && $(MAKE) lint && $(MAKE) bench-smoke
+	dune build && dune runtest && $(MAKE) lint && $(MAKE) bench-smoke && $(MAKE) trace-smoke
 
 bench:
 	dune exec bench/main.exe
 
-# Tiny-scale engine-cache experiment with machine-readable output
-# exercised end to end; its answer-equality and invalidation checks
-# abort the run on any mismatch.
+# Tiny-scale engine-cache, pool-scaling and observability-overhead
+# experiments with machine-readable output exercised end to end; their
+# equality/invalidation/overhead checks abort the run on any mismatch.
 bench-smoke:
-	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 --scale tiny --json /dev/null
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 --scale tiny --json /dev/null
+
+# The observability CLI end to end: generate a document, trace a query
+# (engine path, two rounds, so the ledger shows a cache hit), and emit
+# JSON.  sxq validates every JSON sink by parsing its own output and
+# re-comparing structurally before printing — exit code 2 means the
+# round-trip failed, so this target *is* the consumer test.
+trace-smoke:
+	dune build bin/sxq.exe
+	dune exec bin/sxq.exe -- generate health -n 20 -o /tmp/trace-smoke.xml > /dev/null
+	dune exec bin/sxq.exe -- trace /tmp/trace-smoke.xml "//patient[age>=60]/pname" -c "//patient:(/pname,/SSN)" --engine --rounds 2 --json > /dev/null
+	dune exec bin/sxq.exe -- stats -q "//patient//pname" -c "//patient:(/pname,/SSN)" /tmp/trace-smoke.xml --json > /dev/null
+	rm -f /tmp/trace-smoke.xml
 
 clean:
 	dune clean

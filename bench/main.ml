@@ -1112,6 +1112,107 @@ let e11 scale =
      sequential run.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E12: observability overhead when disabled                           *)
+
+(* The obs instrumentation is compiled in unconditionally; the whole
+   budget of a disabled sink is one boolean test per site.  This
+   experiment measures that per-site cost directly, counts the sites a
+   real query actually crosses (every instrument update, span, event
+   and ledger round corresponds to exactly one always-on guard), and
+   asserts the product stays under 3% of the measured e2/e3 query path
+   with all sinks off. *)
+let e12 scale =
+  header
+    (Printf.sprintf "E12: disabled-observability overhead bound (%s scale)"
+       scale.label);
+  (* 1. Per-site cost: a tight loop of [incr] on a disabled registry,
+     long enough to defeat timer granularity. *)
+  let reg = Obs.Metric.create () in
+  let site = Obs.Metric.counter reg "e12.site" in
+  let iters = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Obs.Metric.incr site
+  done;
+  let per_site_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  Printf.printf "disabled instrument site: %.2f ns (loop of %dM)\n\n" per_site_ns
+    (iters / 1_000_000);
+  List.iter
+    (fun ds ->
+      let sys, _ = system_of ds Scheme.Opt in
+      let queries =
+        List.concat_map
+          (fun fam -> Qg.generate ds.doc fam ~count:queries_per_family)
+          [ Qg.Qs; Qg.Qm; Qg.Ql ]
+      in
+      let nq = List.length queries in
+      (* 2. Sites per query: turn every sink on, replay the workload
+         once, and count what they saw. *)
+      let tracer = System.tracer sys and ledger = System.ledger sys in
+      Obs.Metric.set_enabled Obs.Metric.default true;
+      Obs.Metric.reset Obs.Metric.default;
+      Obs.Trace.set_enabled tracer true;
+      Obs.Trace.clear tracer;
+      Obs.Ledger.set_enabled ledger true;
+      Obs.Ledger.clear ledger;
+      List.iter (fun q -> ignore (System.evaluate sys q)) queries;
+      let rec nodes (n : Obs.Trace.node) =
+        1 + List.fold_left (fun acc c -> acc + nodes c) 0 n.Obs.Trace.children
+      in
+      let spans =
+        List.fold_left (fun acc r -> acc + nodes r) 0 (Obs.Trace.roots tracer)
+      in
+      let sites =
+        Obs.Metric.ops Obs.Metric.default + spans + Obs.Ledger.count ledger
+      in
+      Obs.Metric.set_enabled Obs.Metric.default false;
+      Obs.Metric.reset Obs.Metric.default;
+      Obs.Trace.set_enabled tracer false;
+      Obs.Trace.clear tracer;
+      Obs.Ledger.set_enabled ledger false;
+      Obs.Ledger.clear ledger;
+      let sites_per_query = float_of_int sites /. float_of_int (max 1 nq) in
+      (* 3. The instrumented path with every sink off — exactly what e2
+         and e3 measure: median compute-ms (server + decrypt +
+         post-process) per query. *)
+      let compute =
+        List.sort Float.compare
+          (List.map
+             (fun q ->
+               let p = avg_cost sys q in
+               p.p_server +. p.p_decrypt +. p.p_post)
+             queries)
+      in
+      let median_ms = List.nth compute (nq / 2) in
+      let overhead_ms = sites_per_query *. per_site_ns /. 1e6 in
+      let pct = 100.0 *. overhead_ms /. Float.max median_ms 1e-9 in
+      Printf.printf
+        "[%s] %d queries: %.0f sites/query x %.2f ns = %.6f ms overhead vs \
+         median compute %.3f ms (%.4f%%)\n"
+        ds.name nq sites_per_query per_site_ns overhead_ms median_ms pct;
+      json_row
+        [ "experiment", S "e12";
+          "dataset", S ds.name;
+          "scheme", S (Scheme.kind_to_string Scheme.Opt);
+          "queries", I nq;
+          "sites_per_query", F sites_per_query;
+          "per_site_ns", F per_site_ns;
+          "overhead_ms", F overhead_ms;
+          "median_compute_ms", F median_ms;
+          "overhead_pct", F pct ];
+      if overhead_ms >= 0.03 *. median_ms then
+        failwith
+          (Printf.sprintf
+             "e12 [%s]: disabled-instrumentation overhead %.4f%% breaches the \
+              3%% bound"
+             ds.name pct))
+    (datasets scale);
+  Printf.printf
+    "expected shape: a handful of nanoseconds per query against a \
+     millisecond-scale\npath — three orders of magnitude inside the 3%% \
+     acceptance bound.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 
 let micro () =
@@ -1244,7 +1345,7 @@ let () =
   in
   let all =
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "micro" ]
+      "e12"; "micro" ]
   in
   let wanted = if wanted = [] || List.mem "all" wanted then all else wanted in
   Printf.printf "secure-xml bench harness (scale: %s)\n" scale.label;
@@ -1262,6 +1363,7 @@ let () =
       | "e9" -> e9 ()
       | "e10" -> e10 scale
       | "e11" -> e11 scale
+      | "e12" -> e12 scale
       | "micro" -> micro ()
       | other -> Printf.printf "unknown experiment %S (skipped)\n" other)
     wanted;

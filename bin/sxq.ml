@@ -113,9 +113,48 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
+(* Emit a JSON value only after checking it survives our own parser —
+   every machine-readable sink is self-validating. *)
+let print_json_checked j =
+  let s = Obs.Json.to_string ~indent:true j in
+  match Obs.Json.of_string s with
+  | Ok j' when Obs.Json.equal j j' -> print_endline s
+  | Ok _ | Error _ ->
+    prerr_endline "sxq: internal error: JSON sink failed round-trip validation";
+    exit 2
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
 let stats_cmd =
-  let run path =
-    let doc = load_doc path in
+  let queries_arg =
+    Arg.(value & opt_all string [] & info [ "q"; "query" ] ~docv:"XPATH"
+           ~doc:"Host the document, evaluate $(docv) through the protocol, and \
+                 report the observability counters and leakage ledger for the \
+                 run.  Repeatable.")
+  in
+  let census_json doc =
+    Obs.Json.Obj
+      [ "nodes", Obs.Json.Int (Xmlcore.Doc.node_count doc);
+        "height", Obs.Json.Int (Xmlcore.Doc.height doc);
+        "bytes", Obs.Json.Int (String.length (Xmlcore.Printer.doc_to_string doc));
+        "tags",
+        Obs.Json.Obj
+          (List.map
+             (fun (tag, c) -> tag, Obs.Json.Int c)
+             (Xmlcore.Stats.tag_census doc));
+        "leaf_attributes",
+        Obs.Json.Obj
+          (List.map
+             (fun (tag, h) ->
+               ( tag,
+                 Obs.Json.Obj
+                   [ "values", Obs.Json.Int (Xmlcore.Stats.total_count h);
+                     "distinct", Obs.Json.Int (Xmlcore.Stats.distinct_count h);
+                     "flatness", Obs.Json.Float (Xmlcore.Stats.flatness h) ] ))
+             (Xmlcore.Stats.all_histograms doc)) ]
+  in
+  let census_text doc =
     Printf.printf "nodes: %d   height: %d   serialized: %d bytes\n"
       (Xmlcore.Doc.node_count doc) (Xmlcore.Doc.height doc)
       (String.length (Xmlcore.Printer.doc_to_string doc));
@@ -132,8 +171,40 @@ let stats_cmd =
           (Xmlcore.Stats.flatness h))
       (Xmlcore.Stats.all_histograms doc)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Show document statistics (the attacker's view).")
-    Term.(const run $ doc_file_arg)
+  let run path queries scs scheme master json =
+    let doc = load_doc path in
+    match queries with
+    | [] -> if json then print_json_checked (census_json doc) else census_text doc
+    | queries ->
+      let sys, _ = Secure.System.setup ~master doc (parse_scs scs) scheme in
+      Obs.Metric.set_enabled Obs.Metric.default true;
+      Obs.Metric.reset Obs.Metric.default;
+      Obs.Ledger.set_enabled (Secure.System.ledger sys) true;
+      List.iter
+        (fun q -> ignore (Secure.System.evaluate sys (Xpath.Parser.parse q)))
+        queries;
+      let reg = Obs.Metric.default in
+      let ledger = Secure.System.ledger sys in
+      if json then
+        print_json_checked
+          (Obs.Json.Obj
+             [ "document", census_json doc;
+               "metrics", Obs.Metric.to_json reg;
+               "ledger", Obs.Ledger.to_json ledger ])
+      else begin
+        census_text doc;
+        Printf.printf "\nmetrics (%d queries evaluated):\n%s"
+          (List.length queries) (Obs.Metric.render reg);
+        Printf.printf "\nleakage ledger:\n%s" (Obs.Ledger.render ledger)
+      end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show document statistics (the attacker's view); with $(b,--query), \
+             also the observability counters and leakage ledger of evaluating \
+             the given queries through the protocol.")
+    Term.(const run $ doc_file_arg $ queries_arg $ sc_arg $ scheme_arg
+          $ master_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* host                                                                *)
@@ -355,6 +426,60 @@ let explain_cmd =
           $ master_arg $ rounds_arg $ no_planner_arg $ no_caches_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"XPath query to trace through the protocol.")
+  in
+  let engine_arg =
+    Arg.(value & flag & info [ "engine" ]
+           ~doc:"Evaluate through the cost-based engine instead of the plain \
+                 protocol (adds engine.* spans and cache outcomes).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Evaluation rounds (each produces one root span; with \
+                 $(b,--engine), later rounds show cache hits).")
+  in
+  let run path query scs scheme master engine_mode rounds json =
+    let doc = load_doc path in
+    let sys, _ = Secure.System.setup ~master doc (parse_scs scs) scheme in
+    let trace = Secure.System.tracer sys in
+    let ledger = Secure.System.ledger sys in
+    Obs.Trace.set_enabled trace true;
+    Obs.Ledger.set_enabled ledger true;
+    let q = Xpath.Parser.parse query in
+    let eng = if engine_mode then Some (Engine.create sys) else None in
+    let answers = ref [] in
+    for _ = 1 to Int.max 1 rounds do
+      match eng with
+      | Some eng -> answers := Engine.evaluate eng q
+      | None -> answers := fst (Secure.System.evaluate sys q)
+    done;
+    if json then
+      print_json_checked
+        (Obs.Json.Obj
+           [ "query", Obs.Json.Str query;
+             "answers", Obs.Json.Int (List.length !answers);
+             "trace", Obs.Trace.to_json trace;
+             "ledger", Obs.Ledger.to_json ledger ])
+    else begin
+      print_string (Obs.Trace.render trace);
+      Printf.printf "\nleakage ledger:\n%s" (Obs.Ledger.render ledger);
+      Printf.printf "\n%d answer(s)\n" (List.length !answers)
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Evaluate an XPath query with structured tracing enabled and dump \
+             the span tree (deterministic tick counter, never wall clock) \
+             together with the leakage ledger.")
+    Term.(const run $ doc_file_arg $ query_arg $ sc_arg $ scheme_arg $ master_arg
+          $ engine_arg $ rounds_arg $ json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* aggregate                                                           *)
 
 let aggregate_cmd =
@@ -490,4 +615,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; stats_cmd; host_cmd; verify_cmd; query_cmd;
-            explain_cmd; aggregate_cmd; xquery_cmd; attack_cmd; lint_cmd ]))
+            explain_cmd; trace_cmd; aggregate_cmd; xquery_cmd; attack_cmd;
+            lint_cmd ]))

@@ -29,7 +29,8 @@ let default =
         "Xquery", "xquery";
         "Workload", "workload";
         "Analysis", "analysis";
-        "Parallel", "parallel" ];
+        "Parallel", "parallel";
+        "Obs", "obs" ];
     allowed =
       [ "xmlcore", [];
         "btree", [];
@@ -38,13 +39,18 @@ let default =
         (* The task-pool library sits below everything: it knows
            nothing of documents or ciphertexts, it only schedules. *)
         "parallel", [];
+        (* Observability is likewise a leaf: counters, spans and the
+           leakage ledger are plain data structures any layer may bump
+           without gaining new reachability. *)
+        "obs", [];
         "xpath", [ "xmlcore" ];
         "dsi", [ "xmlcore"; "crypto" ];
-        "secure", [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi"; "parallel" ];
+        "secure",
+        [ "xmlcore"; "xpath"; "crypto"; "btree"; "dsi"; "parallel"; "obs" ];
         (* The engine reorders and caches ciphertext-side evaluation:
            it may see the query IR, intervals and the secure layer's
            public surface, but never the plaintext document layer. *)
-        "engine", [ "xpath"; "dsi"; "secure"; "parallel" ];
+        "engine", [ "xpath"; "dsi"; "secure"; "parallel"; "obs" ];
         "xquery", [ "xmlcore"; "xpath"; "secure" ];
         "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
     (* The server evaluates queries over DSI intervals, OPESS
@@ -69,7 +75,19 @@ let default =
             in
             [ "lib/engine/" ^ name ^ ".ml", forbidden;
               "lib/engine/" ^ name ^ ".mli", forbidden ])
-          [ "lru"; "stats"; "estimate"; "plan"; "planner"; "exec"; "engine" ]);
+          [ "lru"; "stats"; "estimate"; "plan"; "planner"; "exec"; "engine" ]
+      (* Observability records server-visible facts only: a counter or
+         ledger row that could name the plaintext-document layer or the
+         key ring would be a leak by construction. *)
+      @ List.concat_map
+          (fun name ->
+            let forbidden =
+              [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+                "Xmlcore.Printer"; "Crypto.Keys" ]
+            in
+            [ "lib/obs/" ^ name ^ ".ml", forbidden;
+              "lib/obs/" ^ name ^ ".mli", forbidden ])
+          [ "json"; "metric"; "trace"; "ledger"; "obs" ]);
     (* Paths reachable from hostile input: a malformed frame, query or
        stored catalog must surface as a typed error, never as an
        assertion failure or partial-projection exception. *)

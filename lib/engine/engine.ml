@@ -34,6 +34,26 @@ let outcome_to_string = function
   | Miss -> "miss"
   | Bypass -> "bypass"
 
+(* Per-engine metric registry (always enabled — the engine's own stats
+   are part of its contract).  Counters live here rather than in
+   mutable fields so a rehost flush can reset them wholesale and
+   external consumers (sxq stats) can snapshot them uniformly. *)
+type counters = {
+  reg : Obs.Metric.registry;
+  queries : Obs.Metric.counter;
+  plans_compiled : Obs.Metric.counter;
+  steps_reordered : Obs.Metric.counter;
+}
+
+let make_counters () =
+  let reg = Obs.Metric.create ~enabled:true () in
+  { reg;
+    queries = Obs.Metric.counter reg "engine.queries" ~help:"queries evaluated";
+    plans_compiled =
+      Obs.Metric.counter reg "engine.plans_compiled" ~help:"plans compiled (cache misses)";
+    steps_reordered =
+      Obs.Metric.counter reg "engine.steps_reordered" ~help:"join steps moved by the planner" }
+
 type t = {
   config : config;
   mutable system : Secure.System.t;
@@ -45,16 +65,25 @@ type t = {
       (* guards every cache and counter touch during [evaluate_batch];
          the sequential entry points run on one domain and need it only
          because a batch may be in flight on the same engine *)
-  mutable plans_compiled : int;
-  mutable steps_reordered : int;
+  c : counters;
   mutable invalidations : int;
-  mutable queries : int;
+      (* monotone across rehosts by design: it counts hosting
+         generations this engine outlived, unlike the per-generation
+         registry counters which {!flush} resets *)
 }
 
 let flush t =
   Lru.clear t.plans;
   Lru.clear t.results;
   Lru.clear t.blocks;
+  (* The superseded hosting's artifacts are gone; stats that mixed the
+     old generation's hit rates with the new one's were a bug (the
+     planner would mis-trust stale rates).  Reset everything except the
+     invalidation count itself. *)
+  Lru.reset_counters t.plans;
+  Lru.reset_counters t.results;
+  Lru.reset_counters t.blocks;
+  Obs.Metric.reset t.c.reg;
   t.invalidations <- t.invalidations + 1;
   Log.debug (fun m -> m "caches flushed (invalidation %d)" t.invalidations)
 
@@ -76,15 +105,14 @@ let create ?(config = default_config) system =
       results = Lru.create (cap config.result_capacity);
       blocks = Lru.create (cap config.block_capacity);
       lock = Parallel.Lock.create ();
-      plans_compiled = 0;
-      steps_reordered = 0;
-      invalidations = 0;
-      queries = 0 }
+      c = make_counters ();
+      invalidations = 0 }
   in
   Secure.System.on_rehost system (fun () -> flush t);
   t
 
 let system t = t.system
+let registry t = t.c.reg
 
 let update t edit =
   (* System.update fires the old hosting's rehost hooks, which flush
@@ -118,8 +146,8 @@ let plan_for t req squery =
   | Some plan -> plan, (if t.config.caches then Hit else Bypass)
   | None ->
     let plan = Planner.compile ~reorder:t.config.planner t.est squery in
-    t.plans_compiled <- t.plans_compiled + 1;
-    t.steps_reordered <- t.steps_reordered + Plan.reorder_span plan;
+    Obs.Metric.incr t.c.plans_compiled;
+    Obs.Metric.add t.c.steps_reordered (Plan.reorder_span plan);
     Lru.put t.plans req plan;
     plan, (if t.config.caches then Miss else Bypass)
 
@@ -152,16 +180,43 @@ type report = {
 
 let server_decrypt_ms r = r.server_ms +. r.decrypt_ms
 
+(* One ledger round per engine evaluation, recorded on the bound
+   system's ledger.  Cache outcomes are server-visible: the plan cache
+   and result memo live server-side, and a client block-cache hit means
+   one fewer block crossed the wire. *)
+let one_if = function Hit -> 1 | Miss | Bypass -> 0
+let miss_if = function Miss -> 1 | Hit | Bypass -> 0
+
+let record_round t (response : Secure.Server.response) report =
+  let ledger = Secure.System.ledger t.system in
+  if Obs.Ledger.enabled ledger then
+    Obs.Ledger.record ledger
+      (Obs.Ledger.round "engine" ~bytes_up:report.request_bytes
+         ~bytes_down:(report.transmit_bytes - report.request_bytes)
+         ~intervals_touched:response.Secure.Server.candidate_intervals
+         ~btree_hits:response.Secure.Server.btree_hits
+         ~blocks_returned:report.blocks_returned
+         ~cache_hits:
+           (one_if report.plan_outcome + one_if report.result_outcome
+           + report.block_hits)
+         ~cache_misses:
+           (miss_if report.plan_outcome + miss_if report.result_outcome
+           + report.block_misses))
+
 let evaluate_report t query =
-  t.queries <- t.queries + 1;
+  Obs.Metric.incr t.c.queries;
+  let trace = Secure.System.tracer t.system in
+  Obs.span trace "engine.evaluate" @@ fun () ->
   let client = Secure.System.client t.system in
   let squery, translate_ms =
     timed (fun () -> Secure.Client.translate client query)
   in
   let req = Secure.Protocol.encode_request squery in
-  let (plan, plan_outcome), plan_ms = timed (fun () -> plan_for t req squery) in
+  let (plan, plan_outcome), plan_ms =
+    Obs.span trace "engine.plan" (fun () -> timed (fun () -> plan_for t req squery))
+  in
   let (run, result_outcome), server_ms =
-    timed (fun () -> run_for t req plan squery)
+    Obs.span trace "engine.exec" (fun () -> timed (fun () -> run_for t req plan squery))
   in
   (* Client-side block cache: a cached block is neither re-shipped nor
      re-decrypted, so both byte and decrypt accounting follow it. *)
@@ -190,7 +245,7 @@ let evaluate_report t query =
   let answers, postprocess_ms =
     timed (fun () -> Secure.Client.evaluate_with client ~decrypted query)
   in
-  ( answers,
+  let report =
     { plan;
       plan_outcome;
       result_outcome;
@@ -206,7 +261,10 @@ let evaluate_report t query =
       postprocess_ms;
       blocks_returned = List.length run.Exec.response.Secure.Server.blocks;
       blocks_decrypted = block_misses;
-      answer_count = List.length answers } )
+      answer_count = List.length answers }
+  in
+  record_round t run.Exec.response report;
+  answers, report
 
 let evaluate t query = fst (evaluate_report t query)
 
@@ -223,7 +281,7 @@ let evaluate t query = fst (evaluate_report t query)
 let evaluate_batch t queries =
   let locked f = Parallel.Lock.protect t.lock f in
   let lane (query, squery, req, translate_ms) =
-    locked (fun () -> t.queries <- t.queries + 1);
+    locked (fun () -> Obs.Metric.incr t.c.queries);
     let client = Secure.System.client t.system in
     let (plan, plan_outcome), plan_ms =
       timed (fun () ->
@@ -232,8 +290,8 @@ let evaluate_batch t queries =
           | None ->
             let plan = Planner.compile ~reorder:t.config.planner t.est squery in
             locked (fun () ->
-                t.plans_compiled <- t.plans_compiled + 1;
-                t.steps_reordered <- t.steps_reordered + Plan.reorder_span plan;
+                Obs.Metric.incr t.c.plans_compiled;
+                Obs.Metric.add t.c.steps_reordered (Plan.reorder_span plan);
                 Lru.put t.plans req plan);
             plan, (if t.config.caches then Miss else Bypass))
     in
@@ -288,7 +346,8 @@ let evaluate_batch t queries =
         postprocess_ms;
         blocks_returned = List.length run.Exec.response.Secure.Server.blocks;
         blocks_decrypted = !block_misses;
-        answer_count = List.length answers } )
+        answer_count = List.length answers },
+      run.Exec.response )
   in
   match Secure.System.pool t.system with
   | Some p when Parallel.Pool.size p > 1 ->
@@ -302,13 +361,21 @@ let evaluate_batch t queries =
           q, squery, Secure.Protocol.encode_request squery, translate_ms)
         queries
     in
-    Parallel.Pool.map p lane translated
+    let results = Parallel.Pool.map p lane translated in
+    (* Ledger rounds are recorded after the deterministic merge, on the
+       calling domain — the tracer/ledger are single-domain structures
+       and pool workers never touch them. *)
+    Array.map
+      (fun (answers, report, response) ->
+        record_round t response report;
+        answers, report)
+      results
   | Some _ | None -> Array.map (fun q -> evaluate_report t q) queries
 
 let stats t =
-  { Stats.queries = t.queries;
-    plans_compiled = t.plans_compiled;
-    steps_reordered = t.steps_reordered;
+  { Stats.queries = Obs.Metric.value t.c.queries;
+    plans_compiled = Obs.Metric.value t.c.plans_compiled;
+    steps_reordered = Obs.Metric.value t.c.steps_reordered;
     invalidations = t.invalidations;
     plan_hits = Lru.hits t.plans;
     plan_misses = Lru.misses t.plans;

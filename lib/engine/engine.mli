@@ -52,6 +52,12 @@ val create : ?config:config -> Secure.System.t -> t
 val system : t -> Secure.System.t
 (** The hosting currently bound (changes on {!update} / {!rotate}). *)
 
+val registry : t -> Obs.Metric.registry
+(** The engine's private (always-enabled) metric registry —
+    [engine.queries], [engine.plans_compiled], [engine.steps_reordered].
+    Reset wholesale by {!flush}, so its counters always describe the
+    current hosting generation. *)
+
 val update : t -> Secure.Update.edit -> Secure.System.setup_cost
 (** {!Secure.System.update} + cache flush + re-bind, in one step: the
     old hosting's rehost hook flushes all three caches before the new
@@ -109,3 +115,8 @@ val evaluate_batch :
     decrypt — both compute equal values). *)
 
 val stats : t -> Stats.t
+(** Snapshot of the current hosting generation's counters.  A rehost
+    (or manual {!flush}) resets every counter except [invalidations],
+    which counts generations this engine outlived — previously counters
+    accumulated across generations, silently mixing hit rates of dead
+    ciphertext artifacts into live ones. *)

@@ -88,3 +88,8 @@ let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

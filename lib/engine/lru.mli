@@ -22,8 +22,13 @@ val put : ('k, 'v) t -> 'k -> 'v -> unit
     capacity is exceeded.  A no-op at capacity [0]. *)
 
 val clear : ('k, 'v) t -> unit
-(** Drop every entry.  Counters are cumulative and survive (the
-    invalidation story is part of what they measure). *)
+(** Drop every entry.  Counters survive (the invalidation story is part
+    of what they measure); use {!reset_counters} for a clean slate. *)
+
+val reset_counters : ('k, 'v) t -> unit
+(** Zero the hit/miss/eviction counters without touching the entries.
+    The engine calls this when a hosting is superseded, so stats always
+    describe the current generation's artifacts. *)
 
 val length : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int

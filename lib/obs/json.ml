@@ -1,0 +1,294 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Printer -------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal that round-trips the float; always contains a '.',
+   'e' or "inf"/"nan" marker so the parser keeps Int/Float apart. *)
+let float_repr f =
+  let s = Printf.sprintf "%.17g" f in
+  let shorter = Printf.sprintf "%.15g" f in
+  let s = if float_of_string shorter = f then shorter else s in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+     || String.contains s 'n' (* inf/nan, mapped to null above *)
+  then s
+  else s ^ ".0"
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (name, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          escape buf name;
+          Buffer.add_string buf (if indent then ": " else ":");
+          go (depth + 1) item)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* --- Parser --------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Bad (Printf.sprintf "%s at byte %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> fail c (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | None -> fail c "unterminated escape"
+       | Some e ->
+         advance c;
+         (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if c.pos + 4 > String.length c.src then fail c "short \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+             | None -> fail c "bad \\u escape"
+             | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+             | Some code when code < 0x800 ->
+               (* Re-encode as UTF-8 so escaped and raw bytes agree. *)
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             | Some code ->
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+          | other -> fail c (Printf.sprintf "bad escape \\%C" other));
+         go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub c.src start (c.pos - start) in
+  let floating =
+    String.contains text '.' || String.contains text 'e' || String.contains text 'E'
+  in
+  if floating then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail c (Printf.sprintf "bad number %S" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "empty input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    (match peek c with
+     | Some ']' ->
+       advance c;
+       List []
+     | Some _ | None ->
+       let rec items acc =
+         let v = parse_value c in
+         skip_ws c;
+         match peek c with
+         | Some ',' ->
+           advance c;
+           items (v :: acc)
+         | Some ']' ->
+           advance c;
+           List.rev (v :: acc)
+         | Some ch -> fail c (Printf.sprintf "expected ',' or ']', found %C" ch)
+         | None -> fail c "unterminated array"
+       in
+       List (items []))
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    (match peek c with
+     | Some '}' ->
+       advance c;
+       Obj []
+     | Some _ | None ->
+       let field () =
+         skip_ws c;
+         let name = parse_string c in
+         skip_ws c;
+         expect c ':';
+         name, parse_value c
+       in
+       let rec fields acc =
+         let f = field () in
+         skip_ws c;
+         match peek c with
+         | Some ',' ->
+           advance c;
+           fields (f :: acc)
+         | Some '}' ->
+           advance c;
+           List.rev (f :: acc)
+         | Some ch -> fail c (Printf.sprintf "expected ',' or '}', found %C" ch)
+         | None -> fail c "unterminated object"
+       in
+       Obj (fields []))
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | exception Bad msg -> Error msg
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+    else Ok v
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (na, va) (nb, vb) -> String.equal na nb && equal va vb)
+         x y
+  | (Null | Bool _ | Int _ | Float _ | Str _ | List _ | Obj _), _ -> false
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

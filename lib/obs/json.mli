@@ -1,0 +1,37 @@
+(** Minimal JSON values for the observability sinks.
+
+    The library is zero-dependency by design (it sits below every other
+    layer), so it carries its own printer {e and} parser: the parser
+    exists so the machine-readable sinks can be round-trip validated —
+    [of_string (to_string v)] must return a value equal to [v] — which
+    is exactly what the [trace-smoke] gate and the obs test suite
+    check. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float   (** finite only; printing a non-finite float yields [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two-space
+    nesting.  Strings are escaped per RFC 8259 (control characters as
+    [\uXXXX]); floats print with enough digits to round-trip. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  Numbers
+    without [.], [e] or [E] parse as [Int]; everything else numeric as
+    [Float].  [Error msg] carries a position-annotated reason. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

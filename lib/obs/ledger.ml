@@ -1,0 +1,108 @@
+type round = {
+  seq : int;
+  label : string;
+  bytes_up : int;
+  bytes_down : int;
+  intervals_touched : int;
+  btree_hits : int;
+  blocks_returned : int;
+  cache_hits : int;
+  cache_misses : int;
+  attempts : int;
+  replays : int;
+  degraded : bool;
+}
+
+let round ?(bytes_up = 0) ?(bytes_down = 0) ?(intervals_touched = 0)
+    ?(btree_hits = 0) ?(blocks_returned = 0) ?(cache_hits = 0) ?(cache_misses = 0)
+    ?(attempts = 1) ?(replays = 0) ?(degraded = false) label =
+  { seq = 0; label; bytes_up; bytes_down; intervals_touched; btree_hits;
+    blocks_returned; cache_hits; cache_misses; attempts; replays; degraded }
+
+type t = {
+  mutable on : bool;
+  capacity : int;
+  mutable recorded : int;          (* rounds ever recorded *)
+  mutable held : round list;       (* newest first, length <= capacity *)
+  mutable held_count : int;
+  mutable sums : round;            (* accumulates over every round *)
+}
+
+let zero_totals =
+  { seq = 0; label = "totals"; bytes_up = 0; bytes_down = 0;
+    intervals_touched = 0; btree_hits = 0; blocks_returned = 0; cache_hits = 0;
+    cache_misses = 0; attempts = 0; replays = 0; degraded = false }
+
+let create ?(enabled = false) ?(capacity = 1024) () =
+  { on = enabled; capacity = max 1 capacity; recorded = 0; held = [];
+    held_count = 0; sums = zero_totals }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let record t r =
+  if t.on then begin
+    t.recorded <- t.recorded + 1;
+    let r = { r with seq = t.recorded } in
+    t.held <- r :: t.held;
+    t.held_count <- t.held_count + 1;
+    if t.held_count > t.capacity then begin
+      (* Drop the oldest retained round; totals keep the history. *)
+      t.held <- (match List.rev t.held with _ :: kept -> List.rev kept | [] -> []);
+      t.held_count <- t.held_count - 1
+    end;
+    t.sums <-
+      { t.sums with
+        bytes_up = t.sums.bytes_up + r.bytes_up;
+        bytes_down = t.sums.bytes_down + r.bytes_down;
+        intervals_touched = t.sums.intervals_touched + r.intervals_touched;
+        btree_hits = t.sums.btree_hits + r.btree_hits;
+        blocks_returned = t.sums.blocks_returned + r.blocks_returned;
+        cache_hits = t.sums.cache_hits + r.cache_hits;
+        cache_misses = t.sums.cache_misses + r.cache_misses;
+        attempts = t.sums.attempts + r.attempts;
+        replays = t.sums.replays + r.replays;
+        degraded = t.sums.degraded || r.degraded }
+  end
+
+let rounds t = List.rev t.held
+let count t = t.recorded
+let totals t = { t.sums with seq = t.recorded }
+
+let clear t =
+  t.recorded <- 0;
+  t.held <- [];
+  t.held_count <- 0;
+  t.sums <- zero_totals
+
+let round_to_json r =
+  Json.Obj
+    [ "seq", Json.Int r.seq;
+      "label", Json.Str r.label;
+      "bytes_up", Json.Int r.bytes_up;
+      "bytes_down", Json.Int r.bytes_down;
+      "intervals_touched", Json.Int r.intervals_touched;
+      "btree_hits", Json.Int r.btree_hits;
+      "blocks_returned", Json.Int r.blocks_returned;
+      "cache_hits", Json.Int r.cache_hits;
+      "cache_misses", Json.Int r.cache_misses;
+      "attempts", Json.Int r.attempts;
+      "replays", Json.Int r.replays;
+      "degraded", Json.Bool r.degraded ]
+
+let to_json t =
+  Json.Obj
+    [ "rounds", Json.List (List.map round_to_json (rounds t));
+      "totals", round_to_json (totals t) ]
+
+let render_round r =
+  Printf.sprintf
+    "%4d %-10s up %6d B, down %8d B; %4d intervals, %4d btree, %3d blocks; \
+     cache %d/%d; attempts %d, replays %d%s"
+    r.seq r.label r.bytes_up r.bytes_down r.intervals_touched r.btree_hits
+    r.blocks_returned r.cache_hits r.cache_misses r.attempts r.replays
+    (if r.degraded then " [degraded]" else "")
+
+let render t =
+  String.concat "\n" (List.map render_round (rounds t) @ [ render_round (totals t) ])
+  ^ "\n"

@@ -1,0 +1,216 @@
+type registry = {
+  mutable on : bool;
+  mutable op_count : int;
+  table : (string, instrument) Hashtbl.t;
+}
+
+and instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_histogram of histogram
+
+and counter = { c_reg : registry; mutable c_value : int; c_help : string }
+
+and gauge = { g_reg : registry; mutable g_value : float; g_help : string }
+
+and histogram = {
+  h_reg : registry;
+  h_bounds : float array;            (* strictly increasing upper bounds *)
+  h_counts : int array;              (* bounds + 1 (overflow) *)
+  mutable h_sum : float;
+  mutable h_observed : int;
+  h_help : string;
+}
+
+let create ?(enabled = false) () =
+  { on = enabled; op_count = 0; table = Hashtbl.create 64 }
+
+let default = create ()
+
+let enabled r = r.on
+let set_enabled r on = r.on <- on
+let ops r = r.op_count
+
+let register r name make describe =
+  match Hashtbl.find_opt r.table name with
+  | Some existing -> describe existing
+  | None ->
+    let fresh = make () in
+    Hashtbl.replace r.table name fresh;
+    describe fresh
+
+let counter r ?(help = "") name =
+  register r name
+    (fun () -> I_counter { c_reg = r; c_value = 0; c_help = help })
+    (function
+      | I_counter c -> c
+      | I_gauge _ | I_histogram _ ->
+        invalid_arg
+          (Printf.sprintf "Obs.Metric.counter: %S is registered as another kind"
+             name))
+
+let gauge r ?(help = "") name =
+  register r name
+    (fun () -> I_gauge { g_reg = r; g_value = 0.0; g_help = help })
+    (function
+      | I_gauge g -> g
+      | I_counter _ | I_histogram _ ->
+        invalid_arg
+          (Printf.sprintf "Obs.Metric.gauge: %S is registered as another kind"
+             name))
+
+let histogram r ?(help = "") ~buckets name =
+  let bounds = Array.of_list buckets in
+  if Array.length bounds = 0 then
+    invalid_arg "Obs.Metric.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (bounds.(i - 1) < b) then
+        invalid_arg "Obs.Metric.histogram: bounds must be strictly increasing")
+    bounds;
+  register r name
+    (fun () ->
+      I_histogram
+        { h_reg = r;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0;
+          h_observed = 0;
+          h_help = help })
+    (function
+      | I_histogram h ->
+        if h.h_bounds <> bounds then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metric.histogram: %S is registered with different bounds"
+               name);
+        h
+      | I_counter _ | I_gauge _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Obs.Metric.histogram: %S is registered as another kind" name))
+
+(* Hot path: one load, one branch when disabled. *)
+let incr c =
+  let r = c.c_reg in
+  if r.on then begin
+    c.c_value <- c.c_value + 1;
+    r.op_count <- r.op_count + 1
+  end
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Metric.add: negative amount";
+  let r = c.c_reg in
+  if r.on then begin
+    c.c_value <- c.c_value + n;
+    r.op_count <- r.op_count + 1
+  end
+
+let value c = c.c_value
+
+let set g v =
+  let r = g.g_reg in
+  if r.on then begin
+    g.g_value <- v;
+    r.op_count <- r.op_count + 1
+  end
+
+let gauge_value g = g.g_value
+
+(* First bucket whose bound admits [v]; the trailing slot is the
+   overflow bucket.  Buckets are few and fixed, so a linear scan beats
+   a binary search's branch misses at this size. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let r = h.h_reg in
+  if r.on then begin
+    let i = bucket_index h.h_bounds v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_observed <- h.h_observed + 1;
+    r.op_count <- r.op_count + 1
+  end
+
+let bucket_bounds h = Array.copy h.h_bounds
+let bucket_counts h = Array.copy h.h_counts
+let observed_count h = h.h_observed
+let observed_sum h = h.h_sum
+
+type value_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float }
+
+let snapshot r =
+  Hashtbl.fold
+    (fun name inst acc ->
+      let v =
+        match inst with
+        | I_counter c -> Counter_v c.c_value
+        | I_gauge g -> Gauge_v g.g_value
+        | I_histogram h ->
+          Histogram_v
+            { bounds = Array.copy h.h_bounds;
+              counts = Array.copy h.h_counts;
+              sum = h.h_sum }
+      in
+      (name, v) :: acc)
+    r.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset r =
+  r.op_count <- 0;
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | I_counter c -> c.c_value <- 0
+      | I_gauge g -> g.g_value <- 0.0
+      | I_histogram h ->
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.0;
+        h.h_observed <- 0)
+    r.table
+
+let to_json r =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter_v n -> Json.Obj [ "kind", Json.Str "counter"; "value", Json.Int n ]
+           | Gauge_v f -> Json.Obj [ "kind", Json.Str "gauge"; "value", Json.Float f ]
+           | Histogram_v { bounds; counts; sum } ->
+             Json.Obj
+               [ "kind", Json.Str "histogram";
+                 "bounds",
+                 Json.List (Array.to_list (Array.map (fun b -> Json.Float b) bounds));
+                 "counts",
+                 Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts));
+                 "sum", Json.Float sum ] ))
+       (snapshot r))
+
+let render r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name n)
+      | Gauge_v f -> Buffer.add_string buf (Printf.sprintf "%-40s %g\n" name f)
+      | Histogram_v { bounds; counts; sum } ->
+        let cells =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 if i < Array.length bounds then
+                   Printf.sprintf "<=%g:%d" bounds.(i) c
+                 else Printf.sprintf ">%g:%d" bounds.(Array.length bounds - 1) c)
+               counts)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s [%s] sum=%g\n" name (String.concat " " cells) sum))
+    (snapshot r);
+  Buffer.contents buf

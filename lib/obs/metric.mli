@@ -1,0 +1,89 @@
+(** Metrics registry: named monotonic counters, gauges and fixed-bucket
+    histograms.
+
+    Instruments are registered once ({!counter} and friends are
+    idempotent: asking for an existing name returns the {e same}
+    instrument) and cheap to bump afterwards — {!incr} on a disabled
+    registry is a single boolean test, no allocation, no hashing.
+    Registries start {e disabled} so instrumented hot paths cost
+    nothing unless a caller (the CLI, a test, the bench harness) turns
+    them on.
+
+    One process-wide {!default} registry collects the library-level
+    counters (transport, session, server); components that need
+    isolated counters — the query engine, tests — create their own. *)
+
+type registry
+
+val create : ?enabled:bool -> unit -> registry
+(** Fresh registry; disabled unless [~enabled:true]. *)
+
+val default : registry
+(** The process-wide registry the secure layers bump.  Disabled until
+    {!set_enabled}; {!reset} it between measurements. *)
+
+val enabled : registry -> bool
+val set_enabled : registry -> bool -> unit
+
+val ops : registry -> int
+(** Total instrument updates recorded while enabled — the bench
+    harness divides this by query count to bound instrumentation
+    overhead. *)
+
+(** {2 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : registry -> ?help:string -> string -> counter
+(** Register (or fetch) a monotonic counter.  Registration is
+    idempotent: the same name always yields the same counter.
+    @raise Invalid_argument when [name] already names an instrument of
+    a different kind. *)
+
+val gauge : registry -> ?help:string -> string -> gauge
+
+val histogram : registry -> ?help:string -> buckets:float list -> string -> histogram
+(** [buckets] are upper bounds, strictly increasing; an implicit
+    overflow bucket catches everything above the last bound.
+    Re-registering with the same bounds returns the existing histogram.
+    @raise Invalid_argument on an empty or unsorted bucket list, or
+    when the name exists with different bounds or a different kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative amount (counters are
+    monotone between resets). *)
+
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val bucket_bounds : histogram -> float array
+val bucket_counts : histogram -> int array
+(** One count per bound plus the trailing overflow bucket
+    ([Array.length counts = Array.length bounds + 1]). *)
+
+val observed_count : histogram -> int
+val observed_sum : histogram -> float
+
+(** {2 Snapshot and sinks} *)
+
+type value_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float }
+
+val snapshot : registry -> (string * value_snapshot) list
+(** Name-sorted view of every registered instrument. *)
+
+val reset : registry -> unit
+(** Zero every instrument (and the {!ops} count); registration
+    survives.  Enabled state is unchanged. *)
+
+val to_json : registry -> Json.t
+val render : registry -> string
+(** Human-readable dump, one instrument per line, name-sorted. *)

@@ -1,0 +1,6 @@
+module Json = Json
+module Metric = Metric
+module Trace = Trace
+module Ledger = Ledger
+
+let span = Trace.span

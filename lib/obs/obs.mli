@@ -1,0 +1,15 @@
+(** Observability: metrics, trace spans, and the leakage ledger.
+
+    Zero-dependency (stdlib only) so every layer — transport, session,
+    server, engine, system — can record without new edges in the
+    layering DAG.  All instruments are disabled by default and cost one
+    boolean test per update when off; see docs/OBSERVABILITY.md for the
+    full metric/span/ledger inventory. *)
+
+module Json = Json
+module Metric = Metric
+module Trace = Trace
+module Ledger = Ledger
+
+val span : Trace.t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] — alias of {!Trace.span} for call-site brevity. *)

@@ -1,0 +1,122 @@
+type node = {
+  name : string;
+  attrs : (string * string) list;
+  start_tick : int;
+  end_tick : int;
+  children : node list;
+}
+
+type clock = unit -> int
+
+(* An open span accumulates its children in reverse; closing reverses
+   once and attaches the finished node to the parent (or the roots). *)
+type frame = {
+  f_name : string;
+  f_attrs : (string * string) list;
+  f_start : int;
+  mutable f_children : node list;
+}
+
+type t = {
+  mutable on : bool;
+  clock : clock option;   (* [None]: the deterministic internal tick *)
+  mutable internal_tick : int;
+  mutable stack : frame list;
+  mutable finished : node list;   (* roots, newest first *)
+}
+
+let create ?(enabled = false) ?clock () =
+  { on = enabled; clock; internal_tick = 0; stack = []; finished = [] }
+
+let tick t =
+  match t.clock with
+  | Some c -> c ()
+  | None ->
+    t.internal_tick <- t.internal_tick + 1;
+    t.internal_tick
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let attach t node =
+  match t.stack with
+  | parent :: _ -> parent.f_children <- node :: parent.f_children
+  | [] -> t.finished <- node :: t.finished
+
+let open_span t name attrs =
+  let f = { f_name = name; f_attrs = attrs; f_start = tick t; f_children = [] } in
+  t.stack <- f :: t.stack
+
+let close_span t =
+  match t.stack with
+  | [] -> ()
+  | f :: rest ->
+    t.stack <- rest;
+    attach t
+      { name = f.f_name;
+        attrs = f.f_attrs;
+        start_tick = f.f_start;
+        end_tick = tick t;
+        children = List.rev f.f_children }
+
+let span t ?(attrs = []) name f =
+  if not t.on then f ()
+  else begin
+    open_span t name attrs;
+    match f () with
+    | result ->
+      close_span t;
+      result
+    | exception e ->
+      close_span t;
+      raise e
+  end
+
+let event t ?(attrs = []) name =
+  if t.on then begin
+    let now = tick t in
+    attach t { name; attrs; start_tick = now; end_tick = now; children = [] }
+  end
+
+let roots t = List.rev t.finished
+
+let clear t =
+  t.stack <- [];
+  t.finished <- [];
+  t.internal_tick <- 0
+
+let rec node_to_json n =
+  let base =
+    [ "name", Json.Str n.name;
+      "start", Json.Int n.start_tick;
+      "end", Json.Int n.end_tick ]
+  in
+  let attrs =
+    match n.attrs with
+    | [] -> []
+    | attrs ->
+      [ "attrs", Json.Obj (List.map (fun (k, v) -> k, Json.Str v) attrs) ]
+  in
+  let children =
+    match n.children with
+    | [] -> []
+    | cs -> [ "children", Json.List (List.map node_to_json cs) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let to_json t = Json.List (List.map node_to_json (roots t))
+
+let render t =
+  let buf = Buffer.create 256 in
+  let rec go depth n =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf
+      (Printf.sprintf "%s [%d..%d]" n.name n.start_tick n.end_tick);
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+      n.attrs;
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) n.children
+  in
+  List.iter (go 0) (roots t);
+  Buffer.contents buf

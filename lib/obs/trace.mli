@@ -1,0 +1,55 @@
+(** Structured trace spans.
+
+    A tracer collects a deterministic in-memory tree of named spans:
+    [span t "server.select_blocks" ~attrs f] opens a span, runs [f],
+    and closes the span when [f] returns {e or raises}.  Time is a
+    {e tick counter} injected by the caller — the default clock is a
+    plain monotone counter that advances by one per open/close event,
+    so traces taken in tests are bit-for-bit reproducible and never
+    touch the wall clock.
+
+    Tracers start disabled; a disabled {!span} is one boolean test
+    around a direct call of [f].  Spans opened from several domains at
+    once are not supported — the parallel evaluation paths skip
+    tracing, matching the repo's determinism contract. *)
+
+type t
+
+type clock = unit -> int
+(** Must be monotone non-decreasing across calls. *)
+
+val create : ?enabled:bool -> ?clock:clock -> unit -> t
+(** Disabled unless [~enabled:true].  Without [clock], an internal
+    counter ticks once per span open/close and per {!event}. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run [f] inside a fresh span nested under the currently open one.
+    The span is closed (and recorded) even when [f] raises; the
+    exception is re-raised unchanged. *)
+
+val event : t -> ?attrs:(string * string) list -> string -> unit
+(** A zero-width span (start = end tick) attached to the open span. *)
+
+type node = {
+  name : string;
+  attrs : (string * string) list;
+  start_tick : int;
+  end_tick : int;
+  children : node list;   (** in open order *)
+}
+
+val roots : t -> node list
+(** Completed top-level spans, oldest first.  Spans still open are not
+    visible. *)
+
+val clear : t -> unit
+(** Drop recorded spans and reset the internal clock.  Must not be
+    called while a span is open. *)
+
+val to_json : t -> Json.t
+val render : t -> string
+(** Indented tree, one span per line with its tick range and
+    attributes. *)

@@ -4,6 +4,19 @@ let log_src = Logs.Src.create "secure.server" ~doc:"Untrusted-server query engin
 
 module Log = (val Logs.src_log log_src)
 
+(* Everything counted here is already in the server's own view: it
+   holds the ciphertext blocks and computes the interval joins itself.
+   Nothing client-side (plaintext, keys) is reachable from this file —
+   the lint boundary table enforces that. *)
+module M = struct
+  let reg = Obs.Metric.default
+  let answers = Obs.Metric.counter reg "server.answers" ~help:"queries answered"
+  let blocks_shipped = Obs.Metric.counter reg "server.blocks_shipped" ~help:"candidate blocks returned"
+  let bytes_shipped = Obs.Metric.counter reg "server.bytes_shipped" ~help:"response payload bytes"
+  let candidate_intervals = Obs.Metric.counter reg "server.candidate_intervals" ~help:"DSI intervals surviving joins"
+  let btree_hits = Obs.Metric.counter reg "server.btree_hits" ~help:"value-index entries touched"
+end
+
 (* Invariant: every interval list in [table] is sorted by
    {!Interval.compare_by_lo} and duplicate-free — the sort is hoisted
    into {!create} so per-step lookups need not re-sort (single-token
@@ -20,6 +33,7 @@ type t = {
   id_by_rep : (float * float, int) Hashtbl.t;
   blocks_by_id : (int, Encrypt.block) Hashtbl.t;
   btree : Metadata.target Btree.t;
+  trace : Obs.Trace.t;   (* disabled no-op tracer unless one is injected *)
 }
 
 type response = {
@@ -29,7 +43,8 @@ type response = {
   btree_hits : int;
 }
 
-let create ~dsi_table ~block_table ~btree ~blocks =
+let create ?trace ~dsi_table ~block_table ~btree ~blocks () =
+  let trace = match trace with Some t -> t | None -> Obs.Trace.create () in
   let table = Hashtbl.create (List.length dsi_table) in
   let counts = Hashtbl.create (List.length dsi_table) in
   List.iter
@@ -62,11 +77,13 @@ let create ~dsi_table ~block_table ~btree ~blocks =
     rep_by_id;
     id_by_rep;
     blocks_by_id;
-    btree }
+    btree;
+    trace }
 
-let of_metadata meta db =
-  create ~dsi_table:meta.Metadata.dsi_table ~block_table:meta.Metadata.block_table
-    ~btree:meta.Metadata.btree ~blocks:db.Encrypt.blocks
+let of_metadata ?trace meta db =
+  create ?trace ~dsi_table:meta.Metadata.dsi_table
+    ~block_table:meta.Metadata.block_table ~btree:meta.Metadata.btree
+    ~blocks:db.Encrypt.blocks ()
 
 let all_blocks t =
   Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks_by_id []
@@ -354,6 +371,7 @@ let explain t query =
    near-linear; the block-representative side is prepared once at
    {!create}. *)
 let select_blocks t ~witnesses ~distinguished ~candidate_intervals ~btree_hits =
+  Obs.span t.trace "server.select_blocks" @@ fun () ->
   let reps = List.map snd t.block_table in
   let needed = Hashtbl.create 64 in
   let need rep =
@@ -382,12 +400,35 @@ let select_blocks t ~witnesses ~distinguished ~candidate_intervals ~btree_hits =
       needed []
     |> List.sort (fun a b -> compare a.Encrypt.id b.Encrypt.id)
   in
-  { blocks; bytes = block_bytes blocks; candidate_intervals; btree_hits }
+  let response =
+    { blocks; bytes = block_bytes blocks; candidate_intervals; btree_hits }
+  in
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.event t.trace "selected"
+      ~attrs:
+        [ "blocks", string_of_int (List.length blocks);
+          "bytes", string_of_int response.bytes ];
+  Obs.Metric.add M.blocks_shipped (List.length blocks);
+  Obs.Metric.add M.bytes_shipped response.bytes;
+  response
+
+let record_answer t response =
+  Obs.Metric.incr M.answers;
+  Obs.Metric.add M.candidate_intervals response.candidate_intervals;
+  Obs.Metric.add M.btree_hits response.btree_hits;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.event t.trace "pruned"
+      ~attrs:
+        [ "intervals", string_of_int response.candidate_intervals;
+          "btree_hits", string_of_int response.btree_hits ]
 
 let answer t query =
   Log.debug (fun m -> m "answer: %s" (Squery.to_string query));
+  Obs.span t.trace "server.answer" @@ fun () ->
   let state = new_state () in
-  let levels = forward t state None query.Squery.steps in
+  let levels =
+    Obs.span t.trace "server.prune" (fun () -> forward t state None query.Squery.steps)
+  in
   let distinguished =
     match List.rev levels with
     | last :: _ -> last
@@ -397,6 +438,7 @@ let answer t query =
     select_blocks t ~witnesses:state.witnesses ~distinguished
       ~candidate_intervals:state.touched ~btree_hits:state.hits
   in
+  record_answer t response;
   Log.debug (fun m ->
       m "answer: %d candidate intervals, %d btree hits, %d blocks shipped"
         state.touched state.hits (List.length response.blocks));
@@ -409,6 +451,7 @@ let answer t query =
    candidates live in the skeleton the client already holds.  At most
    one block ships. *)
 let answer_extreme t query ~key_range ~direction =
+  Obs.span t.trace "server.answer_extreme" @@ fun () ->
   let state = new_state () in
   let levels = forward t state None query.Squery.steps in
   let distinguished =
@@ -441,10 +484,16 @@ let answer_extreme t query ~key_range ~direction =
     | Some (Some block) -> [ block ]
     | Some None | None -> []
   in
-  { blocks;
-    bytes = block_bytes blocks;
-    candidate_intervals = state.touched;
-    btree_hits = state.hits }
+  let response =
+    { blocks;
+      bytes = block_bytes blocks;
+      candidate_intervals = state.touched;
+      btree_hits = state.hits }
+  in
+  Obs.Metric.add M.blocks_shipped (List.length blocks);
+  Obs.Metric.add M.bytes_shipped response.bytes;
+  record_answer t response;
+  response
 
 (* ------------------------------------------------------------------ *)
 (* Server-visible metadata summary (the planner's statistics source)   *)

@@ -31,13 +31,18 @@ type response = {
 }
 
 val create :
+  ?trace:Obs.Trace.t ->
   dsi_table:(string * Dsi.Interval.t list) list ->
   block_table:(int * Dsi.Interval.t) list ->
   btree:Metadata.target Btree.t ->
   blocks:Encrypt.block list ->
+  unit ->
   t
+(** [?trace] injects a tracer for the server's evaluation spans
+    ([server.answer] → [server.prune], [server.select_blocks]); without
+    it a disabled tracer is used and spans cost one boolean test. *)
 
-val of_metadata : Metadata.t -> Encrypt.db -> t
+val of_metadata : ?trace:Obs.Trace.t -> Metadata.t -> Encrypt.db -> t
 (** Convenience: extracts exactly the server-visible parts. *)
 
 val answer : t -> Squery.path -> response

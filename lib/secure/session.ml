@@ -2,6 +2,25 @@ let log_src = Logs.Src.create "secure.session" ~doc:"Retrying session protocol"
 
 module Log = (val Logs.src_log log_src)
 
+(* Process-wide session counters on Obs.Metric.default (disabled by
+   default).  "session.*" is the client view, "session.server.*" the
+   endpoint view. *)
+module M = struct
+  let reg = Obs.Metric.default
+  let calls = Obs.Metric.counter reg "session.calls" ~help:"logical calls issued"
+  let attempts = Obs.Metric.counter reg "session.attempts" ~help:"frames sent incl. retries"
+  let retries = Obs.Metric.counter reg "session.retries" ~help:"retransmissions"
+  let timeouts = Obs.Metric.counter reg "session.timeouts" ~help:"attempts lost to drops"
+  let tampered = Obs.Metric.counter reg "session.hmac_failures" ~help:"frames failing MAC verification"
+  let malformed = Obs.Metric.counter reg "session.malformed" ~help:"unparseable frames"
+  let stale = Obs.Metric.counter reg "session.stale" ~help:"frames with the wrong sequence number"
+  let gave_up = Obs.Metric.counter reg "session.gave_up" ~help:"calls abandoned after max attempts"
+  let retransmitted_bytes = Obs.Metric.counter reg "session.retransmitted_bytes" ~help:"bytes sent again verbatim"
+  let served = Obs.Metric.counter reg "session.server.served" ~help:"fresh requests answered"
+  let replayed = Obs.Metric.counter reg "session.server.replayed" ~help:"replay-cache hits (linkable retransmits)"
+  let discarded = Obs.Metric.counter reg "session.server.discarded" ~help:"unauthenticated frames ignored"
+end
+
 type error =
   | Timeout
   | Tampered
@@ -111,21 +130,31 @@ let stats t = t.st
 let config t = t.cfg
 
 let record_fault t = function
-  | Timeout -> t.st <- { t.st with timeouts = t.st.timeouts + 1 }
-  | Tampered -> t.st <- { t.st with tampered = t.st.tampered + 1 }
-  | Malformed -> t.st <- { t.st with malformed = t.st.malformed + 1 }
-  | Stale -> t.st <- { t.st with stale = t.st.stale + 1 }
+  | Timeout ->
+    t.st <- { t.st with timeouts = t.st.timeouts + 1 };
+    Obs.Metric.incr M.timeouts
+  | Tampered ->
+    t.st <- { t.st with tampered = t.st.tampered + 1 };
+    Obs.Metric.incr M.tampered
+  | Malformed ->
+    t.st <- { t.st with malformed = t.st.malformed + 1 };
+    Obs.Metric.incr M.malformed
+  | Stale ->
+    t.st <- { t.st with stale = t.st.stale + 1 };
+    Obs.Metric.incr M.stale
   | Gave_up _ -> ()
 
 let call t payload =
   let seq = t.next_seq in
   t.next_seq <- Int64.add seq 1L;
   t.st <- { t.st with calls = t.st.calls + 1 };
+  Obs.Metric.incr M.calls;
   let frame = encode_frame ~mac_key:t.mac_key ~kind:Request ~seq payload in
   let backoff = ref t.cfg.base_backoff_ms in
   let rec attempt n =
     if n > t.cfg.max_attempts then begin
       t.st <- { t.st with gave_up = t.st.gave_up + 1 };
+      Obs.Metric.incr M.gave_up;
       Log.warn (fun m -> m "seq %Ld: gave up after %d attempts" seq t.cfg.max_attempts);
       Error (Gave_up t.cfg.max_attempts)
     end
@@ -136,9 +165,12 @@ let call t payload =
                             retransmitted_bytes =
                               t.st.retransmitted_bytes + String.length frame;
                             backoff_ms = t.st.backoff_ms +. !backoff };
+        Obs.Metric.incr M.retries;
+        Obs.Metric.add M.retransmitted_bytes (String.length frame);
         backoff := Float.min (!backoff *. 2.0) t.cfg.max_backoff_ms
       end;
       t.st <- { t.st with attempts = t.st.attempts + 1 };
+      Obs.Metric.incr M.attempts;
       let outcome =
         match Transport.exchange t.transport frame with
         | exception Transport.Dropped -> Error Timeout
@@ -228,20 +260,24 @@ let serve e frame =
     (* A real server cannot answer what it cannot authenticate: stay
        silent and let the client time out. *)
     e.est <- { e.est with discarded = e.est.discarded + 1 };
+    Obs.Metric.incr M.discarded;
     raise Transport.Dropped
   | Ok (seq, payload) ->
     let digest = Crypto.Sha256.digest frame in
     (match Lru.find e.cache digest with
      | Some cached ->
        e.est <- { e.est with replayed = e.est.replayed + 1 };
+       Obs.Metric.incr M.replayed;
        cached
      | None ->
        (match e.handler payload with
         | exception Protocol.Malformed _ ->
           e.est <- { e.est with discarded = e.est.discarded + 1 };
+          Obs.Metric.incr M.discarded;
           raise Transport.Dropped
         | answer ->
           let resp = encode_frame ~mac_key:e.e_mac_key ~kind:Response ~seq answer in
           Lru.add e.cache digest resp;
           e.est <- { e.est with served = e.est.served + 1 };
+          Obs.Metric.incr M.served;
           resp))

@@ -27,6 +27,8 @@ type t = {
   server : Server.t;
   link : link;
   pool : Parallel.Pool.t option;
+  trace : Obs.Trace.t;    (* shared with the server; disabled by default *)
+  ledger : Obs.Ledger.t;  (* per-round server-visible facts *)
   generation : int;
   rehost_hooks : (unit -> unit) list ref;
       (* observers (caches, engines) to notify when this hosting is
@@ -63,6 +65,7 @@ type cost = {
   attempts : int;
   retransmitted_bytes : int;
   faults_absorbed : int;
+  replays : int;
   degraded : bool;
 }
 
@@ -110,6 +113,8 @@ let make_link ?session_config ?faults keys server =
 let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
     ?(value_index = Metadata.All_leaves) ?pool doc scs kind =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
+  let trace = Obs.Trace.create () in
+  let ledger = Obs.Ledger.create () in
   let scheme, scheme_build_ms = timed (fun () -> Scheme.build doc scs kind) in
   (match Scheme.enforces doc scheme scs with
    | Ok () -> ()
@@ -119,7 +124,7 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
     timed (fun () -> Metadata.build ?pool ~keys ~policy:value_index db)
   in
   let client = Client.create ~keys metadata db in
-  let server = Server.of_metadata metadata db in
+  let server = Server.of_metadata ~trace metadata db in
   Log.info (fun m ->
       m "setup: scheme %s, %d blocks (%.0f ms), metadata %d B (%.0f ms), cipher %s"
         (Scheme.kind_to_string kind)
@@ -132,6 +137,8 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
     { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server;
       link = make_link keys server;
       pool;
+      trace;
+      ledger;
       generation = next_generation ();
       rehost_hooks = ref [] }
   in
@@ -155,7 +162,8 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~sche
   (* A restored ring never ran [Encrypt.encrypt]: warm its derived-key
      memo before any pooled decryption can read it concurrently. *)
   Encrypt.prewarm_block_keys ~keys;
-  let server = Server.of_metadata metadata db in
+  let trace = Obs.Trace.create () in
+  let server = Server.of_metadata ~trace metadata db in
   { doc;
     master;
     cipher;
@@ -167,6 +175,8 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~sche
     server;
     link = make_link keys server;
     pool;
+    trace;
+    ledger = Obs.Ledger.create ();
     generation = next_generation ();
     rehost_hooks = ref [] }
 
@@ -181,6 +191,9 @@ let session_stats t = Session.stats t.link.session
 let transport_stats t = Transport.stats t.link.transport
 let endpoint_stats t = Session.endpoint_stats t.link.endpoint
 
+let tracer t = t.trace
+let ledger t = t.ledger
+
 let doc t = t.doc
 let master t = t.master
 let cipher t = t.cipher
@@ -193,8 +206,8 @@ let server t = t.server
 let pool t = t.pool
 
 let cost_of ?(attempts = 1) ?(retransmitted_bytes = 0) ?(faults_absorbed = 0)
-    ?(degraded = false) ~translate_ms ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
-    ~blocks ~answers () =
+    ?(replays = 0) ?(degraded = false) ~translate_ms ~server_ms ~bytes ~decrypt_ms
+    ~postprocess_ms ~blocks ~answers () =
   { translate_ms;
     server_ms;
     transmit_bytes = bytes;
@@ -206,10 +219,19 @@ let cost_of ?(attempts = 1) ?(retransmitted_bytes = 0) ?(faults_absorbed = 0)
     attempts;
     retransmitted_bytes;
     faults_absorbed;
+    replays;
     degraded }
 
 (* Session-stat deltas around a group of calls, for the cost report. *)
 let session_snapshot t = Session.stats t.link.session
+
+(* Replay-cache hits the endpoint saw since [before] — the
+   retransmit-linkability count of the leakage ledger (retransmitted
+   frames are byte-identical; see docs/SECURITY.md). *)
+let replays_since t before =
+  (Session.endpoint_stats t.link.endpoint).Session.replayed - before
+
+let endpoint_replays t = (Session.endpoint_stats t.link.endpoint).Session.replayed
 
 let robustness_since t (before : Session.stats) =
   let after = Session.stats t.link.session in
@@ -254,41 +276,76 @@ let try_evaluate t query =
   (* Every exchange crosses the wire format: the server decodes the
      request bytes, the client decodes the response bytes — exactly the
      Figure 1 data flow, now framed and retried by the session layer. *)
-  let squery, translate_ms = timed (fun () -> Client.translate t.client query) in
+  Obs.span t.trace "system.evaluate" @@ fun () ->
+  let squery, translate_ms =
+    Obs.span t.trace "client.translate" @@ fun () ->
+    timed (fun () -> Client.translate t.client query)
+  in
   let before = session_snapshot t in
-  match timed (fun () -> exchange t squery) with
+  let replays_before = endpoint_replays t in
+  match
+    Obs.span t.trace "wire.exchange" @@ fun () ->
+    timed (fun () -> exchange t squery)
+  with
   | Error e, _ -> Error e
   | Ok (request_bytes, response), server_ms ->
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
-    let decrypted, decrypt_ms = decrypt_response t response in
+    let replays = replays_since t replays_before in
+    let decrypted, decrypt_ms =
+      Obs.span t.trace "client.decrypt" @@ fun () -> decrypt_response t response
+    in
     let answers, postprocess_ms =
+      Obs.span t.trace "client.postprocess" @@ fun () ->
       timed (fun () -> Client.evaluate_with t.client ~decrypted query)
     in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "evaluate" ~bytes_up:request_bytes
+           ~bytes_down:response.Server.bytes
+           ~intervals_touched:response.Server.candidate_intervals
+           ~btree_hits:response.Server.btree_hits
+           ~blocks_returned:(List.length response.Server.blocks)
+           ~attempts ~replays);
     Ok
       ( answers,
-        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms
-          ~server_ms
+        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
+          ~translate_ms ~server_ms
           ~bytes:(request_bytes + response.Server.bytes)
           ~decrypt_ms ~postprocess_ms
           ~blocks:(List.length response.Server.blocks)
           ~answers:(List.length answers) () )
 
-let naive_evaluate t query =
-  let blocks = Server.all_blocks t.server in
-  let bytes =
-    List.fold_left
-      (fun acc b ->
-        acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
-      0 blocks
+(* [record = false] also skips tracing: the batch path may run this on
+   a pool worker, and the tracer/ledger are single-domain structures. *)
+let naive_impl ~record t query =
+  let run () =
+    let blocks = Server.all_blocks t.server in
+    let bytes =
+      List.fold_left
+        (fun acc b ->
+          acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
+        0 blocks
+    in
+    let decrypted, decrypt_ms = decrypt_blocks t blocks in
+    let answers, postprocess_ms =
+      timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+    in
+    ( answers,
+      cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
+        ~blocks:(List.length blocks)
+        ~answers:(List.length answers) () )
   in
-  let decrypted, decrypt_ms = decrypt_blocks t blocks in
-  let answers, postprocess_ms =
-    timed (fun () -> Client.evaluate_with t.client ~decrypted query)
-  in
-  ( answers,
-    cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
-      ~blocks:(List.length blocks)
-      ~answers:(List.length answers) () )
+  if not record then run ()
+  else begin
+    let answers, cost = Obs.span t.trace "system.naive_evaluate" run in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "naive" ~bytes_down:cost.transmit_bytes
+           ~blocks_returned:cost.blocks_returned);
+    answers, cost
+  end
+
+let naive_evaluate t query = naive_impl ~record:true t query
 
 (* Degradation ladder: the metadata path retries inside Session.call;
    if it still fails, fall back to the naive ship-everything semantics
@@ -296,21 +353,32 @@ let naive_evaluate t query =
    fail), so answers stay exact under any survivable fault schedule. *)
 let evaluate t query =
   let before = session_snapshot t in
+  let replays_before = endpoint_replays t in
   match try_evaluate t query with
   | Ok result -> result
   | Error err ->
     Log.warn (fun m ->
         m "metadata path failed (%s): degrading to naive evaluation"
           (Session.error_to_string err));
-    let answers, cost = naive_evaluate t query in
+    let answers, cost = naive_impl ~record:false t query in
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
-    answers, { cost with degraded = true; attempts; retransmitted_bytes; faults_absorbed }
+    let replays = replays_since t replays_before in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "degraded" ~bytes_down:cost.transmit_bytes
+           ~blocks_returned:cost.blocks_returned ~attempts ~replays
+           ~degraded:true);
+    ( answers,
+      { cost with
+        degraded = true; attempts; retransmitted_bytes; faults_absorbed; replays } )
 
 (* Union queries: one server round per branch, one combined block set,
    one client-side union evaluation (node-level dedup). *)
 let try_evaluate_union t queries =
+  Obs.span t.trace "system.evaluate_union" @@ fun () ->
   let start = now_ms () in
   let before = session_snapshot t in
+  let replays_before = endpoint_replays t in
   let rec rounds acc = function
     | [] -> Ok (List.rev acc)
     | q :: rest ->
@@ -335,15 +403,30 @@ let try_evaluate_union t queries =
     let answers, postprocess_ms =
       timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
     in
+    let replays = replays_since t replays_before in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "union"
+           ~bytes_up:(List.fold_left (fun acc (req, _) -> acc + req) 0 responses)
+           ~bytes_down:
+             (List.fold_left (fun acc (_, r) -> acc + r.Server.bytes) 0 responses)
+           ~intervals_touched:
+             (List.fold_left
+                (fun acc (_, r) -> acc + r.Server.candidate_intervals)
+                0 responses)
+           ~btree_hits:
+             (List.fold_left (fun acc (_, r) -> acc + r.Server.btree_hits) 0 responses)
+           ~blocks_returned:(List.length blocks) ~attempts ~replays);
     Ok
       ( answers,
-        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms:0.0
-          ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
+        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
+          ~translate_ms:0.0 ~server_ms ~bytes ~decrypt_ms ~postprocess_ms
           ~blocks:(List.length blocks)
           ~answers:(List.length answers) () )
 
 let evaluate_union t queries =
   let before = session_snapshot t in
+  let replays_before = endpoint_replays t in
   match try_evaluate_union t queries with
   | Ok result -> result
   | Error err ->
@@ -362,9 +445,15 @@ let evaluate_union t queries =
       timed (fun () -> Client.evaluate_union_with t.client ~decrypted queries)
     in
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    let replays = replays_since t replays_before in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "degraded" ~bytes_down:bytes
+           ~blocks_returned:(List.length blocks) ~attempts ~replays ~degraded:true);
     ( answers,
-      cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~degraded:true
-        ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
+      cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
+        ~degraded:true ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms
+        ~postprocess_ms
         ~blocks:(List.length blocks)
         ~answers:(List.length answers) () )
 
@@ -404,7 +493,8 @@ let evaluate_batch t queries =
     let translated =
       Array.map (fun q -> q, timed (fun () -> Client.translate t.client q)) queries
     in
-    Parallel.Pool.map p
+    let results =
+      Parallel.Pool.map p
       (fun (query, (squery, translate_ms)) ->
         let lane = make_link keys t.server in
         let before = Session.stats lane.session in
@@ -431,9 +521,22 @@ let evaluate_batch t queries =
           Log.warn (fun m ->
               m "batch lane failed (%s): degrading to naive evaluation"
                 (Session.error_to_string err));
-          let answers, cost = naive_evaluate t query in
+          let answers, cost = naive_impl ~record:false t query in
           answers, { cost with degraded = true })
-      translated
+        translated
+    in
+    (* Ledger rounds are recorded after the deterministic merge, on the
+       calling domain: lane endpoints (and their replay caches) are
+       private and discarded, so per-round replay counts are 0 here. *)
+    if Obs.Ledger.enabled t.ledger then
+      Array.iter
+        (fun (_, cost) ->
+          Obs.Ledger.record t.ledger
+            (Obs.Ledger.round "batch" ~bytes_down:cost.transmit_bytes
+               ~blocks_returned:cost.blocks_returned ~attempts:cost.attempts
+               ~degraded:cost.degraded))
+        results;
+    results
 
 let reference_union t queries =
   List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)
@@ -492,6 +595,12 @@ let aggregate t direction query =
           extreme direction
             (leaf_values (Client.evaluate_with t.client ~decrypted query)))
     in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "aggregate" ~bytes_down:response.Server.bytes
+           ~intervals_touched:response.Server.candidate_intervals
+           ~btree_hits:response.Server.btree_hits
+           ~blocks_returned:(List.length response.Server.blocks));
     ( result,
       cost_of ~translate_ms ~server_ms ~bytes:response.Server.bytes ~decrypt_ms
         ~postprocess_ms

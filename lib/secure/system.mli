@@ -30,6 +30,9 @@ type cost = {
       (** frame bytes re-sent by retries (robustness overhead) *)
   faults_absorbed : int;
       (** transport faults survived by the session layer *)
+  replays : int;
+      (** replay-cache hits the endpoint saw this query — retransmitted
+          frames the server linked with certainty *)
   degraded : bool;
       (** the metadata path gave up and the naive fallback answered *)
 }
@@ -122,6 +125,21 @@ val with_faults :
 val session_stats : t -> Session.stats
 val transport_stats : t -> Transport.stats
 val endpoint_stats : t -> Session.endpoint_stats
+
+(** {2 Observability}
+
+    Each hosted system carries a tracer (shared with its server, so
+    [server.*] spans nest inside [system.*] ones) and a leakage ledger
+    recording per-round server-visible facts.  Both start disabled and
+    cost one boolean test per instrumentation point; enable them with
+    [Obs.Trace.set_enabled] / [Obs.Ledger.set_enabled].  The pooled
+    {!evaluate_batch} path records ledger rounds after the
+    deterministic merge (label ["batch"]) and never traces from pool
+    workers; {!with_faults} shares both with the system it rewires.
+    See docs/OBSERVABILITY.md. *)
+
+val tracer : t -> Obs.Trace.t
+val ledger : t -> Obs.Ledger.t
 
 val evaluate : t -> Xpath.Ast.path -> Xmlcore.Tree.t list * cost
 (** Full protocol round trip.  Total under any fault schedule the

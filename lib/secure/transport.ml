@@ -1,5 +1,20 @@
 exception Dropped
 
+(* Process-wide wire counters; no-ops until Obs.Metric.default is
+   enabled.  Per-link accounting stays in the closure-local [stats]. *)
+module M = struct
+  let reg = Obs.Metric.default
+  let exchanges = Obs.Metric.counter reg "transport.exchanges" ~help:"wire exchanges attempted"
+  let delivered = Obs.Metric.counter reg "transport.delivered" ~help:"responses delivered intact"
+  let bytes_up = Obs.Metric.counter reg "transport.bytes_up" ~help:"request bytes on the wire"
+  let bytes_down = Obs.Metric.counter reg "transport.bytes_down" ~help:"response bytes off the wire"
+  let dropped = Obs.Metric.counter reg "transport.dropped" ~help:"frames dropped (either direction)"
+  let duplicated = Obs.Metric.counter reg "transport.duplicated" ~help:"requests delivered twice"
+  let truncated = Obs.Metric.counter reg "transport.truncated" ~help:"frames truncated in flight"
+  let flipped = Obs.Metric.counter reg "transport.flipped" ~help:"frames with a flipped bit"
+  let reordered = Obs.Metric.counter reg "transport.reordered" ~help:"responses swapped with a stale one"
+end
+
 type profile = {
   drop : float;
   duplicate : float;
@@ -46,9 +61,13 @@ let loopback handler =
   let exchange msg =
     s := { !s with exchanges = !s.exchanges + 1;
                    bytes_up = !s.bytes_up + String.length msg };
+    Obs.Metric.incr M.exchanges;
+    Obs.Metric.add M.bytes_up (String.length msg);
     let resp = handler msg in
     s := { !s with delivered = !s.delivered + 1;
                    bytes_down = !s.bytes_down + String.length resp };
+    Obs.Metric.incr M.delivered;
+    Obs.Metric.add M.bytes_down (String.length resp);
     resp
   in
   { exchange; stats = (fun () -> !s) }
@@ -89,6 +108,8 @@ let mangle f profile msg =
   let msg, flips = if hit f profile.flip then flip_msg f msg, 1 else msg, 0 in
   f.st <- { f.st with truncated = f.st.truncated + trunc;
                       flipped = f.st.flipped + flips };
+  Obs.Metric.add M.truncated trunc;
+  Obs.Metric.add M.flipped flips;
   msg, hit f profile.drop
 
 let faulty ?(profile = calm) ~seed inner =
@@ -96,6 +117,8 @@ let faulty ?(profile = calm) ~seed inner =
   let exchange msg =
     f.st <- { f.st with exchanges = f.st.exchanges + 1;
                         bytes_up = f.st.bytes_up + String.length msg };
+    Obs.Metric.incr M.exchanges;
+    Obs.Metric.add M.bytes_up (String.length msg);
     let lo, hi = profile.delay_ms in
     if hi > lo then
       f.st <- { f.st with delay_ms = f.st.delay_ms +. Crypto.Prng.float_in f.prng lo hi };
@@ -103,6 +126,7 @@ let faulty ?(profile = calm) ~seed inner =
     let msg, dropped_up = mangle f profile msg in
     if dropped_up then begin
       f.st <- { f.st with dropped_requests = f.st.dropped_requests + 1 };
+      Obs.Metric.incr M.dropped;
       raise Dropped
     end;
     let deliver () = inner.exchange msg in
@@ -111,6 +135,7 @@ let faulty ?(profile = calm) ~seed inner =
     let resp =
       if hit f profile.duplicate then begin
         f.st <- { f.st with duplicated = f.st.duplicated + 1 };
+        Obs.Metric.incr M.duplicated;
         (match deliver () with
          | (_ : string) -> ()
          | exception Dropped -> ());
@@ -122,6 +147,7 @@ let faulty ?(profile = calm) ~seed inner =
     let resp, dropped_down = mangle f profile resp in
     if dropped_down then begin
       f.st <- { f.st with dropped_responses = f.st.dropped_responses + 1 };
+      Obs.Metric.incr M.dropped;
       raise Dropped
     end;
     (* Reordering: swap with a response still in flight.  The first
@@ -130,6 +156,7 @@ let faulty ?(profile = calm) ~seed inner =
     let resp =
       if hit f profile.reorder then begin
         f.st <- { f.st with reordered = f.st.reordered + 1 };
+        Obs.Metric.incr M.reordered;
         match f.in_flight with
         | Some stale ->
           f.in_flight <- Some resp;
@@ -137,12 +164,15 @@ let faulty ?(profile = calm) ~seed inner =
         | None ->
           f.in_flight <- Some resp;
           f.st <- { f.st with dropped_responses = f.st.dropped_responses + 1 };
+          Obs.Metric.incr M.dropped;
           raise Dropped
       end
       else resp
     in
     f.st <- { f.st with delivered = f.st.delivered + 1;
                         bytes_down = f.st.bytes_down + String.length resp };
+    Obs.Metric.incr M.delivered;
+    Obs.Metric.add M.bytes_down (String.length resp);
     resp
   in
   let stats () =

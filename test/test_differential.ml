@@ -1,0 +1,135 @@
+(* Differential sweep: every evaluation path the library offers must
+   return byte-identical answers on the same (document, query, scheme)
+   triple.
+
+   Paths compared, warm and cold:
+
+   - [System.reference]       plaintext oracle (tree navigation)
+   - [System.naive_evaluate]  ship-everything baseline
+   - [System.evaluate]        the paper's protocol, 1-domain pool
+   - [System.evaluate]        4-domain pool (parallel block decryption)
+   - [System.evaluate_batch]  pooled lanes
+   - [Engine.evaluate]        planner + caches, first (cold) and second
+                              (warm) run
+
+   The main sweep is fully deterministic — fixed document seeds, fixed
+   query-generator seeds — and covers >= 200 (doc, scheme, query)
+   cases; a qcheck property re-runs the core comparison on arbitrary
+   documents on top. *)
+
+module System = Secure.System
+module Scheme = Secure.Scheme
+module Sc = Secure.Sc
+
+(* SCs over the tag alphabet Helpers.random_doc draws from, same shape
+   as the secure-vs-reference property in test_system.ml. *)
+let scs = [ Sc.parse "//item:(/name, /price)"; Sc.parse "//c" ]
+
+(* Queries with guaranteed matches (Querygen) plus fixed shapes that
+   exercise empty results, wildcards and value predicates. *)
+let queries_for doc =
+  let generated =
+    List.concat_map
+      (fun family ->
+        Workload.Querygen.generate ~seed:71L doc family ~count:3)
+      Workload.Querygen.all_families
+  in
+  let fixed =
+    List.map Xpath.Parser.parse
+      [ "//item/name"; "//b//c"; "//item[price>=20]/name";
+        "//item[name='hello']"; "//nosuchtag"; "//*[name]" ]
+  in
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun q ->
+      let key = Xpath.Ast.to_string q in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (generated @ fixed)
+
+let cases = ref 0
+
+let check_one ~label ~expected answers =
+  incr cases;
+  Alcotest.(check (list string)) label expected (Helpers.norm_trees answers)
+
+let sweep_doc pool1 pool4 doc =
+  let queries = queries_for doc in
+  List.iter
+    (fun kind ->
+      let sys1, _ = System.setup ~master:"diff-master" ~pool:pool1 doc scs kind in
+      let sys4, _ = System.setup ~master:"diff-master" ~pool:pool4 doc scs kind in
+      let eng = Engine.create sys1 in
+      let batch4 =
+        System.evaluate_batch sys4 (Array.of_list queries)
+      in
+      List.iteri
+        (fun i q ->
+          let name path =
+            Printf.sprintf "%s %s: %s" (Scheme.kind_to_string kind) path
+              (Xpath.Ast.to_string q)
+          in
+          let expected = Helpers.norm_trees (System.reference sys1 q) in
+          check_one ~label:(name "naive") ~expected
+            (fst (System.naive_evaluate sys1 q));
+          check_one ~label:(name "evaluate/pool1") ~expected
+            (fst (System.evaluate sys1 q));
+          check_one ~label:(name "evaluate/pool4") ~expected
+            (fst (System.evaluate sys4 q));
+          check_one ~label:(name "batch/pool4") ~expected (fst batch4.(i));
+          check_one ~label:(name "engine/cold") ~expected (Engine.evaluate eng q);
+          check_one ~label:(name "engine/warm") ~expected (Engine.evaluate eng q))
+        queries)
+    Scheme.all_kinds
+
+let doc_seeds = [ 101L; 2002L; 30003L; 400004L ]
+
+let deterministic_sweep () =
+  let pool1 = Parallel.Pool.create ~domains:1 () in
+  let pool4 = Parallel.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.Pool.shutdown pool1;
+      Parallel.Pool.shutdown pool4)
+    (fun () ->
+      List.iter
+        (fun seed -> sweep_doc pool1 pool4 (Helpers.random_doc ~seed ()))
+        doc_seeds);
+  (* Each case is one (doc, scheme, query, path, cache-state)
+     comparison; the floor below is on (doc, scheme, query) triples. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep covered >= 200 triples (got %d)" (!cases / 6))
+    true
+    (!cases / 6 >= 200)
+
+(* Arbitrary documents on top of the fixed seeds: the same all-paths
+   agreement, qcheck-generated.  Kept smaller per run (two schemes, the
+   generated queries only) so the whole suite stays fast. *)
+let arbitrary_doc_agreement =
+  QCheck.Test.make ~name:"arbitrary docs: all paths agree" ~count:10
+    Helpers.arbitrary_doc
+    (fun doc ->
+      List.for_all
+        (fun kind ->
+          let sys, _ = System.setup ~master:"diff-arb" doc scs kind in
+          let eng = Engine.create sys in
+          List.for_all
+            (fun q ->
+              let expected = Helpers.norm_trees (System.reference sys q) in
+              Helpers.norm_trees (fst (System.naive_evaluate sys q)) = expected
+              && Helpers.norm_trees (fst (System.evaluate sys q)) = expected
+              && Helpers.norm_trees (Engine.evaluate eng q) = expected
+              && Helpers.norm_trees (Engine.evaluate eng q) = expected)
+            (Workload.Querygen.generate ~seed:17L doc Workload.Querygen.Qs
+               ~count:4))
+        [ Scheme.Opt; Scheme.Top ])
+
+let () =
+  Alcotest.run "differential"
+    [ ( "sweep",
+        [ Alcotest.test_case "deterministic all-paths sweep" `Slow
+            deterministic_sweep ] );
+      Helpers.qsuite "property" [ arbitrary_doc_agreement ] ]

@@ -160,6 +160,21 @@ let layering_engine_declared_deps_ok () =
      let b = Dsi.Interval.contains\n\
      let c = Xpath.Ast.Child"
 
+let layering_obs_is_a_leaf () =
+  (* Obs must stay below everything: an observability module that
+     reached back into the secure layer could smuggle protocol state
+     into what looks like passive accounting. *)
+  check_rules "obs must not reach secure" [ "layering" ]
+    "lib/obs/evil.ml" "let peek () = Secure.Server.answer";
+  check_rules "obs must not reach the engine" [ "layering" ]
+    "lib/obs/evil2.ml" "let peek e = Engine.stats e"
+
+let layering_allows_obs_from_instrumented_layers () =
+  check_rules "secure may bump obs counters" [] "lib/secure/fine_obs.ml"
+    "let bump c = Obs.Metric.incr c\nlet t = Obs.Trace.create ()";
+  check_rules "engine may bump obs counters" [] "lib/engine/fine_obs.ml"
+    "let bump c = Obs.Metric.incr c"
+
 (* --- Trust boundary ------------------------------------------------- *)
 
 let boundary_rejects_plaintext_on_server () =
@@ -197,6 +212,23 @@ let boundary_rejects_keys_in_engine () =
   check_rules "engine may not touch the key ring"
     [ "layering"; "trust-boundary" ]
     "lib/engine/exec.ml" "let k keys = Crypto.Keys.block_key keys 0"
+
+let boundary_rejects_plaintext_in_obs () =
+  (* A metric or ledger row that could name the plaintext-document
+     layer or the key ring would be a leak by construction: the ledger
+     is the model of what the *server* sees.  Listed obs modules breach
+     both the layering DAG and the per-file boundary table. *)
+  check_rules "obs ledger may not touch Xmlcore.Doc"
+    [ "layering"; "trust-boundary" ]
+    "lib/obs/ledger.ml" "let leak d = Xmlcore.Doc.tag d 0";
+  check_rules "obs metric may not touch the key ring"
+    [ "layering"; "trust-boundary" ]
+    "lib/obs/metric.ml" "let k keys = Crypto.Keys.block_key keys 0"
+
+let boundary_allows_plain_obs_code () =
+  check_rules "self-contained obs code is clean" [] "lib/obs/metric.ml"
+    "let bump t = t.count <- t.count + 1\n\
+     let render t = Buffer.add_string t.buf (string_of_int t.count)"
 
 (* --- Crypto hygiene ------------------------------------------------- *)
 
@@ -390,7 +422,10 @@ let () =
           Alcotest.test_case "engine cannot reach xmlcore" `Quick
             layering_engine_cannot_reach_xmlcore;
           Alcotest.test_case "engine declared deps allowed" `Quick
-            layering_engine_declared_deps_ok ] );
+            layering_engine_declared_deps_ok;
+          Alcotest.test_case "obs is a leaf" `Quick layering_obs_is_a_leaf;
+          Alcotest.test_case "obs usable from secure/engine" `Quick
+            layering_allows_obs_from_instrumented_layers ] );
       ( "trust-boundary",
         [ Alcotest.test_case "plaintext doc rejected" `Quick
             boundary_rejects_plaintext_on_server;
@@ -404,7 +439,11 @@ let () =
           Alcotest.test_case "server deps allowed" `Quick
             boundary_allows_serverside_modules;
           Alcotest.test_case "key ring rejected in engine" `Quick
-            boundary_rejects_keys_in_engine ] );
+            boundary_rejects_keys_in_engine;
+          Alcotest.test_case "plaintext/keys rejected in obs" `Quick
+            boundary_rejects_plaintext_in_obs;
+          Alcotest.test_case "plain obs code clean" `Quick
+            boundary_allows_plain_obs_code ] );
       ( "crypto-hygiene",
         [ Alcotest.test_case "String.equal flagged" `Quick
             ct_rule_flags_string_equal;
