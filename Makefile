@@ -27,7 +27,7 @@ bench:
 # experiments with machine-readable output exercised end to end; their
 # equality/invalidation/overhead checks abort the run on any mismatch.
 bench-smoke:
-	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 --scale tiny --json /dev/null
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 --scale tiny --json /dev/null
 
 # The observability CLI end to end: generate a document, trace a query
 # (engine path, two rounds, so the ledger shows a cache hit), and emit

@@ -17,6 +17,8 @@
      e9              — session-layer overhead under transport faults
      e10             — engine caches: repeated workload, cold vs warm vs off
      e11             — domain-pool scaling of hosting and batched queries
+     e12             — disabled-observability overhead bound
+     e13             — multi-tenant admission control under offered load
      micro           — Bechamel micro-benchmarks of the core primitives
 
    --json <path> additionally writes every measured row (scheme x
@@ -1213,6 +1215,147 @@ let e12 scale =
      acceptance bound.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13: multi-tenant serving tier under an offered-load sweep          *)
+
+(* N independent hostings behind one serving tier, mixed workload per
+   tenant, offered load (submissions per tenant per round) swept across
+   the admission limit (the token bucket's sustained refill rate).  At
+   or below the limit every submission is admitted and served; above
+   it the bounded queue pushes back with typed Overloaded rejections
+   while per-tenant latency stays flat — the tier sheds load instead of
+   queueing without bound.  Both halves are asserted, and the sweep is
+   the repo's first serving-tier baseline (BENCH_1.json). *)
+let e13 scale =
+  header
+    (Printf.sprintf
+       "E13: multi-tenant admission control under offered load (%s scale)"
+       scale.label);
+  let patients = if scale.label = "tiny" then 4 else 10 in
+  let ids = [ "tenant-a"; "tenant-b"; "tenant-c"; "tenant-d" ] in
+  let hostings =
+    List.map
+      (fun id ->
+        let doc = Workload.Health.generate ~patients () in
+        let scs = Workload.Health.constraints () in
+        id, fst (System.setup ~master:("e13-" ^ id) doc scs Scheme.Opt))
+      ids
+  in
+  let queries =
+    Array.of_list
+      (List.map Xpath.Parser.parse
+         [ "//patient/pname"; "//patient[age>=50]/pname"; "//treat/doctor";
+           "//SSN" ])
+  in
+  let rounds = 8 in
+  let refill = 2 and queue_depth = 4 in
+  Printf.printf
+    "%d tenants, %d rounds; bucket refill %d/round (the admission limit), \
+     queue depth %d\n\n"
+    (List.length ids) rounds refill queue_depth;
+  Printf.printf "%-10s %-10s %9s %9s %9s %9s %9s %9s\n" "offered/rd" "tenant"
+    "accepted" "served" "rejected" "rej_rate" "p50_ms" "p95_ms";
+  List.iter
+    (fun offered ->
+      let config =
+        { Serve.default_config with
+          Serve.queue_depth;
+          bucket_capacity = refill;
+          refill_per_round = refill;
+          max_inflight = 64 }
+      in
+      let srv = Serve.create ~config () in
+      List.iter (fun (id, sys) -> Serve.register srv ~id sys) hostings;
+      let latencies = Hashtbl.create 8 in
+      let accepted = Hashtbl.create 8 and rejected = Hashtbl.create 8 in
+      let bump tbl id =
+        Hashtbl.replace tbl id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+      in
+      let count tbl id = Option.value ~default:0 (Hashtbl.find_opt tbl id) in
+      let note completions =
+        List.iter
+          (fun c ->
+            match c.Serve.outcome with
+            | Serve.Answered { cost; _ } ->
+              let prev =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt latencies c.Serve.tenant)
+              in
+              Hashtbl.replace latencies c.Serve.tenant
+                (System.total_ms cost :: prev)
+            | Serve.Failed _ | Serve.Shed _ ->
+              failwith "e13: fault-free workload lost a query")
+          completions
+      in
+      for round = 0 to rounds - 1 do
+        List.iteri
+          (fun ti (id, _) ->
+            for k = 0 to offered - 1 do
+              let q = queries.((ti + k + round) mod Array.length queries) in
+              match Serve.submit srv ~tenant:id q with
+              | Ok _ -> bump accepted id
+              | Error Serve.Overloaded -> bump rejected id
+              | Error r ->
+                failwith ("e13: unexpected reject " ^ Serve.reject_to_string r)
+            done)
+          hostings;
+        note (Serve.run_round srv)
+      done;
+      note (Serve.drain srv ());
+      List.iter
+        (fun (id, _) ->
+          let served =
+            List.sort Float.compare
+              (Option.value ~default:[] (Hashtbl.find_opt latencies id))
+          in
+          let n = List.length served in
+          let pct p =
+            if n = 0 then 0.0
+            else List.nth served (min (n - 1) (int_of_float (p *. float_of_int n)))
+          in
+          let acc = count accepted id and rej = count rejected id in
+          let offered_total = offered * rounds in
+          let rej_rate = float_of_int rej /. float_of_int offered_total in
+          Printf.printf "%-10d %-10s %9d %9d %9d %9.3f %9.3f %9.3f\n" offered
+            id acc n rej rej_rate (pct 0.50) (pct 0.95);
+          json_row
+            [ "experiment", S "e13";
+              "tenant", S id;
+              "tenants", I (List.length ids);
+              "rounds", I rounds;
+              "offered_per_round", I offered;
+              "admission_limit", I refill;
+              "queue_depth", I queue_depth;
+              "accepted", I acc;
+              "served", I n;
+              "rejected", I rej;
+              "rejection_rate", F rej_rate;
+              "p50_ms", F (pct 0.50);
+              "p95_ms", F (pct 0.95) ];
+          (* The gate: backpressure appears exactly when offered load
+             crosses the admission limit, and nothing is ever lost —
+             every accepted query is served. *)
+          if acc <> n then
+            failwith
+              (Printf.sprintf "e13 [%s]: accepted %d but served %d" id acc n);
+          if offered <= refill && rej > 0 then
+            failwith
+              (Printf.sprintf
+                 "e13 [%s]: rejected %d below the admission limit" id rej);
+          if offered > refill + queue_depth && rej = 0 then
+            failwith
+              (Printf.sprintf
+                 "e13 [%s]: offered %d/round crossed the limit without a \
+                  single Overloaded rejection"
+                 id offered))
+        hostings)
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "\nexpected shape: zero rejections at or below the bucket's refill rate; \
+     past it the\nbounded queue rejects the overflow (typed, never silent) \
+     while p50/p95 stay flat.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 
 let micro () =
@@ -1345,7 +1488,7 @@ let () =
   in
   let all =
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "micro" ]
+      "e12"; "e13"; "micro" ]
   in
   let wanted = if wanted = [] || List.mem "all" wanted then all else wanted in
   Printf.printf "secure-xml bench harness (scale: %s)\n" scale.label;
@@ -1364,6 +1507,7 @@ let () =
       | "e10" -> e10 scale
       | "e11" -> e11 scale
       | "e12" -> e12 scale
+      | "e13" -> e13 scale
       | "micro" -> micro ()
       | other -> Printf.printf "unknown experiment %S (skipped)\n" other)
     wanted;

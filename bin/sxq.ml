@@ -568,6 +568,167 @@ let attack_cmd =
     Term.(const run $ doc_file_arg $ tag_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let tenants_arg =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N"
+           ~doc:"Number of independent tenant hostings to multiplex.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 4 & info [ "queries" ] ~docv:"N"
+           ~doc:"Queries submitted per tenant, drawn round-robin from a fixed \
+                 mixed workload.")
+  in
+  let chaos_flag =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"Run tenant-1 over a dead link: its circuit breaker trips \
+                 while every other tenant keeps serving, then the link is \
+                 re-established and a half-open probe closes the breaker.")
+  in
+  let run tenants queries chaos domains json =
+    if tenants < 1 || queries < 1 then begin
+      prerr_endline "sxq serve: --tenants and --queries must be >= 1";
+      exit 1
+    end;
+    with_pool domains @@ fun pool ->
+    let workload =
+      Array.of_list
+        (List.map Xpath.Parser.parse
+           [ "//patient/pname"; "//patient[age>=50]/pname"; "//treat/doctor";
+             "//SSN" ])
+    in
+    let config =
+      { Serve.default_config with
+        Serve.queue_depth = Int.max 8 queries;
+        bucket_capacity = 2;
+        refill_per_round = 2;
+        breaker_threshold = 2;
+        breaker_cooldown = 2 }
+    in
+    let srv = Serve.create ~config ?pool () in
+    for i = 1 to tenants do
+      let id = Printf.sprintf "tenant-%d" i in
+      let doc =
+        Workload.Health.generate ~seed:(Int64.of_int i) ~patients:(3 + i) ()
+      in
+      let sys, _ =
+        Secure.System.setup ~master:("master-" ^ id) doc
+          (Workload.Health.constraints ()) Secure.Scheme.Opt
+      in
+      let sys =
+        if chaos && i = 1 then
+          Secure.System.with_faults
+            ~session:{ Secure.Session.default_config with max_attempts = 2 }
+            ~profile:(Secure.Transport.chaos ~drop:1.0 ()) ~seed:3L sys
+        else sys
+      in
+      Serve.register srv ~id sys
+    done;
+    let submit_for ids =
+      List.iter
+        (fun id ->
+          for k = 0 to queries - 1 do
+            match Serve.submit srv ~tenant:id workload.(k mod Array.length workload) with
+            | Ok _ -> ()
+            | Error r ->
+              Printf.printf "  %s: submission rejected (%s)\n" id
+                (Serve.reject_to_string r)
+          done)
+        ids
+    in
+    let counter name =
+      Obs.Metric.value (Obs.Metric.counter (Serve.registry srv) name)
+    in
+    let tenant_row id =
+      let c name = counter (Printf.sprintf "serve.%s.%s" id name) in
+      ( id, Serve.shard_of srv id, Serve.generation srv id,
+        c "submitted", c "served", c "failed", c "shed", c "rejected",
+        Serve.Breaker.state_to_string (Serve.Breaker.state (Serve.breaker srv id)) )
+    in
+    let print_table header =
+      Printf.printf "\n%s\n" header;
+      Printf.printf "%-10s %5s %4s %9s %7s %7s %5s %9s %-12s\n" "tenant"
+        "shard" "gen" "submitted" "served" "failed" "shed" "rejected" "breaker";
+      List.iter
+        (fun id ->
+          let _, shard, gen, sub, srvd, fld, shd, rej, st = tenant_row id in
+          Printf.printf "%-10s %5d %4d %9d %7d %7d %5d %9d %-12s\n" id shard
+            gen sub srvd fld shd rej st)
+        (Serve.tenants srv)
+    in
+    submit_for (Serve.tenants srv);
+    ignore (Serve.drain srv ());
+    if not json then
+      print_table
+        (Printf.sprintf "after %d round(s), %d tenant(s), %d quer(ies) each:"
+           (Serve.rounds srv) tenants queries);
+    if chaos then begin
+      if not json then
+        Printf.printf
+          "\ntenant-1's dead link tripped its breaker; re-establishing the \
+           link...\n";
+      Serve.relink srv ~tenant:"tenant-1" ();
+      (* The relink does not close the breaker: it must cool down and
+         earn its way back through a half-open probe.  Empty rounds
+         still advance breaker time. *)
+      let budget = ref 8 in
+      while (not (Serve.Breaker.admits (Serve.breaker srv "tenant-1")))
+            && !budget > 0 do
+        ignore (Serve.run_round srv);
+        decr budget
+      done;
+      submit_for [ "tenant-1" ];
+      ignore (Serve.drain srv ());
+      if not json then begin
+        Printf.printf
+          "breaker cooled to half-open, probe admitted (%d probe(s) total), \
+           recovery served over the fresh link:\n"
+          (counter "serve.probes");
+        print_table "after recovery:"
+      end
+    end;
+    if json then
+      print_json_checked
+        (Obs.Json.Obj
+           [ "tenants",
+             Obs.Json.List
+               (List.map
+                  (fun id ->
+                    let _, shard, gen, sub, srvd, fld, shd, rej, st =
+                      tenant_row id
+                    in
+                    Obs.Json.Obj
+                      [ "tenant", Obs.Json.Str id;
+                        "shard", Obs.Json.Int shard;
+                        "generation", Obs.Json.Int gen;
+                        "submitted", Obs.Json.Int sub;
+                        "served", Obs.Json.Int srvd;
+                        "failed", Obs.Json.Int fld;
+                        "shed", Obs.Json.Int shd;
+                        "rejected", Obs.Json.Int rej;
+                        "breaker", Obs.Json.Str st ])
+                  (Serve.tenants srv));
+             "rounds", Obs.Json.Int (counter "serve.rounds");
+             "admitted", Obs.Json.Int (counter "serve.admitted");
+             "probes", Obs.Json.Int (counter "serve.probes") ])
+    else
+      Printf.printf
+        "\nglobal: %d round(s), %d admitted, %d probe(s)\n"
+        (counter "serve.rounds") (counter "serve.admitted")
+        (counter "serve.probes")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Multiplex N independent tenant hostings through the serving tier \
+             (admission control, per-tenant circuit breakers) and report \
+             per-tenant counters; with $(b,--chaos), demonstrate breaker trip \
+             and half-open recovery on a faulty tenant while the others keep \
+             serving.")
+    Term.(const run $ tenants_arg $ queries_arg $ chaos_flag $ domains_arg
+          $ json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
 let lint_cmd =
@@ -616,4 +777,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; stats_cmd; host_cmd; verify_cmd; query_cmd;
             explain_cmd; trace_cmd; aggregate_cmd; xquery_cmd; attack_cmd;
-            lint_cmd ]))
+            serve_cmd; lint_cmd ]))

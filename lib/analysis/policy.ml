@@ -30,7 +30,8 @@ let default =
         "Workload", "workload";
         "Analysis", "analysis";
         "Parallel", "parallel";
-        "Obs", "obs" ];
+        "Obs", "obs";
+        "Serve", "serve" ];
     allowed =
       [ "xmlcore", [];
         "btree", [];
@@ -51,6 +52,12 @@ let default =
            it may see the query IR, intervals and the secure layer's
            public surface, but never the plaintext document layer. *)
         "engine", [ "xpath"; "dsi"; "secure"; "parallel"; "obs" ];
+        (* The serving tier multiplexes hostings: it schedules, admits
+           and breaks circuits over the system/engine surface.  Nothing
+           depends on it except bin — it is the top of the DAG, and it
+           handles answers only behind the Secure.Client.answer
+           alias. *)
+        "serve", [ "xpath"; "secure"; "engine"; "parallel"; "obs" ];
         "xquery", [ "xmlcore"; "xpath"; "secure" ];
         "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
     (* The server evaluates queries over DSI intervals, OPESS
@@ -87,7 +94,19 @@ let default =
             in
             [ "lib/obs/" ^ name ^ ".ml", forbidden;
               "lib/obs/" ^ name ^ ".mli", forbidden ])
-          [ "json"; "metric"; "trace"; "ledger"; "obs" ]);
+          [ "json"; "metric"; "trace"; "ledger"; "obs" ]
+      (* The serving tier never holds plaintext or key material of any
+         tenant: answers flow through it as the opaque
+         Secure.Client.answer alias, and hostings arrive pre-keyed. *)
+      @ List.concat_map
+          (fun name ->
+            let forbidden =
+              [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+                "Xmlcore.Printer"; "Crypto.Keys" ]
+            in
+            [ "lib/serve/" ^ name ^ ".ml", forbidden;
+              "lib/serve/" ^ name ^ ".mli", forbidden ])
+          [ "limiter"; "breaker"; "serve" ]);
     (* Paths reachable from hostile input: a malformed frame, query or
        stored catalog must surface as a typed error, never as an
        assertion failure or partial-projection exception. *)

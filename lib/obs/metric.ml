@@ -162,6 +162,13 @@ let snapshot r =
     r.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let snapshot_prefix r prefix =
+  let pl = String.length prefix in
+  List.filter
+    (fun (name, _) ->
+      String.length name >= pl && String.sub name 0 pl = prefix)
+    (snapshot r)
+
 let reset r =
   r.op_count <- 0;
   Hashtbl.iter

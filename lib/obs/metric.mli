@@ -80,6 +80,11 @@ type value_snapshot =
 val snapshot : registry -> (string * value_snapshot) list
 (** Name-sorted view of every registered instrument. *)
 
+val snapshot_prefix : registry -> string -> (string * value_snapshot) list
+(** {!snapshot} restricted to instruments whose name starts with the
+    given prefix — how a multi-tenant caller carves one registry into
+    per-tenant views (e.g. ["serve.tenant-a."]). *)
+
 val reset : registry -> unit
 (** Zero every instrument (and the {!ops} count); registration
     survives.  Enabled state is unchanged. *)

@@ -72,6 +72,7 @@ let create ?domains () =
   t
 
 let size t = t.size
+let busy t = Atomic.get t.busy
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -40,6 +40,14 @@ val recommended_domains : unit -> int
     particular bench and tests) can size pools and gate speedup
     assertions without referencing [Domain] directly. *)
 
+val busy : t -> bool
+(** Whether a [map]/[map_reduce] is currently running on this pool.  A
+    caller that submits while the pool is busy still gets correct
+    results — the submission degrades to sequential execution on its
+    own domain — so this is an {e advisory} signal for admission
+    control (the serving tier counts contended dispatches), never a
+    lock. *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] is observably [Array.map f xs]: element [i] of the
     result is [f xs.(i)], and if any application raises, the exception

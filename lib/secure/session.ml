@@ -27,6 +27,7 @@ type error =
   | Malformed
   | Stale
   | Gave_up of int
+  | Closed
 
 let error_to_string = function
   | Timeout -> "timeout"
@@ -34,6 +35,7 @@ let error_to_string = function
   | Malformed -> "malformed"
   | Stale -> "stale"
   | Gave_up n -> Printf.sprintf "gave up after %d attempts" n
+  | Closed -> "session closed"
 
 type config = {
   max_attempts : int;
@@ -120,14 +122,24 @@ type t = {
   transport : Transport.t;
   mutable next_seq : int64;
   mutable st : stats;
+  mutable closed : bool;
 }
 
 let client ?(config = default_config) ~mac_key transport =
   if config.max_attempts < 1 then invalid_arg "Session.client: max_attempts < 1";
-  { cfg = config; mac_key; transport; next_seq = 0L; st = zero_stats }
+  { cfg = config; mac_key; transport; next_seq = 0L; st = zero_stats;
+    closed = false }
 
 let stats t = t.st
 let config t = t.cfg
+
+(* Closing is the client-side half of a link teardown: the session
+   refuses further calls so a superseding incarnation (fresh endpoint,
+   fresh replay cache, sequence numbers restarted) is the only wire
+   path left.  Idempotent; the transport itself holds no state worth
+   releasing in this simulation. *)
+let close t = t.closed <- true
+let closed t = t.closed
 
 let record_fault t = function
   | Timeout ->
@@ -142,9 +154,11 @@ let record_fault t = function
   | Stale ->
     t.st <- { t.st with stale = t.st.stale + 1 };
     Obs.Metric.incr M.stale
-  | Gave_up _ -> ()
+  | Gave_up _ | Closed -> ()
 
 let call t payload =
+  if t.closed then Error Closed
+  else begin
   let seq = t.next_seq in
   t.next_seq <- Int64.add seq 1L;
   t.st <- { t.st with calls = t.st.calls + 1 };
@@ -189,6 +203,7 @@ let call t payload =
     end
   in
   attempt 1
+  end
 
 (* --- Server endpoint ----------------------------------------------- *)
 

@@ -26,6 +26,7 @@ type error =
   | Malformed        (** frame structure unparseable *)
   | Stale            (** authentic frame for the wrong sequence number *)
   | Gave_up of int   (** retries exhausted after this many attempts *)
+  | Closed           (** the session was {!close}d; re-establish the link *)
 
 val error_to_string : error -> string
 
@@ -71,6 +72,16 @@ val stats : t -> stats
 (** Cumulative; diff around a {!call} for per-call numbers. *)
 
 val config : t -> config
+
+val close : t -> unit
+(** Tear the client side of the session down: every later {!call}
+    returns [Error Closed] without touching the transport.  Idempotent.
+    Closing the old session before re-establishing a link guarantees no
+    frame of the dead incarnation can reach the replacement endpoint —
+    the new incarnation's replay cache starts empty and can never be
+    warmed by a ghost retransmit (see {!Secure.System.reset_link}). *)
+
+val closed : t -> bool
 
 (** {2 Server side} *)
 

@@ -5,6 +5,23 @@ let log_src = Logs.Src.create "secure.system" ~doc:"Hosted-system lifecycle"
 
 module Log = (val Logs.src_log log_src)
 
+(* Process-wide system counters on Obs.Metric.default (disabled by
+   default).  [system.degraded] makes naive-evaluate fallbacks visible
+   to operators without tracing: before it existed a degraded query was
+   indistinguishable from a clean one unless the caller inspected every
+   cost record or enabled the ledger. *)
+module M = struct
+  let reg = Obs.Metric.default
+
+  let degraded =
+    Obs.Metric.counter reg "system.degraded"
+      ~help:"queries answered by the naive fallback after the metadata path gave up"
+
+  let relinks =
+    Obs.Metric.counter reg "system.relinks"
+      ~help:"session links torn down and re-established"
+end
+
 (* The wire between client and server: a framed session over a
    (possibly fault-injecting) transport.  Built once per system; the
    endpoint wraps the server's answer function. *)
@@ -187,6 +204,18 @@ let with_faults ?session ~profile ~seed t =
   { t with
     link = make_link ?session_config:session ~faults:(profile, seed) keys t.server }
 
+(* Link incarnation boundary: close the old session (it refuses further
+   calls) and build a fresh link — new client sequence numbers, new
+   endpoint, and therefore an *empty* replay cache.  Without the close,
+   a caller still holding the old record could warm the dead
+   incarnation's cache and make replay accounting lie across the
+   teardown; with it, the two incarnations are observably disjoint. *)
+let reset_link ?session ?faults t =
+  Session.close t.link.session;
+  Obs.Metric.incr M.relinks;
+  let keys = Crypto.Keys.create ~suite:t.cipher ~master:t.master () in
+  { t with link = make_link ?session_config:session ?faults keys t.server }
+
 let session_stats t = Session.stats t.link.session
 let transport_stats t = Transport.stats t.link.transport
 let endpoint_stats t = Session.endpoint_stats t.link.endpoint
@@ -360,6 +389,7 @@ let evaluate t query =
     Log.warn (fun m ->
         m "metadata path failed (%s): degrading to naive evaluation"
           (Session.error_to_string err));
+    Obs.Metric.incr M.degraded;
     let answers, cost = naive_impl ~record:false t query in
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
     let replays = replays_since t replays_before in
@@ -433,6 +463,7 @@ let evaluate_union t queries =
     Log.warn (fun m ->
         m "union metadata path failed (%s): degrading to naive evaluation"
           (Session.error_to_string err));
+    Obs.Metric.incr M.degraded;
     let blocks = Server.all_blocks t.server in
     let bytes =
       List.fold_left
@@ -525,9 +556,13 @@ let evaluate_batch t queries =
           answers, { cost with degraded = true })
         translated
     in
-    (* Ledger rounds are recorded after the deterministic merge, on the
-       calling domain: lane endpoints (and their replay caches) are
+    (* Metric and ledger updates happen after the deterministic merge,
+       on the calling domain — the default registry's counters are not
+       atomic, and lane endpoints (with their replay caches) are
        private and discarded, so per-round replay counts are 0 here. *)
+    Array.iter
+      (fun (_, cost) -> if cost.degraded then Obs.Metric.incr M.degraded)
+      results;
     if Obs.Ledger.enabled t.ledger then
       Array.iter
         (fun (_, cost) ->

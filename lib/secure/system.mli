@@ -122,6 +122,18 @@ val with_faults :
     routes the wire path through {!Transport.faulty}.  Systems derived
     by {!update} / {!rotate} revert to the perfect loopback. *)
 
+val reset_link :
+  ?session:Session.config -> ?faults:Transport.profile * int64 -> t -> t
+(** Tear the current link down and re-establish it: the old session is
+    {!Session.close}d (it refuses further calls with [Error Closed]),
+    and the returned system carries a fresh session {e and} a fresh
+    endpoint, so the replay cache of the previous incarnation cannot
+    leak across — a retransmit of a pre-reset frame is a fresh request
+    to the new endpoint, never a replay hit.  [faults] rewires the new
+    link through {!Transport.faulty}; omitting it yields a perfect
+    loopback (how a tripped tenant repairs itself).  Server state,
+    ledger, tracer and rehost hooks are shared with [t]. *)
+
 val session_stats : t -> Session.stats
 val transport_stats : t -> Transport.stats
 val endpoint_stats : t -> Session.endpoint_stats

@@ -1,0 +1,59 @@
+type state =
+  | Closed of int
+  | Open of int
+  | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  mutable state : state;
+  mutable trips : int;
+  mutable probes : int;
+}
+
+let create ~threshold ~cooldown =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if cooldown < 1 then invalid_arg "Breaker.create: cooldown < 1";
+  { threshold; cooldown; state = Closed 0; trips = 0; probes = 0 }
+
+let state t = t.state
+
+let state_to_string = function
+  | Closed n -> Printf.sprintf "closed (%d consecutive failures)" n
+  | Open n -> Printf.sprintf "open (%d cooldown rounds left)" n
+  | Half_open -> "half-open (probe pending)"
+
+let admits t = match t.state with Closed _ | Half_open -> true | Open _ -> false
+let probing t = t.state = Half_open
+
+let on_round t =
+  match t.state with
+  | Open n when n <= 1 -> t.state <- Half_open
+  | Open n -> t.state <- Open (n - 1)
+  | Closed _ | Half_open -> ()
+
+let on_success t =
+  match t.state with
+  | Closed _ | Half_open -> t.state <- Closed 0
+  | Open _ -> ()
+      (* cannot happen through the serving tier: an open breaker admits
+         nothing, so there is no query whose success could close it *)
+
+let trip t =
+  t.state <- Open t.cooldown;
+  t.trips <- t.trips + 1;
+  true
+
+let on_failure t =
+  match t.state with
+  | Half_open -> trip t
+  | Closed n when n + 1 >= t.threshold -> trip t
+  | Closed n ->
+    t.state <- Closed (n + 1);
+    false
+  | Open _ -> false
+
+let trips t = t.trips
+let probes t = t.probes
+let note_probe t = t.probes <- t.probes + 1
+let reset t = t.state <- Closed 0

@@ -1,0 +1,61 @@
+(** Per-tenant circuit breaker.
+
+    The wire path of a sick tenant fails by exhausting its session
+    retries — every [Gave_up] burns [max_attempts] transport exchanges
+    and their simulated backoff, so a tenant behind a dead link would
+    bleed pool lanes that healthy tenants need.  The breaker cuts that
+    off: after [threshold] {e consecutive} failures it {e trips} open
+    and the serving tier rejects the tenant's queries outright
+    ([Breaker_open]) for [cooldown] rounds, then {e half-opens} and
+    lets exactly one probe query through.  The probe's outcome decides:
+    success closes the breaker, failure re-opens it for another
+    cooldown.
+
+    Like {!Limiter}, time is the round counter ({!on_round} once per
+    serving round), so every trip/recover trajectory is reproducible. *)
+
+type state =
+  | Closed of int   (** consecutive failures so far *)
+  | Open of int     (** rounds of cooldown left before the probe *)
+  | Half_open       (** next admitted query is the probe *)
+
+type t
+
+val create : threshold:int -> cooldown:int -> t
+(** Starts [Closed 0].  @raise Invalid_argument unless
+    [threshold >= 1] and [cooldown >= 1]. *)
+
+val state : t -> state
+val state_to_string : state -> string
+
+val admits : t -> bool
+(** [Closed _] and [Half_open] admit; [Open _] rejects. *)
+
+val probing : t -> bool
+(** The breaker is [Half_open]: admit one probe and nothing else. *)
+
+val on_round : t -> unit
+(** Round boundary: an [Open] breaker counts its cooldown down and
+    half-opens when it reaches zero. *)
+
+val on_success : t -> unit
+(** A served query: resets the consecutive-failure count; a successful
+    probe closes the breaker. *)
+
+val on_failure : t -> bool
+(** A [Gave_up]-class failure.  Returns [true] when this failure
+    {e trips} the breaker (threshold reached, or a failed probe) —
+    the caller sheds the tenant's queue at that moment. *)
+
+val trips : t -> int
+(** Times the breaker has tripped (probe failures included). *)
+
+val probes : t -> int
+(** Probe queries admitted while half-open. *)
+
+val note_probe : t -> unit
+(** Count one admitted probe (called by the admission loop). *)
+
+val reset : t -> unit
+(** Back to [Closed 0] (used when a tenant is rehosted); the trip and
+    probe counters survive. *)

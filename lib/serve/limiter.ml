@@ -1,0 +1,23 @@
+type t = {
+  cap : int;
+  per_round : int;
+  mutable tokens : int;
+}
+
+let create ~capacity ~refill =
+  if refill < 1 then invalid_arg "Limiter.create: refill < 1";
+  if capacity < refill then invalid_arg "Limiter.create: capacity < refill";
+  { cap = capacity; per_round = refill; tokens = capacity }
+
+let capacity t = t.cap
+let tokens t = t.tokens
+let refill t = t.tokens <- min t.cap (t.tokens + t.per_round)
+
+let try_take t =
+  if t.tokens > 0 then begin
+    t.tokens <- t.tokens - 1;
+    true
+  end
+  else false
+
+let reset t = t.tokens <- t.cap

@@ -1,0 +1,29 @@
+(** Token-bucket rate limiter, counted in rounds.
+
+    The serving tier is synchronous and deterministic, so time is not a
+    clock but the round counter: {!refill} is called once per
+    {!Serve.run_round} and adds [refill] tokens up to [capacity].  A
+    query is admitted only when {!try_take} finds a token, which caps a
+    tenant's sustained throughput at [refill] queries per round while
+    letting it burst up to [capacity] after idling — the standard
+    bucket shape, with reproducible behaviour under test. *)
+
+type t
+
+val create : capacity:int -> refill:int -> t
+(** A full bucket.  @raise Invalid_argument unless
+    [capacity >= refill >= 1] — a bucket that never refills would
+    starve its tenant's queue forever. *)
+
+val capacity : t -> int
+val tokens : t -> int
+
+val refill : t -> unit
+(** One round boundary: add [refill] tokens, clamped to [capacity]. *)
+
+val try_take : t -> bool
+(** Consume one token; [false] when the bucket is empty (the query
+    stays queued for a later round). *)
+
+val reset : t -> unit
+(** Back to a full bucket (used when a tenant is rehosted). *)

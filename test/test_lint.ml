@@ -175,6 +175,21 @@ let layering_allows_obs_from_instrumented_layers () =
   check_rules "engine may bump obs counters" [] "lib/engine/fine_obs.ml"
     "let bump c = Obs.Metric.incr c"
 
+let layering_serve_is_the_top () =
+  (* The serving tier may orchestrate over the system/engine surface
+     but nothing below it may reach up: serve at the top of the DAG. *)
+  check_rules "serve may use its declared deps" [] "lib/serve/fine.ml"
+    "let a s q = Secure.System.try_evaluate s q\n\
+     let b e q = Engine.evaluate e q\n\
+     let c p f xs = Parallel.Pool.map p f xs\n\
+     let d r = Obs.Metric.snapshot r";
+  check_rules "secure must not reach serve" [ "layering" ]
+    "lib/secure/evil_serve.ml" "let s = Serve.create ()";
+  check_rules "engine must not reach serve" [ "layering" ]
+    "lib/engine/evil_serve.ml" "let s = Serve.default_config";
+  check_rules "obs must not reach serve" [ "layering" ]
+    "lib/obs/evil_serve.ml" "let s = Serve.create ()"
+
 (* --- Trust boundary ------------------------------------------------- *)
 
 let boundary_rejects_plaintext_on_server () =
@@ -224,6 +239,20 @@ let boundary_rejects_plaintext_in_obs () =
   check_rules "obs metric may not touch the key ring"
     [ "layering"; "trust-boundary" ]
     "lib/obs/metric.ml" "let k keys = Crypto.Keys.block_key keys 0"
+
+let boundary_rejects_plaintext_in_serve () =
+  (* The serving tier holds whole tenant hostings, so the temptation to
+     peek is real: naming the plaintext-document layer or the key ring
+     in a listed serve module breaches both the DAG and the per-file
+     boundary table. *)
+  check_rules "serve may not touch Xmlcore.Tree"
+    [ "layering"; "trust-boundary" ]
+    "lib/serve/serve.ml" "let leak t = Xmlcore.Tree.value t";
+  check_rules "serve may not touch the key ring"
+    [ "layering"; "trust-boundary" ]
+    "lib/serve/breaker.ml" "let k keys = Crypto.Keys.block_key keys 0";
+  check_rules "opaque answers are fine" [] "lib/serve/serve.ml"
+    "let pass (a : Secure.Client.answer list) = a"
 
 let boundary_allows_plain_obs_code () =
   check_rules "self-contained obs code is clean" [] "lib/obs/metric.ml"
@@ -425,7 +454,9 @@ let () =
             layering_engine_declared_deps_ok;
           Alcotest.test_case "obs is a leaf" `Quick layering_obs_is_a_leaf;
           Alcotest.test_case "obs usable from secure/engine" `Quick
-            layering_allows_obs_from_instrumented_layers ] );
+            layering_allows_obs_from_instrumented_layers;
+          Alcotest.test_case "serve is the top" `Quick
+            layering_serve_is_the_top ] );
       ( "trust-boundary",
         [ Alcotest.test_case "plaintext doc rejected" `Quick
             boundary_rejects_plaintext_on_server;
@@ -443,7 +474,9 @@ let () =
           Alcotest.test_case "plaintext/keys rejected in obs" `Quick
             boundary_rejects_plaintext_in_obs;
           Alcotest.test_case "plain obs code clean" `Quick
-            boundary_allows_plain_obs_code ] );
+            boundary_allows_plain_obs_code;
+          Alcotest.test_case "plaintext/keys rejected in serve" `Quick
+            boundary_rejects_plaintext_in_serve ] );
       ( "crypto-hygiene",
         [ Alcotest.test_case "String.equal flagged" `Quick
             ct_rule_flags_string_equal;

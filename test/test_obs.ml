@@ -433,6 +433,57 @@ let engine_counters_reset_on_rehost () =
   Alcotest.(check bool) "rotate adds an invalidation" true
     (rotated.Engine.Stats.invalidations >= 2)
 
+let snapshot_prefix_carves_tenant_views () =
+  let module Metric = Obs.Metric in
+  let r = Metric.create ~enabled:true () in
+  let a1 = Metric.counter r "serve.tenant-a.served" in
+  let _ = Metric.counter r "serve.tenant-b.served" in
+  let b2 = Metric.counter r "serve.tenant-b.shed" in
+  Metric.incr a1;
+  Metric.incr b2;
+  Metric.incr b2;
+  let names prefix = List.map fst (Metric.snapshot_prefix r prefix) in
+  Alcotest.(check (list string)) "tenant-a view"
+    [ "serve.tenant-a.served" ] (names "serve.tenant-a.");
+  Alcotest.(check (list string)) "tenant-b view"
+    [ "serve.tenant-b.served"; "serve.tenant-b.shed" ] (names "serve.tenant-b.");
+  Alcotest.(check (list string)) "no such prefix" [] (names "serve.tenant-c.");
+  Alcotest.(check int) "whole registry" 3 (List.length (names ""));
+  (match Metric.snapshot_prefix r "serve.tenant-b.shed" with
+   | [ (_, Metric.Counter_v n) ] -> Alcotest.(check int) "values survive" 2 n
+   | _ -> Alcotest.fail "exact-name prefix should match one counter")
+
+let degraded_fallbacks_are_counted () =
+  (* A near-dead link forces [System.evaluate] onto the naive fallback;
+     the default registry's [system.degraded] counter must agree with
+     the per-query cost flags. *)
+  let module System = Secure.System in
+  let module Transport = Secure.Transport in
+  let module Session = Secure.Session in
+  let doc = Workload.Health.generate ~patients:5 () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup ~master:"obs-degraded" doc scs Secure.Scheme.Opt in
+  let faulty =
+    System.with_faults
+      ~session:{ Session.default_config with Session.max_attempts = 2 }
+      ~profile:(Transport.chaos ~drop:1.0 ()) ~seed:11L sys
+  in
+  let reg = Obs.Metric.default in
+  let counter = Obs.Metric.counter reg "system.degraded" in
+  let was_enabled = Obs.Metric.enabled reg in
+  Obs.Metric.set_enabled reg true;
+  let before = Obs.Metric.value counter in
+  let q = Xpath.Parser.parse "//patient/pname" in
+  let degraded = ref 0 in
+  for _ = 1 to 5 do
+    let _, cost = System.evaluate faulty q in
+    if cost.System.degraded then incr degraded
+  done;
+  let seen = Obs.Metric.value counter - before in
+  Obs.Metric.set_enabled reg was_enabled;
+  Alcotest.(check bool) "dead link degrades every query" true (!degraded = 5);
+  Alcotest.(check int) "counter agrees with cost flags" !degraded seen
+
 let () =
   Alcotest.run "obs"
     [ Helpers.qsuite "properties"
@@ -446,7 +497,11 @@ let () =
           Alcotest.test_case "disabled registry inert" `Quick
             disabled_registry_is_inert;
           Alcotest.test_case "reset preserves registration" `Quick
-            reset_preserves_registration ] );
+            reset_preserves_registration;
+          Alcotest.test_case "snapshot_prefix tenant views" `Quick
+            snapshot_prefix_carves_tenant_views;
+          Alcotest.test_case "degraded fallbacks counted" `Quick
+            degraded_fallbacks_are_counted ] );
       ( "trace",
         [ Alcotest.test_case "raising spans recorded" `Quick
             span_reraises_and_records;

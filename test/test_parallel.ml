@@ -99,6 +99,68 @@ let degenerate_pools_run_sequentially () =
   Alcotest.(check bool) "recommended_domains is positive" true
     (Pool.recommended_domains () >= 1)
 
+(* --- Pathological loads --------------------------------------------- *)
+
+let zero_work_batches () =
+  with_pool (fun pool ->
+      (* Empty and all-trivial batches, interleaved and repeated: the
+         chunker must neither divide by zero nor leave a worker parked. *)
+      for _ = 1 to 50 do
+        Alcotest.(check (array int)) "empty batch" [||] (Pool.map pool succ [||]);
+        Alcotest.(check (array unit)) "unit batch" [| () |]
+          (Pool.map pool ignore [| 0 |]);
+        Alcotest.(check int) "empty reduce" 0
+          (Pool.map_reduce pool ~map:Fun.id ~combine:( + ) ~init:0 [||])
+      done;
+      Alcotest.(check bool) "pool idle afterwards" false (Pool.busy pool))
+
+let one_hog_does_not_starve_the_batch () =
+  with_pool (fun pool ->
+      (* One element burns vastly more work than the rest (a tenant
+         hogging its lane).  Work-stealing must let the other workers
+         drain every light chunk, and the merge must still be by index. *)
+      let spin n =
+        let acc = ref 0 in
+        for i = 1 to n do
+          acc := (!acc + i) mod 9973
+        done;
+        !acc
+      in
+      let xs = Array.init 256 (fun i -> if i = 17 then 2_000_000 else 10) in
+      let expected = Array.map spin xs in
+      Alcotest.(check (array int)) "hog batch merges by index" expected
+        (Pool.map pool spin xs))
+
+let failed_lane_does_not_poison_later_submissions () =
+  with_pool (fun pool ->
+      (* Alternate failing and clean batches many times: every failure
+         surfaces as the sequential-choice exception, every following
+         submission runs on a fully rejoined pool. *)
+      let xs = Array.init 500 (fun i -> i) in
+      for round = 1 to 10 do
+        (match
+           Pool.map pool (fun i -> if i mod 100 = 3 then raise (Boom i) else i) xs
+         with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "round %d raises the lowest index" round)
+            3 i);
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d clean submission" round)
+          (Array.map succ xs) (Pool.map pool succ xs)
+      done)
+
+let busy_is_advisory_and_accurate () =
+  with_pool (fun pool ->
+      Alcotest.(check bool) "idle pool not busy" false (Pool.busy pool);
+      (* Observed from inside a running map, the pool reports busy: the
+         serving tier keys its Overloaded backpressure off this. *)
+      let seen = Pool.map pool (fun _ -> Pool.busy pool) [| 0; 1; 2; 3 |] in
+      Alcotest.(check bool) "busy while mapping" true
+        (Array.for_all Fun.id seen);
+      Alcotest.(check bool) "idle again" false (Pool.busy pool))
+
 (* --- Parallel/sequential determinism ------------------------------- *)
 
 let serialize trees = List.map Printer.tree_to_string trees
@@ -222,6 +284,13 @@ let () =
             nested_map_does_not_deadlock;
           Alcotest.test_case "degenerate pools" `Quick
             degenerate_pools_run_sequentially ] );
+      ( "pathological",
+        [ Alcotest.test_case "zero-work batches" `Quick zero_work_batches;
+          Alcotest.test_case "one hog does not starve" `Quick
+            one_hog_does_not_starve_the_batch;
+          Alcotest.test_case "failed lane does not poison" `Quick
+            failed_lane_does_not_poison_later_submissions;
+          Alcotest.test_case "busy flag" `Quick busy_is_advisory_and_accurate ] );
       ( "determinism",
         [ Alcotest.test_case "hosting across schemes" `Quick
             hosting_is_deterministic_across_schemes;

@@ -262,6 +262,67 @@ let calls_never_raise_under_chaos () =
       done)
     [ 1L; 2L; 3L; 4L; 5L ]
 
+(* --- Link lifecycle: close and re-establish ------------------------ *)
+
+let close_refuses_calls () =
+  let ep = echo_endpoint () in
+  let client = Session.client ~mac_key (Transport.loopback (Session.serve ep)) in
+  (match Session.call client "a" with
+   | Ok r -> Alcotest.(check string) "live call" "echo:a" r
+   | Error e -> Alcotest.failf "live call failed: %s" (Session.error_to_string e));
+  Alcotest.(check bool) "open before close" false (Session.closed client);
+  Session.close client;
+  Session.close client;   (* idempotent *)
+  Alcotest.(check bool) "closed" true (Session.closed client);
+  (match Session.call client "b" with
+   | Error Session.Closed -> ()
+   | Ok _ -> Alcotest.fail "closed session answered a call"
+   | Error e -> Alcotest.failf "expected Closed, got %s" (Session.error_to_string e));
+  (* The refusal happened client-side: no frame reached the wire. *)
+  let s = Session.endpoint_stats ep in
+  Alcotest.(check int) "endpoint saw only the live call" 1 s.Session.served
+
+let reset_link_gets_fresh_incarnation () =
+  (* A duplicate-heavy schedule warms the endpoint's replay cache; after
+     [System.reset_link] the old session refuses calls and the new
+     incarnation's cache starts empty — no pre-reset frame can leak
+     across as a replay hit. *)
+  let module System = Secure.System in
+  let doc = Workload.Health.generate ~patients:5 () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup ~master:"relink-master" doc scs Secure.Scheme.Opt in
+  let faulty =
+    System.with_faults
+      ~profile:(Transport.chaos ~duplicate:0.9 ()) ~seed:5L sys
+  in
+  let q = Xpath.Parser.parse "//patient/pname" in
+  let expected = Helpers.norm_trees (fst (System.evaluate sys q)) in
+  for _ = 1 to 8 do
+    ignore (System.evaluate faulty q)
+  done;
+  let before = System.endpoint_stats faulty in
+  Alcotest.(check bool) "duplicates warmed the replay cache" true
+    (before.Session.replayed > 0);
+  let fresh = System.reset_link faulty in
+  (* The superseded incarnation refuses instead of limping on. *)
+  (match System.try_evaluate faulty q with
+   | Error Session.Closed -> ()
+   | Ok _ -> Alcotest.fail "old link still answers after reset"
+   | Error e -> Alcotest.failf "expected Closed, got %s" (Session.error_to_string e));
+  (* The new incarnation starts with an empty replay cache... *)
+  let s0 = System.endpoint_stats fresh in
+  Alcotest.(check int) "fresh endpoint served nothing" 0 s0.Session.served;
+  Alcotest.(check int) "fresh replay cache empty" 0 s0.Session.replayed;
+  (* ...and serves cleanly (reset without [faults] is a loopback). *)
+  let answers, cost = System.evaluate fresh q in
+  Alcotest.(check bool) "answers exact after relink" true
+    (Helpers.norm_trees answers = expected);
+  Alcotest.(check int) "clean link: one attempt" 1 cost.System.attempts;
+  Alcotest.(check bool) "not degraded" false cost.System.degraded;
+  let s1 = System.endpoint_stats fresh in
+  Alcotest.(check bool) "new endpoint served the call" true (s1.Session.served > 0);
+  Alcotest.(check int) "still zero replays" 0 s1.Session.replayed
+
 let () =
   Alcotest.run "session"
     [ ( "frames",
@@ -280,4 +341,8 @@ let () =
           Alcotest.test_case "unverifiable discarded" `Quick unverifiable_frames_discarded ] );
       ( "chaos",
         [ Alcotest.test_case "deterministic schedule" `Quick schedule_is_deterministic;
-          Alcotest.test_case "never raises" `Quick calls_never_raise_under_chaos ] ) ]
+          Alcotest.test_case "never raises" `Quick calls_never_raise_under_chaos ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "close refuses calls" `Quick close_refuses_calls;
+          Alcotest.test_case "reset_link fresh incarnation" `Quick
+            reset_link_gets_fresh_incarnation ] ) ]
