@@ -26,8 +26,11 @@ bench:
 # Tiny-scale engine-cache, pool-scaling and observability-overhead
 # experiments with machine-readable output exercised end to end; their
 # equality/invalidation/overhead checks abort the run on any mismatch.
+# --compare replays the checked-in BENCH_1.json snapshot against this
+# run: configuration axes and deterministic counters must match
+# exactly, timings may drift but not blow up (see bench/main.ml).
 bench-smoke:
-	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 --scale tiny --json /dev/null
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 --scale tiny --json /dev/null --compare BENCH_1.json
 
 # The observability CLI end to end: generate a document, trace a query
 # (engine path, two rounds, so the ledger shows a cache hit), and emit

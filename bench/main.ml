@@ -101,6 +101,148 @@ let json_write path =
   output_string oc "\n]\n";
   close_out oc
 
+(* --- Regression gate ---------------------------------------------- *)
+
+(* [--compare BASELINE.json] re-checks a previous [--json] snapshot
+   against this run.  A baseline row participates only when its
+   "experiment" value was produced this run, so a full baseline can
+   gate a partial invocation.  Rows pair up on their non-float fields
+   (ints, strings, bools — the configuration axes and the counters,
+   which are deterministic under the fixed seeds); a baseline row with
+   no partner means the shape of the output changed or a counter
+   drifted, and fails the gate.  Floats are checked per field: [_ms]
+   timings may move two orders of magnitude either way (machines and
+   load differ; the gate is for blow-ups and shape changes, not
+   jitter), every other float must agree to the %.6g precision the
+   snapshot was written with. *)
+
+let jv_of_json = function
+  | Obs.Json.Int i -> Some (I i)
+  | Obs.Json.Float f -> Some (F f)
+  | Obs.Json.Str s -> Some (S s)
+  | Obs.Json.Bool b -> Some (B b)
+  | Obs.Json.Null | Obs.Json.List _ | Obs.Json.Obj _ -> None
+
+let jv_print = function
+  | S s -> "\"" ^ json_escape s ^ "\""
+  | F f -> Printf.sprintf "%.6g" f
+  | I i -> string_of_int i
+  | B b -> string_of_bool b
+
+let row_key row =
+  List.filter (fun (_, v) -> match v with F _ -> false | _ -> true) row
+
+let key_print key =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ jv_print v) key)
+
+let floats_agree field prev cur =
+  match Float.is_finite prev, Float.is_finite cur with
+  | false, false -> true
+  | false, true | true, false -> false
+  | true, true ->
+    let suffix = "_ms" in
+    let n = String.length suffix and m = String.length field in
+    if m >= n && String.sub field (m - n) n = suffix then
+      prev = 0.0 || cur = 0.0
+      || (let r = cur /. prev in r <= 100.0 && r >= 0.01)
+    else Float.abs (cur -. prev) <= 1e-5 *. Float.max 1.0 (Float.abs prev)
+
+let json_compare path =
+  let baseline =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.of_string s with
+    | Ok (Obs.Json.List rows) ->
+      List.filter_map
+        (function
+          | Obs.Json.Obj fields ->
+            Some
+              (List.filter_map
+                 (fun (k, v) ->
+                   match jv_of_json v with
+                   | Some jv -> Some (k, jv)
+                   | None -> None)
+                 fields)
+          | _ -> None)
+        rows
+    | Ok _ ->
+      Printf.eprintf "compare: %s is not a JSON array of rows\n" path;
+      exit 2
+    | Error msg ->
+      Printf.eprintf "compare: cannot parse %s: %s\n" path msg;
+      exit 2
+  in
+  let current = List.rev !json_rows in
+  (* %.6g prints integral floats without a decimal point, and the
+     parser reads those back as ints — so decide float-ness per field
+     name from this run's rows and coerce the baseline to match,
+     otherwise a row with e.g. a 0.0 rate never finds its partner. *)
+  let float_fields =
+    List.concat_map
+      (fun row ->
+        List.filter_map
+          (fun (k, v) -> match v with F _ -> Some k | _ -> None)
+          row)
+      current
+  in
+  let normalize row =
+    List.map
+      (fun (k, v) ->
+        match v with
+        | I i when List.mem k float_fields -> (k, F (float_of_int i))
+        | v -> (k, v))
+      row
+  in
+  let baseline = List.map normalize baseline in
+  let ran_experiments =
+    List.filter_map (fun row -> List.assoc_opt "experiment" row) current
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let checked = ref 0 in
+  List.iter
+    (fun brow ->
+      let relevant =
+        match List.assoc_opt "experiment" brow with
+        | Some e -> List.mem e ran_experiments
+        | None -> true
+      in
+      if relevant then begin
+        incr checked;
+        let key = row_key brow in
+        match
+          List.find_opt (fun crow -> row_key crow = key) current
+        with
+        | None -> fail "no current row matches baseline row {%s}" (key_print key)
+        | Some crow ->
+          List.iter
+            (fun (field, bv) ->
+              match bv, List.assoc_opt field crow with
+              | F prev, Some (F cur) ->
+                if not (floats_agree field prev cur) then
+                  fail "{%s} %s: baseline %.6g, current %.6g" (key_print key)
+                    field prev cur
+              | F prev, (Some _ | None) ->
+                fail "{%s} %s: baseline %.6g, current row lacks the float"
+                  (key_print key) field prev
+              | (S _ | I _ | B _), _ -> ())
+            brow
+      end)
+    baseline;
+  match !failures with
+  | [] ->
+    Printf.printf "\ncompare: %d baseline row(s) matched against %s\n" !checked
+      path;
+    if !checked = 0 then
+      Printf.printf
+        "compare: (no baseline row shares an experiment with this run)\n"
+  | fs ->
+    List.iter (fun m -> Printf.printf "compare: FAIL %s\n" m) (List.rev fs);
+    Printf.printf "compare: %d mismatch(es) against %s\n" (List.length fs) path;
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Dataset / system cache                                              *)
 
@@ -1473,10 +1615,11 @@ let () =
     | Some _ | None -> small
   in
   let json_path = flag_value "--json" args in
+  let compare_path = flag_value "--compare" args in
   let wanted =
     (* Flags and their operands are not experiment names. *)
     let rec positional = function
-      | ("--scale" | "--json") :: _ :: rest -> positional rest
+      | ("--scale" | "--json" | "--compare") :: _ :: rest -> positional rest
       | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
         positional rest
       | a :: rest -> a :: positional rest
@@ -1511,8 +1654,11 @@ let () =
       | "micro" -> micro ()
       | other -> Printf.printf "unknown experiment %S (skipped)\n" other)
     wanted;
-  match json_path with
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     json_write path;
+     Printf.printf "\njson: %d rows -> %s\n" (List.length !json_rows) path);
+  match compare_path with
   | None -> ()
-  | Some path ->
-    json_write path;
-    Printf.printf "\njson: %d rows -> %s\n" (List.length !json_rows) path
+  | Some path -> json_compare path

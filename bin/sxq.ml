@@ -740,25 +740,62 @@ let lint_cmd =
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Baseline file (default: \\$(docv) is ROOT/lint.baseline).")
   in
-  let run root baseline =
-    let findings, baselined =
-      Analysis.Lint.run ?baseline ~root ()
+  let no_cache_flag =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the per-file result cache under \
+                 ROOT/_build/.lintcache.")
+  in
+  let finding_json (f : Analysis.Finding.t) =
+    Obs.Json.Obj
+      [ "rule", Obs.Json.Str f.rule;
+        "file", Obs.Json.Str f.file;
+        "line", Obs.Json.Int f.line;
+        "col", Obs.Json.Int f.col;
+        "message", Obs.Json.Str f.message;
+        "witness", Obs.Json.List (List.map (fun h -> Obs.Json.Str h) f.witness) ]
+  in
+  let run root baseline no_cache json =
+    let cache_dir =
+      if no_cache then None
+      else Some (Filename.concat root "_build/.lintcache")
     in
-    List.iter
-      (fun f -> print_endline (Analysis.Finding.to_string f))
-      findings;
+    (* The run's own observability goes through the metrics registry
+       like everything else; a local registry keeps the gauge out of
+       the process-wide one the serving layers share. *)
+    let reg = Obs.Metric.create ~enabled:true () in
+    let duration = Obs.Metric.gauge reg ~help:"wall-clock lint time" "lint.duration_ms" in
+    let started = Unix.gettimeofday () in
+    let findings, baselined =
+      Analysis.Lint.run ?baseline ?cache_dir ~root ()
+    in
+    Obs.Metric.set duration ((Unix.gettimeofday () -. started) *. 1000.0);
+    let duration_ms = Obs.Metric.gauge_value duration in
+    if json then
+      print_json_checked
+        (Obs.Json.Obj
+           [ "findings", Obs.Json.List (List.map finding_json findings);
+             "baselined", Obs.Json.Int baselined;
+             "duration_ms", Obs.Json.Float duration_ms ])
+    else
+      List.iter
+        (fun (f : Analysis.Finding.t) ->
+          print_endline (Analysis.Finding.to_string f);
+          List.iter (fun hop -> print_endline ("    " ^ hop)) f.witness)
+        findings;
     match findings with
-    | [] -> Printf.eprintf "sxq lint: clean (%d baselined)\n" baselined
+    | [] ->
+      Printf.eprintf "sxq lint: clean (%d baselined, %.0f ms)\n" baselined
+        duration_ms
     | fs ->
-      Printf.eprintf "sxq lint: %d finding(s), %d baselined\n"
-        (List.length fs) baselined;
+      Printf.eprintf "sxq lint: %d finding(s), %d baselined (%.0f ms)\n"
+        (List.length fs) baselined duration_ms;
       exit 1
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Run the trust-boundary and crypto-hygiene static analysis (see \
-             docs/STATIC_ANALYSIS.md).")
-    Term.(const run $ root_arg $ baseline_arg)
+       ~doc:"Run the trust-boundary, crypto-hygiene and secret-flow static \
+             analysis (see docs/STATIC_ANALYSIS.md).")
+    Term.(const run $ root_arg $ baseline_arg $ no_cache_flag $ json_flag)
 
 let () =
   (* SXQ_DEBUG=1 turns on debug logging from the secure.* sources. *)

@@ -4,6 +4,7 @@ type t = {
   line : int;
   col : int;
   message : string;
+  witness : string list;
 }
 
 let to_string f =

@@ -6,6 +6,11 @@ type t = {
   line : int;
   col : int;
   message : string;
+  witness : string list;
+      (** for [secret-flow]: the source->sink path, one hop per line
+          ([file:line  name]).  Empty for token-level rules.  Not part
+          of {!fingerprint} — the witness explains a finding, it does
+          not identify it. *)
 }
 
 val to_string : t -> string

@@ -1,0 +1,79 @@
+(** Binding-level def-use graphs for the secret-flow analysis.
+
+    One graph per compilation unit, built from the {!Lexer} token
+    stream — no parser, no typechecker.  The model is deliberately
+    coarse (see docs/STATIC_ANALYSIS.md for the soundness caveats):
+
+    - a {e binding} is a [let]-bound name (value, function, or one name
+      of a tuple/record pattern).  All names bound by one pattern share
+      a taint {e group}; a function's parameters get groups of their
+      own, reachable through the function's argument {e slots}.
+    - a {e use} is an identifier occurrence in expression position,
+      recorded with the dotted path, the innermost enclosing binding,
+      and the stack of enclosing application frames (head + which
+      argument slot of that head the use sits in, innermost first).
+    - record/tuple projections collapse onto the root value: [t.field]
+      is a use of [t], so taint is tracked per binding, not per field.
+
+    {!Taint} interprets these graphs whole-tree: a use of a tainted
+    binding taints the binding it appears under, call sites propagate
+    argument taint into the callee's parameter groups (matched by
+    label, else positionally), and application heads that the policy
+    declares as declassifiers absorb the flow. *)
+
+type slot = {
+  label : string option;  (** [Some l] for [~l]/[?l] parameters *)
+  groups : int list;      (** taint groups of the names this slot binds *)
+}
+
+type binding = {
+  group : int;            (** taint group (unit-local; names co-bound by
+                              one pattern share it) *)
+  name : string;
+  line : int;
+  toplevel : bool;        (** struct item of the unit (not nested in a
+                              [let ... in] or an inner [struct]) *)
+  is_param : bool;
+  slots : slot list;      (** parameter slots, for function bindings *)
+}
+
+type frame = {
+  head : string list;        (** applied path, aliases expanded *)
+  arg_index : int;           (** 0-based index among the {e unlabelled}
+                                 arguments, [-1] in head position *)
+  arg_label : string option; (** label of the argument the use sits in *)
+}
+
+type use = {
+  path : string list;     (** dotted path; a lowercase root keeps only the
+                              root (projections collapse), aliases expanded *)
+  line : int;
+  col : int;
+  binder : int;           (** group of the innermost open binding, -1 at
+                              the unit's toplevel *)
+  frames : frame list;    (** enclosing applications, innermost first *)
+}
+
+type t = {
+  rel : string;           (** repo-relative path *)
+  modpath : string list;  (** qualified module path, e.g. ["Crypto"; "Keys"] *)
+  bindings : binding list;
+  uses : use list;
+}
+
+val lambda_head : string list
+(** The pseudo-head recorded as the frame of anonymous [fun]/[function]
+    bodies.  {!Taint} stops its outward frame walk at this marker: a
+    use inside a lambda taints the binding the lambda sits under, but
+    not the parameters of whatever application the lambda is an
+    argument of (see docs/STATIC_ANALYSIS.md on closure captures). *)
+
+val build : rel:string -> modpath:string list -> Lexer.t -> t
+(** Never raises; unparseable regions degrade to missing bindings or
+    spurious uses, both of which only ever {e over}-approximate flows. *)
+
+val qualify : t -> string list -> string
+(** [qualify g path] is the dotted name used for policy matching: a
+    bare lowercase identifier is prefixed with the unit's module path,
+    a dotted path is joined as written (the caller normalizes library
+    roots). *)

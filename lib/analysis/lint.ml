@@ -14,7 +14,7 @@ let parse_suppression text =
     if List.mem "all" rules then Some [] else Some rules
   | _ -> None
 
-let suppressed (lex : Lexer.t) (f : Finding.t) =
+let suppressed_by comments (f : Finding.t) =
   List.exists
     (fun (c : Lexer.comment) ->
       match parse_suppression c.text with
@@ -23,14 +23,87 @@ let suppressed (lex : Lexer.t) (f : Finding.t) =
         (rules = [] || List.mem f.Finding.rule rules)
         && f.Finding.line >= c.start_line
         && f.Finding.line <= c.end_line + 1)
-    lex.comments
+    comments
+
+let suppressed (lex : Lexer.t) f = suppressed_by lex.comments f
 
 (* --- Single unit ---------------------------------------------------- *)
 
-let check_source ?(policy = Policy.default) ~rel content =
+(* Everything derivable from one file in isolation: the token-level
+   findings (suppressions already applied), the comments (needed to
+   apply suppressions to whole-tree taint findings later), and the
+   def-use graph for [lib/*.ml] units.  This is the value the
+   incremental cache stores per content digest. *)
+type unit_result = {
+  u_findings : Finding.t list;
+  u_comments : Lexer.comment list;
+  u_graph : Flowgraph.t option;
+}
+
+let unit_of ?(policy = Policy.default) ~rel content =
   let lex = Lexer.tokenize content in
-  Rules.check policy ~rel lex
-  |> List.filter (fun f -> not (suppressed lex f))
+  let findings =
+    Rules.check policy ~rel lex
+    |> List.filter (fun f -> not (suppressed lex f))
+  in
+  let graph =
+    match Policy.classify rel with
+    | Some (Policy.Library _) when Filename.check_suffix rel ".ml" ->
+      Some (Flowgraph.build ~rel ~modpath:(Taint.modpath_of policy rel) lex)
+    | _ -> None
+  in
+  { u_findings = findings; u_comments = lex.comments; u_graph = graph }
+
+let check_source ?(policy = Policy.default) ~rel content =
+  (unit_of ~policy ~rel content).u_findings
+
+(* --- Incremental cache ---------------------------------------------- *)
+
+(* One cache file per source path, holding [digest * unit_result]
+   marshalled; the digest covers the file content, the policy and a
+   format version, so a stale entry can never be mistaken for current.
+   Any I/O or unmarshalling failure degrades to a plain re-lint. *)
+let cache_version = "sxq-lint-cache-1"
+
+let cache_key policy content =
+  Digest.to_hex
+    (Digest.string
+       (cache_version ^ "\000"
+       ^ Digest.to_hex (Digest.string (Marshal.to_string policy []))
+       ^ "\000" ^ content))
+
+let cache_file cache_dir rel =
+  Filename.concat cache_dir
+    (String.map (fun c -> if c = '/' || c = '\\' then '_' else c) rel)
+
+let cache_load cache_dir policy ~rel content =
+  let path = cache_file cache_dir rel in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+    let entry =
+      match (Marshal.from_channel ic : string * unit_result) with
+      | exception _ -> None
+      | stamp, result when String.equal stamp (cache_key policy content) ->
+        Some result
+      | _ -> None
+    in
+    close_in_noerr ic;
+    entry)
+
+let cache_store cache_dir policy ~rel content result =
+  (try
+     if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755
+   with Sys_error _ -> ());
+  let path = cache_file cache_dir rel in
+  match open_out_bin (path ^ ".tmp") with
+  | exception Sys_error _ -> ()
+  | oc ->
+    (try
+       Marshal.to_channel oc (cache_key policy content, result) [];
+       close_out oc;
+       Sys.rename (path ^ ".tmp") path
+     with Sys_error _ -> close_out_noerr oc)
 
 (* --- Baseline ------------------------------------------------------- *)
 
@@ -111,18 +184,56 @@ let source_files ~root =
     [ "lib"; "bin"; "test" ];
   List.sort String.compare !out
 
-let check_tree ?(policy = Policy.default) ~root () =
-  List.concat_map
-    (fun rel -> check_source ~policy ~rel (read_file (Filename.concat root rel)))
-    (source_files ~root)
+(* Token findings per unit, then the whole-tree taint pass over the
+   collected graphs; taint findings honour the same suppression
+   comments as everything else. *)
+let check_units policy units =
+  let token = List.concat_map (fun (_, u) -> u.u_findings) units in
+  let graphs = List.filter_map (fun (_, u) -> u.u_graph) units in
+  let comments_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (rel, u) -> Hashtbl.replace tbl rel u.u_comments) units;
+    fun rel ->
+      match Hashtbl.find_opt tbl rel with Some c -> c | None -> []
+  in
+  let taint =
+    Taint.check policy graphs
+    |> List.filter (fun f -> not (suppressed_by (comments_of f.Finding.file) f))
+  in
+  List.sort Finding.compare (token @ taint)
 
-let run ?(policy = Policy.default) ?baseline ~root () =
+let check_sources ?(policy = Policy.default) files =
+  check_units policy
+    (List.map (fun (rel, content) -> rel, unit_of ~policy ~rel content) files)
+
+let check_tree ?(policy = Policy.default) ?cache_dir ~root () =
+  let units =
+    List.map
+      (fun rel ->
+        let content = read_file (Filename.concat root rel) in
+        let unit =
+          match cache_dir with
+          | None -> unit_of ~policy ~rel content
+          | Some dir -> (
+            match cache_load dir policy ~rel content with
+            | Some u -> u
+            | None ->
+              let u = unit_of ~policy ~rel content in
+              cache_store dir policy ~rel content u;
+              u)
+        in
+        rel, unit)
+      (source_files ~root)
+  in
+  check_units policy units
+
+let run ?(policy = Policy.default) ?baseline ?cache_dir ~root () =
   let baseline_path =
     match baseline with
     | Some p -> p
     | None -> Filename.concat root "lint.baseline"
   in
-  let findings = check_tree ~policy ~root () in
+  let findings = check_tree ~policy ?cache_dir ~root () in
   let kept = apply_baseline (load_baseline baseline_path) findings in
   let kept = List.sort Finding.compare kept in
   kept, List.length findings - List.length kept

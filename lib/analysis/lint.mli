@@ -15,9 +15,17 @@
     all fixed, without the gate going red in between. *)
 
 val check_source : ?policy:Policy.t -> rel:string -> string -> Finding.t list
-(** Lint one unit from an in-memory source string.  [rel] decides which
-    rules apply (see {!Policy.classify}).  Suppression comments are
-    honoured; the baseline is not applied. *)
+(** Lint one unit from an in-memory source string: token-level rules
+    only ([rel] decides which apply, see {!Policy.classify}).
+    Suppression comments are honoured; the baseline is not applied.
+    The whole-tree secret-flow pass needs every unit at once — use
+    {!check_sources} for that. *)
+
+val check_sources :
+  ?policy:Policy.t -> (string * string) list -> Finding.t list
+(** Full pipeline over an in-memory file set [(rel, content)]: per-unit
+    token rules plus the whole-tree {!Taint} pass, suppressions
+    applied, sorted.  The baseline is not applied. *)
 
 val suppressed : Lexer.t -> Finding.t -> bool
 (** Exposed for tests. *)
@@ -33,13 +41,19 @@ val source_files : root:string -> string list
 (** Repo-relative [.ml]/[.mli] paths under [lib/], [bin/] and [test/],
     sorted. *)
 
-val check_tree : ?policy:Policy.t -> root:string -> unit -> Finding.t list
+val check_tree :
+  ?policy:Policy.t -> ?cache_dir:string -> root:string -> unit ->
+  Finding.t list
 (** Lint the whole tree rooted at [root]; suppressions applied,
-    baseline not. *)
+    baseline not.  With [cache_dir], per-file lexing/rule/def-use
+    results are reused when the content (and policy) digest matches —
+    the whole-tree taint pass still runs every time, on the cached
+    graphs.  Cache corruption or I/O failure silently degrades to a
+    full re-lint; results are identical with and without the cache. *)
 
 val run :
-  ?policy:Policy.t -> ?baseline:string -> root:string -> unit ->
-  Finding.t list * int
+  ?policy:Policy.t -> ?baseline:string -> ?cache_dir:string ->
+  root:string -> unit -> Finding.t list * int
 (** [run ~root ()] lints the tree and applies the baseline at
     [baseline] (default [<root>/lint.baseline]).  Returns the surviving
     findings (sorted) and the number absorbed by the baseline. *)

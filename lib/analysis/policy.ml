@@ -3,6 +3,15 @@ type unit_kind =
   | Binary
   | Test_unit
 
+type flow = {
+  sources : string list;
+  source_params : (string * string) list;
+  declassifiers : string list;
+  sinks : string list;
+  sink_files : string list;
+  trusted_files : string list;
+}
+
 type t = {
   roots : (string * string) list;
   allowed : (string * string list) list;
@@ -10,6 +19,7 @@ type t = {
   total_paths : string list;
   random_ok : string list;
   concurrency_ok : string list;
+  flow : flow;
 }
 
 (* The layering DAG mirrors the dune dependency graph on purpose: dune
@@ -125,6 +135,165 @@ let default =
        everything else must go through Parallel.Pool / Parallel.Lock,
        whose merge contract is what makes parallelism deterministic. *)
     concurrency_ok = [ "lib/parallel/" ];
+    (* The information-flow policy of the paper, as data.  Secrets are
+       born at the [sources] (key-ring values, plaintext documents,
+       decrypted blocks and answers, PRNG streams seeded from keys);
+       they may leave only through the [declassifiers] (the encrypt /
+       MAC / OPESS boundary — a ciphertext or tag is server-safe by
+       construction); everything reaching a [sink] (wire encoders, the
+       session, console output, observability labels) or used at all
+       inside a [sink_file] must have been declassified on the way.
+       Entries ending in "." are prefix wildcards. *)
+    flow =
+      {
+        sources =
+          [ "Crypto.Keys.";
+            "Crypto.Cipher.decrypt";
+            "Crypto.Xtea.decrypt";
+            "Crypto.Xtea.decrypt_prepared";
+            "Crypto.Aes.decrypt_block";
+            "Crypto.Vernam.decrypt";
+            "Crypto.Ope.decrypt";
+            "Secure.Encrypt.decrypt_block";
+            "Secure.Client.keys";
+            "Secure.Client.decrypt_block";
+            "Secure.Client.decrypt_blocks";
+            "Secure.Client.evaluate_with";
+            "Secure.Client.evaluate_union_with";
+            "Secure.Client.postprocess";
+            "Secure.System.doc";
+            "Secure.System.master";
+            "Secure.System.reference";
+            "Secure.System.reference_union";
+            "Secure.System.reference_aggregate";
+            "Workload.Xmark.generate";
+            "Workload.Nasa.generate";
+            "Workload.Health.generate";
+            "Workload.Dblp.generate" ];
+        (* Parameters that receive secrets at every call site: taint is
+           seeded on the callee's parameter group itself, so the secret
+           is tracked inside the function body even when the analysis
+           cannot see any call. *)
+        source_params =
+          [ "Secure.System.setup", "doc";
+            "Secure.System.setup", "master";
+            "Secure.System.restore", "doc";
+            "Secure.System.restore", "master";
+            "Secure.Encrypt.encrypt", "doc";
+            "Secure.Encrypt.encrypt", "keys";
+            "Secure.Encrypt.decrypt_block", "keys";
+            "Secure.Metadata.build", "keys";
+            "Secure.Client.create", "keys";
+            "Crypto.Keys.create", "master";
+            "Crypto.Ope.create", "key";
+            "Crypto.Hmac.mac", "key";
+            "Crypto.Hmac.prepare", "key";
+            "Crypto.Cipher.prepare", "key";
+            "Crypto.Xtea.prepare", "key";
+            "Crypto.Vernam.keystream", "key";
+            "Crypto.Vernam.encrypt", "key";
+            "Crypto.Vernam.decrypt", "key";
+            "Secure.Opess.build", "key" ];
+        (* The only legal crossings: a value that has passed through one
+           of these is ciphertext, a MAC tag, or a sanitized label. *)
+        declassifiers =
+          [ "Crypto.Cipher.encrypt";
+            "Crypto.Xtea.encrypt";
+            "Crypto.Xtea.encrypt_prepared";
+            "Crypto.Aes.encrypt_block";
+            "Crypto.Vernam.encrypt";
+            "Crypto.Vernam.encrypt_hex";
+            "Crypto.Ope.encrypt";
+            "Crypto.Hmac.mac";
+            "Crypto.Hmac.mac_prepared";
+            "Crypto.Hmac.mac_hex";
+            "Crypto.Hmac.prf64";
+            "Crypto.Hmac.prf64_prepared";
+            "Crypto.Hmac.prf_float";
+            "Crypto.Hmac.prf_float_in";
+            "Crypto.Hmac.prf_int";
+            "Secure.Opess.build";
+            "Secure.Encrypt.encrypt";
+            (* The ciphertext half of the database: what
+               Server.of_metadata consumes.  The [db] record itself
+               stays secret (it keeps the plaintext document); this
+               projection ships encrypt-then-MAC blocks only. *)
+            "Secure.Encrypt.server_blocks";
+            (* Storing into an engine cache returns unit, so nothing
+               secret comes back from the call itself.  Every binding
+               that reads the decrypted-block cache also contains the
+               decrypt-on-miss path of the same match expression, so
+               cache {e hits} stay covered without a source entry for
+               [find].  Without this the unit result of [put] would
+               smear taint over every binding near a cache insert. *)
+            "Engine.Lru.put";
+            "Secure.Metadata.build";
+            "Secure.Client.translate";
+            "Secure.Client.aggregate_range";
+            "Secure.Session.client";
+            "Secure.Session.endpoint";
+            (* Safe projections of the hosting handle: the handle record
+               itself is secret (it holds the plaintext document and the
+               master passphrase), but these fields are the server-side
+               half and the plumbing — built exclusively from
+               already-declassified material.  Declaring the accessors
+               here is the policy statement that the server, tracer,
+               ledger and pool contain no key or plaintext material. *)
+            "Secure.System.server";
+            "Secure.System.tracer";
+            "Secure.System.ledger";
+            "Secure.System.pool";
+            "Obs.Label.sanitize" ];
+        sinks =
+          [ "Secure.Protocol.encode_request";
+            "Secure.Protocol.encode_response";
+            "Secure.Transport.exchange";
+            "Secure.Session.call";
+            "Obs.Ledger.round";
+            "Obs.Metric.counter";
+            "Obs.Metric.gauge";
+            "Obs.Metric.histogram";
+            "Obs.Trace.span";
+            "Obs.Trace.event";
+            "Printf.printf";
+            "Printf.eprintf";
+            "Format.printf";
+            "Format.eprintf";
+            "print_string";
+            "print_endline";
+            "print_int";
+            "print_float";
+            "print_newline";
+            "prerr_string";
+            "prerr_endline" ];
+        sink_files = [ "lib/secure/server.ml" ];
+        (* Interiors the flow analysis does not descend into.  Two
+           reasons to be here.  lib/crypto is the trusted computing
+           base: the primitives necessarily mix key material into
+           everything they compute (that is their job), so analysing
+           their interiors only poisons the summaries of shared helpers
+           — HMAC feeding the key schedule through SHA-256 would mark
+           every digest in the tree secret.  Their API is fully
+           modelled above: decrypt results are [sources], encrypt/MAC
+           outputs are [declassifiers], key parameters are
+           [source_params].  The rest are pure container / scheduler
+           libraries that hold no keys and perform no I/O: a
+           context-insensitive summary of [Doc.node_count] or
+           [Interval.make] tainted by one secret caller would mark the
+           server's own clean calls secret, whereas the unknown-callee
+           fallback (argument taint flows straight to the caller's
+           binding) models them call-site-locally and loses nothing —
+           any secret passed in comes back out tainted at that call
+           site only. *)
+        trusted_files =
+          [ "lib/crypto/";
+            "lib/xmlcore/";
+            "lib/btree/";
+            "lib/parallel/";
+            "lib/obs/";
+            "lib/dsi/interval.ml";
+            "lib/dsi/join.ml" ];
+      };
   }
 
 let strip_prefix ~prefix s =

@@ -12,6 +12,34 @@ type unit_kind =
   | Binary             (** under [bin/] *)
   | Test_unit          (** under [test/] *)
 
+type flow = {
+  sources : string list;
+      (** qualified functions whose results (or values) are secret.
+          Entries ending in ["."] are prefix wildcards
+          (["Crypto.Keys."] covers the whole key ring). *)
+  source_params : (string * string) list;
+      (** (qualified function, parameter name) pairs whose parameter
+          receives a secret at every call site — taint is seeded on the
+          parameter group itself. *)
+  declassifiers : string list;
+      (** the only legal source->sink crossings: encrypt / MAC / OPESS
+          encode / label sanitizing.  A value returned by one of these
+          is clean; an argument flowing into one is absorbed. *)
+  sinks : string list;
+      (** qualified functions whose arguments become server- or
+          world-visible: wire encoders, session calls, console output,
+          observability labels.  Bare lowercase entries match unqualified
+          stdlib names ([print_endline]). *)
+  sink_files : string list;
+      (** files where {e any} tainted use is a finding (server-side
+          code). *)
+  trusted_files : string list;
+      (** relative-path prefixes forming the analysis' trusted computing
+          base: their interiors are not analysed (the crypto primitives
+          necessarily mix key material into everything they compute),
+          only their policy-declared API surface is modelled. *)
+}
+
 type t = {
   roots : (string * string) list;
       (** wrapped root module name -> library id, e.g. ["Xmlcore", "xmlcore"] *)
@@ -29,6 +57,8 @@ type t = {
       (** relative path prefixes allowed to reference concurrency
           primitives ([Domain], [Mutex], [Condition], [Atomic], ...);
           everywhere else they must go through [Parallel]. *)
+  flow : flow;
+      (** the secret-flow table interpreted by {!Taint}. *)
 }
 
 val default : t

@@ -6,7 +6,7 @@ type mref = {
 
 let all_rule_ids =
   [ "layering"; "trust-boundary"; "mac-compare"; "random-source";
-    "secret-print"; "partiality"; "concurrency" ]
+    "secret-print"; "partiality"; "concurrency"; "secret-flow" ]
 
 (* --- Module-reference extraction ----------------------------------- *)
 
@@ -139,7 +139,8 @@ let is_binding_eq tokens i =
 (* --- Rules ---------------------------------------------------------- *)
 
 let finding rule rel (tok : Lexer.token) message =
-  { Finding.rule; file = rel; line = tok.line; col = tok.col; message }
+  { Finding.rule; file = rel; line = tok.line; col = tok.col; message;
+    witness = [] }
 
 let dotted path = String.concat "." path
 
@@ -164,7 +165,8 @@ let layering policy ~rel ~lib refs =
               message =
                 Printf.sprintf
                   "library '%s' may not depend on '%s' (reference to %s)" lib
-                  target (dotted r.path) }
+                  target (dotted r.path);
+              witness = [] }
         | _ -> None)
       | [] -> None)
     refs
@@ -199,7 +201,8 @@ let trust_boundary policy ~rel refs =
                 Printf.sprintf
                   "server-side code may not reference %s (forbidden: %s stays \
                    on the client side of the wire)"
-                  d p }
+                  d p;
+              witness = [] }
         | None, [ root ] when List.mem root forbidden_roots ->
           Some
             { Finding.rule = "trust-boundary";
@@ -210,7 +213,8 @@ let trust_boundary policy ~rel refs =
                 Printf.sprintf
                   "bare reference to %s (e.g. via open) defeats the per-module \
                    boundary check; use qualified paths"
-                  root }
+                  root;
+              witness = [] }
         | _ -> None)
       refs
 
@@ -228,7 +232,8 @@ let random_source policy ~rel refs =
               col = r.col;
               message =
                 "stdlib Random breaks seeded reproducibility; use Crypto.Prng \
-                 (lib/crypto/prng.ml) instead" }
+                 (lib/crypto/prng.ml) instead";
+              witness = [] }
         | _ -> None)
       refs
 
@@ -266,7 +271,8 @@ let concurrency policy ~rel refs =
                 Printf.sprintf
                   "%s is a raw concurrency primitive; only lib/parallel may \
                    touch it — use Parallel.Pool / Parallel.Lock"
-                  (dotted r.path) }
+                  (dotted r.path);
+              witness = [] }
         | _ -> None)
       refs
 

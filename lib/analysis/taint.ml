@@ -1,0 +1,466 @@
+(* Group ids are unit-local in a Flowgraph; the environment assigns
+   each unit an offset so one Hashtbl can hold the whole tree's taint. *)
+
+type prov = {
+  pfile : string;
+  pline : int;
+  plabel : string;
+  parent : int option;  (* global group whose taint caused this one *)
+}
+
+type env = {
+  policy : Policy.t;
+  graphs : Flowgraph.t list;
+  (* rel -> graph, group offset, sorted toplevel binding lines (the
+     file's region boundaries — see [region_of]) *)
+  infos : (string, Flowgraph.t * int * int array) Hashtbl.t;
+  gname : (int, string) Hashtbl.t;                (* group -> binding name *)
+  (* (rel, name) -> (offset, region, binding); the binding record keeps
+     local slot ids, so the unit's offset travels with it *)
+  by_name : (string, (int * int * Flowgraph.binding) list) Hashtbl.t;
+  tainted : (int, prov) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let key rel name = rel ^ "\000" ^ name
+
+let is_upper s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
+let is_lower s = s <> "" && s.[0] >= 'a' && s.[0] <= 'z'
+
+let lib_dir rel =
+  if String.length rel > 4 && String.sub rel 0 4 = "lib/" then
+    let rest = String.sub rel 4 (String.length rel - 4) in
+    match String.index_opt rest '/' with
+    | Some i -> Some (String.sub rest 0 i)
+    | None -> None
+  else None
+
+(* Scope approximation: a file is partitioned into regions, one per
+   toplevel binding (by line); a non-toplevel binding is visible only to
+   uses in its own region.  This loses nested-scope precision inside one
+   toplevel function (shadowed locals unify) but keeps unrelated
+   functions' equally-named locals apart — without it, every [t] or
+   [result] in a file would share taint. *)
+let region_of lines l =
+  let lo = ref (-1) in
+  Array.iteri (fun i start -> if start <= l then lo := i) lines;
+  !lo
+
+let build_env policy graphs =
+  let env =
+    { policy;
+      graphs;
+      infos = Hashtbl.create 64;
+      gname = Hashtbl.create 1024;
+      by_name = Hashtbl.create 1024;
+      tainted = Hashtbl.create 256;
+      changed = false }
+  in
+  let next = ref 0 in
+  List.iter
+    (fun (g : Flowgraph.t) ->
+      let offset = !next in
+      let top_lines =
+        g.bindings
+        |> List.filter_map (fun (b : Flowgraph.binding) ->
+               if b.toplevel then Some b.line else None)
+        |> List.sort_uniq Int.compare
+        |> Array.of_list
+      in
+      Hashtbl.replace env.infos g.rel (g, offset, top_lines);
+      let top =
+        List.fold_left (fun m (b : Flowgraph.binding) -> max m b.group) (-1)
+          g.bindings
+      in
+      next := offset + top + 1;
+      List.iter
+        (fun (b : Flowgraph.binding) ->
+          let gg = offset + b.group in
+          if not (Hashtbl.mem env.gname gg) then
+            Hashtbl.replace env.gname gg b.name;
+          let k = key g.rel b.name in
+          let prior =
+            match Hashtbl.find_opt env.by_name k with Some l -> l | None -> []
+          in
+          Hashtbl.replace env.by_name k
+            ((offset, region_of top_lines b.line, b) :: prior))
+        g.bindings)
+    graphs;
+  env
+
+(* --- Path resolution ------------------------------------------------ *)
+
+(* [Secure.Client.create] -> (lib/secure/client.ml, create);
+   [Obs.span]             -> (lib/obs/obs.ml, span);
+   [Client.create] seen from lib/secure/* -> (lib/secure/client.ml, create);
+   [Hmac.prepare] seen from lib/dsi/* under [open Crypto] -> the first
+   of lib/dsi/hmac.ml, lib/xmlcore/hmac.ml, lib/crypto/hmac.ml that
+   exists (the current library, then its allowed dependencies). *)
+let target_of env ~from_rel path =
+  match path with
+  | root :: rest when is_upper root -> (
+    match Policy.library_of_root env.policy root, rest with
+    | Some lib, [ fn ] when is_lower fn ->
+      Some ("lib/" ^ lib ^ "/" ^ String.lowercase_ascii root ^ ".ml", fn)
+    | Some lib, sub :: fn :: _ when is_upper sub && is_lower fn ->
+      Some ("lib/" ^ lib ^ "/" ^ String.lowercase_ascii sub ^ ".ml", fn)
+    | Some _, _ -> None
+    | None, fn :: _ when is_lower fn -> (
+      match lib_dir from_rel with
+      | Some lib ->
+        let candidates =
+          List.map
+            (fun l -> "lib/" ^ l ^ "/" ^ String.lowercase_ascii root ^ ".ml")
+            (lib :: Policy.allowed_deps env.policy lib)
+        in
+        (match List.find_opt (Hashtbl.mem env.infos) candidates with
+         | Some rel' -> Some (rel', fn)
+         | None -> None)
+      | None -> None)
+    | None, _ -> None)
+  | _ -> None
+
+type pinfo = {
+  qnames : string list;  (* dotted candidates for policy matching *)
+  bare : string option;  (* single unqualified lowercase name *)
+  groups : int list;     (* resolved global taint groups *)
+  callees : (int * Flowgraph.binding) list;  (* function bindings + offset *)
+}
+
+let analyze_path env (g : Flowgraph.t) ~line path =
+  match path with
+  | [ x ] when is_lower x ->
+    let entries =
+      match Hashtbl.find_opt env.by_name (key g.rel x) with
+      | Some l -> (
+        match Hashtbl.find_opt env.infos g.rel with
+        | Some (_, _, top_lines) ->
+          let region = region_of top_lines line in
+          List.filter
+            (fun (_, r, (b : Flowgraph.binding)) -> b.toplevel || r = region)
+            l
+        | None -> l)
+      | None -> []
+    in
+    { qnames = [ Flowgraph.qualify g path ];
+      bare = Some x;
+      groups =
+        List.map (fun (off, _, (b : Flowgraph.binding)) -> off + b.group) entries;
+      callees =
+        List.filter_map
+          (fun (off, _, (b : Flowgraph.binding)) ->
+            if b.slots <> [] then Some (off, b) else None)
+          entries }
+  | _ :: _ :: _ when is_upper (List.hd path) ->
+    let literal = String.concat "." path in
+    (match target_of env ~from_rel:g.rel path with
+     | Some (rel', fn) when Hashtbl.mem env.infos rel' ->
+       let tg, _, _ = Hashtbl.find env.infos rel' in
+       let canonical = Flowgraph.qualify tg [ fn ] in
+       let entries =
+         match Hashtbl.find_opt env.by_name (key rel' fn) with
+         | Some l ->
+           List.filter (fun (_, _, (b : Flowgraph.binding)) -> b.toplevel) l
+         | None -> []
+       in
+       { qnames =
+           (if canonical = literal then [ literal ] else [ literal; canonical ]);
+         bare = None;
+         groups =
+           List.map
+             (fun (off, _, (b : Flowgraph.binding)) -> off + b.group)
+             entries;
+         callees =
+           List.filter_map
+             (fun (off, _, (b : Flowgraph.binding)) ->
+               if b.slots <> [] then Some (off, b) else None)
+             entries }
+     | _ -> { qnames = [ literal ]; bare = None; groups = []; callees = [] })
+  | _ ->
+    { qnames = [ String.concat "." path ]; bare = None; groups = []; callees = [] }
+
+(* Policy entries ending in "." are prefix wildcards; bare lowercase
+   entries match only unqualified names (stdlib sinks). *)
+let matches entries (p : pinfo) =
+  List.exists
+    (fun e ->
+      if String.contains e '.' then
+        if String.length e > 0 && e.[String.length e - 1] = '.' then
+          List.exists
+            (fun q ->
+              String.length q >= String.length e
+              && String.sub q 0 (String.length e) = e)
+            p.qnames
+        else List.mem e p.qnames
+      else match p.bare with Some b -> String.equal b e | None -> false)
+    entries
+
+let flow env = env.policy.Policy.flow
+
+let taint env group prov =
+  if group >= 0 && not (Hashtbl.mem env.tainted group) then begin
+    Hashtbl.replace env.tainted group prov;
+    env.changed <- true
+  end
+
+(* Seed the parameters that receive secrets at every call site, so the
+   secret is tracked inside the callee even when no call is visible. *)
+let seed_params env =
+  List.iter
+    (fun (qfn, pname) ->
+      Hashtbl.iter
+        (fun rel (g, offset, _) ->
+          List.iter
+            (fun (b : Flowgraph.binding) ->
+              if b.toplevel && Flowgraph.qualify g [ b.name ] = qfn then
+                List.iter
+                  (fun (slot : Flowgraph.slot) ->
+                    List.iter
+                      (fun pg ->
+                        let gg = offset + pg in
+                        match Hashtbl.find_opt env.gname gg with
+                        | Some n when n = pname ->
+                          taint env gg
+                            { pfile = rel;
+                              pline = b.line;
+                              plabel =
+                                Printf.sprintf
+                                  "%s (parameter of %s, receives secrets)" pname
+                                  qfn;
+                              parent = None }
+                        | _ -> ())
+                      slot.groups)
+                  b.slots)
+            g.Flowgraph.bindings)
+        env.infos)
+    (flow env).Policy.source_params
+
+(* --- The per-use transfer function ---------------------------------- *)
+
+let path_str path = String.concat "." path
+
+(* Map a use's argument position onto the callee's parameter slot:
+   label match first, else the n-th unlabelled slot. *)
+let slot_for (b : Flowgraph.binding) (fr : Flowgraph.frame) =
+  match fr.arg_label with
+  | Some l ->
+    List.find_opt
+      (fun (s : Flowgraph.slot) -> s.label = Some l)
+      b.slots
+  | None ->
+    if fr.arg_index < 0 then None
+    else
+      let unlabelled =
+        List.filter (fun (s : Flowgraph.slot) -> s.label = None) b.slots
+      in
+      List.nth_opt unlabelled fr.arg_index
+
+let process_use env (g : Flowgraph.t) emit (u : Flowgraph.use) =
+  let fl = flow env in
+  let offset = match Hashtbl.find_opt env.infos g.rel with
+    | Some (_, off, _) -> off
+    | None -> 0
+  in
+  let binder = if u.binder < 0 then -1 else offset + u.binder in
+  let p = analyze_path env g ~line:u.line u.path in
+  if matches fl.Policy.declassifiers p then ()
+  else begin
+    (* why is this use tainted, if it is? *)
+    let cause =
+      if matches fl.Policy.sources p then
+        Some
+          ( Printf.sprintf "%s (source)" (path_str u.path),
+            None )
+      else
+        match List.find_opt (fun gg -> Hashtbl.mem env.tainted gg) p.groups with
+        | Some gg ->
+          Some (path_str u.path, Some gg)
+        | None -> None
+    in
+    match cause with
+    | None -> ()
+    | Some (label, parent) ->
+      let absorbed = ref false in
+      let sunk = ref false in
+      let consumed = ref false in
+      let stop = ref false in
+      let frames = ref u.frames in
+      while (not !stop) && !frames <> [] do
+        let fr = List.hd !frames in
+        frames := List.tl !frames;
+        if fr.Flowgraph.head = Flowgraph.lambda_head then
+          (* The use sits in an anonymous [fun] body.  The flow into
+             whatever application the lambda is an argument of is cut —
+             the runner receives a closure, not the secret — but the use
+             still taints the binding the lambda sits under, because the
+             runner may call the closure and hand back its result. *)
+          stop := true
+        else begin
+          let fp = analyze_path env g ~line:u.line fr.Flowgraph.head in
+          if matches fl.Policy.declassifiers fp then begin
+            absorbed := true;
+            stop := true
+          end
+          else if matches fl.Policy.sinks fp then begin
+            sunk := true;
+            stop := true;
+            match emit with
+            | None -> ()
+            | Some record ->
+              record ~file:g.rel ~line:u.line ~col:u.col ~label ~parent
+                ~sink:(path_str fr.Flowgraph.head)
+          end
+          else begin
+            (* A known callee consumes the argument: the secret enters
+               its parameter group, and the call's result is secret only
+               if the callee's own body makes it so (which taints the
+               callee's function binding and re-emerges at call sites
+               through the head-use rule).  Unknown heads fall through:
+               the value may come straight back, so the binder below
+               stays tainted. *)
+            let hit = ref false in
+            List.iter
+              (fun (off, (b : Flowgraph.binding)) ->
+                match slot_for b fr with
+                | Some slot ->
+                  hit := true;
+                  List.iter
+                    (fun pg ->
+                      taint env (off + pg)
+                        { pfile = g.rel;
+                          pline = u.line;
+                          plabel =
+                            Printf.sprintf "%s -> %s (argument)" label b.name;
+                          parent })
+                    slot.Flowgraph.groups
+                | None -> ())
+              fp.callees;
+            if !hit then begin
+              consumed := true;
+              stop := true
+            end
+          end
+        end
+      done;
+      if (not !absorbed) && not !consumed then
+        taint env binder
+          { pfile = g.rel;
+            pline = u.line;
+            plabel =
+              (match Hashtbl.find_opt env.gname binder with
+               | Some n -> Printf.sprintf "%s <- %s" n label
+               | None -> label);
+            parent };
+      if
+        (not !absorbed) && (not !sunk)
+        && List.mem g.rel fl.Policy.sink_files
+      then
+        match emit with
+        | None -> ()
+        | Some record ->
+          record ~file:g.rel ~line:u.line ~col:u.col ~label ~parent
+            ~sink:"server-side code"
+  end
+
+(* --- Witness rendering ---------------------------------------------- *)
+
+let witness env ~file ~line ~label ~parent ~sink =
+  let hops = ref [] in
+  let cursor = ref parent in
+  let seen = Hashtbl.create 8 in
+  let steps = ref 0 in
+  while !cursor <> None && !steps < 32 do
+    incr steps;
+    (match !cursor with
+     | Some gg when not (Hashtbl.mem seen gg) -> (
+       Hashtbl.replace seen gg ();
+       match Hashtbl.find_opt env.tainted gg with
+       | Some pr ->
+         hops := Printf.sprintf "%s:%d  %s" pr.pfile pr.pline pr.plabel :: !hops;
+         cursor := pr.parent
+       | None -> cursor := None)
+     | _ -> cursor := None)
+  done;
+  let hops = if !cursor <> None then "... (witness truncated)" :: !hops else !hops in
+  hops @ [ Printf.sprintf "%s:%d  %s -> sink %s" file line label sink ]
+
+(* --- Entry points --------------------------------------------------- *)
+
+let trusted policy rel =
+  List.exists
+    (fun prefix ->
+      String.length rel >= String.length prefix
+      && String.sub rel 0 (String.length prefix) = prefix)
+    policy.Policy.flow.Policy.trusted_files
+
+let check policy graphs =
+  let graphs =
+    List.filter (fun (g : Flowgraph.t) -> not (trusted policy g.rel)) graphs
+  in
+  let env = build_env policy graphs in
+  seed_params env;
+  (* monotone fixpoint: every pass may only add tainted groups, and the
+     group count bounds the pass count; the cap is a safety net. *)
+  let passes = ref 0 in
+  env.changed <- true;
+  while env.changed && !passes < 64 do
+    env.changed <- false;
+    incr passes;
+    List.iter
+      (fun (g : Flowgraph.t) ->
+        List.iter (process_use env g None) g.Flowgraph.uses)
+      graphs
+  done;
+  let out = ref [] in
+  let dedup = Hashtbl.create 32 in
+  List.iter
+    (fun (g : Flowgraph.t) ->
+      let record ~file ~line ~col ~label ~parent ~sink =
+        let message =
+          Printf.sprintf "secret value %s reaches %s without declassification"
+            label
+            (if sink = "server-side code" then sink else "sink " ^ sink)
+        in
+        let k = (file, line, col, message) in
+        if not (Hashtbl.mem dedup k) then begin
+          Hashtbl.replace dedup k ();
+          out :=
+            { Finding.rule = "secret-flow";
+              file;
+              line;
+              col;
+              message;
+              witness = witness env ~file ~line ~label ~parent ~sink }
+            :: !out
+        end
+      in
+      List.iter (process_use env g (Some record)) g.Flowgraph.uses)
+    graphs;
+  List.sort Finding.compare !out
+
+let modpath_of policy rel =
+  match lib_dir rel with
+  | None -> []
+  | Some lib -> (
+    let root =
+      List.find_opt (fun (_, l) -> String.equal l lib) policy.Policy.roots
+    in
+    match root with
+    | None -> []
+    | Some (root, _) ->
+      let base = Filename.remove_extension (Filename.basename rel) in
+      if String.lowercase_ascii root = base then [ root ]
+      else [ root; String.capitalize_ascii base ])
+
+let check_files policy files =
+  let graphs =
+    List.filter_map
+      (fun (rel, src) ->
+        match lib_dir rel with
+        | Some _ when Filename.check_suffix rel ".ml" ->
+          let lex = Lexer.tokenize src in
+          Some (Flowgraph.build ~rel ~modpath:(modpath_of policy rel) lex)
+        | _ -> None)
+      files
+  in
+  check policy graphs

@@ -1,0 +1,29 @@
+(** Whole-tree interprocedural secret-flow analysis.
+
+    Interprets the {!Flowgraph} def-use graphs of every [lib/*.ml] unit
+    against the {!Policy.flow} table: taint is seeded at the sources,
+    propagated through let-bindings and across module boundaries into
+    callee parameter groups (matched by label, positionally otherwise),
+    and absorbed at the declared declassifiers.  A tainted value
+    reaching a sink — or used at all inside a sink file — yields a
+    [secret-flow] finding whose witness is the source->sink provenance
+    chain, one hop per line.
+
+    The analysis is flow-insensitive (a binding is tainted for the
+    whole unit once any of its definitions is) and binding-level
+    (record fields collapse onto the root value); see
+    docs/STATIC_ANALYSIS.md for what that over- and under-approximates. *)
+
+val check : Policy.t -> Flowgraph.t list -> Finding.t list
+(** Run the fixpoint over all graphs; findings are de-duplicated per
+    (file, line, sink) and sorted with {!Finding.compare}. *)
+
+val modpath_of : Policy.t -> string -> string list
+(** [modpath_of policy "lib/secure/system.ml"] is [["Secure"; "System"]];
+    the library's root-named unit collapses to the root alone
+    ([["Obs"]] for [lib/obs/obs.ml]).  [[]] outside [lib/]. *)
+
+val check_files : Policy.t -> (string * string) list -> Finding.t list
+(** [check_files policy [(rel, source); ...]] — convenience for tests:
+    tokenize, build the graphs, run {!check}.  Only [lib/*.ml] paths
+    participate, mirroring the tree walk in {!Lint}. *)

@@ -1,0 +1,16 @@
+(* Metric/span label hygiene.  Tenant ids and other caller-supplied
+   strings end up embedded in metric names and ledger rows; anything
+   outside a small safe alphabet is replaced rather than escaped so a
+   label can never smuggle exposition-format structure (newlines,
+   braces, quotes) or plaintext fragments into an observability sink. *)
+
+let max_len = 64
+
+let safe = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+  | _ -> false
+
+let sanitize s =
+  let n = min (String.length s) max_len in
+  if n = String.length s && String.for_all safe s then s
+  else String.init n (fun i -> if safe s.[i] then s.[i] else '_')

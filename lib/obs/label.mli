@@ -1,0 +1,15 @@
+(** Label hygiene for metric names, span attributes and ledger tags.
+
+    Caller-supplied strings (tenant ids above all) get embedded into
+    metric names; this is the one sanctioned path for doing so. *)
+
+val sanitize : string -> string
+(** Restrict a label to [A-Za-z0-9._-], replacing every other byte with
+    ['_'], and truncate to 64 bytes.  Idempotent; already-clean strings
+    are returned unchanged (no allocation).
+
+    Declared as a declassifier in the secret-flow policy
+    (lib/analysis/policy.ml): a value routed through [sanitize] is
+    considered safe to surface in observability output, precisely
+    because the substitution destroys any secret content beyond the
+    label's shape. *)

@@ -1,4 +1,5 @@
 module Json = Json
+module Label = Label
 module Metric = Metric
 module Trace = Trace
 module Ledger = Ledger

@@ -7,6 +7,7 @@
     full metric/span/ledger inventory. *)
 
 module Json = Json
+module Label = Label
 module Metric = Metric
 module Trace = Trace
 module Ledger = Ledger

@@ -128,6 +128,11 @@ let make_db ~doc ~scheme ~blocks ~skeleton ~encrypted_tags ~plaintext_tags =
   { doc; scheme; blocks; skeleton; encrypted_tags; plaintext_tags;
     node_block; block_by_id }
 
+(* The server's half of the split: ciphertext blocks only.  The rest
+   of the [db] (plaintext document, scheme, tag partitions) stays on
+   the client side of the wire. *)
+let server_blocks db = db.blocks
+
 (* The derived-key memos inside [Keys] are mutable; touch every label
    the per-block work needs before fanning out so parallel workers
    only ever read them. *)

@@ -73,6 +73,14 @@ val encrypt :
     domains.  Nonces are keyed by block id and results merge in block
     order, so the output is byte-identical to the sequential path. *)
 
+val server_blocks : db -> block list
+(** The ciphertext half of the database — exactly what may be shipped
+    to the untrusted server.  A [db] as a whole is a client-side value
+    (it keeps the plaintext document for post-processing); the blocks
+    are encrypt-then-MAC ciphertext and carry no key or plaintext
+    material, which is why the secret-flow policy declares this
+    projection a declassifier (see docs/STATIC_ANALYSIS.md). *)
+
 val prewarm_block_keys : keys:Crypto.Keys.t -> unit
 (** Derive (and thereby memoise) every subkey that per-block
     encryption and decryption touch.  The memo table inside

@@ -80,10 +80,10 @@ let create ?trace ~dsi_table ~block_table ~btree ~blocks () =
     btree;
     trace }
 
-let of_metadata ?trace meta db =
+let of_metadata ?trace meta blocks =
   create ?trace ~dsi_table:meta.Metadata.dsi_table
     ~block_table:meta.Metadata.block_table ~btree:meta.Metadata.btree
-    ~blocks:db.Encrypt.blocks ()
+    ~blocks ()
 
 let all_blocks t =
   Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks_by_id []

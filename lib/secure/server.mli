@@ -42,8 +42,11 @@ val create :
     ([server.answer] → [server.prune], [server.select_blocks]); without
     it a disabled tracer is used and spans cost one boolean test. *)
 
-val of_metadata : ?trace:Obs.Trace.t -> Metadata.t -> Encrypt.db -> t
-(** Convenience: extracts exactly the server-visible parts. *)
+val of_metadata : ?trace:Obs.Trace.t -> Metadata.t -> Encrypt.block list -> t
+(** Convenience constructor from the server-visible halves: the
+    (declassified) metadata tables and the ciphertext blocks, as
+    produced by {!Encrypt.server_blocks}.  The server never receives
+    an {!Encrypt.db} — that record keeps the plaintext document. *)
 
 val answer : t -> Squery.path -> response
 

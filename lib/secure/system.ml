@@ -141,7 +141,7 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
     timed (fun () -> Metadata.build ?pool ~keys ~policy:value_index db)
   in
   let client = Client.create ~keys metadata db in
-  let server = Server.of_metadata ~trace metadata db in
+  let server = Server.of_metadata ~trace metadata (Encrypt.server_blocks db) in
   Log.info (fun m ->
       m "setup: scheme %s, %d blocks (%.0f ms), metadata %d B (%.0f ms), cipher %s"
         (Scheme.kind_to_string kind)
@@ -180,7 +180,7 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~sche
      memo before any pooled decryption can read it concurrently. *)
   Encrypt.prewarm_block_keys ~keys;
   let trace = Obs.Trace.create () in
-  let server = Server.of_metadata ~trace metadata db in
+  let server = Server.of_metadata ~trace metadata (Encrypt.server_blocks db) in
   { doc;
     master;
     cipher;
@@ -344,24 +344,32 @@ let try_evaluate t query =
           ~blocks:(List.length response.Server.blocks)
           ~answers:(List.length answers) () )
 
+(* What the naive path ships: every stored block.  These are wire
+   facts of the ciphertext store alone, computed outside the
+   answer-producing closures so ledger rounds can record them without
+   projecting anything out of the (secret) answer tuple. *)
+let shipped_facts t =
+  let blocks = Server.all_blocks t.server in
+  let bytes =
+    List.fold_left
+      (fun acc b ->
+        acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
+      0 blocks
+  in
+  blocks, bytes, List.length blocks
+
 (* [record = false] also skips tracing: the batch path may run this on
    a pool worker, and the tracer/ledger are single-domain structures. *)
 let naive_impl ~record t query =
+  let shipped, shipped_bytes, shipped_count = shipped_facts t in
   let run () =
-    let blocks = Server.all_blocks t.server in
-    let bytes =
-      List.fold_left
-        (fun acc b ->
-          acc + String.length b.Encrypt.ciphertext + Encrypt.block_header_bytes)
-        0 blocks
-    in
-    let decrypted, decrypt_ms = decrypt_blocks t blocks in
+    let decrypted, decrypt_ms = decrypt_blocks t shipped in
     let answers, postprocess_ms =
       timed (fun () -> Client.evaluate_with t.client ~decrypted query)
     in
     ( answers,
-      cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms ~postprocess_ms
-        ~blocks:(List.length blocks)
+      cost_of ~translate_ms:0.0 ~server_ms:0.0 ~bytes:shipped_bytes ~decrypt_ms
+        ~postprocess_ms ~blocks:shipped_count
         ~answers:(List.length answers) () )
   in
   if not record then run ()
@@ -369,8 +377,8 @@ let naive_impl ~record t query =
     let answers, cost = Obs.span t.trace "system.naive_evaluate" run in
     if Obs.Ledger.enabled t.ledger then
       Obs.Ledger.record t.ledger
-        (Obs.Ledger.round "naive" ~bytes_down:cost.transmit_bytes
-           ~blocks_returned:cost.blocks_returned);
+        (Obs.Ledger.round "naive" ~bytes_down:shipped_bytes
+           ~blocks_returned:shipped_count);
     answers, cost
   end
 
@@ -391,12 +399,13 @@ let evaluate t query =
           (Session.error_to_string err));
     Obs.Metric.incr M.degraded;
     let answers, cost = naive_impl ~record:false t query in
+    let _, shipped_bytes, shipped_count = shipped_facts t in
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
     let replays = replays_since t replays_before in
     if Obs.Ledger.enabled t.ledger then
       Obs.Ledger.record t.ledger
-        (Obs.Ledger.round "degraded" ~bytes_down:cost.transmit_bytes
-           ~blocks_returned:cost.blocks_returned ~attempts ~replays
+        (Obs.Ledger.round "degraded" ~bytes_down:shipped_bytes
+           ~blocks_returned:shipped_count ~attempts ~replays
            ~degraded:true);
     ( answers,
       { cost with
@@ -541,19 +550,28 @@ let evaluate_batch t queries =
           let answers, postprocess_ms =
             timed (fun () -> Client.evaluate_with t.client ~decrypted query)
           in
-          ( answers,
-            cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~translate_ms
-              ~server_ms
-              ~bytes:(request_bytes + response.Server.bytes)
-              ~decrypt_ms ~postprocess_ms
-              ~blocks:(List.length response.Server.blocks)
-              ~answers:(List.length answers) () )
+          (* The lane returns the ledger's wire facts next to the
+             result pair: they come from the request/response framing,
+             never from the answer tuple, so recording them after the
+             merge stays clean of the decrypted material. *)
+          ( ( answers,
+              cost_of ~attempts ~retransmitted_bytes ~faults_absorbed
+                ~translate_ms ~server_ms
+                ~bytes:(request_bytes + response.Server.bytes)
+                ~decrypt_ms ~postprocess_ms
+                ~blocks:(List.length response.Server.blocks)
+                ~answers:(List.length answers) () ),
+            (false, request_bytes + response.Server.bytes,
+             List.length response.Server.blocks, attempts) )
         | Error err, _ ->
           Log.warn (fun m ->
               m "batch lane failed (%s): degrading to naive evaluation"
                 (Session.error_to_string err));
           let answers, cost = naive_impl ~record:false t query in
-          answers, { cost with degraded = true })
+          let _, shipped_bytes, shipped_count = shipped_facts t in
+          (* attempts 1 matches the naive cost's [cost_of] default. *)
+          ( (answers, { cost with degraded = true }),
+            (true, shipped_bytes, shipped_count, 1) ))
         translated
     in
     (* Metric and ledger updates happen after the deterministic merge,
@@ -561,17 +579,18 @@ let evaluate_batch t queries =
        atomic, and lane endpoints (with their replay caches) are
        private and discarded, so per-round replay counts are 0 here. *)
     Array.iter
-      (fun (_, cost) -> if cost.degraded then Obs.Metric.incr M.degraded)
+      (fun (_, (lane_degraded, _, _, _)) ->
+        if lane_degraded then Obs.Metric.incr M.degraded)
       results;
     if Obs.Ledger.enabled t.ledger then
       Array.iter
-        (fun (_, cost) ->
+        (fun (_, (lane_degraded, lane_bytes, lane_blocks, lane_attempts)) ->
           Obs.Ledger.record t.ledger
-            (Obs.Ledger.round "batch" ~bytes_down:cost.transmit_bytes
-               ~blocks_returned:cost.blocks_returned ~attempts:cost.attempts
-               ~degraded:cost.degraded))
+            (Obs.Ledger.round "batch" ~bytes_down:lane_bytes
+               ~blocks_returned:lane_blocks ~attempts:lane_attempts
+               ~degraded:lane_degraded))
         results;
-    results
+    Array.map fst results
 
 let reference_union t queries =
   List.map (fun n -> Doc.subtree t.doc n) (Xpath.Eval.eval_union t.doc queries)

@@ -128,7 +128,12 @@ let find t id =
 let register t ~id ?(route = `Wire) sys =
   if Hashtbl.mem t.by_id id then
     invalid_arg (Printf.sprintf "Serve.register: duplicate tenant %S" id);
-  let c name help = Obs.Metric.counter t.reg ("serve." ^ id ^ "." ^ name) ~help in
+  (* Tenant ids are caller-supplied: sanitize before they become metric
+     names, so a hostile id cannot inject structure into the sinks. *)
+  let label = Obs.Label.sanitize id in
+  let c name help =
+    Obs.Metric.counter t.reg ("serve." ^ label ^ "." ^ name) ~help
+  in
   let tn =
     {
       id;

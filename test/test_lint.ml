@@ -368,6 +368,114 @@ let suppression_does_not_leak_down () =
   Alcotest.(check int) "only the adjacent line is covered" 1
     (count_rule "random-source" found)
 
+(* --- Secret flow ---------------------------------------------------- *)
+
+module Taint = Analysis.Taint
+
+let secret_flow findings =
+  List.filter (fun f -> f.Finding.rule = "secret-flow") findings
+
+(* Three units under lib/secure: the key ring is created in one, washed
+   through an identity function in a second, and the third drives the
+   tainted value into [last_unit]'s sink.  Exercises source seeding,
+   cross-module binder resolution and argument->parameter propagation
+   in one fixture. *)
+let leak_fixture last_unit =
+  [ ( "lib/secure/leaka.ml",
+      "let secret () =\n\
+      \  Crypto.Keys.create ~suite:Crypto.Cipher.Xtea ~master:\"m\" ()" );
+    "lib/secure/leakb.ml", "let relay x = x";
+    ( "lib/secure/leakc.ml",
+      "let k = Leaka.secret ()\nlet v = Leakb.relay k\n" ^ last_unit ) ]
+
+let flow_cross_module_leak () =
+  let found =
+    secret_flow
+      (Taint.check_files Policy.default
+         (leak_fixture "let () = print_endline v"))
+  in
+  Alcotest.(check int) "one finding" 1 (List.length found);
+  let f = List.hd found in
+  Alcotest.(check string) "fires in the leaking unit" "lib/secure/leakc.ml"
+    f.Finding.file;
+  let witness = String.concat "\n" f.Finding.witness in
+  let mentions sub =
+    let n = String.length sub in
+    let rec at i =
+      i + n <= String.length witness
+      && (String.sub witness i n = sub || at (i + 1))
+    in
+    at 0
+  in
+  (* The witness must walk the whole chain, not just name the sink. *)
+  Alcotest.(check bool) "witness crosses into leaka.ml" true
+    (mentions "leaka.ml");
+  Alcotest.(check bool) "witness crosses into leakb.ml" true
+    (mentions "leakb.ml");
+  Alcotest.(check bool) "witness names the source" true (mentions "(source)")
+
+let flow_declassified_is_clean () =
+  (* Same chain, but the value passes [Crypto.Cipher.encrypt] before
+     printing: ciphertext is exactly what the model allows out. *)
+  let found =
+    secret_flow
+      (Taint.check_files Policy.default
+         (leak_fixture
+            "let safe = Crypto.Cipher.encrypt v\nlet () = print_endline safe"))
+  in
+  Alcotest.(check int) "no findings" 0 (List.length found)
+
+let flow_projection_through_record () =
+  (* Binding-level analysis: the record value is tainted as a whole, so
+     a projection out of it carries the taint even though no field
+     tracking exists. *)
+  let found =
+    secret_flow
+      (Taint.check_files Policy.default
+         [ ( "lib/secure/leaka.ml",
+             "let secret () =\n\
+             \  Crypto.Keys.create ~suite:Crypto.Cipher.Xtea ~master:\"m\" ()"
+           );
+           ( "lib/secure/leakr.ml",
+             "let k = Leaka.secret ()\n\
+              let r = { key = k; count = 1 }\n\
+              let out = r.key\n\
+              let () = print_endline out" ) ])
+  in
+  Alcotest.(check int) "projection still flagged" 1 (List.length found)
+
+let flow_suppression () =
+  (* Through the full [check_sources] pipeline: a suppression comment on
+     the sink line swallows the finding like any token-level rule. *)
+  let with_comment =
+    secret_flow
+      (Lint.check_sources
+         (leak_fixture
+            "(* lint: allow secret-flow *)\nlet () = print_endline v"))
+  in
+  Alcotest.(check int) "suppressed at the sink" 0 (List.length with_comment);
+  let without =
+    secret_flow
+      (Lint.check_sources (leak_fixture "let () = print_endline v"))
+  in
+  Alcotest.(check int) "same pipeline without the comment fires" 1
+    (List.length without)
+
+let flow_trusted_interior_is_skipped () =
+  (* lib/crypto is the modelled TCB: its interior necessarily mixes key
+     material, so its graphs are excluded and only its API surface (the
+     source/declassifier tables) participates. *)
+  let found =
+    secret_flow
+      (Taint.check_files Policy.default
+         [ ( "lib/crypto/interior.ml",
+             "let k = Crypto.Keys.create ~suite:Crypto.Cipher.Xtea \
+              ~master:\"m\" ()\n\
+              let () = print_endline k" ) ])
+  in
+  Alcotest.(check int) "trusted interior produces no findings" 0
+    (List.length found)
+
 (* --- Baseline ------------------------------------------------------- *)
 
 let baseline_absorbs_known_findings () =
@@ -397,6 +505,15 @@ let seeded_violation_fails_the_gate () =
     lint "lib/secure/server.ml" "let leak d = Xmlcore.Doc.value d 0"
   in
   Alcotest.(check bool) "driver would exit 1" true (found <> [])
+
+let seeded_flow_violation_fails_the_gate () =
+  (* The interprocedural analogue: a cross-module secret->sink chain
+     seeded into an otherwise clean file set must surface through the
+     same [check_sources] pipeline the tree walk uses, so the driver —
+     and therefore `make check` — goes red. *)
+  let found = Lint.check_sources (leak_fixture "let () = print_endline v") in
+  Alcotest.(check bool) "driver would exit 1" true
+    (List.exists (fun f -> f.Finding.rule = "secret-flow") found)
 
 (* Dune may run the test binary from the sandbox or from the project
    root, so locate the repo by walking up until we see dune-project
@@ -510,6 +627,15 @@ let () =
           Alcotest.test_case "allow all" `Quick suppression_allow_all;
           Alcotest.test_case "bounded range" `Quick
             suppression_does_not_leak_down ] );
+      ( "secret-flow",
+        [ Alcotest.test_case "cross-module leak" `Quick flow_cross_module_leak;
+          Alcotest.test_case "declassified chain clean" `Quick
+            flow_declassified_is_clean;
+          Alcotest.test_case "projection through record" `Quick
+            flow_projection_through_record;
+          Alcotest.test_case "suppression honoured" `Quick flow_suppression;
+          Alcotest.test_case "trusted interior skipped" `Quick
+            flow_trusted_interior_is_skipped ] );
       ( "baseline",
         [ Alcotest.test_case "absorbs findings" `Quick
             baseline_absorbs_known_findings;
@@ -518,5 +644,7 @@ let () =
       ( "gate",
         [ Alcotest.test_case "seeded violation fails" `Quick
             seeded_violation_fails_the_gate;
+          Alcotest.test_case "seeded secret-flow fails" `Quick
+            seeded_flow_violation_fails_the_gate;
           Alcotest.test_case "shipped tree clean" `Quick shipped_tree_is_clean
         ] ) ]

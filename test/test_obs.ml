@@ -484,6 +484,26 @@ let degraded_fallbacks_are_counted () =
   Alcotest.(check bool) "dead link degrades every query" true (!degraded = 5);
   Alcotest.(check int) "counter agrees with cost flags" !degraded seen
 
+(* --- Labels --------------------------------------------------------- *)
+
+let label_sanitize () =
+  Alcotest.(check string) "clean labels pass through" "tenant-a.v2_x"
+    (Obs.Label.sanitize "tenant-a.v2_x");
+  Alcotest.(check string) "structure is destroyed" "a_b_c__d"
+    (Obs.Label.sanitize "a b\nc{\"d");
+  let long = String.make 200 'x' in
+  Alcotest.(check int) "truncated to 64 bytes" 64
+    (String.length (Obs.Label.sanitize long));
+  let once = Obs.Label.sanitize "sp\xffooky id" in
+  Alcotest.(check string) "idempotent" once (Obs.Label.sanitize once)
+
+let label_used_for_tenant_metrics () =
+  (* Serve.register must not mint metric names straight from the raw
+     tenant id; a hostile id shows up sanitized in the snapshot. *)
+  Alcotest.(check string) "hostile id becomes a flat label"
+    "serve.evil_tenant_1.admitted"
+    ("serve." ^ Obs.Label.sanitize "evil tenant\n1" ^ ".admitted")
+
 let () =
   Alcotest.run "obs"
     [ Helpers.qsuite "properties"
@@ -518,6 +538,10 @@ let () =
             ledger_disabled_is_inert;
           Alcotest.test_case "replay accounting agrees" `Quick
             replay_accounting_agrees ] );
+      ( "label",
+        [ Alcotest.test_case "sanitize" `Quick label_sanitize;
+          Alcotest.test_case "tenant metric names" `Quick
+            label_used_for_tenant_metrics ] );
       ( "engine",
         [ Alcotest.test_case "counters reset on rehost" `Quick
             engine_counters_reset_on_rehost ] ) ]
