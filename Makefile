@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-smoke trace-smoke clean
+.PHONY: all build test lint check bench bench-smoke trace-smoke attack-gate clean
 
 all: build
 
@@ -16,9 +16,10 @@ lint:
 
 # Tier-1 gate: everything compiles, the full suite passes, the tree is
 # lint-clean, the cache/observability experiments' assertions hold on a
-# tiny dataset, and the trace CLI emits parseable JSON.
+# tiny dataset, the trace CLI emits parseable JSON, and the leakage
+# budget holds against the adversary simulator.
 check:
-	dune build && dune runtest && $(MAKE) lint && $(MAKE) bench-smoke && $(MAKE) trace-smoke
+	dune build && dune runtest && $(MAKE) lint && $(MAKE) bench-smoke && $(MAKE) trace-smoke && $(MAKE) attack-gate
 
 bench:
 	dune exec bench/main.exe
@@ -30,7 +31,7 @@ bench:
 # run: configuration axes and deterministic counters must match
 # exactly, timings may drift but not blow up (see bench/main.ml).
 bench-smoke:
-	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 --scale tiny --json /dev/null --compare BENCH_1.json
+	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 e14 --scale tiny --json /dev/null --compare BENCH_1.json
 
 # The observability CLI end to end: generate a document, trace a query
 # (engine path, two rounds, so the ledger shows a cache hit), and emit
@@ -43,6 +44,13 @@ trace-smoke:
 	dune exec bin/sxq.exe -- trace /tmp/trace-smoke.xml "//patient[age>=60]/pname" -c "//patient:(/pname,/SSN)" --engine --rounds 2 --json > /dev/null
 	dune exec bin/sxq.exe -- stats -q "//patient//pname" -c "//patient:(/pname,/SSN)" /tmp/trace-smoke.xml --json > /dev/null
 	rm -f /tmp/trace-smoke.xml
+
+# The leakage-budget gate: run the adversary simulator over the default
+# gate workload with the mitigations attack.budget buys, and fail if
+# any inference pass achieves a candidate set below the declared
+# minimums (exit 1) or the trace machinery miscarries (exit 2).
+attack-gate:
+	dune build bin/sxq.exe && dune exec bin/sxq.exe -- attack --budget attack.budget
 
 clean:
 	dune clean

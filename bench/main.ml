@@ -19,6 +19,7 @@
      e11             — domain-pool scaling of hosting and batched queries
      e12             — disabled-observability overhead bound
      e13             — multi-tenant admission control under offered load
+     e14             — leakage mitigations: candidate-set growth vs. price
      micro           — Bechamel micro-benchmarks of the core primitives
 
    --json <path> additionally writes every measured row (scheme x
@@ -1498,6 +1499,138 @@ let e13 scale =
      while p50/p95 stay flat.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E14: leakage mitigations — candidate-set growth vs. price           *)
+
+let e14 scale =
+  header
+    (Printf.sprintf
+       "E14: leakage mitigations — candidate-set growth and its price (%s \
+        scale)"
+       scale.label);
+  let patients = if scale.label = "tiny" then 5 else 12 in
+  let doc = Workload.Health.generate ~seed:1L ~patients () in
+  let scs = Workload.Health.constraints () in
+  let queries =
+    Array.of_list
+      (List.map Xpath.Parser.parse
+         [ "//patient/pname"; "//patient[age>=50]/pname"; "//treat/doctor";
+           "//SSN" ])
+  in
+  let batches = 2 in
+  let budget =
+    match Attack.Budget.load "attack.budget" with
+    | Ok b -> b
+    | Error msg -> failwith ("e14: attack.budget: " ^ msg)
+  in
+  let configs =
+    [ "off", Attack.Mitigate.off;
+      "shuffle", { Attack.Mitigate.pad = false; dummies = 0; shuffle = true };
+      "dummy", { Attack.Mitigate.pad = false; dummies = 4; shuffle = false };
+      "pad", { Attack.Mitigate.pad = true; dummies = 0; shuffle = false };
+      "pad+dummy+shuffle",
+      { Attack.Mitigate.pad = true; dummies = 4; shuffle = true } ]
+  in
+  (* One fresh hosting per configuration: the leakage ledger must see
+     only this configuration's wire traffic. *)
+  let run_config config =
+    let sys, _ = System.setup ~master:"e14" doc scs Scheme.Opt in
+    Obs.Ledger.set_enabled (System.ledger sys) true;
+    let mit = Attack.Mitigate.create ~seed:11L config in
+    let answers = ref [] and ms = ref 0.0 and bytes = ref 0 in
+    for _ = 1 to batches do
+      Array.iter
+        (fun (ans, cost) ->
+          answers := List.map Xmlcore.Printer.tree_to_string ans :: !answers;
+          ms := !ms +. System.total_ms cost;
+          bytes := !bytes + cost.System.transmit_bytes)
+        (Attack.Mitigate.evaluate_batch mit sys queries)
+    done;
+    (List.rev !answers, !ms, !bytes, Attack.Trace.of_ledger (System.ledger sys))
+  in
+  let min_class findings c =
+    match
+      List.filter_map
+        (fun (f : Attack.Passes.finding) ->
+          if f.Attack.Passes.pass = c then Some f.Attack.Passes.candidates
+          else None)
+        findings
+    with
+    | [] -> None
+    | sizes -> Some (List.fold_left min max_int sizes)
+  in
+  Printf.printf
+    "%d batch(es) x %d quer(ies) per configuration; budget: attack.budget\n\n"
+    batches (Array.length queries);
+  Printf.printf "%-18s %9s %9s %9s %11s %9s %9s %9s\n" "mitigations"
+    "freq_min" "size_min" "cooc_min" "violations" "ms" "bytes" "overhead";
+  let baseline = ref None in
+  List.iter
+    (fun (name, config) ->
+      let answers, ms, bytes, trace = run_config config in
+      (* The differential gate: whatever the mitigation spends, the
+         answers must be byte-identical to the unmitigated run. *)
+      (match !baseline with
+       | None -> baseline := Some (answers, ms, bytes)
+       | Some (base_answers, _, _) ->
+         if answers <> base_answers then
+           failwith
+             (Printf.sprintf
+                "e14 [%s]: mitigated answers differ from the unmitigated \
+                 baseline"
+                name));
+      let findings = Attack.Passes.run_all trace in
+      let sc = Attack.Budget.score budget findings in
+      let violations = List.length sc.Attack.Budget.violations in
+      let _, _, base_bytes =
+        match !baseline with Some b -> b | None -> assert false
+      in
+      let overhead =
+        if base_bytes = 0 then 0.0
+        else float_of_int (bytes - base_bytes) /. float_of_int base_bytes
+      in
+      let show c =
+        match min_class findings c with
+        | None -> "-"
+        | Some n -> string_of_int n
+      in
+      Printf.printf "%-18s %9s %9s %9s %11d %9.2f %9d %8.1f%%\n" name
+        (show "frequency") (show "size") (show "cooccurrence") violations ms
+        bytes (100.0 *. overhead);
+      json_row
+        [ "experiment", S "e14";
+          "mitigations", S name;
+          "frequency_min",
+          I (Option.value ~default:0 (min_class findings "frequency"));
+          "size_min", I (Option.value ~default:0 (min_class findings "size"));
+          "cooccurrence_min",
+          I (Option.value ~default:0 (min_class findings "cooccurrence"));
+          "violations", I violations;
+          "ms", F ms;
+          "transmit_bytes", I bytes;
+          "bytes_overhead", F overhead ];
+      (* The budget gates: the unmitigated run must exhibit the leakage
+         the adversary passes exist to find, and the declaration's
+         bought mitigation must actually buy it back. *)
+      if name = "off" && violations = 0 then
+        failwith
+          "e14 [off]: unmitigated workload shows no budget violation — the \
+           adversary channels vanished";
+      if name = "pad" && violations > 0 then
+        failwith
+          (Printf.sprintf
+             "e14 [pad]: the bought mitigation left %d budget violation(s)"
+             violations))
+    configs;
+  Printf.printf
+    "\nexpected shape: off pins blocks (candidate sets of 1); pad collapses \
+     every\nresponse to the block-universe envelope (one frequency/size \
+     class), priced in\nbytes and ms; dummy costs bandwidth but buys nothing \
+     against this adversary (the\nserver decodes requests, so it discards \
+     distinguishable cover fetches); shuffle\nalone changes nothing the \
+     passes see (order is not an input).  Answers are\nbyte-identical \
+     throughout.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 
 let micro () =
@@ -1631,7 +1764,7 @@ let () =
   in
   let all =
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "e13"; "micro" ]
+      "e12"; "e13"; "e14"; "micro" ]
   in
   let wanted = if wanted = [] || List.mem "all" wanted then all else wanted in
   Printf.printf "secure-xml bench harness (scale: %s)\n" scale.label;
@@ -1651,6 +1784,7 @@ let () =
       | "e11" -> e11 scale
       | "e12" -> e12 scale
       | "e13" -> e13 scale
+      | "e14" -> e14 scale
       | "micro" -> micro ()
       | other -> Printf.printf "unknown experiment %S (skipped)\n" other)
     wanted;

@@ -533,12 +533,64 @@ let xquery_cmd =
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
 
+(* The adversary simulator (lib/attack).  Three modes:
+   - live (default): host a document, run a workload through the
+     mitigation layer, then recast the captured leakage ledger as the
+     server's observation trace, run the inference passes over it and
+     score the candidate sets against the budget declaration;
+   - [--trace FILE]: replay an exported ledger capture offline (a bare
+     ledger object or the {"tenants":[...]} wrapper that
+     [sxq serve --trace-out] writes);
+   - [DOC.xml --tag TAG]: the original paper demo — frequency attack on
+     one attribute under deterministic vs. OPESS encodings.
+   Exit 1 on a budget violation or an unparseable budget (fail closed),
+   exit 2 when a trace file fails round-trip validation. *)
+
 let attack_cmd =
-  let tag_arg =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"TAG"
-           ~doc:"Leaf attribute to attack (e.g. disease).")
+  let doc_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DOC.xml"
+           ~doc:"Document to host for the live audit (a built-in health \
+                 hosting is used when omitted).")
   in
-  let run path tag =
+  let tag_arg =
+    Arg.(value & opt (some string) None & info [ "tag" ] ~docv:"TAG"
+           ~doc:"Legacy demo: frequency-attack leaf attribute $(docv) of \
+                 DOC.xml under deterministic vs. OPESS encodings, then exit.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay an exported leakage trace offline instead of running \
+                 a live workload.  $(docv) is either a bare ledger object or \
+                 the tenants wrapper written by sxq serve --trace-out; a \
+                 capture that does not survive the ledger JSON round trip is \
+                 rejected with exit 2.")
+  in
+  let budget_arg =
+    Arg.(value & opt string "attack.budget" & info [ "budget" ] ~docv:"FILE"
+           ~doc:"Leakage budget declaration to enforce (minimum candidate-set \
+                 size per fact class; see docs/SECURITY.md).")
+  in
+  let mitigate_arg =
+    Arg.(value & opt string "budget" & info [ "mitigate" ] ~docv:"SPEC"
+           ~doc:"Mitigations for the live workload: $(b,budget) buys exactly \
+                 what the declaration lists, $(b,off) buys none, or a \
+                 comma-separated subset of pad, dummy, shuffle.")
+  in
+  let query_args =
+    Arg.(value & opt_all string [] & info [ "q"; "query" ] ~docv:"XPATH"
+           ~doc:"Live-workload query (repeatable).  Required when DOC.xml is \
+                 given; defaults to the fixed health workload otherwise.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Times the live workload is submitted (one batch each).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed for the mitigation layer (dummy-block choice, \
+                 batch shuffling).  Same seed, same trace.")
+  in
+  let legacy_demo path tag =
     let doc = load_doc path in
     let known = Xmlcore.Stats.value_histogram doc ~tag in
     if known = [] then Printf.printf "no values under tag %S\n" tag
@@ -561,11 +613,269 @@ let attack_cmd =
         (100.0 *. secured.Secure.Attack.crack_rate)
     end
   in
+  let load_budget path =
+    match Attack.Budget.load path with
+    | Ok b -> b
+    | Error msg ->
+      Printf.eprintf "sxq attack: budget %s: %s (failing closed)\n" path msg;
+      exit 1
+  in
+  let mitigation_config budget = function
+    | "off" -> Attack.Mitigate.off
+    | "budget" -> Attack.Mitigate.of_budget budget
+    | spec ->
+      let names =
+        List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+      in
+      (match
+         List.find_opt
+           (fun n -> not (List.mem n Attack.Budget.mitigation_names))
+           names
+       with
+       | Some bad ->
+         Printf.eprintf "sxq attack: unknown mitigation %S (have: %s)\n" bad
+           (String.concat ", " Attack.Budget.mitigation_names);
+         exit 1
+       | None ->
+         { Attack.Mitigate.pad = List.mem "pad" names;
+           dummies = (if List.mem "dummy" names then 4 else 0);
+           shuffle = List.mem "shuffle" names })
+  in
+  let bought_names (c : Attack.Mitigate.config) =
+    (if c.Attack.Mitigate.pad then [ "pad" ] else [])
+    @ (if c.Attack.Mitigate.dummies > 0 then [ "dummy" ] else [])
+    @ if c.Attack.Mitigate.shuffle then [ "shuffle" ] else []
+  in
+  (* Score one trace.  Returns (budget met, json report, text report). *)
+  let audit ~label (budget : Attack.Budget.t) trace =
+    let required c =
+      Option.value ~default:(-1) (List.assoc_opt c budget.Attack.Budget.minimums)
+    in
+    match Attack.Budget.check budget trace with
+    | Error msg ->
+      ( false,
+        Obs.Json.Obj
+          [ "trace", Obs.Json.Str label; "ok", Obs.Json.Bool false;
+            "error", Obs.Json.Str msg ],
+        [ Printf.sprintf "leakage audit (%s): %s" label msg ] )
+    | Ok sc ->
+      let findings = Attack.Passes.run_all trace in
+      let rows =
+        List.map
+          (fun c ->
+            let sizes =
+              List.filter_map
+                (fun (f : Attack.Passes.finding) ->
+                  if f.pass = c then Some f.candidates else None)
+                findings
+            in
+            (c, List.length sizes, List.fold_left min max_int sizes))
+          Attack.Budget.classes
+      in
+      let violations = sc.Attack.Budget.violations in
+      let ok = violations = [] in
+      let json =
+        Obs.Json.Obj
+          [ "trace", Obs.Json.Str label;
+            "ok", Obs.Json.Bool ok;
+            "rounds", Obs.Json.Int (Attack.Trace.length trace);
+            "findings", Obs.Json.Int sc.Attack.Budget.findings;
+            "classes",
+            Obs.Json.Obj
+              (List.map
+                 (fun (c, n, mn) ->
+                   ( c,
+                     Obs.Json.Obj
+                       [ "findings", Obs.Json.Int n;
+                         "min_candidates",
+                         (if n = 0 then Obs.Json.Null else Obs.Json.Int mn);
+                         "required", Obs.Json.Int (required c) ] ))
+                 rows);
+            "violations",
+            Obs.Json.List
+              (List.map
+                 (fun (v : Attack.Budget.violation) ->
+                   Obs.Json.Obj
+                     [ "pass", Obs.Json.Str v.finding.Attack.Passes.pass;
+                       "subject", Obs.Json.Str v.finding.Attack.Passes.subject;
+                       "candidates",
+                       Obs.Json.Int v.finding.Attack.Passes.candidates;
+                       "required", Obs.Json.Int v.required;
+                       "witness",
+                       Obs.Json.List
+                         (List.map
+                            (fun h -> Obs.Json.Str h)
+                            v.finding.Attack.Passes.witness) ])
+                 violations) ]
+      in
+      let text =
+        Printf.sprintf
+          "leakage audit (%s): %d round(s), %d finding(s), %d violation(s)"
+          label (Attack.Trace.length trace) sc.Attack.Budget.findings
+          (List.length violations)
+        :: List.map
+             (fun (c, n, mn) ->
+               if n = 0 then
+                 Printf.sprintf "  %-12s no findings (budget >= %d)" c
+                   (required c)
+               else
+                 Printf.sprintf
+                   "  %-12s min candidate set %d over %d finding(s) (budget \
+                    >= %d)"
+                   c mn n (required c))
+             rows
+        @ List.map
+            (fun v -> "  VIOLATION " ^ Attack.Budget.render_violation v)
+            violations
+      in
+      (ok, json, text)
+  in
+  let live doc_path queries spec rounds seed scs scheme budget_path json =
+    if rounds < 1 then begin
+      prerr_endline "sxq attack: --rounds must be >= 1";
+      exit 1
+    end;
+    let budget = load_budget budget_path in
+    let config = mitigation_config budget spec in
+    let doc, constraints, workload =
+      match doc_path with
+      | Some path ->
+        (match queries with
+         | [] ->
+           prerr_endline
+             "sxq attack: at least one --query is required with DOC.xml";
+           exit 1
+         | qs -> (load_doc path, parse_scs scs, qs))
+      | None ->
+        let qs =
+          if queries = [] then
+            [ "//patient/pname"; "//patient[age>=50]/pname"; "//treat/doctor";
+              "//SSN" ]
+          else queries
+        in
+        ( Workload.Health.generate ~seed:1L ~patients:6 (),
+          Workload.Health.constraints (), qs )
+    in
+    let batch = Array.of_list (List.map Xpath.Parser.parse workload) in
+    let sys, _ =
+      Secure.System.setup ~master:"sxq-attack-audit" doc constraints scheme
+    in
+    Obs.Ledger.set_enabled (Secure.System.ledger sys) true;
+    let mit = Attack.Mitigate.create ~seed:(Int64.of_int seed) config in
+    for _ = 1 to rounds do
+      ignore (Attack.Mitigate.evaluate_batch mit sys batch)
+    done;
+    let trace = Attack.Trace.of_ledger (Secure.System.ledger sys) in
+    let ok, jv, text = audit ~label:"live" budget trace in
+    if json then print_json_checked jv
+    else begin
+      Printf.printf "workload: %d batch(es) x %d quer(ies), mitigations: %s\n"
+        rounds (Array.length batch)
+        (match bought_names config with
+         | [] -> "none"
+         | l -> String.concat "," l);
+      List.iter print_endline text;
+      print_endline
+        (if ok then "budget met" else "budget VIOLATED (exit 1)")
+    end;
+    if not ok then exit 1
+  in
+  let replay file budget_path json =
+    let budget = load_budget budget_path in
+    let content =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let root =
+      match Obs.Json.of_string content with
+      | Ok j -> j
+      | Error msg ->
+        Printf.eprintf "sxq attack: %s: %s\n" file msg;
+        exit 2
+    in
+    let entries =
+      match Obs.Json.member "tenants" root with
+      | Some (Obs.Json.List ts) ->
+        List.map
+          (fun tj ->
+            let name =
+              match Obs.Json.member "tenant" tj with
+              | Some (Obs.Json.Str s) -> s
+              | _ ->
+                Printf.eprintf "sxq attack: %s: tenant entry without a name\n"
+                  file;
+                exit 2
+            in
+            match Obs.Json.member "ledger" tj with
+            | Some lj -> (name, lj)
+            | None ->
+              Printf.eprintf "sxq attack: %s: tenant %S has no ledger\n" file
+                name;
+              exit 2)
+          ts
+      | Some _ ->
+        Printf.eprintf "sxq attack: %s: \"tenants\" is not a list\n" file;
+        exit 2
+      | None -> [ (Filename.basename file, root) ]
+    in
+    let audits =
+      List.map
+        (fun (name, lj) ->
+          match Obs.Ledger.of_json lj with
+          | Error msg ->
+            Printf.eprintf "sxq attack: %s: ledger %S: %s\n" file name msg;
+            exit 2
+          | Ok ledger ->
+            (* The exported capture must survive our own printer/parser
+               round trip, same bar as every JSON sink. *)
+            if not (Obs.Json.equal (Obs.Ledger.to_json ledger) lj) then begin
+              Printf.eprintf
+                "sxq attack: %s: ledger %S failed round-trip validation\n"
+                file name;
+              exit 2
+            end;
+            audit ~label:name budget (Attack.Trace.of_ledger ledger))
+        entries
+    in
+    if json then
+      print_json_checked
+        (Obs.Json.Obj
+           [ "budget", Obs.Json.Str budget_path;
+             "audits", Obs.Json.List (List.map (fun (_, jv, _) -> jv) audits) ])
+    else
+      List.iter
+        (fun (_, _, text) ->
+          List.iter print_endline text;
+          print_newline ())
+        audits;
+    if List.exists (fun (ok, _, _) -> not ok) audits then exit 1
+  in
+  let run doc tag trace budget_path spec queries rounds seed scs scheme json =
+    match trace, doc, tag with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+      prerr_endline "sxq attack: --trace cannot be combined with DOC.xml or --tag";
+      exit 1
+    | Some file, None, None -> replay file budget_path json
+    | None, Some path, Some tag -> legacy_demo path tag
+    | None, None, Some _ ->
+      prerr_endline "sxq attack: --tag requires DOC.xml";
+      exit 1
+    | None, doc, None ->
+      live doc queries spec rounds seed scs scheme budget_path json
+  in
   Cmd.v
     (Cmd.info "attack"
-       ~doc:"Run the frequency attack against naive and OPESS encodings of an \
-             attribute.")
-    Term.(const run $ doc_file_arg $ tag_arg)
+       ~doc:"Simulate the honest-but-curious server: run the inference \
+             passes (frequency, size, co-occurrence, linkability) over a \
+             leakage trace — live, or replayed from a file — and enforce the \
+             declared candidate-set budget; with $(b,--tag), run the legacy \
+             OPESS frequency-attack demo.")
+    Term.(const run $ doc_arg $ tag_arg $ trace_arg $ budget_arg
+          $ mitigate_arg $ query_args $ rounds_arg $ seed_arg $ sc_arg
+          $ scheme_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -586,7 +896,13 @@ let serve_cmd =
                  while every other tenant keeps serving, then the link is \
                  re-established and a half-open probe closes the breaker.")
   in
-  let run tenants queries chaos domains json =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable every tenant's leakage ledger and write the captured \
+                 traces to $(docv) as {\"tenants\":[{\"tenant\",\"ledger\"}]} \
+                 JSON, replayable offline with sxq attack --trace $(docv).")
+  in
+  let run tenants queries chaos trace_out domains json =
     if tenants < 1 || queries < 1 then begin
       prerr_endline "sxq serve: --tenants and --queries must be >= 1";
       exit 1
@@ -623,6 +939,8 @@ let serve_cmd =
             ~profile:(Secure.Transport.chaos ~drop:1.0 ()) ~seed:3L sys
         else sys
       in
+      if trace_out <> None then
+        Obs.Ledger.set_enabled (Secure.System.ledger sys) true;
       Serve.register srv ~id sys
     done;
     let submit_for ids =
@@ -716,7 +1034,41 @@ let serve_cmd =
       Printf.printf
         "\nglobal: %d round(s), %d admitted, %d probe(s)\n"
         (counter "serve.rounds") (counter "serve.admitted")
-        (counter "serve.probes")
+        (counter "serve.probes");
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      (* Same self-validation bar as stdout JSON: the capture must
+         survive our own parser before it is allowed on disk, so
+         [sxq attack --trace] never chokes on what we wrote. *)
+      let capture =
+        Obs.Json.Obj
+          [ "tenants",
+            Obs.Json.List
+              (List.map
+                 (fun id ->
+                   Obs.Json.Obj
+                     [ "tenant", Obs.Json.Str id;
+                       "ledger",
+                       Obs.Ledger.to_json
+                         (Secure.System.ledger (Serve.system srv id)) ])
+                 (Serve.tenants srv)) ]
+      in
+      let s = Obs.Json.to_string ~indent:true capture in
+      (match Obs.Json.of_string s with
+       | Ok j when Obs.Json.equal capture j -> ()
+       | Ok _ | Error _ ->
+         prerr_endline
+           "sxq serve: internal error: trace capture failed round-trip \
+            validation";
+         exit 2);
+      let oc = open_out_bin path in
+      output_string oc s;
+      output_char oc '\n';
+      close_out oc;
+      if not json then
+        Printf.printf "wrote leakage trace for %d tenant(s) to %s\n" tenants
+          path
   in
   Cmd.v
     (Cmd.info "serve"
@@ -725,8 +1077,8 @@ let serve_cmd =
              per-tenant counters; with $(b,--chaos), demonstrate breaker trip \
              and half-open recovery on a faulty tenant while the others keep \
              serving.")
-    Term.(const run $ tenants_arg $ queries_arg $ chaos_flag $ domains_arg
-          $ json_flag)
+    Term.(const run $ tenants_arg $ queries_arg $ chaos_flag $ trace_out_arg
+          $ domains_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)

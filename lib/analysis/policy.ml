@@ -41,7 +41,8 @@ let default =
         "Analysis", "analysis";
         "Parallel", "parallel";
         "Obs", "obs";
-        "Serve", "serve" ];
+        "Serve", "serve";
+        "Attack", "attack" ];
     allowed =
       [ "xmlcore", [];
         "btree", [];
@@ -67,7 +68,13 @@ let default =
            depends on it except bin — it is the top of the DAG, and it
            handles answers only behind the Secure.Client.answer
            alias. *)
-        "serve", [ "xpath"; "secure"; "engine"; "parallel"; "obs" ];
+        (* The adversary simulator replays ledger traces and buys
+           mitigations on the wire surface: it may see translated
+           queries, the secure layer's public surface and the ledger,
+           but never the plaintext-document layer — its entire input is
+           what the server already observes. *)
+        "attack", [ "xpath"; "crypto"; "secure"; "obs" ];
+        "serve", [ "xpath"; "secure"; "engine"; "parallel"; "obs"; "attack" ];
         "xquery", [ "xmlcore"; "xpath"; "secure" ];
         "workload", [ "xmlcore"; "xpath"; "crypto"; "secure" ] ];
     (* The server evaluates queries over DSI intervals, OPESS
@@ -116,7 +123,20 @@ let default =
             in
             [ "lib/serve/" ^ name ^ ".ml", forbidden;
               "lib/serve/" ^ name ^ ".mli", forbidden ])
-          [ "limiter"; "breaker"; "serve" ]);
+          [ "limiter"; "breaker"; "serve" ]
+      (* The adversary simulator's inputs are ledger-only: it scores
+         what the server can see, so reaching for the plaintext
+         document layer or the key ring would let the "adversary"
+         cheat.  [attack.ml] is the facade unit. *)
+      @ List.concat_map
+          (fun name ->
+            let forbidden =
+              [ "Xmlcore.Doc"; "Xmlcore.Tree"; "Xmlcore.Parser"; "Xmlcore.Sax";
+                "Xmlcore.Printer"; "Crypto.Keys" ]
+            in
+            [ "lib/attack/" ^ name ^ ".ml", forbidden;
+              "lib/attack/" ^ name ^ ".mli", forbidden ])
+          [ "trace"; "passes"; "budget"; "mitigate"; "attack" ]);
     (* Paths reachable from hostile input: a malformed frame, query or
        stored catalog must surface as a typed error, never as an
        assertion failure or partial-projection exception. *)
@@ -246,6 +266,8 @@ let default =
             "Obs.Label.sanitize" ];
         sinks =
           [ "Secure.Protocol.encode_request";
+            "Secure.Protocol.encode_fetch";
+            "Secure.Protocol.encode_padded";
             "Secure.Protocol.encode_response";
             "Secure.Transport.exchange";
             "Secure.Session.call";

@@ -1,0 +1,85 @@
+type config = {
+  pad : bool;
+  dummies : int;
+  shuffle : bool;
+}
+
+let off = { pad = false; dummies = 0; shuffle = false }
+
+let of_budget ?(dummies = 4) (budget : Budget.t) =
+  { pad = List.mem "pad" budget.Budget.mitigations;
+    dummies = (if List.mem "dummy" budget.Budget.mitigations then dummies else 0);
+    shuffle = List.mem "shuffle" budget.Budget.mitigations }
+
+type t = {
+  config : config;
+  rng : Crypto.Prng.t;
+}
+
+let create ~seed config = { config; rng = Crypto.Prng.create seed }
+let config t = t.config
+
+(* The cover fetch's wire facts charged onto the query it shadows.
+   Everything added is a transmission or robustness quantity — answers,
+   decryption and post-processing belong to the query alone. *)
+let add_cover (c : Secure.System.cost) (f : Secure.System.cost) =
+  { c with
+    Secure.System.server_ms = c.Secure.System.server_ms +. f.Secure.System.server_ms;
+    transmit_bytes = c.Secure.System.transmit_bytes + f.Secure.System.transmit_bytes;
+    transmit_ms = c.Secure.System.transmit_ms +. f.Secure.System.transmit_ms;
+    retransmitted_bytes =
+      c.Secure.System.retransmitted_bytes + f.Secure.System.retransmitted_bytes;
+    faults_absorbed = c.Secure.System.faults_absorbed + f.Secure.System.faults_absorbed;
+    replays = c.Secure.System.replays + f.Secure.System.replays }
+
+(* PRNG-chosen cover blocks, deduplicated so the fetch's size is what
+   the dedup-ing server will actually ship. *)
+let draw_dummies t universe n =
+  if universe = [| |] then []
+  else
+    List.init n (fun _ -> Crypto.Prng.choice t.rng universe)
+    |> List.sort_uniq compare
+
+let evaluate t sys query =
+  let answers, cost =
+    if t.config.pad then (
+      let envelope = Secure.Server.block_ids (Secure.System.server sys) in
+      match Secure.System.try_evaluate_padded sys ~extra:envelope query with
+      | Ok result -> result
+      | Error _ ->
+        (* The degradation ladder ships every block — already the full
+           padding envelope, so the fallback stays padded in effect. *)
+        Secure.System.evaluate sys query)
+    else Secure.System.evaluate sys query
+  in
+  let cost =
+    if t.config.dummies <= 0 then cost
+    else (
+      let universe =
+        Array.of_list (Secure.Server.block_ids (Secure.System.server sys))
+      in
+      match draw_dummies t universe t.config.dummies with
+      | [] -> cost
+      | ids -> (
+        match Secure.System.fetch_blocks sys ids with
+        | Ok fetch_cost -> add_cover cost fetch_cost
+        | Error _ -> cost (* cover traffic is best-effort *)))
+  in
+  answers, cost
+
+let evaluate_batch t sys queries =
+  let n = Array.length queries in
+  let order = Array.init n (fun i -> i) in
+  if t.config.shuffle && n > 1 then Crypto.Prng.shuffle t.rng order;
+  let indexed =
+    if t.config.pad || t.config.dummies > 0 then
+      (* Per-query wire variants: evaluate sequentially in wire order so
+         the PRNG stream (and thus the trace) is deterministic. *)
+      Array.map (fun i -> i, evaluate t sys queries.(i)) order
+    else (
+      let shuffled = Array.map (fun i -> queries.(i)) order in
+      let results = Secure.System.evaluate_batch sys shuffled in
+      Array.mapi (fun k i -> i, results.(k)) order)
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) indexed;
+  Array.map snd indexed

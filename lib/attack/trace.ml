@@ -1,0 +1,74 @@
+type round = {
+  seq : int;
+  label : string;
+  bytes_up : int;
+  bytes_down : int;
+  blocks_returned : int;
+  block_ids : int list;
+  replays : int;
+  attempts : int;
+  degraded : bool;
+  timing_rank : int;
+}
+
+type t = {
+  rounds : round list;  (* oldest first *)
+  universe : int list;  (* distinct observed block ids, sorted *)
+  counts : (int * int) list;  (* (block id, rounds shipping it), by id *)
+}
+
+(* Rank rounds by response size, largest first, ties by sequence number:
+   at a fixed link speed this is the latency order a wall-clock observer
+   sees, computed without a wall clock so replays are deterministic. *)
+let timing_ranks rounds =
+  let keyed =
+    List.mapi (fun i (r : Obs.Ledger.round) -> r.Obs.Ledger.bytes_down, r.Obs.Ledger.seq, i) rounds
+  in
+  let sorted =
+    List.sort
+      (fun (b1, s1, _) (b2, s2, _) ->
+        match compare b2 b1 with 0 -> compare s1 s2 | c -> c)
+      keyed
+  in
+  let ranks = Hashtbl.create 64 in
+  List.iteri (fun rank (_, _, i) -> Hashtbl.replace ranks i (rank + 1)) sorted;
+  fun i -> Option.value ~default:0 (Hashtbl.find_opt ranks i)
+
+let of_rounds ledger_rounds =
+  let rank_of = timing_ranks ledger_rounds in
+  let rounds =
+    List.mapi
+      (fun i (r : Obs.Ledger.round) ->
+        { seq = r.Obs.Ledger.seq;
+          label = r.Obs.Ledger.label;
+          bytes_up = r.Obs.Ledger.bytes_up;
+          bytes_down = r.Obs.Ledger.bytes_down;
+          blocks_returned = r.Obs.Ledger.blocks_returned;
+          block_ids = r.Obs.Ledger.block_ids;
+          replays = r.Obs.Ledger.replays;
+          attempts = r.Obs.Ledger.attempts;
+          degraded = r.Obs.Ledger.degraded;
+          timing_rank = rank_of i })
+      ledger_rounds
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun id ->
+          Hashtbl.replace seen id (1 + Option.value ~default:0 (Hashtbl.find_opt seen id)))
+        (List.sort_uniq compare r.block_ids))
+    rounds;
+  let counts =
+    Hashtbl.fold (fun id n acc -> (id, n) :: acc) seen []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { rounds; universe = List.map fst counts; counts }
+
+let of_ledger ledger = of_rounds (Obs.Ledger.rounds ledger)
+
+let rounds t = t.rounds
+let length t = List.length t.rounds
+let is_empty t = t.rounds = []
+let universe t = t.universe
+let fetch_counts t = t.counts

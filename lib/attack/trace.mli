@@ -1,0 +1,48 @@
+(** The adversary's transcript: a leakage-ledger capture recast as the
+    observation sequence an honest-but-curious server works from.
+
+    Every field here is a wire fact the server already holds —
+    request/response sizes, shipped-block access patterns, replay-cache
+    hits — plus one derived ordering, the timing rank (transmission
+    dominates round latency at a fixed link speed, so ranking rounds by
+    response bytes reproduces the latency order an adversary with a
+    stopwatch would see, deterministically).  Nothing in a trace ever
+    touches plaintext documents or the key ring; the trust-boundary
+    table enforces that for the whole [lib/attack] library. *)
+
+type round = {
+  seq : int;             (** ledger sequence number *)
+  label : string;        (** protocol path ("evaluate", "batch", "fetch", ...) *)
+  bytes_up : int;
+  bytes_down : int;
+  blocks_returned : int;
+  block_ids : int list;  (** shipped-block access pattern, shipping order *)
+  replays : int;         (** retransmits the server linked this round *)
+  attempts : int;
+  degraded : bool;
+  timing_rank : int;
+      (** 1-based rank of [bytes_down] among the trace's rounds (1 =
+          largest; ties broken by [seq]) — the deterministic latency
+          ordering proxy *)
+}
+
+type t
+
+val of_rounds : Obs.Ledger.round list -> t
+val of_ledger : Obs.Ledger.t -> t
+(** Build from a live ledger's retained rounds (oldest first). *)
+
+val rounds : t -> round list
+(** Oldest first. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val universe : t -> int list
+(** Every distinct block id observed, sorted — the adversary's view of
+    the block universe. *)
+
+val fetch_counts : t -> (int * int) list
+(** [(block id, rounds that shipped it)], sorted by id — the raw
+    block-fetch histogram over {e all} rounds, cover fetches included
+    ({!Passes.frequency} recomputes it over query rounds only). *)

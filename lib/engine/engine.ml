@@ -196,6 +196,10 @@ let record_round t (response : Secure.Server.response) report =
          ~intervals_touched:response.Secure.Server.candidate_intervals
          ~btree_hits:response.Secure.Server.btree_hits
          ~blocks_returned:report.blocks_returned
+         ~block_ids:
+           (List.map
+              (fun b -> b.Secure.Encrypt.id)
+              response.Secure.Server.blocks)
          ~cache_hits:
            (one_if report.plan_outcome + one_if report.result_outcome
            + report.block_hits)

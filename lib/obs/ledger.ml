@@ -6,6 +6,7 @@ type round = {
   intervals_touched : int;
   btree_hits : int;
   blocks_returned : int;
+  block_ids : int list;
   cache_hits : int;
   cache_misses : int;
   attempts : int;
@@ -14,10 +15,11 @@ type round = {
 }
 
 let round ?(bytes_up = 0) ?(bytes_down = 0) ?(intervals_touched = 0)
-    ?(btree_hits = 0) ?(blocks_returned = 0) ?(cache_hits = 0) ?(cache_misses = 0)
-    ?(attempts = 1) ?(replays = 0) ?(degraded = false) label =
+    ?(btree_hits = 0) ?(blocks_returned = 0) ?(block_ids = []) ?(cache_hits = 0)
+    ?(cache_misses = 0) ?(attempts = 1) ?(replays = 0) ?(degraded = false) label =
   { seq = 0; label; bytes_up; bytes_down; intervals_touched; btree_hits;
-    blocks_returned; cache_hits; cache_misses; attempts; replays; degraded }
+    blocks_returned; block_ids; cache_hits; cache_misses; attempts; replays;
+    degraded }
 
 type t = {
   mutable on : bool;
@@ -30,8 +32,9 @@ type t = {
 
 let zero_totals =
   { seq = 0; label = "totals"; bytes_up = 0; bytes_down = 0;
-    intervals_touched = 0; btree_hits = 0; blocks_returned = 0; cache_hits = 0;
-    cache_misses = 0; attempts = 0; replays = 0; degraded = false }
+    intervals_touched = 0; btree_hits = 0; blocks_returned = 0; block_ids = [];
+    cache_hits = 0; cache_misses = 0; attempts = 0; replays = 0;
+    degraded = false }
 
 let create ?(enabled = false) ?(capacity = 1024) () =
   { on = enabled; capacity = max 1 capacity; recorded = 0; held = [];
@@ -84,6 +87,7 @@ let round_to_json r =
       "intervals_touched", Json.Int r.intervals_touched;
       "btree_hits", Json.Int r.btree_hits;
       "blocks_returned", Json.Int r.blocks_returned;
+      "block_ids", Json.List (List.map (fun id -> Json.Int id) r.block_ids);
       "cache_hits", Json.Int r.cache_hits;
       "cache_misses", Json.Int r.cache_misses;
       "attempts", Json.Int r.attempts;
@@ -94,6 +98,111 @@ let to_json t =
   Json.Obj
     [ "rounds", Json.List (List.map round_to_json (rounds t));
       "totals", round_to_json (totals t) ]
+
+(* --- Parsing (offline trace replay) ------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req_int name j =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "round field %S is not an integer" name))
+  | None -> Error (Printf.sprintf "round is missing field %S" name)
+
+let req_str name j =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "round field %S is not a string" name))
+  | None -> Error (Printf.sprintf "round is missing field %S" name)
+
+let req_bool name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "round field %S is not a bool" name)
+  | None -> Error (Printf.sprintf "round is missing field %S" name)
+
+let req_ids name j =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_list v with
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match Json.to_int item with
+          | Some id -> Ok (id :: acc)
+          | None -> Error (Printf.sprintf "%S holds a non-integer id" name))
+        (Ok []) items
+      |> fun r -> (match r with Ok ids -> Ok (List.rev ids) | Error _ as e -> e)
+    | None -> Error (Printf.sprintf "round field %S is not a list" name))
+  | None -> Error (Printf.sprintf "round is missing field %S" name)
+
+let round_of_json j =
+  let* seq = req_int "seq" j in
+  let* label = req_str "label" j in
+  let* bytes_up = req_int "bytes_up" j in
+  let* bytes_down = req_int "bytes_down" j in
+  let* intervals_touched = req_int "intervals_touched" j in
+  let* btree_hits = req_int "btree_hits" j in
+  let* blocks_returned = req_int "blocks_returned" j in
+  let* block_ids = req_ids "block_ids" j in
+  let* cache_hits = req_int "cache_hits" j in
+  let* cache_misses = req_int "cache_misses" j in
+  let* attempts = req_int "attempts" j in
+  let* replays = req_int "replays" j in
+  let* degraded = req_bool "degraded" j in
+  Ok
+    { seq; label; bytes_up; bytes_down; intervals_touched; btree_hits;
+      blocks_returned; block_ids; cache_hits; cache_misses; attempts; replays;
+      degraded }
+
+(* Reconstruct the exact ledger state the JSON was printed from: held
+   rounds keep their recorded [seq]s (the capacity bound may have
+   dropped early rounds, so seqs need not start at 1), [recorded] comes
+   from the totals row, and sums are taken as printed rather than
+   re-accumulated — [to_json (of_json j)] is byte-identical to [j]. *)
+let of_json j =
+  let* round_items =
+    match Json.member "rounds" j with
+    | Some v -> (
+      match Json.to_list v with
+      | Some items -> Ok items
+      | None -> Error "\"rounds\" is not a list")
+    | None -> Error "ledger is missing field \"rounds\""
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* r = round_of_json item in
+        Ok (r :: acc))
+      (Ok []) round_items
+  in
+  let held = parsed in (* fold reversed oldest-first input: newest first *)
+  let* totals_j =
+    match Json.member "totals" j with
+    | Some v -> Ok v
+    | None -> Error "ledger is missing field \"totals\""
+  in
+  let* sums = round_of_json totals_j in
+  if sums.label <> "totals" then Error "totals row is not labelled \"totals\""
+  else begin
+    let held_count = List.length held in
+    if sums.seq < held_count then
+      Error "totals seq is smaller than the number of held rounds"
+    else
+      Ok
+        { on = false;
+          capacity = max 1 held_count;
+          recorded = sums.seq;
+          held;
+          held_count;
+          sums = { sums with seq = 0 } }
+  end
 
 let render_round r =
   Printf.sprintf

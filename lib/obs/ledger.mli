@@ -23,6 +23,8 @@ type round = {
   intervals_touched : int;  (** DSI intervals surviving per query node, summed *)
   btree_hits : int;         (** value-index entries touched *)
   blocks_returned : int;    (** candidate blocks shipped *)
+  block_ids : int list;     (** ids of the shipped blocks, in shipping order —
+                                the access pattern an adversary replays *)
   cache_hits : int;         (** ciphertext-keyed cache hits this round *)
   cache_misses : int;
   attempts : int;           (** session attempts the round needed (1 = clean) *)
@@ -32,7 +34,8 @@ type round = {
 
 val round :
   ?bytes_up:int -> ?bytes_down:int -> ?intervals_touched:int -> ?btree_hits:int ->
-  ?blocks_returned:int -> ?cache_hits:int -> ?cache_misses:int -> ?attempts:int ->
+  ?blocks_returned:int -> ?block_ids:int list -> ?cache_hits:int ->
+  ?cache_misses:int -> ?attempts:int ->
   ?replays:int -> ?degraded:bool -> string -> round
 (** Build a round with every numeric field defaulting to 0 ([attempts]
     to 1) and [degraded] to false; the argument is the label. *)
@@ -64,4 +67,15 @@ val clear : t -> unit
 
 val to_json : t -> Json.t
 val round_to_json : round -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Parse a ledger printed by {!to_json} for offline replay (the
+    [sxq attack --trace] path).  The reconstruction is exact:
+    [to_json (of_json j)] equals [j] structurally — held rounds keep
+    their recorded sequence numbers, [count] comes from the totals row,
+    and sums are taken as printed.  The returned ledger is disabled
+    (recording into a replayed trace would corrupt it). *)
+
+val round_of_json : Json.t -> (round, string) result
+
 val render : t -> string

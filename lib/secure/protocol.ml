@@ -143,6 +143,53 @@ let decode_request data =
     q
   with Codec.Error m -> raise (Malformed m)
 
+(* --- Versioned request variants ----------------------------------- *)
+
+(* A plain query's first byte is the absolute flag, written by [W.bool]
+   as '\000' or '\001'.  The mitigation variants claim unused leading
+   bytes, so every request encoded before they existed still decodes as
+   a [Query] and an old server rejects the new magics as garbage rather
+   than misreading them. *)
+type request =
+  | Query of Squery.path
+  | Fetch of int list
+  | Padded of Squery.path * int list
+
+let fetch_magic = '\002'
+let padded_magic = '\003'
+
+let encode_fetch ids =
+  let b = Buffer.create 64 in
+  Buffer.add_char b fetch_magic;
+  W.list b W.int ids;
+  Buffer.contents b
+
+let encode_padded q extra =
+  let b = Buffer.create 256 in
+  Buffer.add_char b padded_magic;
+  w_path b q;
+  W.list b W.int extra;
+  Buffer.contents b
+
+let decode_any data =
+  try
+    if String.length data = 0 then raise (Codec.Error "empty request");
+    if data.[0] = fetch_magic then begin
+      let r = R.make data 1 in
+      let ids = R.list r R.int in
+      if not (R.at_end r) then raise (Codec.Error "trailing bytes");
+      Fetch ids
+    end
+    else if data.[0] = padded_magic then begin
+      let r = R.make data 1 in
+      let q = r_path 0 r in
+      let extra = R.list r R.int in
+      if not (R.at_end r) then raise (Codec.Error "trailing bytes");
+      Padded (q, extra)
+    end
+    else Query (decode_request data)
+  with Codec.Error m -> raise (Malformed m)
+
 (* --- Response ----------------------------------------------------- *)
 
 let w_block b (blk : Encrypt.block) =

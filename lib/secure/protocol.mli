@@ -24,6 +24,23 @@ val encode_request : Squery.path -> string
 val decode_request : string -> Squery.path
 (** @raise Malformed on garbage. *)
 
+(** Every message a server endpoint may receive.  A plain query's first
+    byte is its absolute flag ('\000'/'\001'); the mitigation variants
+    claim other leading magic bytes, so legacy encodings still decode as
+    [Query]. *)
+type request =
+  | Query of Squery.path
+  | Fetch of int list           (** dummy block fetch — cover traffic *)
+  | Padded of Squery.path * int list
+      (** query plus extra block ids padding the response envelope *)
+
+val encode_fetch : int list -> string
+val encode_padded : Squery.path -> int list -> string
+
+val decode_any : string -> request
+(** Dispatching decoder used by the server endpoint.
+    @raise Malformed on garbage. *)
+
 val encode_response : Server.response -> string
 val decode_response : string -> Server.response
 (** @raise Malformed on garbage. *)

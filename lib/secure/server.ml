@@ -496,6 +496,52 @@ let answer_extreme t query ~key_range ~direction =
   response
 
 (* ------------------------------------------------------------------ *)
+(* Mitigation support: dummy fetches and padded answers                *)
+
+let block_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.blocks_by_id []
+  |> List.sort compare
+
+(* Cover traffic: ship the requested blocks verbatim.  Unknown ids are
+   skipped — a dishonest client probing the id space learns only what
+   the block universe already reveals. *)
+let fetch t ids =
+  Obs.span t.trace "server.fetch" @@ fun () ->
+  let blocks =
+    List.sort_uniq compare ids
+    |> List.filter_map (fun id -> Hashtbl.find_opt t.blocks_by_id id)
+  in
+  let response =
+    { blocks; bytes = block_bytes blocks; candidate_intervals = 0;
+      btree_hits = 0 }
+  in
+  Obs.Metric.add M.blocks_shipped (List.length blocks);
+  Obs.Metric.add M.bytes_shipped response.bytes;
+  record_answer t response;
+  response
+
+(* Answer a query, then widen the shipment with the requested pad
+   blocks.  The result stays a superset of the honest answer, so the
+   client's filtering still yields byte-identical answers. *)
+let answer_padded t query ~extra =
+  let real = answer t query in
+  let have = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace have b.Encrypt.id ()) real.blocks;
+  let pad =
+    List.sort_uniq compare extra
+    |> List.filter_map (fun id ->
+           if Hashtbl.mem have id then None
+           else Hashtbl.find_opt t.blocks_by_id id)
+  in
+  let blocks =
+    List.sort (fun a b -> compare a.Encrypt.id b.Encrypt.id) (real.blocks @ pad)
+  in
+  let pad_bytes = block_bytes pad in
+  Obs.Metric.add M.blocks_shipped (List.length pad);
+  Obs.Metric.add M.bytes_shipped pad_bytes;
+  { real with blocks; bytes = real.bytes + pad_bytes }
+
+(* ------------------------------------------------------------------ *)
 (* Server-visible metadata summary (the planner's statistics source)   *)
 
 type index_stats = {

@@ -75,6 +75,21 @@ val explain : t -> Squery.path -> step_report list
 val all_blocks : t -> Encrypt.block list
 (** Everything — the naive method's response. *)
 
+val block_ids : t -> int list
+(** Ids of every stored block, sorted — the block universe a padding
+    envelope draws from.  Block ids are already server-visible. *)
+
+val fetch : t -> int list -> response
+(** Cover traffic ({!Protocol.Fetch}): ship the requested blocks
+    verbatim, unknown ids skipped.  No index work is done
+    ([candidate_intervals] and [btree_hits] are 0). *)
+
+val answer_padded : t -> Squery.path -> extra:int list -> response
+(** {!answer} widened with the requested pad blocks
+    ({!Protocol.Padded}).  The shipment remains a superset of the
+    honest answer, so client-side filtering yields byte-identical
+    answers; only the traffic shape changes. *)
+
 val stored_bytes : t -> int
 (** Ciphertext bytes held by the server (headers included). *)
 

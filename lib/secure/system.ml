@@ -114,7 +114,13 @@ let session_mac_label = "session-mac"
 let make_link ?session_config ?faults keys server =
   let mac_key = Crypto.Keys.derive keys session_mac_label in
   let handler request =
-    Protocol.encode_response (Server.answer server (Protocol.decode_request request))
+    let response =
+      match Protocol.decode_any request with
+      | Protocol.Query q -> Server.answer server q
+      | Protocol.Fetch ids -> Server.fetch server ids
+      | Protocol.Padded (q, extra) -> Server.answer_padded server q ~extra
+    in
+    Protocol.encode_response response
   in
   let endpoint = Session.endpoint ~mac_key ~handler () in
   let transport = Transport.loopback (Session.serve endpoint) in
@@ -272,8 +278,7 @@ let robustness_since t (before : Session.stats) =
    decode.  A response that authenticates but fails protocol decoding
    is reported as Malformed rather than letting the exception escape —
    under a surviving fault schedule the caller must never crash. *)
-let exchange_on link squery =
-  let request = Protocol.encode_request squery in
+let exchange_raw link request =
   match Session.call link.session request with
   | Error e -> Error e
   | Ok payload ->
@@ -281,7 +286,13 @@ let exchange_on link squery =
      | exception Protocol.Malformed _ -> Error Session.Malformed
      | response -> Ok (String.length request, response))
 
+let exchange_on link squery = exchange_raw link (Protocol.encode_request squery)
 let exchange t squery = exchange_on t.link squery
+
+(* Shipped-block ids in shipping order — the access pattern the ledger
+   records and the adversary simulator replays.  A pure wire fact: ids
+   are response-header fields, never decrypted content. *)
+let ids_of blocks = List.map (fun b -> b.Encrypt.id) blocks
 
 (* The single candidate-block decrypt step shared by every evaluation
    path: metadata protocol, naive fallback, unions and aggregates.
@@ -334,6 +345,7 @@ let try_evaluate t query =
            ~intervals_touched:response.Server.candidate_intervals
            ~btree_hits:response.Server.btree_hits
            ~blocks_returned:(List.length response.Server.blocks)
+           ~block_ids:(ids_of response.Server.blocks)
            ~attempts ~replays);
     Ok
       ( answers,
@@ -378,7 +390,7 @@ let naive_impl ~record t query =
     if Obs.Ledger.enabled t.ledger then
       Obs.Ledger.record t.ledger
         (Obs.Ledger.round "naive" ~bytes_down:shipped_bytes
-           ~blocks_returned:shipped_count);
+           ~blocks_returned:shipped_count ~block_ids:(ids_of shipped));
     answers, cost
   end
 
@@ -399,17 +411,93 @@ let evaluate t query =
           (Session.error_to_string err));
     Obs.Metric.incr M.degraded;
     let answers, cost = naive_impl ~record:false t query in
-    let _, shipped_bytes, shipped_count = shipped_facts t in
+    let shipped, shipped_bytes, shipped_count = shipped_facts t in
     let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
     let replays = replays_since t replays_before in
     if Obs.Ledger.enabled t.ledger then
       Obs.Ledger.record t.ledger
         (Obs.Ledger.round "degraded" ~bytes_down:shipped_bytes
-           ~blocks_returned:shipped_count ~attempts ~replays
-           ~degraded:true);
+           ~blocks_returned:shipped_count ~block_ids:(ids_of shipped)
+           ~attempts ~replays ~degraded:true);
     ( answers,
       { cost with
         degraded = true; attempts; retransmitted_bytes; faults_absorbed; replays } )
+
+(* ------------------------------------------------------------------ *)
+(* Mitigation primitives (the Mitigate layer's wire operations)        *)
+
+(* Cover traffic: a Fetch round whose blocks the client discards
+   undecrypted — only the traffic shape matters, so the cost carries no
+   decrypt/postprocess time and no answers. *)
+let fetch_blocks t ids =
+  Obs.span t.trace "system.fetch" @@ fun () ->
+  let before = session_snapshot t in
+  let replays_before = endpoint_replays t in
+  match timed (fun () -> exchange_raw t.link (Protocol.encode_fetch ids)) with
+  | Error e, _ -> Error e
+  | Ok (request_bytes, response), server_ms ->
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    let replays = replays_since t replays_before in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "fetch" ~bytes_up:request_bytes
+           ~bytes_down:response.Server.bytes
+           ~blocks_returned:(List.length response.Server.blocks)
+           ~block_ids:(ids_of response.Server.blocks)
+           ~attempts ~replays);
+    Ok
+      (cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
+         ~translate_ms:0.0 ~server_ms
+         ~bytes:(request_bytes + response.Server.bytes)
+         ~decrypt_ms:0.0 ~postprocess_ms:0.0
+         ~blocks:(List.length response.Server.blocks)
+         ~answers:0 ())
+
+(* The padded twin of [try_evaluate]: the shipment is widened to the
+   requested envelope but stays a superset of the honest answer, and
+   client-side filtering is already superset-tolerant (the naive path
+   ships everything), so answers are byte-identical to the unpadded
+   round. *)
+let try_evaluate_padded t ~extra query =
+  Obs.span t.trace "system.evaluate_padded" @@ fun () ->
+  let squery, translate_ms =
+    Obs.span t.trace "client.translate" @@ fun () ->
+    timed (fun () -> Client.translate t.client query)
+  in
+  let before = session_snapshot t in
+  let replays_before = endpoint_replays t in
+  match
+    Obs.span t.trace "wire.exchange" @@ fun () ->
+    timed (fun () -> exchange_raw t.link (Protocol.encode_padded squery extra))
+  with
+  | Error e, _ -> Error e
+  | Ok (request_bytes, response), server_ms ->
+    let attempts, retransmitted_bytes, faults_absorbed = robustness_since t before in
+    let replays = replays_since t replays_before in
+    let decrypted, decrypt_ms =
+      Obs.span t.trace "client.decrypt" @@ fun () -> decrypt_response t response
+    in
+    let answers, postprocess_ms =
+      Obs.span t.trace "client.postprocess" @@ fun () ->
+      timed (fun () -> Client.evaluate_with t.client ~decrypted query)
+    in
+    if Obs.Ledger.enabled t.ledger then
+      Obs.Ledger.record t.ledger
+        (Obs.Ledger.round "padded" ~bytes_up:request_bytes
+           ~bytes_down:response.Server.bytes
+           ~intervals_touched:response.Server.candidate_intervals
+           ~btree_hits:response.Server.btree_hits
+           ~blocks_returned:(List.length response.Server.blocks)
+           ~block_ids:(ids_of response.Server.blocks)
+           ~attempts ~replays);
+    Ok
+      ( answers,
+        cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
+          ~translate_ms ~server_ms
+          ~bytes:(request_bytes + response.Server.bytes)
+          ~decrypt_ms ~postprocess_ms
+          ~blocks:(List.length response.Server.blocks)
+          ~answers:(List.length answers) () )
 
 (* Union queries: one server round per branch, one combined block set,
    one client-side union evaluation (node-level dedup). *)
@@ -455,7 +543,8 @@ let try_evaluate_union t queries =
                 0 responses)
            ~btree_hits:
              (List.fold_left (fun acc (_, r) -> acc + r.Server.btree_hits) 0 responses)
-           ~blocks_returned:(List.length blocks) ~attempts ~replays);
+           ~blocks_returned:(List.length blocks) ~block_ids:(ids_of blocks)
+           ~attempts ~replays);
     Ok
       ( answers,
         cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
@@ -489,7 +578,8 @@ let evaluate_union t queries =
     if Obs.Ledger.enabled t.ledger then
       Obs.Ledger.record t.ledger
         (Obs.Ledger.round "degraded" ~bytes_down:bytes
-           ~blocks_returned:(List.length blocks) ~attempts ~replays ~degraded:true);
+           ~blocks_returned:(List.length blocks) ~block_ids:(ids_of blocks)
+           ~attempts ~replays ~degraded:true);
     ( answers,
       cost_of ~attempts ~retransmitted_bytes ~faults_absorbed ~replays
         ~degraded:true ~translate_ms:0.0 ~server_ms:0.0 ~bytes ~decrypt_ms
@@ -562,16 +652,16 @@ let evaluate_batch t queries =
                 ~blocks:(List.length response.Server.blocks)
                 ~answers:(List.length answers) () ),
             (false, request_bytes + response.Server.bytes,
-             List.length response.Server.blocks, attempts) )
+             ids_of response.Server.blocks, attempts) )
         | Error err, _ ->
           Log.warn (fun m ->
               m "batch lane failed (%s): degrading to naive evaluation"
                 (Session.error_to_string err));
           let answers, cost = naive_impl ~record:false t query in
-          let _, shipped_bytes, shipped_count = shipped_facts t in
+          let shipped, shipped_bytes, _ = shipped_facts t in
           (* attempts 1 matches the naive cost's [cost_of] default. *)
           ( (answers, { cost with degraded = true }),
-            (true, shipped_bytes, shipped_count, 1) ))
+            (true, shipped_bytes, ids_of shipped, 1) ))
         translated
     in
     (* Metric and ledger updates happen after the deterministic merge,
@@ -584,11 +674,11 @@ let evaluate_batch t queries =
       results;
     if Obs.Ledger.enabled t.ledger then
       Array.iter
-        (fun (_, (lane_degraded, lane_bytes, lane_blocks, lane_attempts)) ->
+        (fun (_, (lane_degraded, lane_bytes, lane_ids, lane_attempts)) ->
           Obs.Ledger.record t.ledger
             (Obs.Ledger.round "batch" ~bytes_down:lane_bytes
-               ~blocks_returned:lane_blocks ~attempts:lane_attempts
-               ~degraded:lane_degraded))
+               ~blocks_returned:(List.length lane_ids) ~block_ids:lane_ids
+               ~attempts:lane_attempts ~degraded:lane_degraded))
         results;
     Array.map fst results
 
@@ -654,7 +744,8 @@ let aggregate t direction query =
         (Obs.Ledger.round "aggregate" ~bytes_down:response.Server.bytes
            ~intervals_touched:response.Server.candidate_intervals
            ~btree_hits:response.Server.btree_hits
-           ~blocks_returned:(List.length response.Server.blocks));
+           ~blocks_returned:(List.length response.Server.blocks)
+           ~block_ids:(ids_of response.Server.blocks));
     ( result,
       cost_of ~translate_ms ~server_ms ~bytes:response.Server.bytes ~decrypt_ms
         ~postprocess_ms

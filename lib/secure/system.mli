@@ -167,6 +167,23 @@ val try_evaluate :
     the session layer exhausts its attempts; never raises on transport
     faults. *)
 
+val try_evaluate_padded :
+  t -> extra:int list ->
+  Xpath.Ast.path -> (Xmlcore.Tree.t list * cost, Session.error) result
+(** {!try_evaluate} through the {!Protocol.Padded} wire variant: the
+    server widens the shipment with the pad blocks [extra] (unknown and
+    already-shipped ids are skipped), keeping it a superset of the
+    honest answer, so answers are byte-identical to the unpadded round
+    while the traffic shape moves toward the padding envelope.  Ledger
+    rounds are labelled ["padded"].  Used by the {!Mitigate} layer
+    ([lib/attack]). *)
+
+val fetch_blocks : t -> int list -> (cost, Session.error) result
+(** Cover traffic through the {!Protocol.Fetch} wire variant: the
+    requested blocks cross the wire and are discarded undecrypted
+    (no answers, no decryption cost).  Ledger rounds are labelled
+    ["fetch"]. *)
+
 val evaluate_batch : t -> Xpath.Ast.path array -> (Xmlcore.Tree.t list * cost) array
 (** Evaluate independent queries of a workload, fanning them across
     the system's pool against the shared read-only server (one private

@@ -55,6 +55,7 @@ type tenant = {
   route : route;
   mutable sys : Secure.System.t;
   engine : Engine.t option;
+  budget : Attack.Budget.t option;
   breaker : Breaker.t;
   bucket : Limiter.t;
   queue : (int * Xpath.Ast.path) Queue.t;
@@ -125,7 +126,7 @@ let find t id =
   | Some tn -> tn
   | None -> raise Not_found
 
-let register t ~id ?(route = `Wire) sys =
+let register t ~id ?(route = `Wire) ?budget sys =
   if Hashtbl.mem t.by_id id then
     invalid_arg (Printf.sprintf "Serve.register: duplicate tenant %S" id);
   (* Tenant ids are caller-supplied: sanitize before they become metric
@@ -141,6 +142,7 @@ let register t ~id ?(route = `Wire) sys =
       route;
       sys;
       engine = (match route with `Engine -> Some (Engine.create sys) | `Wire -> None);
+      budget;
       breaker =
         Breaker.create ~threshold:t.cfg.breaker_threshold
           ~cooldown:t.cfg.breaker_cooldown;
@@ -168,6 +170,21 @@ let generation t id = Secure.System.generation (find t id).sys
 let breaker t id = (find t id).breaker
 let queue_length t id = Queue.length (find t id).queue
 let engine t id = (find t id).engine
+let budget t id = (find t id).budget
+
+(* Score every budgeted tenant's ledger against its declaration.  The
+   ledger must be enabled for the hosting (otherwise the trace is empty
+   and the budget fails closed) — auditing is an explicit opt-in, like
+   the ledger itself. *)
+let audit t =
+  List.filter_map
+    (fun tn ->
+      match tn.budget with
+      | None -> None
+      | Some budget ->
+        let trace = Attack.Trace.of_ledger (Secure.System.ledger tn.sys) in
+        Some (tn.id, Attack.Budget.check budget trace))
+    t.order
 
 let pool_contended t =
   match t.pool with Some p -> Parallel.Pool.busy p | None -> false

@@ -95,9 +95,13 @@ val create : ?config:config -> ?pool:Parallel.Pool.t -> unit -> t
 val config : t -> config
 val pool : t -> Parallel.Pool.t option
 
-val register : t -> id:string -> ?route:route -> Secure.System.t -> unit
+val register :
+  t -> id:string -> ?route:route -> ?budget:Attack.Budget.t ->
+  Secure.System.t -> unit
 (** Add a tenant (default route [`Wire]).  The hosting should carry its
-    own master secret; the tier never mixes key material.
+    own master secret; the tier never mixes key material.  [budget]
+    attaches a leakage budget for {!audit} to score; it obligates
+    nothing until the tenant's ledger is enabled.
     @raise Invalid_argument on a duplicate id. *)
 
 val tenants : t -> string list
@@ -117,6 +121,16 @@ val queue_length : t -> string -> int
 val engine : t -> string -> Engine.t option
 (** The tenant's engine binding ([None] on the [`Wire] route) — exposed
     so tests and the CLI can audit per-tenant cache state. *)
+
+val budget : t -> string -> Attack.Budget.t option
+(** The tenant's declared leakage budget, if one was registered. *)
+
+val audit : t -> (string * (Attack.Budget.score, string) result) list
+(** Score every budgeted tenant's leakage ledger against its
+    declaration ({!Attack.Budget.check}), in admission order.
+    Un-budgeted tenants are skipped.  A disabled (hence empty) ledger
+    is [Error] — the budget fails closed, so auditing a tenant means
+    enabling its ledger first. *)
 
 val registry : t -> Obs.Metric.registry
 (** The tier's private, always-enabled metric registry.  Global

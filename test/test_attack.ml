@@ -1,0 +1,381 @@
+(* Adversary-simulator tests: trace building from the leakage ledger,
+   the inference passes' candidate-set semantics (a known-plaintext
+   fixture where frequency analysis pins a unique candidate and the
+   budget gate fires; a padded rerun where it must not), the
+   fail-closed budget parser/scorer, mitigation determinism, and the
+   differential pin that mitigated answers are byte-identical to the
+   unmitigated path across schemes. *)
+
+module System = Secure.System
+module Scheme = Secure.Scheme
+module Trace = Attack.Trace
+module Passes = Attack.Passes
+module Budget = Attack.Budget
+module Mitigate = Attack.Mitigate
+
+let health ?(patients = 5) () =
+  ( Workload.Health.generate ~seed:1L ~patients (),
+    Workload.Health.constraints () )
+
+let workload =
+  [ "//patient/pname"; "//patient[age>=50]/pname"; "//treat/doctor"; "//SSN" ]
+  |> List.map Xpath.Parser.parse
+  |> Array.of_list
+
+let hosted ?patients scheme =
+  let doc, scs = health ?patients () in
+  let sys, _ = System.setup ~master:"test-attack" doc scs scheme in
+  Obs.Ledger.set_enabled (System.ledger sys) true;
+  sys
+
+(* The same declaration as the checked-in attack.budget (tests run in
+   the dune sandbox, away from the repo root; `make attack-gate`
+   exercises the actual file end to end). *)
+let gate_budget () =
+  match
+    Budget.parse
+      "frequency 2\nsize 2\ncooccurrence 2\nlinkability 1\nmitigations pad\n"
+  with
+  | Ok b -> b
+  | Error msg -> Alcotest.fail ("gate budget must parse: " ^ msg)
+
+(* --- Trace building ------------------------------------------------- *)
+
+let trace_from_ledger () =
+  let sys = hosted Scheme.Opt in
+  Array.iter (fun q -> ignore (System.evaluate sys q)) workload;
+  let trace = Trace.of_ledger (System.ledger sys) in
+  Alcotest.(check int) "one round per query" (Array.length workload)
+    (Trace.length trace);
+  Alcotest.(check bool) "non-empty" false (Trace.is_empty trace);
+  let universe = Trace.universe trace in
+  Alcotest.(check bool) "blocks observed" true (universe <> []);
+  Alcotest.(check (list int)) "universe is sorted and distinct"
+    (List.sort_uniq compare universe) universe;
+  List.iter
+    (fun (id, c) ->
+      Alcotest.(check bool) "histogram ids come from the universe" true
+        (List.mem id universe);
+      Alcotest.(check bool) "histogram counts are positive" true (c >= 1))
+    (Trace.fetch_counts trace);
+  (* Timing ranks are a permutation of 1..n ordered by bytes_down. *)
+  let rounds = Trace.rounds trace in
+  let ranks = List.map (fun (r : Trace.round) -> r.Trace.timing_rank) rounds in
+  Alcotest.(check (list int)) "ranks are a permutation of 1..n"
+    (List.init (List.length rounds) (fun i -> i + 1))
+    (List.sort compare ranks);
+  List.iter
+    (fun (a : Trace.round) ->
+      List.iter
+        (fun (b : Trace.round) ->
+          if a.Trace.timing_rank < b.Trace.timing_rank then
+            Alcotest.(check bool) "rank order follows bytes_down" true
+              (a.Trace.bytes_down >= b.Trace.bytes_down))
+        rounds)
+    rounds
+
+(* --- Known-plaintext fixture: frequency analysis pins a block ------- *)
+
+(* Hand-built rounds: block 7 is shipped by two rounds, blocks 1 and 2
+   by one round each (and always together, so co-occurrence cannot
+   split them).  Block 7's fetch count is unique — the frequency class
+   collapses to 1 and the budget gate must fire. *)
+let pinned_rounds () =
+  [ Obs.Ledger.round ~bytes_up:40 ~bytes_down:300 ~blocks_returned:3
+      ~block_ids:[ 7; 1; 2 ] "evaluate";
+    Obs.Ledger.round ~bytes_up:40 ~bytes_down:100 ~blocks_returned:1
+      ~block_ids:[ 7 ] "evaluate" ]
+
+let frequency_pins_unique_candidate () =
+  let trace = Trace.of_rounds (pinned_rounds ()) in
+  let pinned =
+    List.filter
+      (fun (f : Passes.finding) ->
+        f.Passes.pass = "frequency" && f.Passes.candidates = 1)
+      (Passes.frequency trace)
+  in
+  (match pinned with
+   | [ f ] ->
+     Alcotest.(check string) "block 7 is the pinned subject" "block 7"
+       f.Passes.subject;
+     Alcotest.(check bool) "witness cites the sightings" true
+       (List.exists
+          (fun hop ->
+            (* cited hop-by-hop, lint-finding style *)
+            String.length hop >= 7 && String.sub hop 0 7 = "block 7")
+          f.Passes.witness);
+     Alcotest.(check bool) "witness shows the class collapse" true
+       (List.exists
+          (fun hop ->
+            List.exists
+              (fun needle ->
+                let nl = String.length needle and hl = String.length hop in
+                let rec scan i =
+                  i + nl <= hl
+                  && (String.sub hop i nl = needle || scan (i + 1))
+                in
+                scan 0)
+              [ "candidate set 1" ])
+          f.Passes.witness)
+   | fs ->
+     Alcotest.fail
+       (Printf.sprintf "expected exactly one pinned block, got %d"
+          (List.length fs)));
+  (* ... and the budget gate fires on it, with the witness attached. *)
+  match Budget.check (gate_budget ()) trace with
+  | Error msg -> Alcotest.fail ("scoring must succeed: " ^ msg)
+  | Ok sc ->
+    Alcotest.(check bool) "under-budget trace is caught" true
+      (sc.Budget.violations <> []);
+    List.iter
+      (fun (v : Budget.violation) ->
+        Alcotest.(check bool) "violation carries evidence" true
+          (v.Budget.finding.Passes.witness <> []);
+        Alcotest.(check bool) "violation is below its declared minimum" true
+          (v.Budget.required = -1
+           || v.Budget.finding.Passes.candidates < v.Budget.required))
+      sc.Budget.violations
+
+let census_names_the_tag () =
+  let trace = Trace.of_rounds (pinned_rounds ()) in
+  (* Known plaintext: the tag universe and expected occurrence counts.
+     Only "SSN" occurs twice, so block 7 resolves to it by name. *)
+  let census = [ "SSN", 2; "pname", 1; "doctor", 1 ] in
+  let pinned =
+    List.filter
+      (fun (f : Passes.finding) -> f.Passes.subject = "block 7")
+      (Passes.frequency ~census trace)
+  in
+  match pinned with
+  | [ f ] ->
+    Alcotest.(check int) "census pins to one tag" 1 f.Passes.candidates;
+    Alcotest.(check bool) "witness names the tag" true
+      (List.exists
+         (fun hop ->
+           let nl = 3 and hl = String.length hop in
+           let rec scan i =
+             i + nl <= hl && (String.sub hop i nl = "SSN" || scan (i + 1))
+           in
+           scan 0)
+         f.Passes.witness)
+  | fs ->
+    Alcotest.fail
+      (Printf.sprintf "expected one finding for block 7, got %d"
+         (List.length fs))
+
+(* --- Mitigations: the padded rerun must pass the gate --------------- *)
+
+let padded_rerun_meets_budget () =
+  let budget = gate_budget () in
+  (* Unmitigated: the live workload pins blocks (the gate catches it). *)
+  let sys = hosted Scheme.Opt in
+  let off = Mitigate.create ~seed:7L Mitigate.off in
+  ignore (Mitigate.evaluate_batch off sys workload);
+  ignore (Mitigate.evaluate_batch off sys workload);
+  (match Budget.check budget (Trace.of_ledger (System.ledger sys)) with
+   | Error msg -> Alcotest.fail ("unmitigated scoring must succeed: " ^ msg)
+   | Ok sc ->
+     Alcotest.(check bool) "unmitigated run violates the budget" true
+       (sc.Budget.violations <> []));
+  (* Padded rerun of the same workload: every class must clear it. *)
+  let sys = hosted Scheme.Opt in
+  let pad =
+    Mitigate.create ~seed:7L { Mitigate.pad = true; dummies = 0; shuffle = false }
+  in
+  ignore (Mitigate.evaluate_batch pad sys workload);
+  ignore (Mitigate.evaluate_batch pad sys workload);
+  match Budget.check budget (Trace.of_ledger (System.ledger sys)) with
+  | Error msg -> Alcotest.fail ("padded scoring must succeed: " ^ msg)
+  | Ok sc ->
+    Alcotest.(check (list string)) "padded rerun has no violations" []
+      (List.map
+         (fun (v : Budget.violation) -> Budget.render_violation v)
+         sc.Budget.violations)
+
+(* --- Differential: mitigated answers are byte-identical ------------- *)
+
+let render answers = List.map Xmlcore.Printer.tree_to_string answers
+
+let mitigations_preserve_answers () =
+  List.iter
+    (fun scheme ->
+      let baseline =
+        let sys = hosted ~patients:4 scheme in
+        Array.map (fun q -> render (fst (System.evaluate sys q))) workload
+      in
+      List.iter
+        (fun config ->
+          let sys = hosted ~patients:4 scheme in
+          let mit = Mitigate.create ~seed:5L config in
+          let got =
+            Array.map (fun (ans, _) -> render ans)
+              (Mitigate.evaluate_batch mit sys workload)
+          in
+          Array.iteri
+            (fun i expected ->
+              Alcotest.(check (list string)) "mitigated answer is byte-identical"
+                expected got.(i))
+            baseline)
+        [ Mitigate.off;
+          { Mitigate.pad = true; dummies = 0; shuffle = false };
+          { Mitigate.pad = false; dummies = 3; shuffle = false };
+          { Mitigate.pad = false; dummies = 0; shuffle = true };
+          { Mitigate.pad = true; dummies = 3; shuffle = true } ])
+    [ Scheme.Opt; Scheme.App; Scheme.Sub; Scheme.Top ]
+
+(* --- Mitigation determinism ----------------------------------------- *)
+
+let equal_seeds_equal_traces () =
+  let run () =
+    let sys = hosted Scheme.Opt in
+    let mit =
+      Mitigate.create ~seed:11L
+        { Mitigate.pad = true; dummies = 4; shuffle = true }
+    in
+    ignore (Mitigate.evaluate_batch mit sys workload);
+    ignore (Mitigate.evaluate_batch mit sys workload);
+    Obs.Ledger.to_json (System.ledger sys)
+  in
+  Alcotest.(check bool) "same seed, bit-identical wire trace" true
+    (Obs.Json.equal (run ()) (run ()))
+
+(* --- Budget declaration parsing (fail closed) ----------------------- *)
+
+let budget_parse_accepts_the_format () =
+  match
+    Budget.parse
+      "# comment\nfrequency 2\nsize 3\n\ncooccurrence 2\nlinkability 1\n\
+       mitigations pad shuffle\n"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok b ->
+    Alcotest.(check (list string)) "minimums in canonical class order"
+      Budget.classes (List.map fst b.Budget.minimums);
+    Alcotest.(check int) "size minimum" 3
+      (List.assoc "size" b.Budget.minimums);
+    Alcotest.(check (list string)) "mitigations" [ "pad"; "shuffle" ]
+      b.Budget.mitigations
+
+let budget_parse_fails_closed () =
+  let rejects label s =
+    match Budget.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": must be rejected")
+  in
+  rejects "missing class" "frequency 2\nsize 2\ncooccurrence 2\n";
+  rejects "duplicate class"
+    "frequency 2\nfrequency 3\nsize 2\ncooccurrence 2\nlinkability 1\n";
+  rejects "zero minimum"
+    "frequency 0\nsize 2\ncooccurrence 2\nlinkability 1\n";
+  rejects "non-integer minimum"
+    "frequency two\nsize 2\ncooccurrence 2\nlinkability 1\n";
+  rejects "unknown class"
+    "frequency 2\nsize 2\ncooccurrence 2\nlinkability 1\nentropy 4\n";
+  rejects "unknown mitigation"
+    "frequency 2\nsize 2\ncooccurrence 2\nlinkability 1\nmitigations onions\n";
+  rejects "duplicate mitigations line"
+    "frequency 2\nsize 2\ncooccurrence 2\nlinkability 1\n\
+     mitigations pad\nmitigations shuffle\n";
+  rejects "empty declaration" ""
+
+let budget_fails_closed_on_scoring () =
+  let budget = gate_budget () in
+  (* An empty trace certifies nothing. *)
+  (match Budget.check budget (Trace.of_rounds []) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty trace must fail closed");
+  (* A finding of an undeclared class is a violation by definition. *)
+  let sc =
+    Budget.score budget
+      [ { Passes.pass = "entropy"; subject = "block 1"; candidates = 99;
+          witness = [ "synthetic" ] } ]
+  in
+  match sc.Budget.violations with
+  | [ v ] ->
+    Alcotest.(check int) "undeclared class is marked required = -1" (-1)
+      v.Budget.required
+  | vs ->
+    Alcotest.fail
+      (Printf.sprintf "expected one violation, got %d" (List.length vs))
+
+(* --- Serving-tier audit --------------------------------------------- *)
+
+let serve_audit_fails_closed () =
+  let srv = Serve.create () in
+  (* t1: budgeted, ledger on, unmitigated traffic — must be caught.
+     t2: no budget — skipped.  t3: budgeted but its ledger was never
+     enabled — the audit fails closed on the empty trace. *)
+  Serve.register srv ~id:"t1" ~budget:(gate_budget ()) (hosted Scheme.Opt);
+  Serve.register srv ~id:"t2" (hosted Scheme.Opt);
+  let doc, scs = health () in
+  let quiet, _ = System.setup ~master:"t3" doc scs Scheme.Opt in
+  Serve.register srv ~id:"t3" ~budget:(gate_budget ()) quiet;
+  Array.iter
+    (fun q ->
+      match Serve.submit srv ~tenant:"t1" q with
+      | Ok _ -> ()
+      | Error r -> Alcotest.fail (Serve.reject_to_string r))
+    workload;
+  ignore (Serve.drain srv ());
+  let audits = Serve.audit srv in
+  Alcotest.(check (list string)) "only budgeted tenants are scored"
+    [ "t1"; "t3" ]
+    (List.sort compare (List.map fst audits));
+  (match List.assoc "t1" audits with
+   | Ok sc ->
+     Alcotest.(check bool) "unmitigated tenant violates its budget" true
+       (sc.Budget.violations <> [])
+   | Error msg -> Alcotest.fail ("t1 must score: " ^ msg));
+  match List.assoc "t3" audits with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty ledger must fail the audit closed"
+
+(* --- Ledger JSON round trip (the offline replay contract) ----------- *)
+
+let ledger_json_round_trips () =
+  let sys = hosted Scheme.Opt in
+  Array.iter (fun q -> ignore (System.evaluate sys q)) workload;
+  let j = Obs.Ledger.to_json (System.ledger sys) in
+  (match Obs.Ledger.of_json j with
+   | Error msg -> Alcotest.fail ("of_json must accept to_json output: " ^ msg)
+   | Ok ledger ->
+     Alcotest.(check bool) "to_json (of_json j) = j" true
+       (Obs.Json.equal (Obs.Ledger.to_json ledger) j);
+     (* The replayed trace sees exactly the recorded access patterns. *)
+     let a = Trace.of_ledger (System.ledger sys) in
+     let b = Trace.of_ledger ledger in
+     Alcotest.(check int) "same length" (Trace.length a) (Trace.length b);
+     Alcotest.(check (list (pair int int))) "same histogram"
+       (Trace.fetch_counts a) (Trace.fetch_counts b));
+  match Obs.Ledger.of_json (Obs.Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_json must reject non-ledger JSON"
+
+let () =
+  Alcotest.run "attack"
+    [ ( "trace",
+        [ Alcotest.test_case "built from the ledger" `Quick trace_from_ledger;
+          Alcotest.test_case "ledger JSON round-trips" `Quick
+            ledger_json_round_trips ] );
+      ( "passes",
+        [ Alcotest.test_case "frequency pins a unique candidate" `Quick
+            frequency_pins_unique_candidate;
+          Alcotest.test_case "census names the tag" `Quick
+            census_names_the_tag ] );
+      ( "budget",
+        [ Alcotest.test_case "parses the declaration format" `Quick
+            budget_parse_accepts_the_format;
+          Alcotest.test_case "parser fails closed" `Quick
+            budget_parse_fails_closed;
+          Alcotest.test_case "scorer fails closed" `Quick
+            budget_fails_closed_on_scoring ] );
+      ( "mitigate",
+        [ Alcotest.test_case "padded rerun meets the budget" `Quick
+            padded_rerun_meets_budget;
+          Alcotest.test_case "answers byte-identical across schemes" `Quick
+            mitigations_preserve_answers;
+          Alcotest.test_case "equal seeds, equal traces" `Quick
+            equal_seeds_equal_traces ] );
+      ( "serve",
+        [ Alcotest.test_case "audit scores budgeted tenants, fails closed"
+            `Quick serve_audit_fails_closed ] ) ]

@@ -254,6 +254,24 @@ let boundary_rejects_plaintext_in_serve () =
   check_rules "opaque answers are fine" [] "lib/serve/serve.ml"
     "let pass (a : Secure.Client.answer list) = a"
 
+let boundary_rejects_plaintext_in_attack () =
+  (* The adversary simulator works from the leakage ledger alone.  A
+     listed attack module naming the plaintext-document layer is the
+     adversary cheating (layering fires too: xmlcore is not among
+     attack's declared deps), and the key ring would let it decrypt
+     instead of infer. *)
+  check_rules "attack passes may not touch Xmlcore.Doc"
+    [ "layering"; "trust-boundary" ]
+    "lib/attack/passes.ml" "let cheat d = Xmlcore.Doc.tag d 0";
+  check_rules "attack mitigate may not render plaintext answers"
+    [ "layering"; "trust-boundary" ]
+    "lib/attack/mitigate.ml" "let peek t = Xmlcore.Printer.tree_to_string t";
+  check_rules "attack trace may not touch the key ring" [ "trust-boundary" ]
+    "lib/attack/trace.ml" "let k keys = Crypto.Keys.block_key keys 0";
+  check_rules "ledger-only inputs are fine" [] "lib/attack/trace.ml"
+    "let n l = List.length (Obs.Ledger.rounds l)\n\
+     let u = Crypto.Prng.create ~seed:1L"
+
 let boundary_allows_plain_obs_code () =
   check_rules "self-contained obs code is clean" [] "lib/obs/metric.ml"
     "let bump t = t.count <- t.count + 1\n\
@@ -593,7 +611,9 @@ let () =
           Alcotest.test_case "plain obs code clean" `Quick
             boundary_allows_plain_obs_code;
           Alcotest.test_case "plaintext/keys rejected in serve" `Quick
-            boundary_rejects_plaintext_in_serve ] );
+            boundary_rejects_plaintext_in_serve;
+          Alcotest.test_case "plaintext/keys rejected in attack" `Quick
+            boundary_rejects_plaintext_in_attack ] );
       ( "crypto-hygiene",
         [ Alcotest.test_case "String.equal flagged" `Quick
             ct_rule_flags_string_equal;

@@ -122,8 +122,23 @@ let fuzz_decoders () =
   for _ = 1 to 2000 do
     let buf = random_buffer () in
     decode_only_malformed ~what:"decode_request" Protocol.decode_request buf;
+    decode_only_malformed ~what:"decode_any" Protocol.decode_any buf;
     decode_only_malformed ~what:"decode_response" Protocol.decode_response buf
   done;
+  (* The versioned variants under the same truncate/flip battery. *)
+  List.iter
+    (fun data ->
+      for _ = 1 to 500 do
+        decode_only_malformed ~what:"decode_any (truncated)"
+          Protocol.decode_any (truncated data);
+        decode_only_malformed ~what:"decode_any (flipped)" Protocol.decode_any
+          (flipped data)
+      done)
+    [ Protocol.encode_fetch [ 1; 2; 3; 4 ];
+      Protocol.encode_padded
+        (Secure.Client.translate (System.client sys)
+           (Xpath.Parser.parse "//patient//disease"))
+        [ 9; 11; 13 ] ];
   List.iter
     (fun data ->
       for _ = 1 to 500 do
@@ -238,11 +253,47 @@ let request_roundtrip_prop =
     (QCheck.make ~print:Squery.to_string squery_gen)
     (fun q -> Squery.to_string (Protocol.roundtrip_request q) = Squery.to_string q)
 
+(* --- Versioned request variants (Fetch / Padded) -------------------- *)
+
+let variants_roundtrip () =
+  let doc = Workload.Health.doc () in
+  let scs = Workload.Health.constraints () in
+  let sys, _ = System.setup doc scs Secure.Scheme.Opt in
+  let squery =
+    Secure.Client.translate (System.client sys)
+      (Xpath.Parser.parse "//patient[pname='Betty']//disease")
+  in
+  (* Honest queries keep decoding as Query — the variant magic bytes
+     are unreachable from the legacy encoding's first byte. *)
+  (match Protocol.decode_any (Protocol.encode_request squery) with
+   | Protocol.Query q ->
+     Alcotest.(check string) "query survives" (Squery.to_string squery)
+       (Squery.to_string q)
+   | Protocol.Fetch _ | Protocol.Padded _ ->
+     Alcotest.fail "honest request must decode as Query");
+  (match Protocol.decode_any (Protocol.encode_fetch [ 3; 1; 4; 1; 5 ]) with
+   | Protocol.Fetch ids ->
+     Alcotest.(check (list int)) "fetch ids survive" [ 3; 1; 4; 1; 5 ] ids
+   | Protocol.Query _ | Protocol.Padded _ ->
+     Alcotest.fail "fetch must decode as Fetch");
+  (match Protocol.decode_any (Protocol.encode_padded squery [ 9; 2 ]) with
+   | Protocol.Padded (q, extra) ->
+     Alcotest.(check string) "padded query survives" (Squery.to_string squery)
+       (Squery.to_string q);
+     Alcotest.(check (list int)) "envelope survives" [ 9; 2 ] extra
+   | Protocol.Query _ | Protocol.Fetch _ ->
+     Alcotest.fail "padded must decode as Padded");
+  match Protocol.decode_any "" with
+  | _ -> Alcotest.fail "empty request must be rejected"
+  | exception Protocol.Malformed _ -> ()
+
 let () =
   Alcotest.run "protocol"
     [ ( "requests",
         [ Alcotest.test_case "real queries roundtrip" `Quick translate_all;
-          Alcotest.test_case "malformed rejected" `Quick malformed_rejected ]
+          Alcotest.test_case "malformed rejected" `Quick malformed_rejected;
+          Alcotest.test_case "fetch/padded variants roundtrip" `Quick
+            variants_roundtrip ]
         @ List.map QCheck_alcotest.to_alcotest [ request_roundtrip_prop ] );
       ("responses", [ Alcotest.test_case "roundtrip" `Quick response_roundtrip ]);
       ( "adversarial",
