@@ -30,8 +30,12 @@ bench:
 # --compare replays the checked-in BENCH_1.json snapshot against this
 # run: configuration axes and deterministic counters must match
 # exactly, timings may drift but not blow up (see bench/main.ml).
+# The second invocation gates the incremental-update churn experiment
+# (answers identical to a per-edit re-host, delta cost proportional to
+# the touched blocks) against the BENCH_2.json snapshot.
 bench-smoke:
 	dune build bench/main.exe && dune exec bench/main.exe -- e10 e11 e12 e13 e14 --scale tiny --json /dev/null --compare BENCH_1.json
+	dune exec bench/main.exe -- e15 --scale tiny --json /dev/null --compare BENCH_2.json
 
 # The observability CLI end to end: generate a document, trace a query
 # (engine path, two rounds, so the ledger shows a cache hit), and emit

@@ -277,13 +277,43 @@ let verify_cmd =
       report.Secure.Persist.blocks_bad;
     Printf.printf "verdict: %s\n"
       (Secure.Persist.verdict_to_string report.Secure.Persist.verdict);
-    if report.Secure.Persist.verdict <> Secure.Persist.Intact then exit 1
+    (* Delta-log fsck: complete records are authenticated and replayed
+       in memory against their stored digests.  A torn tail is a crash
+       artifact the journal recovers from (warning only); tampering or
+       a replay divergence is as fatal as a bad bundle. *)
+    let log_failed =
+      match Secure.Persist.fsck_log ~master path with
+      | None -> false
+      | Some l ->
+        Printf.printf "delta log: %d bytes, %d record(s), %d pending\n"
+          l.Secure.Persist.log_bytes l.Secure.Persist.log_records
+          l.Secure.Persist.log_pending;
+        if l.Secure.Persist.log_dropped_bytes > 0 then
+          Printf.printf
+            "  torn tail: %d byte(s) dropped (recoverable; the journal \
+             truncates them on open)\n"
+            l.Secure.Persist.log_dropped_bytes;
+        (match l.Secure.Persist.log_fatal with
+         | Some m -> Printf.printf "  TAMPERED: %s\n" m
+         | None -> ());
+        (match l.Secure.Persist.log_replay with
+         | Some m -> Printf.printf "  replay FAILED: %s\n" m
+         | None ->
+           if l.Secure.Persist.log_fatal = None then
+             Printf.printf "  replay: ok\n");
+        l.Secure.Persist.log_fatal <> None
+        || l.Secure.Persist.log_replay <> None
+    in
+    if report.Secure.Persist.verdict <> Secure.Persist.Intact || log_failed
+    then exit 1
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check a hosted bundle's integrity (magic, framing, HMAC trailer, \
-             per-section decodability, per-block decryptability) and report a \
-             per-section status instead of a bare Corrupt exception.")
+             per-section decodability, per-block decryptability) plus its \
+             delta log (per-record authentication, torn-tail vs tampering, \
+             replay validation) and report a per-section status instead of a \
+             bare Corrupt exception.")
     Term.(const run $ bundle_arg $ master_arg)
 
 (* ------------------------------------------------------------------ *)

@@ -203,6 +203,8 @@ let default =
             "Secure.Encrypt.encrypt", "keys";
             "Secure.Encrypt.decrypt_block", "keys";
             "Secure.Metadata.build", "keys";
+            "Secure.Metadata.patch", "keys";
+            "Secure.Opess.patch", "key";
             "Secure.Client.create", "keys";
             "Crypto.Keys.create", "master";
             "Crypto.Ope.create", "key";
@@ -247,7 +249,19 @@ let default =
                [find].  Without this the unit result of [put] would
                smear taint over every binding near a cache insert. *)
             "Engine.Lru.put";
+            (* The delta path's only cryptographic step: re-encrypting
+               the touched blocks yields encrypt-then-MAC ciphertext,
+               the same boundary [Secure.Encrypt.encrypt] crosses at
+               setup. *)
+            "Secure.Encrypt.reencrypt_blocks";
             "Secure.Metadata.build";
+            (* The incremental patchers are boundaries for the same
+               reason as the builders: their outputs are the
+               server-side tables (interval rows keyed/deduplicated
+               like [build]'s, catalog rows through the keyed OPESS
+               encoder), never raw plaintext or key material. *)
+            "Secure.Metadata.patch";
+            "Secure.Opess.patch";
             "Secure.Client.translate";
             "Secure.Client.aggregate_range";
             "Secure.Session.client";

@@ -28,9 +28,15 @@ let block_cipher t =
     t.block_cipher <- Some prepared;
     prepared
 
-(* The nonce only needs to be unique per block; the IV derivation is
-   keyed downstream, so the block id itself suffices. *)
-let block_nonce _t ~block_id = Printf.sprintf "blk-%d" block_id
+(* The nonce only needs to be unique per (block, content version); the
+   IV derivation is keyed downstream, so the identifiers themselves
+   suffice.  Generation 0 keeps the historical shape so freshly hosted
+   blocks stay byte-identical across versions of this code; re-encrypted
+   blocks (incremental updates) bump the generation and therefore never
+   reuse a nonce under the same key with different plaintext. *)
+let block_nonce _t ?(generation = 0) ~block_id () =
+  if generation = 0 then Printf.sprintf "blk-%d" block_id
+  else Printf.sprintf "blk-%d.%d" block_id generation
 
 let tag_key t = derive t "tag-vernam"
 

@@ -27,8 +27,11 @@ val block_cipher : t -> Cipher.prepared
 (** Prepared (schedule-expanded) form of {!block_key} under the ring's
     suite, cached. *)
 
-val block_nonce : t -> block_id:int -> string
-(** Per-block CBC nonce (unique per block; keyed downstream). *)
+val block_nonce : t -> ?generation:int -> block_id:int -> unit -> string
+(** Per-block CBC nonce, unique per (block, generation); keyed
+    downstream.  [generation] defaults to [0] (a freshly hosted block)
+    and is bumped by incremental re-encryption so the same block id
+    never reuses a nonce for different plaintext. *)
 
 val tag_key : t -> string
 (** Key for the Vernam tag pads. *)

@@ -21,41 +21,56 @@ let weight ~key ~side child_id =
   (* Keep away from the extremes so gaps never collapse numerically. *)
   0.01 +. (raw *. 0.48)
 
+(* Core calInterval recursion over a mutable interval array: place every
+   descendant of [node] inside [intervals.(node)].  Shared by whole-tree
+   [assign] and by incremental [subdivide] (which seeds the subtree root
+   from a sibling gap first). *)
+let rec place ~key doc intervals node =
+  let iv = intervals.(node) in
+  let children = Doc.children doc node in
+  let count = List.length children in
+  if count > 0 then begin
+    let d = Interval.width iv /. float_of_int ((2 * count) + 1) in
+    (* Each level shrinks widths by 1/(2N+1); below double-precision
+       resolution the discontinuity guarantees collapse.  Fail loudly
+       with the remedy rather than corrupting the index. *)
+    if d < Float.abs iv.Interval.lo *. 1e-13 || d < 1e-300 then
+      invalid_arg
+        (Printf.sprintf
+           "Dsi.Assign: node %d is too deep/narrow for float-interval \
+            precision (interval width %.3g); the DSI scheme supports \
+            documents up to roughly 2^53 total slot subdivisions — \
+            restructure or shard the document"
+           node (Interval.width iv));
+    List.iteri
+      (fun idx child ->
+        let i = float_of_int (idx + 1) in
+        let w1 = weight ~key ~side:1 child in
+        let w2 = weight ~key ~side:2 child in
+        let lo = iv.Interval.lo +. (((2.0 *. i) -. 1.0) *. d) -. (w1 *. d) in
+        let hi = iv.Interval.lo +. (2.0 *. i *. d) +. (w2 *. d) in
+        intervals.(child) <- Interval.make lo hi;
+        place ~key doc intervals child)
+      children
+  end
+
 let assign ~key doc =
   let key = Crypto.Hmac.prepare ~key in
   let n = Doc.node_count doc in
   let intervals = Array.make n (Interval.make 0.0 1.0) in
-  let rec place node =
-    let iv = intervals.(node) in
-    let children = Doc.children doc node in
-    let count = List.length children in
-    if count > 0 then begin
-      let d = Interval.width iv /. float_of_int ((2 * count) + 1) in
-      (* Each level shrinks widths by 1/(2N+1); below double-precision
-         resolution the discontinuity guarantees collapse.  Fail loudly
-         with the remedy rather than corrupting the index. *)
-      if d < Float.abs iv.Interval.lo *. 1e-13 || d < 1e-300 then
-        invalid_arg
-          (Printf.sprintf
-             "Dsi.Assign: node %d is too deep/narrow for float-interval \
-              precision (interval width %.3g); the DSI scheme supports \
-              documents up to roughly 2^53 total slot subdivisions — \
-              restructure or shard the document"
-             node (Interval.width iv));
-      List.iteri
-        (fun idx child ->
-          let i = float_of_int (idx + 1) in
-          let w1 = weight ~key ~side:1 child in
-          let w2 = weight ~key ~side:2 child in
-          let lo = iv.Interval.lo +. (((2.0 *. i) -. 1.0) *. d) -. (w1 *. d) in
-          let hi = iv.Interval.lo +. (2.0 *. i *. d) +. (w2 *. d) in
-          intervals.(child) <- Interval.make lo hi;
-          place child)
-        children
-    end
-  in
-  place (Doc.root doc);
+  place ~key doc intervals (Doc.root doc);
   { doc; intervals }
+
+let of_intervals doc intervals =
+  if Array.length intervals <> Doc.node_count doc then
+    invalid_arg "Assign.of_intervals: interval count does not match document";
+  { doc; intervals = Array.copy intervals }
+
+let intervals t = Array.copy t.intervals
+
+let subdivide ~key t node =
+  let key = Crypto.Hmac.prepare ~key in
+  place ~key t.doc t.intervals node
 
 let interval_in_gap ~key ~label ~lo ~hi =
   if not (hi > lo) then invalid_arg "Assign.interval_in_gap: empty gap";

@@ -29,6 +29,28 @@ val interval : t -> Xmlcore.Doc.node -> Interval.t
 
 val doc : t -> Xmlcore.Doc.t
 
+val of_intervals : Xmlcore.Doc.t -> Interval.t array -> t
+(** [of_intervals doc intervals] wraps an externally supplied interval
+    array (indexed by preorder node id) as an assignment.  This is how
+    incrementally patched assignments are built: surviving nodes copy
+    their old intervals through the edit's node correspondence, inserted
+    nodes draw fresh ones from {!interval_in_gap}/{!subdivide}.  A
+    patched assignment is {e not} recomputable from the key alone, so
+    persistence must store the array.  The array is copied.
+    @raise Invalid_argument when the length differs from the document's
+    node count. *)
+
+val intervals : t -> Interval.t array
+(** The per-node interval array (a copy), for persistence. *)
+
+val subdivide : key:string -> t -> Xmlcore.Doc.node -> unit
+(** [subdivide ~key t node] reruns calInterval below [node], placing
+    every descendant inside [node]'s current interval (which must
+    already be set, e.g. by {!interval_in_gap}).  Used after an insert
+    to lay out the new subtree's interior.
+    @raise Invalid_argument when float precision would collapse, as in
+    {!assign}. *)
+
 val interval_in_gap :
   key:string -> label:int -> lo:float -> hi:float -> Interval.t
 (** [interval_in_gap ~key ~label ~lo ~hi] draws a fresh interval

@@ -60,7 +60,10 @@ type t = {
   mutable est : Estimate.t;
   plans : (string, Plan.t) Lru.t;
   results : (string, Exec.run) Lru.t;
-  blocks : (int, Secure.Client.answer) Lru.t;
+  blocks : (int * int, Secure.Client.answer) Lru.t;
+      (* keyed by (block id, block generation): a delta bumps only the
+         touched blocks' generations, so untouched entries stay valid
+         and warm across updates *)
   lock : Parallel.Lock.t;
       (* guards every cache and counter touch during [evaluate_batch];
          the sequential entry points run on one domain and need it only
@@ -87,13 +90,37 @@ let flush t =
   t.invalidations <- t.invalidations + 1;
   Log.debug (fun m -> m "caches flushed (invalidation %d)" t.invalidations)
 
+(* Selective invalidation for a delta update: the result memo is
+   flushed wholesale (a memoised response may need to GAIN blocks after
+   an insert or value change, so per-block eviction of memos is
+   unsound), but compiled plans stay (any plan is a correct plan) and
+   decrypted-block entries survive for every untouched block — only the
+   superseded (id, generation) keys are dropped.  Counters are NOT
+   reset: the survival of warm entries across an update is exactly what
+   they should show. *)
+let absorb_delta t (event : Secure.System.delta_event) =
+  Lru.clear t.results;
+  List.iter
+    (fun (id, old_gen, _new_gen) -> Lru.remove t.blocks (id, old_gen))
+    event.Secure.System.touched_blocks;
+  List.iter
+    (fun (id, old_gen) -> Lru.remove t.blocks (id, old_gen))
+    event.Secure.System.dropped_blocks;
+  t.invalidations <- t.invalidations + 1;
+  Log.debug (fun m ->
+      m "delta invalidation %d: %d touched, %d dropped, results flushed"
+        t.invalidations
+        (List.length event.Secure.System.touched_blocks)
+        (List.length event.Secure.System.dropped_blocks))
+
 (* Bind the engine to a hosting: refresh the statistics snapshot and
-   arm the invalidation hook that fires when this hosting is
-   superseded by update/rotate. *)
+   arm the invalidation hooks that fire when this hosting is superseded
+   — wholesale on update/rotate, per-block on apply_delta. *)
 let attach t system =
   t.system <- system;
   t.est <- Estimate.of_server (Secure.System.server system);
-  Secure.System.on_rehost system (fun () -> flush t)
+  Secure.System.on_rehost system (fun () -> flush t);
+  Secure.System.on_delta system (fun event -> absorb_delta t event)
 
 let create ?(config = default_config) system =
   let cap c = if config.caches then Int.max 0 c else 0 in
@@ -109,6 +136,7 @@ let create ?(config = default_config) system =
       invalidations = 0 }
   in
   Secure.System.on_rehost system (fun () -> flush t);
+  Secure.System.on_delta system (fun event -> absorb_delta t event);
   t
 
 let system t = t.system
@@ -123,6 +151,14 @@ let update t edit =
 
 let rotate t ~new_master =
   let next, cost = Secure.System.rotate t.system ~new_master in
+  attach t next;
+  cost
+
+let apply_delta t edit =
+  (* System.apply_delta fires the old hosting's delta hooks (or, when
+     it falls back to a full rebuild, its rehost hooks) before
+     returning; attach then re-arms both on the new hosting. *)
+  let next, cost = Secure.System.apply_delta t.system edit in
   attach t next;
   cost
 
@@ -232,7 +268,8 @@ let evaluate_report t query =
         List.map
           (fun b ->
             let id = b.Secure.Encrypt.id in
-            match Lru.find t.blocks id with
+            let key = id, b.Secure.Encrypt.generation in
+            match Lru.find t.blocks key with
             | Some tree -> id, tree
             | None ->
               shipped :=
@@ -240,7 +277,7 @@ let evaluate_report t query =
                 + String.length b.Secure.Encrypt.ciphertext
                 + Secure.Encrypt.block_header_bytes;
               let tree = Secure.Client.decrypt_block client b in
-              Lru.put t.blocks id tree;
+              Lru.put t.blocks key tree;
               id, tree)
           run.Exec.response.Secure.Server.blocks)
   in
@@ -316,7 +353,8 @@ let evaluate_batch t queries =
           List.map
             (fun b ->
               let id = b.Secure.Encrypt.id in
-              match locked (fun () -> Lru.find t.blocks id) with
+              let key = id, b.Secure.Encrypt.generation in
+              match locked (fun () -> Lru.find t.blocks key) with
               | Some tree ->
                 incr block_hits;
                 id, tree
@@ -327,7 +365,7 @@ let evaluate_batch t queries =
                   + String.length b.Secure.Encrypt.ciphertext
                   + Secure.Encrypt.block_header_bytes;
                 let tree = Secure.Client.decrypt_block client b in
-                locked (fun () -> Lru.put t.blocks id tree);
+                locked (fun () -> Lru.put t.blocks key tree);
                 id, tree)
             run.Exec.response.Secure.Server.blocks)
     in

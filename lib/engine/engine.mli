@@ -9,13 +9,19 @@
 
     - {e plan cache}: wire request -> compiled plan (server side);
     - {e result memo}: wire request -> evaluated response (server side);
-    - {e block cache}: block id -> decrypted subtree (client side).
+    - {e block cache}: (block id, generation) -> decrypted subtree
+      (client side).
 
     Every cache key is a ciphertext artifact the server already
     observes (the encoded request of Vernam tokens and OPESS ranges, or
-    a block id); plaintext never reaches a key.  All three caches are
-    flushed by the {!Secure.System.on_rehost} hook, so answers after
-    {!update} / {!rotate} are computed against fresh artifacts only.
+    a block id and its content generation); plaintext never reaches a
+    key.  All three caches are flushed by the
+    {!Secure.System.on_rehost} hook, so answers after {!update} /
+    {!rotate} are computed against fresh artifacts only.  The
+    incremental path ({!apply_delta}) instead invalidates selectively
+    through {!Secure.System.on_delta}: the result memo is flushed, but
+    compiled plans and the decrypted subtrees of untouched blocks stay
+    warm — only the superseded (id, generation) entries are dropped.
     See docs/SECURITY.md ("What the engine's caches add") for the
     leakage analysis. *)
 
@@ -64,6 +70,16 @@ val update : t -> Secure.Update.edit -> Secure.System.setup_cost
     hosting is attached. *)
 
 val rotate : t -> new_master:string -> Secure.System.setup_cost
+
+val apply_delta : t -> Secure.Update.edit -> Secure.System.delta_cost
+(** {!Secure.System.apply_delta} + selective invalidation + re-bind.
+    The old hosting's delta hook flushes the result memo and evicts
+    only the touched blocks' (id, generation) cache entries; plans and
+    untouched decrypted blocks survive, and no counters are reset
+    (their survival across the update is part of the contract — see
+    the cache-survival test).  When the system falls back to a full
+    rebuild, the rehost hook fires instead and all caches flush as in
+    {!update}. *)
 
 val flush : t -> unit
 (** Manual invalidation (counted like a rehost-triggered one). *)

@@ -84,6 +84,15 @@ let put t key value =
       | None -> ()
   end
 
+(* Targeted eviction (no hit/miss accounting): dropping a stale entry
+   is bookkeeping, not a lookup. *)
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

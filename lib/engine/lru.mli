@@ -21,6 +21,11 @@ val put : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or overwrite; evicts the least recently used entry when the
     capacity is exceeded.  A no-op at capacity [0]. *)
 
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop one entry if present.  Touches neither counters nor the
+    recency of other entries — targeted invalidation (a superseded
+    block generation) is bookkeeping, not a lookup. *)
+
 val clear : ('k, 'v) t -> unit
 (** Drop every entry.  Counters survive (the invalidation story is part
     of what they measure); use {!reset_counters} for a clean slate. *)

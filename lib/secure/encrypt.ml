@@ -8,6 +8,7 @@ type block = {
   plaintext_bytes : int;
   node_count : int;
   has_decoy : bool;
+  generation : int;
 }
 
 type db = {
@@ -18,7 +19,7 @@ type db = {
   encrypted_tags : string list;
   plaintext_tags : string list;
   node_block : int array;
-  block_by_id : block array;
+  block_by_id : block option array;
 }
 
 (* Models the EncryptedData / EncryptionMethod / CipherValue wrapper
@@ -66,15 +67,21 @@ exception Tampered of int
 let mac_tag_bytes = 16
 
 (* Truncated encrypt-then-MAC tag binding the ciphertext to its block
-   id (prevents both corruption and block-swapping). *)
-let block_mac ~keys ~id ciphertext =
+   id and content generation (prevents corruption, block-swapping and
+   rollback to a superseded generation).  Generation 0 keeps the
+   historical MAC input so freshly hosted blocks stay byte-identical;
+   the "#" separator cannot collide with it because ids render as bare
+   digits. *)
+let block_mac ~keys ~id ?(generation = 0) ciphertext =
+  let input =
+    if generation = 0 then Printf.sprintf "%d\x00%s" id ciphertext
+    else Printf.sprintf "%d#%d\x00%s" id generation ciphertext
+  in
   String.sub
-    (Crypto.Hmac.mac
-       ~key:(Crypto.Keys.derive keys "block-mac")
-       (Printf.sprintf "%d\x00%s" id ciphertext))
+    (Crypto.Hmac.mac ~key:(Crypto.Keys.derive keys "block-mac") input)
     0 mac_tag_bytes
 
-let encrypt_one ~keys doc ~id root =
+let encrypt_one ~keys ?(generation = 0) doc ~id root =
   let has_decoy = Doc.is_leaf doc root in
   let subtree = Doc.subtree doc root in
   let payload = if has_decoy then add_decoy ~keys ~root subtree else subtree in
@@ -82,17 +89,20 @@ let encrypt_one ~keys doc ~id root =
   let ciphertext =
     let body =
       Crypto.Cipher.encrypt (Crypto.Keys.block_cipher keys)
-        ~nonce:(Crypto.Keys.block_nonce keys ~block_id:id)
+        ~nonce:(Crypto.Keys.block_nonce keys ~generation ~block_id:id ())
         serialized
     in
-    body ^ block_mac ~keys ~id body
+    body ^ block_mac ~keys ~id ~generation body
   in
   { id;
     root;
     ciphertext;
     plaintext_bytes = String.length serialized;
     node_count = Doc.subtree_node_count doc root + (if has_decoy then 1 else 0);
-    has_decoy }
+    has_decoy;
+    generation }
+
+let encrypt_block = encrypt_one
 
 (* Rebuild the tree with block subtrees replaced by placeholders.
    [block_at] maps a node id to its block id when the node is a block
@@ -119,12 +129,19 @@ let make_db ~doc ~scheme ~blocks ~skeleton ~encrypted_tags ~plaintext_tags =
     (fun b ->
       List.iter (fun n -> node_block.(n) <- b.id) (Doc.descendant_or_self doc b.root))
     blocks;
-  let block_by_id =
-    Array.of_list (List.sort (fun a b -> Int.compare a.id b.id) blocks)
-  in
-  Array.iteri
-    (fun i b -> if b.id <> i then invalid_arg "Encrypt.make_db: non-dense block ids")
-    block_by_id;
+  (* Ids are dense [0..n-1] at setup but become sparse once incremental
+     deletes drop whole blocks (dropped ids are never reused — the
+     engine's per-generation cache keys depend on that), so the lookup
+     table is an option array over the id range. *)
+  let max_id = List.fold_left (fun acc b -> Int.max acc b.id) (-1) blocks in
+  let block_by_id = Array.make (max_id + 1) None in
+  List.iter
+    (fun b ->
+      if b.id < 0 then invalid_arg "Encrypt.make_db: negative block id";
+      if block_by_id.(b.id) <> None then
+        invalid_arg "Encrypt.make_db: duplicate block id";
+      block_by_id.(b.id) <- Some b)
+    blocks;
   { doc; scheme; blocks; skeleton; encrypted_tags; plaintext_tags;
     node_block; block_by_id }
 
@@ -141,19 +158,12 @@ let prewarm_block_keys ~keys =
   ignore (Crypto.Keys.derive keys "block-mac");
   ignore (Crypto.Keys.decoy_key keys)
 
-let encrypt ?pool ~keys doc scheme =
-  prewarm_block_keys ~keys;
-  let roots = Array.of_list scheme.Scheme.block_roots in
-  let encrypt_at id root = encrypt_one ~keys doc ~id root in
-  (* Each block's cipher+MAC depends only on (id, subtree): the nonce
-     is keyed by block id, so evaluation order is irrelevant and the
-     pooled path produces byte-identical ciphertexts. *)
-  let blocks_arr =
-    match pool with
-    | Some p -> Parallel.Pool.mapi p encrypt_at roots
-    | None -> Array.mapi encrypt_at roots
-  in
-  let blocks = Array.to_list blocks_arr in
+(* Assemble a db around a document and its (already encrypted) blocks:
+   recompute the skeleton and the tag partition from the plaintext —
+   pure bookkeeping, no cryptography.  Shared by fresh encryption and
+   the incremental delta path (which re-encrypts only touched blocks
+   and reuses every other ciphertext verbatim). *)
+let reassemble ~doc ~scheme ~blocks =
   let root_to_block = Hashtbl.create 64 in
   List.iter (fun b -> Hashtbl.replace root_to_block b.root b.id) blocks;
   let skeleton = skeleton_of doc ~block_at:(Hashtbl.find_opt root_to_block) in
@@ -169,16 +179,50 @@ let encrypt ?pool ~keys doc scheme =
   make_db ~doc ~scheme ~blocks ~skeleton ~encrypted_tags:(tags encrypted)
     ~plaintext_tags:(tags plaintext)
 
+let encrypt ?pool ~keys doc scheme =
+  prewarm_block_keys ~keys;
+  let roots = Array.of_list scheme.Scheme.block_roots in
+  let encrypt_at id root = encrypt_one ~keys doc ~id root in
+  (* Each block's cipher+MAC depends only on (id, subtree): the nonce
+     is keyed by block id, so evaluation order is irrelevant and the
+     pooled path produces byte-identical ciphertexts. *)
+  let blocks_arr =
+    match pool with
+    | Some p -> Parallel.Pool.mapi p encrypt_at roots
+    | None -> Array.mapi encrypt_at roots
+  in
+  reassemble ~doc ~scheme ~blocks:(Array.to_list blocks_arr)
+
+(* Re-encrypt a delta's touched blocks under bumped generations.  Like
+   [encrypt], the output is encrypt-then-MAC ciphertext only — which is
+   why this is a declassification boundary in the secret-flow policy —
+   and nonces are keyed by (id, generation), so the pooled path is
+   byte-identical to the sequential one. *)
+let reencrypt_blocks ?pool ~keys doc jobs =
+  prewarm_block_keys ~keys;
+  let re (b, root) =
+    encrypt_block ~keys ~generation:(b.generation + 1) doc ~id:b.id root
+  in
+  match pool with
+  | Some p when Parallel.Pool.size p > 1 ->
+    Parallel.Pool.mapi p (fun _ job -> re job) jobs
+  | Some _ | None -> Array.map re jobs
+
 let decrypt_block ~keys block =
   let total = String.length block.ciphertext in
   if total < mac_tag_bytes then raise (Tampered block.id);
   let body = String.sub block.ciphertext 0 (total - mac_tag_bytes) in
   let tag = String.sub block.ciphertext (total - mac_tag_bytes) mac_tag_bytes in
-  if not (Crypto.Eq.constant_time tag (block_mac ~keys ~id:block.id body)) then
-    raise (Tampered block.id);
+  if
+    not
+      (Crypto.Eq.constant_time tag
+         (block_mac ~keys ~id:block.id ~generation:block.generation body))
+  then raise (Tampered block.id);
   let serialized =
     Crypto.Cipher.decrypt (Crypto.Keys.block_cipher keys)
-      ~nonce:(Crypto.Keys.block_nonce keys ~block_id:block.id)
+      ~nonce:
+        (Crypto.Keys.block_nonce keys ~generation:block.generation
+           ~block_id:block.id ())
       body
   in
   let tree = Xmlcore.Parser.parse serialized in
@@ -191,7 +235,7 @@ let block_id_of_node db n =
 let block_of_node db n =
   match block_id_of_node db n with
   | None -> None
-  | Some id -> Some db.block_by_id.(id)
+  | Some id -> db.block_by_id.(id)
 
 let encrypted_bytes db =
   List.fold_left

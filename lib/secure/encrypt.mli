@@ -19,6 +19,7 @@ type block = {
   plaintext_bytes : int;            (** serialized subtree size, decoy included *)
   node_count : int;                 (** block size |b|, decoy included *)
   has_decoy : bool;
+  generation : int;                 (** content version; 0 = freshly hosted *)
 }
 
 type db = {
@@ -29,7 +30,8 @@ type db = {
   encrypted_tags : string list;     (** tags occurring inside blocks *)
   plaintext_tags : string list;     (** tags occurring outside blocks *)
   node_block : int array;           (** node id → containing block id, -1 if none *)
-  block_by_id : block array;        (** blocks indexed by block id *)
+  block_by_id : block option array; (** blocks indexed by block id; [None] at
+                                        ids dropped by incremental deletes *)
 }
 
 val block_header_bytes : int
@@ -58,9 +60,31 @@ val make_db :
   plaintext_tags:string list ->
   db
 (** Assemble a [db], computing the derived node→block lookup tables.
-    Every construction site (fresh encryption, restore from disk) must
-    go through here so {!block_of_node} stays O(1).
-    @raise Invalid_argument if block ids are not dense [0..n-1]. *)
+    Every construction site (fresh encryption, restore from disk,
+    incremental delta) must go through here so {!block_of_node} stays
+    O(1).  Ids are dense [0..n-1] at setup but may be sparse after
+    incremental deletes; dropped ids are never reused.
+    @raise Invalid_argument on negative or duplicate block ids. *)
+
+val encrypt_block :
+  keys:Crypto.Keys.t ->
+  ?generation:int ->
+  Xmlcore.Doc.t ->
+  id:int ->
+  Xmlcore.Doc.node ->
+  block
+(** Encrypt a single subtree as a block.  [generation] (default [0])
+    versions the nonce and MAC so incremental re-encryption of the same
+    block id with new content never reuses a nonce.  The generation-0
+    output is byte-identical to what {!encrypt} produces at setup. *)
+
+val reassemble :
+  doc:Xmlcore.Doc.t -> scheme:Scheme.t -> blocks:block list -> db
+(** Assemble a [db] around an edited document and its already-encrypted
+    blocks (roots remapped to the new numbering): the skeleton and tag
+    partition are recomputed from the plaintext, no cryptography runs.
+    The incremental delta path uses this to reuse untouched ciphertexts
+    verbatim. *)
 
 val encrypt :
   ?pool:Parallel.Pool.t -> keys:Crypto.Keys.t -> Xmlcore.Doc.t -> Scheme.t -> db
@@ -72,6 +96,19 @@ val encrypt :
     When [pool] is given, per-block encryption fans out across its
     domains.  Nonces are keyed by block id and results merge in block
     order, so the output is byte-identical to the sequential path. *)
+
+val reencrypt_blocks :
+  ?pool:Parallel.Pool.t ->
+  keys:Crypto.Keys.t ->
+  Xmlcore.Doc.t ->
+  (block * Xmlcore.Doc.node) array ->
+  block array
+(** Re-encrypt each [(old block, new root)] job against the edited
+    document under generation [old.generation + 1].  This is the delta
+    path's only cryptographic step; its output is encrypt-then-MAC
+    ciphertext, so — like {!encrypt} — the secret-flow policy declares
+    it a declassification boundary.  Fans out across [pool] when it has
+    more than one domain; byte-identical to the sequential path. *)
 
 val server_blocks : db -> block list
 (** The ciphertext half of the database — exactly what may be shipped

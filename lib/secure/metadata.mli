@@ -51,6 +51,46 @@ val build :
     order so attr ids and output are identical to the sequential
     path. *)
 
+exception Patch_impossible of string
+(** Raised by {!patch} when an edit cannot be absorbed incrementally
+    (fresh attribute id space exhausted, or a table row the plan says
+    must exist cannot be found).  {!patch} raises before mutating
+    anything, so the caller can fall back to a full rebuild. *)
+
+type patch_stats = {
+  rows_removed : int;            (** DSI table rows recomputed away *)
+  rows_added : int;              (** DSI table rows added back *)
+  catalogs_patched : int;        (** attributes whose catalog was examined *)
+  index_entries_removed : int;   (** B-tree entries deleted *)
+  index_entries_added : int;     (** B-tree entries inserted *)
+}
+
+val patch :
+  keys:Crypto.Keys.t ->
+  ?policy:index_policy ->
+  t ->
+  Update.plan ->
+  old_db:Encrypt.db ->
+  new_db:Encrypt.db ->
+  t * patch_stats
+(** [patch ~keys t plan ~old_db ~new_db] absorbs one planned edit
+    without rebuilding: surviving nodes keep their exact DSI intervals
+    (copied through the plan's node correspondence), inserted subtrees
+    draw intervals from the gaps calInterval reserved, only the parents
+    whose child list changed have their DSI-table rows recomputed, and
+    only attributes whose value multiset changed have their OPESS
+    catalog rebuilt (under the same attr id) and their B-tree namespace
+    re-inserted.  Work is proportional to the delta, not the database.
+
+    The B-tree is mutated {e in place} — the input [t] must be
+    considered consumed on success.  On [Patch_impossible] or
+    [Invalid_argument] (interval precision exhausted) nothing has been
+    mutated and [t] remains valid.
+
+    A patched assignment is no longer recomputable from the master key;
+    persistence stores the interval array
+    (see {!Dsi.Assign.of_intervals}). *)
+
 val catalog : t -> tag:string -> Opess.t option
 
 val table_entry_count : t -> int

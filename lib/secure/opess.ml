@@ -166,6 +166,20 @@ let build ~key ~attr_id ~tag histogram =
   List.iter (fun e -> Hashtbl.replace by_value e.value e) entries;
   { tag; attr_id; m; num_keys; entries; by_value }
 
+(* Incremental-update entry point.  [build] is deterministic in
+   (key, attr_id, tag, histogram), so patching a catalog whose value
+   histogram actually changed is just a rebuild under the SAME attr_id —
+   every untouched attribute's namespace (and thus its B-tree entries
+   and any cached translations) survives verbatim.  The fast path
+   matters for structural edits that move nodes without changing any
+   value multiset: the catalog is reused as-is, chunk displacements and
+   all. *)
+let patch ~key t histogram =
+  let current = List.map (fun e -> e.value, e.count) t.entries in
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) histogram in
+  if current = sorted then t
+  else build ~key ~attr_id:t.attr_id ~tag:t.tag histogram
+
 let of_parts ~tag ~attr_id ~m ~num_keys entries =
   let by_value = Hashtbl.create (List.length entries) in
   List.iter (fun e -> Hashtbl.replace by_value e.value e) entries;

@@ -47,6 +47,14 @@ val build : key:string -> attr_id:int -> tag:string -> Xmlcore.Stats.histogram -
     attribute.  [key] must be the per-attribute OPESS key.
     @raise Invalid_argument if [attr_id] is outside [\[0, 126\]]. *)
 
+val patch : key:string -> t -> Xmlcore.Stats.histogram -> t
+(** [patch ~key t histogram] brings the catalog up to date with a new
+    value histogram for the same attribute.  When the histogram is
+    unchanged the catalog is returned as-is (structural edits that only
+    move nodes); otherwise it is rebuilt under the {e same} [attr_id],
+    so other attributes' namespaced B-tree keys are unaffected.  [key]
+    must be the same per-attribute OPESS key used by {!build}. *)
+
 val of_parts :
   tag:string -> attr_id:int -> m:int -> num_keys:int -> value_entry list -> t
 (** Reconstruct a catalog from persisted parts (everything query

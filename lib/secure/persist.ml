@@ -36,7 +36,8 @@ let w_block b (blk : Encrypt.block) =
   W.string b blk.Encrypt.ciphertext;
   W.int b blk.Encrypt.plaintext_bytes;
   W.int b blk.Encrypt.node_count;
-  W.bool b blk.Encrypt.has_decoy
+  W.bool b blk.Encrypt.has_decoy;
+  W.int b blk.Encrypt.generation
 
 let r_block r =
   let id = R.int r in
@@ -45,7 +46,9 @@ let r_block r =
   let plaintext_bytes = R.int r in
   let node_count = R.int r in
   let has_decoy = R.bool r in
-  { Encrypt.id; root; ciphertext; plaintext_bytes; node_count; has_decoy }
+  let generation = R.int r in
+  { Encrypt.id; root; ciphertext; plaintext_bytes; node_count; has_decoy;
+    generation }
 
 let w_target b = function
   | Metadata.To_block id ->
@@ -116,7 +119,7 @@ let kind_of_int = function
 (* The body is a sequence of named sections; writer and reader walk the
    same list of names so verify can localise a failure (and a tear) to
    one section. *)
-let encode_body system =
+let encode_body ?(applied_seq = 0) system =
   let b = Buffer.create 65_536 in
   let sections = ref [] in
   let mark name = sections := (name, Buffer.length b) :: !sections in
@@ -165,6 +168,16 @@ let encode_body system =
   mark "opess-catalogs";
   W.list b W.string meta.Metadata.indexed_tags;
   mark "indexed-tags";
+  (* Stored, not recomputed: incremental deltas patch intervals in
+     place (gap draws for inserted subtrees), so the hosted assignment
+     is no longer a pure function of the master key. *)
+  W.list b w_interval
+    (Array.to_list (Dsi.Assign.intervals meta.Metadata.assignment));
+  mark "dsi-assignment";
+  (* Sequence number of the last delta-log record folded into this
+     bundle; replay skips records at or below it. *)
+  W.int b applied_seq;
+  mark "applied-seq";
   Buffer.contents b, List.rev !sections
 
 let section_offsets system =
@@ -174,8 +187,8 @@ let section_offsets system =
 let mac_key master =
   Crypto.Keys.derive (Crypto.Keys.create ~master ()) "persist-mac"
 
-let to_string system =
-  let body, _ = encode_body system in
+let to_string ?applied_seq system =
+  let body, _ = encode_body ?applied_seq system in
   let master = System.master system in
   let b = Buffer.create (header_len + String.length body + mac_len) in
   Buffer.add_string b magic;
@@ -205,13 +218,16 @@ type partial = {
   mutable p_btree_entries : (int64 * Metadata.target) list;
   mutable p_catalogs : (string * Opess.t) list;
   mutable p_indexed_tags : string list;
+  mutable p_assignment : Interval.t list;
+  mutable p_applied_seq : int;
 }
 
 let fresh_partial () =
   { p_cipher = None; p_doc = None; p_constraints = []; p_kind = None;
     p_block_roots = []; p_covered_tags = []; p_blocks = []; p_skeleton = None;
     p_encrypted_tags = []; p_plaintext_tags = []; p_dsi_table = [];
-    p_block_table = []; p_btree_entries = []; p_catalogs = []; p_indexed_tags = [] }
+    p_block_table = []; p_btree_entries = []; p_catalogs = []; p_indexed_tags = [];
+    p_assignment = []; p_applied_seq = 0 }
 
 let parse_or_corrupt what f x =
   try f x with
@@ -270,7 +286,9 @@ let stages r p =
               let v = r_target r in
               k, v) );
     ("opess-catalogs", fun () -> p.p_catalogs <- R.list r r_catalog);
-    ("indexed-tags", fun () -> p.p_indexed_tags <- R.list r R.string) ]
+    ("indexed-tags", fun () -> p.p_indexed_tags <- R.list r R.string);
+    ("dsi-assignment", fun () -> p.p_assignment <- R.list r r_interval);
+    ("applied-seq", fun () -> p.p_applied_seq <- R.int r) ]
 
 (* --- Header / framing checks --------------------------------------- *)
 
@@ -318,7 +336,7 @@ let check_framing ~master data =
 
 (* --- Full decode --------------------------------------------------- *)
 
-let rec of_string ~master data =
+let rec of_string_seq ~master data =
   try of_string_exn ~master data with Codec.Error m -> raise (Corrupt m)
 
 and of_string_exn ~master data =
@@ -353,10 +371,12 @@ and of_string_exn ~master data =
   in
   let btree = Btree.create ~min_degree:16 () in
   List.iter (fun (k, v) -> Btree.insert btree k v) p.p_btree_entries;
-  (* The DSI assignment is deterministic in the master key: recompute
-     rather than store. *)
-  let keys = Crypto.Keys.create ~master () in
-  let assignment = Dsi.Assign.assign ~key:(Crypto.Keys.dsi_key keys) doc in
+  (* Use the stored assignment: after an incremental delta it contains
+     gap-drawn intervals no key can recompute. *)
+  let assignment =
+    try Dsi.Assign.of_intervals doc (Array.of_list p.p_assignment)
+    with Invalid_argument m -> raise (Corrupt m)
+  in
   let metadata =
     { Metadata.assignment;
       dsi_table = p.p_dsi_table;
@@ -365,8 +385,11 @@ and of_string_exn ~master data =
       catalogs = p.p_catalogs;
       indexed_tags = p.p_indexed_tags }
   in
-  System.restore ~master ~cipher ~doc ~constraints:p.p_constraints ~scheme ~db
-    ~metadata ()
+  ( System.restore ~master ~cipher ~doc ~constraints:p.p_constraints ~scheme ~db
+      ~metadata (),
+    p.p_applied_seq )
+
+let of_string ~master data = fst (of_string_seq ~master data)
 
 (* --- Verification (fsck) ------------------------------------------- *)
 
@@ -419,7 +442,8 @@ let verify ~master data =
           (fun n -> n, Section_unreached)
           [ "cipher-suite"; "document"; "constraints"; "scheme"; "blocks";
             "skeleton"; "tag-partition"; "dsi-table"; "block-table";
-            "value-btree"; "opess-catalogs"; "indexed-tags" ],
+            "value-btree"; "opess-catalogs"; "indexed-tags"; "dsi-assignment";
+            "applied-seq" ],
         [],
         None )
     | Some body ->
@@ -501,11 +525,11 @@ let read_file path =
    either the complete old bundle or the complete new one at [path];
    the worst survivor is a torn [path ^ ".tmp"], which {!verify}
    identifies as such. *)
-let save system path =
+let save ?applied_seq system path =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     output_string oc (to_string system);
+     output_string oc (to_string ?applied_seq system);
      flush oc;
      Unix.fsync (Unix.descr_of_out_channel oc);
      close_out oc
@@ -515,4 +539,330 @@ let save system path =
   Sys.rename tmp path
 
 let load ~master path = of_string ~master (read_file path)
+let load_seq ~master path = of_string_seq ~master (read_file path)
 let verify_file ~master path = verify ~master (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Append-only delta log                                               *)
+
+(* The log rides next to its bundle as [path ^ ".log"]: a magic header
+   followed by self-framed records, each [i64 payload length | payload
+   | HMAC-SHA-256 over length+payload].  Appends are flushed and
+   fsynced whole, so a crash can only truncate the file — a {e torn}
+   tail (recoverable: the records before it are intact and the tail is
+   dropped) — while any bit flip inside a complete record fails its MAC
+   — {e tampered} (hard error).  Records are never rewritten; the log
+   shrinks only by compaction, which folds its effects into a freshly
+   saved bundle (stamped with the last applied sequence number) and
+   removes the log in one step. *)
+
+let log_magic = "SXQDLOG1"
+let log_path path = path ^ ".log"
+
+let log_mac_key master =
+  Crypto.Keys.derive (Crypto.Keys.create ~master ()) "persist-log-mac"
+
+let digest_key master =
+  Crypto.Keys.derive (Crypto.Keys.create ~master ()) "persist-doc-digest"
+
+(* Keyed digest of the plaintext document after an edit: replay
+   validates each applied record against it, so a divergence (wrong
+   master, reordered records, a drifted incremental path) is caught
+   before the recovered system is ever served. *)
+let doc_digest ~master doc =
+  Crypto.Hmac.mac ~key:(digest_key master) (Xmlcore.Printer.doc_to_string doc)
+
+type log_record = { seq : int; edit : Update.edit; digest : string }
+
+let w_edit b = function
+  | Update.Insert_child { parent; position; subtree } ->
+    W.int b 0;
+    W.string b (Xpath.Ast.to_string parent);
+    (* apply clamps negatives to 0; normalise here so the codec's
+       non-negative ints suffice *)
+    W.int b (Int.max 0 position);
+    W.string b (Xmlcore.Printer.tree_to_string subtree)
+  | Update.Delete_nodes path ->
+    W.int b 1;
+    W.string b (Xpath.Ast.to_string path)
+  | Update.Set_value (path, value) ->
+    W.int b 2;
+    W.string b (Xpath.Ast.to_string path);
+    W.string b value
+
+let r_edit r =
+  match R.int r with
+  | 0 ->
+    let parent = parse_or_corrupt "edit path" Xpath.Parser.parse (R.string r) in
+    let position = R.int r in
+    let subtree =
+      parse_or_corrupt "edit subtree" Xmlcore.Parser.parse (R.string r)
+    in
+    Update.Insert_child { parent; position; subtree }
+  | 1 ->
+    Update.Delete_nodes
+      (parse_or_corrupt "edit path" Xpath.Parser.parse (R.string r))
+  | 2 ->
+    let path = parse_or_corrupt "edit path" Xpath.Parser.parse (R.string r) in
+    let value = R.string r in
+    Update.Set_value (path, value)
+  | n -> raise (Corrupt (Printf.sprintf "unknown edit kind %d" n))
+
+let encode_record ~master record =
+  let payload =
+    let b = Buffer.create 256 in
+    W.int b record.seq;
+    w_edit b record.edit;
+    W.string b record.digest;
+    Buffer.contents b
+  in
+  let framed =
+    let b = Buffer.create (String.length payload + 8) in
+    W.i64 b (Int64.of_int (String.length payload));
+    Buffer.add_string b payload;
+    Buffer.contents b
+  in
+  framed ^ Crypto.Hmac.mac ~key:(log_mac_key master) framed
+
+type log_tail =
+  | Log_clean
+  | Log_torn of { clean_bytes : int; dropped_bytes : int }
+
+type log_scan = {
+  scan_records : log_record list;
+  scan_tail : log_tail;
+  scan_fatal : (int * string) option;
+}
+
+(* Walk the log front to back.  Classification rule: a frame the file
+   cannot contain in full is torn (our writer appends whole records, so
+   truncation is the only way to lose a suffix); a complete frame whose
+   MAC or payload decoding fails is tampering.  A flipped length field
+   in the last record can masquerade as a tear — conservative in the
+   right direction, since torn recovery drops exactly those bytes. *)
+let scan_log ~master data =
+  let n = String.length data in
+  let mlen = String.length log_magic in
+  let fatal idx m = { scan_records = []; scan_tail = Log_clean; scan_fatal = Some (idx, m) } in
+  if n < mlen then
+    if String.equal data (String.sub log_magic 0 n) then
+      { scan_records = [];
+        scan_tail = Log_torn { clean_bytes = 0; dropped_bytes = n };
+        scan_fatal = None }
+    else fatal 0 "bad log magic"
+  else if String.sub data 0 mlen <> log_magic then fatal 0 "bad log magic"
+  else begin
+    let key = log_mac_key master in
+    let rec go acc idx off =
+      let torn () =
+        { scan_records = List.rev acc;
+          scan_tail = Log_torn { clean_bytes = off; dropped_bytes = n - off };
+          scan_fatal = None }
+      in
+      let fatal m =
+        { scan_records = List.rev acc; scan_tail = Log_clean;
+          scan_fatal = Some (idx, m) }
+      in
+      if off = n then
+        { scan_records = List.rev acc; scan_tail = Log_clean; scan_fatal = None }
+      else if n - off < 8 then torn ()
+      else begin
+        let len = Int64.to_int (R.i64 (R.make data off)) in
+        if len < 0 then fatal "implausible record length"
+        else if n - off < 8 + len + mac_len then torn ()
+        else begin
+          let framed = String.sub data off (8 + len) in
+          let mac = String.sub data (off + 8 + len) mac_len in
+          if not (Crypto.Eq.constant_time mac (Crypto.Hmac.mac ~key framed))
+          then fatal "record MAC mismatch"
+          else
+            match
+              let r = R.make framed 8 in
+              let seq = R.int r in
+              let edit = r_edit r in
+              let digest = R.string r in
+              if not (R.at_end r) then
+                raise (Corrupt "trailing bytes in record");
+              { seq; edit; digest }
+            with
+            | record -> go (record :: acc) (idx + 1) (off + 8 + len + mac_len)
+            | exception Corrupt m -> fatal m
+            | exception Codec.Error m -> fatal m
+        end
+      end
+    in
+    go [] 0 mlen
+  end
+
+let read_log ~master data =
+  let s = scan_log ~master data in
+  (match s.scan_fatal with
+   | Some (idx, m) ->
+     raise (Corrupt (Printf.sprintf "delta log record %d: %s" idx m))
+   | None -> ());
+  s.scan_records, s.scan_tail
+
+(* Append one record: create-with-magic on first use, then a single
+   buffered write flushed and fsynced before returning.  No rename
+   dance — the append-only discipline makes truncation the only crash
+   artifact, and the scanner recovers from that. *)
+let append_record ~master path record =
+  let lp = log_path path in
+  (* A log truncated all the way to zero bytes (tear inside the magic)
+     must be re-seeded with the magic, so "fresh" means empty, not
+     merely absent. *)
+  let fresh =
+    (not (Sys.file_exists lp)) || (Unix.stat lp).Unix.st_size = 0
+  in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 lp
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if fresh then output_string oc log_magic;
+      output_string oc (encode_record ~master record);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc))
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd len;
+      Unix.fsync fd)
+
+(* In-memory replay of pending records over a restored system.  All
+   validation happens before the caller sees the result, so recovery
+   never serves a half-applied delta: a gap, divergent digest or
+   incremental failure raises and leaves the on-disk state untouched. *)
+let replay ~master system applied_seq records =
+  let system, _ =
+    List.fold_left
+      (fun (system, expected) record ->
+        if record.seq <> expected then
+          raise
+            (Corrupt
+               (Printf.sprintf "delta log gap: expected seq %d, found %d"
+                  expected record.seq));
+        let next, (_ : System.delta_cost) = System.apply_delta system record.edit in
+        if
+          not
+            (Crypto.Eq.constant_time
+               (doc_digest ~master (System.doc next))
+               record.digest)
+        then
+          raise
+            (Corrupt
+               (Printf.sprintf "delta log replay diverged at seq %d" record.seq));
+        next, expected + 1)
+      (system, applied_seq + 1) records
+  in
+  system
+
+(* --- Journal: bundle + log as one recoverable unit ----------------- *)
+
+type journal = {
+  mutable j_system : System.t;
+  mutable j_seq : int;
+  j_path : string;
+  j_master : string;
+  j_threshold : int;
+}
+
+let journal_system j = j.j_system
+let journal_seq j = j.j_seq
+
+let journal_open ?(compact_threshold = 1 lsl 20) ~master path =
+  let system, applied = load_seq ~master path in
+  let lp = log_path path in
+  let system, seq =
+    if not (Sys.file_exists lp) then system, applied
+    else begin
+      let records, tail = read_log ~master (read_file lp) in
+      (match tail with
+       | Log_clean -> ()
+       | Log_torn { clean_bytes; dropped_bytes = _ } ->
+         (* Drop the torn tail on disk so subsequent appends extend a
+            clean log instead of burying garbage mid-file. *)
+         truncate_file lp clean_bytes);
+      let pending = List.filter (fun r -> r.seq > applied) records in
+      let system = replay ~master system applied pending in
+      let seq =
+        match List.rev pending with [] -> applied | last :: _ -> last.seq
+      in
+      system, seq
+    end
+  in
+  { j_system = system; j_seq = seq; j_path = path; j_master = master;
+    j_threshold = compact_threshold }
+
+let journal_compact j =
+  save ~applied_seq:j.j_seq j.j_system j.j_path;
+  let lp = log_path j.j_path in
+  if Sys.file_exists lp then Sys.remove lp
+
+let journal_update j edit =
+  let next, cost = System.apply_delta j.j_system edit in
+  j.j_system <- next;
+  j.j_seq <- j.j_seq + 1;
+  append_record ~master:j.j_master j.j_path
+    { seq = j.j_seq; edit;
+      digest = doc_digest ~master:j.j_master (System.doc next) };
+  let lp = log_path j.j_path in
+  if Sys.file_exists lp && (Unix.stat lp).Unix.st_size > j.j_threshold then
+    journal_compact j;
+  cost
+
+(* --- Log fsck ------------------------------------------------------ *)
+
+type log_fsck = {
+  log_bytes : int;
+  log_records : int;
+  log_pending : int;
+  log_dropped_bytes : int;
+  log_fatal : string option;
+  log_replay : string option;
+}
+
+let fsck_log ~master path =
+  let lp = log_path path in
+  if not (Sys.file_exists lp) then None
+  else begin
+    let data = read_file lp in
+    let s = scan_log ~master data in
+    let dropped =
+      match s.scan_tail with
+      | Log_clean -> 0
+      | Log_torn { dropped_bytes; _ } -> dropped_bytes
+    in
+    let fatal =
+      Option.map
+        (fun (idx, m) -> Printf.sprintf "record %d: %s" idx m)
+        s.scan_fatal
+    in
+    let pending, replay_err =
+      match fatal with
+      | Some _ -> 0, None
+      | None ->
+        (match load_seq ~master path with
+         | exception _ ->
+           (* Bundle itself unusable: the bundle verdict carries that
+              story; replay is simply not attempted. *)
+           List.length s.scan_records, None
+         | system, applied ->
+           let pending = List.filter (fun r -> r.seq > applied) s.scan_records in
+           (match replay ~master system applied pending with
+            | (_ : System.t) -> List.length pending, None
+            | exception Corrupt m -> List.length pending, Some m
+            | exception e -> List.length pending, Some (Printexc.to_string e)))
+    in
+    Some
+      { log_bytes = String.length data;
+        log_records = List.length s.scan_records;
+        log_pending = pending;
+        log_dropped_bytes = dropped;
+        log_fatal = fatal;
+        log_replay = replay_err }
+  end

@@ -198,7 +198,8 @@ let w_block b (blk : Encrypt.block) =
   W.string b blk.Encrypt.ciphertext;
   W.int b blk.Encrypt.plaintext_bytes;
   W.int b blk.Encrypt.node_count;
-  W.bool b blk.Encrypt.has_decoy
+  W.bool b blk.Encrypt.has_decoy;
+  W.int b blk.Encrypt.generation
 
 let r_block r =
   let id = R.int r in
@@ -207,7 +208,9 @@ let r_block r =
   let plaintext_bytes = R.int r in
   let node_count = R.int r in
   let has_decoy = R.bool r in
-  { Encrypt.id; root; ciphertext; plaintext_bytes; node_count; has_decoy }
+  let generation = R.int r in
+  { Encrypt.id; root; ciphertext; plaintext_bytes; node_count; has_decoy;
+    generation }
 
 let encode_response (resp : Server.response) =
   let b = Buffer.create 1024 in

@@ -32,6 +32,15 @@ type link = {
   faulty : bool;
 }
 
+(* What a delta update changed, block-wise: enough for per-block cache
+   invalidation without flushing artifacts derived from untouched
+   blocks. *)
+type delta_event = {
+  touched_blocks : (int * int * int) list;  (* id, old gen, new gen *)
+  dropped_blocks : (int * int) list;        (* id, old gen *)
+  structural : bool;
+}
+
 type t = {
   doc : Doc.t;
   master : string;
@@ -40,6 +49,7 @@ type t = {
   scheme : Scheme.t;
   db : Encrypt.db;
   metadata : Metadata.t;
+  value_index : Metadata.index_policy;
   client : Client.t;
   server : Server.t;
   link : link;
@@ -51,6 +61,9 @@ type t = {
       (* observers (caches, engines) to notify when this hosting is
          superseded by update/update_all/rotate; shared by the
          with_faults record copy, which is the same hosting rewired *)
+  delta_hooks : (delta_event -> unit) list ref;
+      (* observers to notify when a delta supersedes this hosting with
+         a block-level changelist instead of a wholesale re-host *)
 }
 
 (* Re-hosting replaces every ciphertext artifact (blocks, tokens, OPE
@@ -69,6 +82,12 @@ let on_rehost t f = t.rehost_hooks := f :: !(t.rehost_hooks)
 let fire_rehost t =
   List.iter (fun f -> f ()) !(t.rehost_hooks);
   t.rehost_hooks := []
+
+let on_delta t f = t.delta_hooks := f :: !(t.delta_hooks)
+
+let fire_delta t event =
+  List.iter (fun f -> f event) !(t.delta_hooks);
+  t.delta_hooks := []
 
 type cost = {
   translate_ms : float;
@@ -157,13 +176,15 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
         metadata_ms
         (Crypto.Cipher.suite_to_string cipher));
   let system =
-    { doc; master; cipher; constraints = scs; scheme; db; metadata; client; server;
+    { doc; master; cipher; constraints = scs; scheme; db; metadata;
+      value_index; client; server;
       link = make_link keys server;
       pool;
       trace;
       ledger;
       generation = next_generation ();
-      rehost_hooks = ref [] }
+      rehost_hooks = ref [];
+      delta_hooks = ref [] }
   in
   let cost =
     { scheme_build_ms;
@@ -179,8 +200,9 @@ let setup ?(master = "secure-xml-master-key") ?(cipher = Crypto.Cipher.Xtea)
 (* Rebuild the live client/server pair from persisted parts (used by
    Persist.load); no scheme construction, encryption or metadata work
    happens here. *)
-let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~scheme
-    ~db ~metadata () =
+let restore ~master ?(cipher = Crypto.Cipher.Xtea)
+    ?(value_index = Metadata.All_leaves) ?pool ~doc ~constraints ~scheme ~db
+    ~metadata () =
   let keys = Crypto.Keys.create ~suite:cipher ~master () in
   (* A restored ring never ran [Encrypt.encrypt]: warm its derived-key
      memo before any pooled decryption can read it concurrently. *)
@@ -194,6 +216,7 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~sche
     scheme;
     db;
     metadata;
+    value_index;
     client = Client.create ~keys metadata db;
     server;
     link = make_link keys server;
@@ -201,7 +224,8 @@ let restore ~master ?(cipher = Crypto.Cipher.Xtea) ?pool ~doc ~constraints ~sche
     trace;
     ledger = Obs.Ledger.create ();
     generation = next_generation ();
-    rehost_hooks = ref [] }
+    rehost_hooks = ref [];
+    delta_hooks = ref [] }
 
 (* Rewire the same hosted system behind a chaotic link.  The server
    state is shared; only the wire path (and retry policy) changes. *)
@@ -794,3 +818,195 @@ let update_all t edits =
   in
   fire_rehost t;
   result
+
+(* ------------------------------------------------------------------ *)
+(* Incremental delta updates                                           *)
+
+type delta_cost = {
+  plan_ms : float;
+  reencrypt_ms : float;
+  patch_ms : float;
+  blocks_touched : int;
+  blocks_dropped : int;
+  blocks_total : int;
+  reencrypted_bytes : int;
+  rows_removed : int;
+  rows_added : int;
+  catalogs_patched : int;
+  index_entries_touched : int;
+  fell_back : bool;
+}
+
+exception Delta_fallback of string
+
+(* Apply one edit by re-encrypting only the touched blocks and patching
+   the metadata in place, instead of re-hosting the whole document.
+   The fallback ladder is explicit: whenever the incremental path
+   cannot be both correct and secure (the remapped scheme no longer
+   enforces the SCs, attribute/interval space exhausted, a surgery
+   precondition fails), it degrades to [update] — the always-secure
+   full re-host — and says so in the cost record. *)
+let apply_delta t edit =
+  let keys = Client.keys t.client in
+  let started = now_ms () in
+  try
+    let plan = Update.delta t.doc edit in
+    let plan_ms = now_ms () -. started in
+    let edited = plan.Update.edited in
+    let roots' =
+      List.filter_map
+        (fun r ->
+          let nr = plan.Update.new_of_old.(r) in
+          if nr >= 0 then Some nr else None)
+        t.scheme.Scheme.block_roots
+    in
+    let scheme' = { t.scheme with Scheme.block_roots = roots' } in
+    (* The remapped scheme must still enforce every SC over the edited
+       document — an insert of sensitive content outside all blocks is
+       exactly what this catches. *)
+    (match Scheme.enforces edited scheme' t.constraints with
+     | Ok () -> ()
+     | Error msg -> raise (Delta_fallback ("scheme no longer enforces SCs: " ^ msg)));
+    (* Touched = blocks containing an edit site; dropped = blocks whose
+       root vanished with a deleted subtree. *)
+    let touched_tbl = Hashtbl.create 16 in
+    let note n =
+      match Encrypt.block_id_of_node t.db n with
+      | Some id -> Hashtbl.replace touched_tbl id ()
+      | None -> ()
+    in
+    List.iter note plan.Update.changed_values;
+    List.iter note plan.Update.deleted_roots;
+    List.iter
+      (fun r ->
+        match Doc.parent edited r with
+        | Some p ->
+          let old_p = plan.Update.old_of_new.(p) in
+          if old_p >= 0 then note old_p
+        | None -> ())
+      plan.Update.inserted_roots;
+    let dropped = ref [] in
+    let survivors =
+      List.filter_map
+        (fun b ->
+          let nr = plan.Update.new_of_old.(b.Encrypt.root) in
+          if nr < 0 then begin
+            dropped := (b.Encrypt.id, b.Encrypt.generation) :: !dropped;
+            None
+          end
+          else Some (b, nr))
+        t.db.Encrypt.blocks
+    in
+    let jobs =
+      Array.of_list
+        (List.filter (fun (b, _) -> Hashtbl.mem touched_tbl b.Encrypt.id) survivors)
+    in
+    let reencrypt_start = now_ms () in
+    let fresh = Encrypt.reencrypt_blocks ?pool:t.pool ~keys edited jobs in
+    let reencrypt_ms = now_ms () -. reencrypt_start in
+    let fresh_by_id = Hashtbl.create 16 in
+    Array.iter (fun b -> Hashtbl.replace fresh_by_id b.Encrypt.id b) fresh;
+    let blocks' =
+      List.map
+        (fun (b, nr) ->
+          match Hashtbl.find_opt fresh_by_id b.Encrypt.id with
+          | Some fresh_block -> fresh_block
+          | None -> { b with Encrypt.root = nr })
+        survivors
+    in
+    let db' = Encrypt.reassemble ~doc:edited ~scheme:scheme' ~blocks:blocks' in
+    let patch_start = now_ms () in
+    let metadata', stats =
+      Metadata.patch ~keys ~policy:t.value_index t.metadata plan ~old_db:t.db
+        ~new_db:db'
+    in
+    let patch_ms = now_ms () -. patch_start in
+    let client = Client.create ~keys metadata' db' in
+    (* [tracer t], not [t.trace]: the accessor is the policy-declared
+       safe projection of the handle (see lib/analysis/policy.ml). *)
+    let server =
+      Server.of_metadata ~trace:(tracer t) metadata' (Encrypt.server_blocks db')
+    in
+    let t' =
+      { t with
+        doc = edited;
+        scheme = scheme';
+        db = db';
+        metadata = metadata';
+        client;
+        server;
+        link = make_link keys server;
+        generation = next_generation ();
+        rehost_hooks = ref [];
+        delta_hooks = ref [] }
+    in
+    let event =
+      { touched_blocks =
+          Array.to_list
+            (Array.map
+               (fun (b, _) ->
+                 b.Encrypt.id, b.Encrypt.generation, b.Encrypt.generation + 1)
+               jobs);
+        dropped_blocks = List.rev !dropped;
+        structural = plan.Update.structural }
+    in
+    Log.info (fun m ->
+        m "delta: %s; %d/%d blocks re-encrypted, %d dropped, %d rows patched"
+          (Update.describe edit) (Array.length jobs)
+          (List.length t.db.Encrypt.blocks)
+          (List.length !dropped)
+          (stats.Metadata.rows_removed + stats.Metadata.rows_added));
+    fire_delta t event;
+    ( t',
+      { plan_ms;
+        reencrypt_ms;
+        patch_ms;
+        blocks_touched = Array.length jobs;
+        blocks_dropped = List.length !dropped;
+        blocks_total = List.length t.db.Encrypt.blocks;
+        reencrypted_bytes =
+          Array.fold_left
+            (fun acc b -> acc + String.length b.Encrypt.ciphertext)
+            0 fresh;
+        rows_removed = stats.Metadata.rows_removed;
+        rows_added = stats.Metadata.rows_added;
+        catalogs_patched = stats.Metadata.catalogs_patched;
+        index_entries_touched =
+          stats.Metadata.index_entries_removed
+          + stats.Metadata.index_entries_added;
+        fell_back = false } )
+  with
+  | Delta_fallback reason
+  | Metadata.Patch_impossible reason
+  (* Interval precision exhausted mid-patch falls back too: a fresh
+     assignment (which renumbers everything) can absorb layouts the
+     incremental gaps cannot.  A genuinely invalid edit also lands
+     here, and [update] re-raises the identical [Invalid_argument]
+     before doing any work, so errors still propagate. *)
+  | Invalid_argument reason ->
+    Log.info (fun m -> m "delta update re-hosting instead: %s" reason);
+    let plan_ms = now_ms () -. started in
+    let t', setup_cost = update t edit in
+    ( t',
+      { plan_ms;
+        reencrypt_ms = setup_cost.encrypt_ms;
+        patch_ms = setup_cost.metadata_ms;
+        blocks_touched = setup_cost.block_count;
+        blocks_dropped = 0;
+        blocks_total = setup_cost.block_count;
+        reencrypted_bytes = Encrypt.encrypted_bytes (db t');
+        rows_removed = 0;
+        rows_added = 0;
+        catalogs_patched = 0;
+        index_entries_touched = 0;
+        fell_back = true } )
+
+let apply_deltas t edits =
+  let t, costs =
+    List.fold_left
+      (fun (t, costs) edit ->
+        let t', cost = apply_delta t edit in
+        t', cost :: costs)
+      (t, []) edits
+  in
+  t, List.rev costs

@@ -68,7 +68,8 @@ val setup :
     (should not happen for the four built-in kinds). *)
 
 val restore :
-  master:string -> ?cipher:Crypto.Cipher.suite -> ?pool:Parallel.Pool.t ->
+  master:string -> ?cipher:Crypto.Cipher.suite ->
+  ?value_index:Metadata.index_policy -> ?pool:Parallel.Pool.t ->
   doc:Xmlcore.Doc.t ->
   constraints:Sc.t list -> scheme:Scheme.t -> db:Encrypt.db ->
   metadata:Metadata.t -> unit -> t
@@ -107,6 +108,28 @@ val on_rehost : t -> (unit -> unit) -> unit
     {!update}, {!update_all} or {!rotate} — the moment every derived
     ciphertext artifact becomes stale.  {!with_faults} shares the hook
     list of the system it rewires. *)
+
+type delta_event = {
+  touched_blocks : (int * int * int) list;
+      (** (block id, old generation, new generation) for every block
+          re-encrypted by a delta *)
+  dropped_blocks : (int * int) list;
+      (** (block id, old generation) for blocks removed outright *)
+  structural : bool;
+      (** node ids shifted (insert/delete) — value-position artifacts
+          like memoised query results must be revalidated even for
+          untouched blocks *)
+}
+(** Block-level changelist of one {!apply_delta}: the granularity at
+    which derived artifacts (decrypted-block caches) can be invalidated
+    selectively instead of wholesale. *)
+
+val on_delta : t -> (delta_event -> unit) -> unit
+(** Register a delta hook.  Hooks fire (once, then are dropped) when
+    the system is superseded by {!apply_delta} — carrying the
+    changelist, so observers keep artifacts derived from untouched
+    blocks.  A full re-host ({!update}/{!rotate}) fires the
+    {!on_rehost} hooks instead, never these. *)
 
 (** {2 Transport faults and the session layer}
 
@@ -254,3 +277,44 @@ val rotate : t -> new_master:string -> t * setup_cost
 (** Re-host under a fresh master secret: every derived key, pad, OPE
     mapping and DSI weight changes; bundles persisted under the old
     master no longer authenticate. *)
+
+(** {2 Incremental delta updates}
+
+    {!apply_delta} makes update cost proportional to the delta instead
+    of the database: only blocks containing an edit site are
+    re-encrypted (each under a bumped per-block generation, so nonces
+    never repeat), the DSI interval tables and OPESS catalogs are
+    patched in place, and untouched ciphertexts, table rows and index
+    namespaces survive verbatim.  Security is preserved by an explicit
+    fallback ladder: whenever the incremental path cannot be both
+    correct and secure (the remapped scheme stops enforcing an SC,
+    attribute or interval space runs out), the edit is applied by the
+    always-secure full re-host instead. *)
+
+type delta_cost = {
+  plan_ms : float;               (** edit planning + correspondence walk *)
+  reencrypt_ms : float;          (** touched-block re-encryption *)
+  patch_ms : float;              (** metadata surgery *)
+  blocks_touched : int;          (** blocks re-encrypted *)
+  blocks_dropped : int;          (** blocks removed with deleted subtrees *)
+  blocks_total : int;            (** blocks before the edit *)
+  reencrypted_bytes : int;       (** ciphertext bytes re-produced *)
+  rows_removed : int;            (** DSI table rows recomputed away *)
+  rows_added : int;              (** DSI table rows added back *)
+  catalogs_patched : int;        (** OPESS catalogs examined/rebuilt *)
+  index_entries_touched : int;   (** B-tree entries deleted + inserted *)
+  fell_back : bool;              (** the edit went through a full re-host *)
+}
+
+val apply_delta : t -> Update.edit -> t * delta_cost
+(** Apply one edit incrementally.  Answers over the result are exactly
+    those of a fresh {!setup} of the edited document (pinned by the
+    differential suite); server-visible artifacts differ only in the
+    touched blocks.  Fires the {!on_delta} hooks with the block
+    changelist (or, when falling back, the {!on_rehost} hooks via
+    {!update}).  The superseded system's metadata shares its B-tree
+    with the result and must not be queried afterwards.
+    @raise Invalid_argument on impossible edits (see {!Update.apply}). *)
+
+val apply_deltas : t -> Update.edit list -> t * delta_cost list
+(** Fold {!apply_delta} over a batch, left to right. *)

@@ -33,6 +33,35 @@ val apply_all : Xmlcore.Doc.t -> edit list -> Xmlcore.Doc.t
 (** Fold {!apply} over a batch (re-indexing between edits so later
     paths see earlier edits). *)
 
+type plan = {
+  edit : edit;
+  edited : Xmlcore.Doc.t;        (** the post-edit document, re-indexed *)
+  new_of_old : int array;        (** old id → new id; [-1] when deleted *)
+  old_of_new : int array;        (** new id → old id; [-1] when inserted *)
+  inserted_roots : int list;     (** {e new} ids of inserted subtree roots *)
+  deleted_roots : int list;      (** {e old} ids of removed subtree roots
+                                     (nested bindings are folded into their
+                                     outermost deleted ancestor) *)
+  changed_values : int list;     (** {e old} ids of leaves whose text changed *)
+  structural : bool;             (** whether node ids shifted at all *)
+}
+(** A planned edit: the edited document together with the exact node
+    correspondence that {!apply}'s rebuild induces.  Preorder ids shift
+    under structural edits, so every incremental consumer (interval
+    copying, DSI table surgery, block re-encryption) routes through
+    [new_of_old]/[old_of_new] instead of assuming stable ids. *)
+
+val delta : Xmlcore.Doc.t -> edit -> plan
+(** Plan one edit.  Same validation failures as {!apply}
+    ([Invalid_argument] on a path binding nothing, deleting the root,
+    setting a non-leaf, inserting under a leaf). *)
+
+val tree_node_count : Xmlcore.Tree.t -> int
+(** Number of document nodes the tree occupies after
+    {!Xmlcore.Doc.of_tree} ([Element (tag, [Text v])] collapses to one
+    leaf).
+    @raise Invalid_argument on a loose text node. *)
+
 val describe : edit -> string
 (** One-line rendering of an edit's {e shape} for logs: the path and
     position only — replacement values and inserted subtrees are never

@@ -105,6 +105,156 @@ let deterministic_sweep () =
     true
     (!cases / 6 >= 200)
 
+(* ------------------------------------------------------------------ *)
+(* Update equivalence: applying a sequence of deltas to a hosted
+   system must be indistinguishable — answer for answer — from tearing
+   everything down and re-hosting the mutated document from scratch.
+   Every evaluation path is compared against the fresh-setup oracle,
+   and the engine keeps its caches warm across the update (that is the
+   point of the delta pipeline; test_engine pins the hit counters, here
+   we pin the answers). *)
+
+module Update = Secure.Update
+module Tree = Xmlcore.Tree
+
+(* Tag census of the current document: which tags can safely receive
+   each edit kind.  [Set_value] needs every binding to be a leaf,
+   [Insert_child] needs every binding to be an element, [Delete_nodes]
+   works on anything but the root. *)
+let census doc =
+  let tbl = Hashtbl.create 16 in
+  let bump tag leaf =
+    let l, e = Option.value (Hashtbl.find_opt tbl tag) ~default:(0, 0) in
+    Hashtbl.replace tbl tag (if leaf then (l + 1, e) else (l, e + 1))
+  in
+  Tree.fold
+    (fun () t ->
+      match t with
+      | Tree.Element (tag, [ Tree.Text _ ]) -> bump tag true
+      | Tree.Element (tag, _) -> bump tag false
+      | Tree.Text _ -> ())
+    ()
+    (Xmlcore.Doc.to_tree doc);
+  let pick pred =
+    Hashtbl.fold
+      (fun tag counts acc -> if pred tag counts then tag :: acc else acc)
+      tbl []
+    |> List.sort compare
+  in
+  let leaf_tags = pick (fun _ (l, e) -> l > 0 && e = 0) in
+  let elem_tags = pick (fun t (l, e) -> e > 0 && l = 0 && t <> "root") in
+  let any_tags = pick (fun t _ -> t <> "root") in
+  leaf_tags, elem_tags, any_tags
+
+(* Deterministic edit sequence: each step re-reads the evolved document
+   so the chosen path is guaranteed to bind (Update raises
+   Invalid_argument on dangling paths, and a raise here would be a test
+   bug, not a library one). *)
+let gen_edits ~seed doc n =
+  let rng = Crypto.Prng.create seed in
+  let choose xs = List.nth xs (Crypto.Prng.int rng (List.length xs)) in
+  let rec go cur k acc =
+    if k = 0 then List.rev acc
+    else
+      let leaf_tags, elem_tags, any_tags = census cur in
+      let candidates =
+        List.concat
+          [ List.map
+              (fun t ->
+                Update.Set_value
+                  ( Xpath.Parser.parse ("//" ^ t),
+                    string_of_int (100 + Crypto.Prng.int rng 900) ))
+              leaf_tags;
+            List.map
+              (fun t ->
+                Update.Insert_child
+                  {
+                    parent = Xpath.Parser.parse ("//" ^ t);
+                    position = Crypto.Prng.int rng 4;
+                    subtree =
+                      Tree.leaf "note" ("n" ^ string_of_int (n - k));
+                  })
+              elem_tags;
+            (* Deletes last so value/structure edits dominate; still
+               exercised whenever the rng lands on them. *)
+            List.filteri (fun i _ -> i < 2)
+              (List.map
+                 (fun t -> Update.Delete_nodes (Xpath.Parser.parse ("//" ^ t)))
+                 any_tags);
+          ]
+      in
+      if candidates = [] then List.rev acc
+      else
+        let edit = choose candidates in
+        go (Update.apply_all cur [ edit ]) (k - 1) (edit :: acc)
+  in
+  go doc n []
+
+let update_queries =
+  List.map Xpath.Parser.parse
+    [ "//item/name"; "//c"; "//price"; "//item[price>=20]/name"; "//note";
+      "//*[name]" ]
+
+let update_cases = ref 0
+
+(* One (doc, edit-sequence, scheme) cell: host, warm an engine, apply
+   the deltas everywhere, then compare every path against a fresh
+   re-host of the mutated plaintext. *)
+let update_equiv_cell ~seed doc edits kind =
+  let sys0, _ = System.setup ~master:"diff-update" doc scs kind in
+  let eng = Engine.create sys0 in
+  (* Warm the engine's plan/result/block caches on the pre-update
+     document so the post-update runs cross a warm cache. *)
+  List.iter (fun q -> ignore (Engine.evaluate eng q)) update_queries;
+  let sysn, costs = System.apply_deltas sys0 edits in
+  List.iter (fun e -> ignore (Engine.apply_delta eng e)) edits;
+  ignore costs;
+  let fresh, _ =
+    System.setup ~master:(System.master sysn) (System.doc sysn)
+      (System.constraints sysn) kind
+  in
+  let batch = System.evaluate_batch sysn (Array.of_list update_queries) in
+  List.iteri
+    (fun i q ->
+      let name path =
+        Printf.sprintf "update %Ld %s %s: %s" seed
+          (Scheme.kind_to_string kind) path (Xpath.Ast.to_string q)
+      in
+      let expected = Helpers.norm_trees (System.reference fresh q) in
+      incr update_cases;
+      check_one ~label:(name "fresh/evaluate") ~expected
+        (fst (System.evaluate fresh q));
+      check_one ~label:(name "delta/naive") ~expected
+        (fst (System.naive_evaluate sysn q));
+      check_one ~label:(name "delta/evaluate") ~expected
+        (fst (System.evaluate sysn q));
+      check_one ~label:(name "delta/batch") ~expected (fst batch.(i));
+      check_one ~label:(name "delta/engine-warm") ~expected
+        (Engine.evaluate eng q))
+    update_queries
+
+let update_seeds = [ 7L; 77L; 777L ]
+
+let update_equivalence_sweep () =
+  List.iter
+    (fun seed ->
+      let doc = Helpers.random_doc ~seed () in
+      List.iter
+        (fun (eseed, len) ->
+          let edits = gen_edits ~seed:eseed doc len in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld produced edits" seed)
+            true (edits <> []);
+          List.iter
+            (fun kind -> update_equiv_cell ~seed doc edits kind)
+            Scheme.all_kinds)
+        [ Int64.add seed 1L, 3; Int64.add seed 2L, 5 ])
+    update_seeds;
+  Alcotest.(check bool)
+    (Printf.sprintf "update sweep covered >= 100 cases (got %d)" !update_cases)
+    true
+    (!update_cases >= 100)
+
 (* Arbitrary documents on top of the fixed seeds: the same all-paths
    agreement, qcheck-generated.  Kept smaller per run (two schemes, the
    generated queries only) so the whole suite stays fast. *)
@@ -132,4 +282,7 @@ let () =
     [ ( "sweep",
         [ Alcotest.test_case "deterministic all-paths sweep" `Slow
             deterministic_sweep ] );
+      ( "updates",
+        [ Alcotest.test_case "delta-vs-fresh-host equivalence sweep" `Slow
+            update_equivalence_sweep ] );
       Helpers.qsuite "property" [ arbitrary_doc_agreement ] ]

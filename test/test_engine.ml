@@ -162,6 +162,67 @@ let update_invalidates () =
   Alcotest.(check bool) "invalidation counted" true
     ((Engine.stats eng).Engine.Stats.invalidations >= 1)
 
+(* The incremental-update contract: Engine.apply_delta flushes the
+   result memo but keeps compiled plans and every untouched block's
+   decrypted-subtree entry — only the touched blocks' (id, generation)
+   keys are evicted, and no counters reset.  This is the cache-survival
+   pin: before this path existed, ANY update flushed all three caches
+   wholesale. *)
+let delta_preserves_untouched_block_cache () =
+  let sys, _ = System.setup ~master:"test-engine-delta" doc scs Scheme.Opt in
+  let eng = Engine.create sys in
+  let pnames =
+    List.filter_map
+      (Xmlcore.Doc.value doc)
+      (Xmlcore.Doc.nodes_with_tag doc "pname")
+  in
+  let a = List.nth pnames 0 and b = List.nth pnames 1 in
+  let q_warm = parse (Printf.sprintf "//patient[pname='%s']//policy#" a) in
+  let q_touched = parse (Printf.sprintf "//patient[pname='%s']//policy#" b) in
+  (* Warm both queries' blocks (and plans, and result memos). *)
+  ignore (Engine.evaluate eng q_warm);
+  ignore (Engine.evaluate eng q_touched);
+  let _, warm = Engine.evaluate_report eng q_warm in
+  Alcotest.(check bool) "warm run serves blocks from cache" true
+    (warm.Engine.block_misses = 0 && warm.Engine.block_hits > 0);
+  let hits_before = (Engine.stats eng).Engine.Stats.block_hits in
+  (* Edit patient b's insurance block through the incremental path. *)
+  let cost =
+    Engine.apply_delta eng
+      (Secure.Update.Set_value
+         (parse (Printf.sprintf "//patient[pname='%s']//policy#" b), "91234"))
+  in
+  Alcotest.(check bool) "edit stayed incremental" false cost.System.fell_back;
+  Alcotest.(check bool) "edit touched a block" true (cost.System.blocks_touched >= 1);
+  (* Untouched region: every block entry survived (zero misses), the
+     compiled plan survived, and the counters kept climbing — only the
+     result memo was flushed. *)
+  let answers, post = Engine.evaluate_report eng q_warm in
+  Alcotest.(check bool) "untouched blocks still cached" true
+    (post.Engine.block_misses = 0 && post.Engine.block_hits > 0);
+  Alcotest.(check bool) "plan survived the delta" true
+    (post.Engine.plan_outcome = Engine.Hit);
+  Alcotest.(check bool) "result memo flushed" true
+    (post.Engine.result_outcome = Engine.Miss);
+  Alcotest.(check bool) "block-hit counter not reset" true
+    ((Engine.stats eng).Engine.Stats.block_hits > hits_before);
+  Alcotest.(check bool) "untouched answers exact" true
+    (answers = fst (System.evaluate (Engine.system eng) q_warm));
+  (* Touched region: the superseded (id, generation) entry is gone, so
+     the block re-ships — and the fresh ciphertext's value is served. *)
+  let answers, touched = Engine.evaluate_report eng q_touched in
+  Alcotest.(check bool) "touched block re-shipped" true
+    (touched.Engine.block_misses >= 1);
+  Alcotest.(check bool) "touched answers exact" true
+    (answers = fst (System.evaluate (Engine.system eng) q_touched));
+  Alcotest.(check bool) "new value visible" true
+    (List.exists
+       (fun t ->
+         match t with
+         | Xmlcore.Tree.Element (_, [ Xmlcore.Tree.Text v ]) -> v = "91234"
+         | _ -> false)
+       answers)
+
 let tiny_capacity_eviction () =
   (* Capacities of 1/1/2 force constant eviction; answers must not
      change, only hit rates. *)
@@ -260,6 +321,8 @@ let () =
         [ Alcotest.test_case "all schemes, warm/cold/off" `Slow
             equality_across_schemes;
           Alcotest.test_case "update invalidates" `Quick update_invalidates;
+          Alcotest.test_case "delta keeps untouched blocks warm" `Quick
+            delta_preserves_untouched_block_cache;
           Alcotest.test_case "tiny capacities" `Quick tiny_capacity_eviction ]
       );
       ( "server-invariants",

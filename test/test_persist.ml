@@ -96,7 +96,7 @@ let truncation_at_every_section_boundary () =
   let sys = build_system () in
   let data = Persist.to_string sys in
   let offsets = Persist.section_offsets sys in
-  Alcotest.(check int) "twelve sections" 12 (List.length offsets);
+  Alcotest.(check int) "fourteen sections" 14 (List.length offsets);
   List.iter
     (fun (name, boundary) ->
       List.iter
@@ -227,6 +227,283 @@ let updated_system_persists () =
     (fst (System.evaluate sys2 q))
     (fst (System.evaluate restored q))
 
+(* --- Delta log: journal round trips, crash injection, compaction --- *)
+
+module Update = Secure.Update
+module Tree = Xmlcore.Tree
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+(* A mixed edit batch: value edits on encrypted leaves (policy# and
+   disease live inside //insurance and //patient blocks under the
+   Health constraints), a structural insert of a plaintext tag, and a
+   structural delete. *)
+let log_edits =
+  [ Update.Set_value (parse "//policy#", "90001");
+    Update.Insert_child
+      { parent = parse "//patient"; position = 0;
+        subtree = Tree.leaf "remark" "checked" };
+    Update.Set_value (parse "//disease", "flu");
+    Update.Delete_nodes (parse "//remark");
+    Update.Set_value (parse "//policy#", "90002") ]
+
+(* Host a bundle, run [edits] through a journal, hand (path, sys0) to
+   [f], and clean up every artifact afterwards. *)
+let with_journal ?compact_threshold edits f =
+  let sys = build_system () in
+  let path = Filename.temp_file "sxq" ".host" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; Persist.log_path path; path ^ ".tmp" ])
+    (fun () ->
+      Persist.save sys path;
+      let j = Persist.journal_open ?compact_threshold ~master:"persist-master" path in
+      List.iter (fun e -> ignore (Persist.journal_update j e)) edits;
+      f path sys j)
+
+(* The plaintext oracle for "exactly the first [k] edits applied":
+   mutate the document offline and re-host it from scratch. *)
+let oracle_answers sys k q =
+  let prefix = List.filteri (fun i _ -> i < k) log_edits in
+  let doc' = Update.apply_all (System.doc sys) prefix in
+  let fresh, _ =
+    System.setup ~master:"persist-master" doc' (System.constraints sys)
+      Secure.Scheme.Opt
+  in
+  Helpers.norm_trees (System.reference fresh (parse q))
+
+let log_queries =
+  [ "//patient/pname"; "//insurance/policy#"; "//remark";
+    "//patient[.//disease='flu']/pname" ]
+
+let journal_roundtrip () =
+  with_journal log_edits (fun path sys j ->
+      let n = List.length log_edits in
+      Alcotest.(check int) "seq after updates" n (Persist.journal_seq j);
+      (* Reopening replays the log to a byte-identical system. *)
+      let j2 = Persist.journal_open ~master:"persist-master" path in
+      Alcotest.(check int) "seq after reopen" n (Persist.journal_seq j2);
+      Alcotest.(check bool) "replayed state byte-identical" true
+        (Persist.to_string (Persist.journal_system j)
+        = Persist.to_string (Persist.journal_system j2));
+      (* Answers agree with a from-scratch re-host of the mutated doc. *)
+      List.iter
+        (fun q ->
+          Alcotest.(check (list string)) ("reopen " ^ q)
+            (oracle_answers sys n q)
+            (Helpers.norm_trees
+               (fst (System.evaluate (Persist.journal_system j2) (parse q)))))
+        log_queries;
+      (* fsck agrees the log is clean and fully pending. *)
+      match Persist.fsck_log ~master:"persist-master" path with
+      | None -> Alcotest.fail "fsck found no log"
+      | Some f ->
+        Alcotest.(check int) "records" n f.Persist.log_records;
+        Alcotest.(check int) "pending" n f.Persist.log_pending;
+        Alcotest.(check int) "dropped" 0 f.Persist.log_dropped_bytes;
+        Alcotest.(check (option string)) "fatal" None f.Persist.log_fatal;
+        Alcotest.(check (option string)) "replay" None f.Persist.log_replay)
+
+(* Frame geometry of the on-disk log: [(start, stop)] per record, where
+   a record spans [8-byte length][payload][32-byte MAC]. *)
+let record_spans data =
+  let magic_len = 8 and mac_len = 32 in
+  let n = String.length data in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      let len =
+        Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string data) off)
+      in
+      let stop = off + 8 + len + mac_len in
+      go stop ((off, stop) :: acc)
+  in
+  go magic_len []
+
+let log_truncation_battery () =
+  with_journal log_edits (fun path sys _j ->
+      let lp = Persist.log_path path in
+      let data = read_file lp in
+      let spans = record_spans data in
+      Alcotest.(check int) "one record per edit" (List.length log_edits)
+        (List.length spans);
+      (* Cut points: inside the magic, at every record boundary, and at
+         several offsets inside every record (length field, payload,
+         MAC). *)
+      let cuts =
+        (0, 0) :: (3, 0) :: (8, 8)
+        :: List.concat_map
+             (fun (start, stop) ->
+               let clean = start in
+               [ start + 1, clean; start + 8, clean;
+                 start + 8 + ((stop - start - 40) / 2), clean;
+                 stop - 1, clean; stop, stop ])
+             spans
+      in
+      List.iter
+        (fun (cut, clean_bytes) ->
+          if cut <= String.length data then begin
+            write_file lp (String.sub data 0 cut);
+            (* read_log classifies the damage as a tear, never raises. *)
+            let records, tail =
+              Persist.read_log ~master:"persist-master" (String.sub data 0 cut)
+            in
+            let full_before =
+              List.length (List.filter (fun (_, stop) -> stop <= cut) spans)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "cut %d: complete records" cut)
+              full_before (List.length records);
+            (match tail with
+             | Persist.Log_clean ->
+               Alcotest.(check int)
+                 (Printf.sprintf "cut %d is a boundary" cut)
+                 clean_bytes cut
+             | Persist.Log_torn { clean_bytes = cb; dropped_bytes } ->
+               Alcotest.(check int)
+                 (Printf.sprintf "cut %d: clean prefix" cut)
+                 clean_bytes cb;
+               Alcotest.(check int)
+                 (Printf.sprintf "cut %d: dropped bytes" cut)
+                 (cut - clean_bytes) dropped_bytes);
+            (* fsck reports the tear as recoverable, not fatal. *)
+            (match Persist.fsck_log ~master:"persist-master" path with
+             | None -> Alcotest.fail "fsck found no log"
+             | Some f ->
+               Alcotest.(check (option string))
+                 (Printf.sprintf "cut %d: no fatal" cut)
+                 None f.Persist.log_fatal;
+               Alcotest.(check (option string))
+                 (Printf.sprintf "cut %d: replay ok" cut)
+                 None f.Persist.log_replay);
+            (* Recovery serves exactly the clean-prefix state — never a
+               half-applied delta. *)
+            let j =
+              Persist.journal_open ~master:"persist-master" path
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "cut %d: recovered seq" cut)
+              full_before (Persist.journal_seq j);
+            List.iter
+              (fun q ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "cut %d: %s" cut q)
+                  (oracle_answers sys full_before q)
+                  (Helpers.norm_trees
+                     (fst
+                        (System.evaluate (Persist.journal_system j) (parse q)))))
+              log_queries;
+            (* journal_open truncated the torn tail on disk. *)
+            Alcotest.(check int)
+              (Printf.sprintf "cut %d: tail dropped on disk" cut)
+              clean_bytes
+              (String.length (read_file lp))
+          end)
+        cuts)
+
+(* After a tear inside the magic, recovery truncates the log to zero
+   bytes; the next append must re-seed the magic so the log stays
+   scannable. *)
+let log_reseeds_after_total_tear () =
+  with_journal log_edits (fun path sys _j ->
+      let lp = Persist.log_path path in
+      let data = read_file lp in
+      write_file lp (String.sub data 0 3);
+      let j = Persist.journal_open ~master:"persist-master" path in
+      Alcotest.(check int) "nothing replayed" 0 (Persist.journal_seq j);
+      ignore (Persist.journal_update j (List.hd log_edits));
+      let j2 = Persist.journal_open ~master:"persist-master" path in
+      Alcotest.(check int) "reopen sees the new record" 1
+        (Persist.journal_seq j2);
+      List.iter
+        (fun q ->
+          Alcotest.(check (list string)) ("reseed " ^ q)
+            (oracle_answers sys 1 q)
+            (Helpers.norm_trees
+               (fst (System.evaluate (Persist.journal_system j2) (parse q)))))
+        log_queries)
+
+let log_tampering_battery () =
+  with_journal log_edits (fun path _sys _j ->
+      let lp = Persist.log_path path in
+      let data = read_file lp in
+      let spans = record_spans data in
+      (* Flip one byte in the payload and one in the MAC of every
+         record; each is a complete frame, so the scanner must call it
+         tampering (a hard error), never a recoverable tear. *)
+      let flips =
+        List.concat_map
+          (fun (start, stop) -> [ start + 8 + 2; stop - 5 ])
+          spans
+      in
+      List.iter
+        (fun i ->
+          let b = Bytes.of_string data in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+          let mutated = Bytes.to_string b in
+          (match Persist.read_log ~master:"persist-master" mutated with
+           | _ -> Alcotest.failf "flip at %d accepted" i
+           | exception Persist.Corrupt m ->
+             Alcotest.(check bool)
+               (Printf.sprintf "flip %d names the record" i)
+               true (contains ~sub:"delta log record" m));
+          write_file lp mutated;
+          (* fsck surfaces it as fatal... *)
+          (match Persist.fsck_log ~master:"persist-master" path with
+           | None -> Alcotest.fail "fsck found no log"
+           | Some f ->
+             Alcotest.(check bool)
+               (Printf.sprintf "flip %d fatal" i)
+               true (f.Persist.log_fatal <> None));
+          (* ...and recovery refuses outright rather than serving a
+             half-applied prefix. *)
+          match Persist.journal_open ~master:"persist-master" path with
+          | _ -> Alcotest.failf "journal_open accepted flip at %d" i
+          | exception Persist.Corrupt _ -> ())
+        flips;
+      (* A record from a different master is tampering too. *)
+      write_file lp data;
+      match
+        Persist.read_log ~master:"eve" data
+      with
+      | _ -> Alcotest.fail "foreign master accepted"
+      | exception Persist.Corrupt _ -> ())
+
+let log_compaction () =
+  (* A one-byte threshold forces compaction after every update: the log
+     is folded into the bundle and removed, and the bundle's applied
+     sequence advances so reopen replays nothing. *)
+  with_journal ~compact_threshold:1 log_edits (fun path sys j ->
+      let n = List.length log_edits in
+      Alcotest.(check int) "seq survives compaction" n (Persist.journal_seq j);
+      Alcotest.(check bool) "log removed" false
+        (Sys.file_exists (Persist.log_path path));
+      Alcotest.(check (option string)) "fsck has nothing to do" None
+        (Option.map (fun _ -> "log present")
+           (Persist.fsck_log ~master:"persist-master" path));
+      let restored, applied = Persist.load_seq ~master:"persist-master" path in
+      Alcotest.(check int) "applied-seq folded into bundle" n applied;
+      List.iter
+        (fun q ->
+          Alcotest.(check (list string)) ("compacted " ^ q)
+            (oracle_answers sys n q)
+            (Helpers.norm_trees (fst (System.evaluate restored (parse q)))))
+        log_queries;
+      let j2 = Persist.journal_open ~master:"persist-master" path in
+      Alcotest.(check int) "reopen after compaction" n (Persist.journal_seq j2))
+
 let () =
   Alcotest.run "persist"
     [ ( "roundtrip",
@@ -243,4 +520,11 @@ let () =
       ( "crash safety",
         [ Alcotest.test_case "interrupted save" `Quick
             interrupted_save_preserves_previous_bundle;
-          Alcotest.test_case "verify reports" `Quick verify_reports ] ) ]
+          Alcotest.test_case "verify reports" `Quick verify_reports ] );
+      ( "delta log",
+        [ Alcotest.test_case "journal roundtrip" `Quick journal_roundtrip;
+          Alcotest.test_case "truncation battery" `Quick log_truncation_battery;
+          Alcotest.test_case "reseed after total tear" `Quick
+            log_reseeds_after_total_tear;
+          Alcotest.test_case "tampering battery" `Quick log_tampering_battery;
+          Alcotest.test_case "compaction" `Quick log_compaction ] ) ]

@@ -203,6 +203,211 @@ let update_changes_value_index () =
     answers;
   Alcotest.(check int) "exactly Matt" 1 (List.length answers)
 
+(* --- Incremental deltas -------------------------------------------- *)
+
+(* The invariant every delta test leans on: after apply_delta(s), the
+   system answers exactly like a fresh setup of the mutated document —
+   and like the plaintext oracle. *)
+let check_delta_equiv what sys' queries =
+  let edited = System.doc sys' in
+  let fresh, _ =
+    System.setup ~master:(System.master sys') edited (System.constraints sys')
+      (System.scheme sys').Secure.Scheme.kind
+  in
+  List.iter
+    (fun q ->
+      let query = parse q in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s agrees with oracle" what q)
+        true
+        (Helpers.norm_trees (System.reference sys' query)
+         = Helpers.norm_trees (fst (System.evaluate sys' query)));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s agrees with fresh setup" what q)
+        true
+        (Helpers.norm_trees (fst (System.evaluate fresh query))
+         = Helpers.norm_trees (fst (System.evaluate sys' query))))
+    queries
+
+let health_queries =
+  [ "//patient/pname"; "//insurance/policy#"; "//treat/doctor";
+    "//patient[age>=40]/pname" ]
+
+(* Regression: deleting the last node(s) of a block must re-encrypt the
+   emptied block (inner deletion) or drop it (root deletion) — the
+   original delta planner lost the correspondence for both shapes. *)
+let delta_delete_last_block_node () =
+  let sys, _ = fresh_system () in
+  (* Betty's insurance block: delete its policy# leaves, then the
+     @coverage attribute — the block root ends up childless but alive. *)
+  let sys2, costs =
+    System.apply_deltas sys
+      [ Update.Delete_nodes (parse "//patient[pname='Betty']/insurance/policy#");
+        Update.Delete_nodes (parse "//patient[pname='Betty']/insurance/@coverage") ]
+  in
+  List.iteri
+    (fun i (c : System.delta_cost) ->
+      Alcotest.(check bool) (Printf.sprintf "edit %d stayed incremental" i)
+        false c.System.fell_back;
+      Alcotest.(check bool) (Printf.sprintf "edit %d re-encrypted, not dropped" i)
+        true (c.System.blocks_touched >= 1 && c.System.blocks_dropped = 0))
+    costs;
+  Alcotest.(check int) "Betty's insurance emptied" 0
+    (List.length
+       (Xpath.Eval.eval (System.doc sys2)
+          (parse "//patient[pname='Betty']/insurance/*")));
+  check_delta_equiv "emptied block" sys2 health_queries;
+  (* Deleting a whole block subtree drops its block instead. *)
+  let sys3, cost =
+    System.apply_delta sys2
+      (Update.Delete_nodes (parse "//patient[pname='Matt']/insurance"))
+  in
+  Alcotest.(check bool) "drop stayed incremental" false cost.System.fell_back;
+  Alcotest.(check bool) "block dropped" true (cost.System.blocks_dropped >= 1);
+  check_delta_equiv "dropped block" sys3 health_queries
+
+(* Regression: inserting into an empty tag group — a childless element
+   (the DSI gap is bounded by the parent interval, no siblings to lean
+   on) and a tag no catalog has seen (a fresh OPESS catalog must
+   spring up, not a patched one). *)
+let delta_insert_into_empty_group () =
+  let sys, _ = fresh_system () in
+  let sys2, _ =
+    System.apply_deltas sys
+      [ Update.Delete_nodes (parse "//patient[pname='Betty']/insurance/policy#");
+        Update.Delete_nodes (parse "//patient[pname='Betty']/insurance/@coverage") ]
+  in
+  (* Insert into the now-childless insurance element (inside a block). *)
+  let sys3, cost =
+    System.apply_delta sys2
+      (Update.Insert_child
+         { parent = parse "//patient[pname='Betty']/insurance";
+           position = 0;
+           subtree = Tree.leaf "policy#" "55555" })
+  in
+  Alcotest.(check bool) "childless insert stayed incremental" false
+    cost.System.fell_back;
+  Alcotest.(check bool) "touched the containing block" true
+    (cost.System.blocks_touched >= 1);
+  Alcotest.(check (list string)) "inserted leaf queryable" [ "55555" ]
+    (List.filter_map
+       (fun t -> match t with Tree.Element (_, [ Tree.Text v ]) -> Some v | _ -> None)
+       (fst (System.evaluate sys3 (parse "//patient[pname='Betty']/insurance/policy#"))));
+  check_delta_equiv "childless-element insert" sys3 health_queries;
+  (* Insert a tag nobody indexed yet: the patch must build a fresh
+     catalog under a fresh attribute id. *)
+  let sys4, cost =
+    System.apply_delta sys3
+      (Update.Insert_child
+         { parent = parse "//patient[pname='Matt']";
+           position = 99;
+           subtree = Tree.leaf "remark" "recheck" })
+  in
+  Alcotest.(check bool) "new-tag insert stayed incremental" false
+    cost.System.fell_back;
+  check_delta_equiv "new-tag insert" sys4 ("//remark" :: health_queries)
+
+(* Random interleavings of incremental updates, queries and key
+   rotations against ONE hosting: every query must agree with the
+   plaintext oracle at the moment it runs, and no block's generation
+   counter may ever decrease (a decrease would reuse a (key, nonce)
+   pair).  Rotation re-keys the hosting — a fresh nonce space — so the
+   tracker restarts there. *)
+let delta_interleaving_agrees =
+  QCheck.Test.make ~name:"update/query/rotate interleavings stay exact" ~count:10
+    QCheck.(list_of_size Gen.(int_range 4 10) (int_range 0 1000))
+    (fun ops ->
+      let doc = Workload.Health.generate ~patients:12 () in
+      let scs = Workload.Health.constraints () in
+      let sys =
+        ref (fst (System.setup ~master:"interleave" doc scs Secure.Scheme.Opt))
+      in
+      let gens : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let check_gens () =
+        List.iter
+          (fun (b : Secure.Encrypt.block) ->
+            (match Hashtbl.find_opt gens b.Secure.Encrypt.id with
+             | Some g0 when b.Secure.Encrypt.generation < g0 ->
+               failwith
+                 (Printf.sprintf "block %d generation decreased %d -> %d"
+                    b.Secure.Encrypt.id g0 b.Secure.Encrypt.generation)
+             | _ -> ());
+            Hashtbl.replace gens b.Secure.Encrypt.id b.Secure.Encrypt.generation)
+          (System.db !sys).Secure.Encrypt.blocks
+      in
+      check_gens ();
+      let target i =
+        let pnames =
+          List.filter_map
+            (Doc.value (System.doc !sys))
+            (Doc.nodes_with_tag (System.doc !sys) "pname")
+        in
+        List.nth pnames (i mod List.length pnames)
+      in
+      let queries =
+        [| "//patient/pname"; "//insurance/policy#"; "//treat/doctor";
+           "//patient[age>=40]/pname" |]
+      in
+      let agree q =
+        let q = parse q in
+        Helpers.norm_trees (System.reference !sys q)
+        = Helpers.norm_trees (fst (System.evaluate !sys q))
+      in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op mod 6 with
+          | 0 ->
+            let next, _ =
+              System.apply_delta !sys
+                (Update.Set_value
+                   ( parse (Printf.sprintf "//patient[pname='%s']/age" (target op)),
+                     string_of_int (20 + (op mod 60)) ))
+            in
+            sys := next;
+            check_gens ()
+          | 1 ->
+            let next, _ =
+              System.apply_delta !sys
+                (Update.Set_value
+                   ( parse
+                       (Printf.sprintf "//patient[pname='%s']//policy#" (target op)),
+                     Printf.sprintf "8%04d" (op mod 1000) ))
+            in
+            sys := next;
+            check_gens ()
+          | 2 ->
+            let next, _ =
+              System.apply_delta !sys
+                (Update.Insert_child
+                   { parent =
+                       parse (Printf.sprintf "//patient[pname='%s']" (target op));
+                     position = op mod 3;
+                     subtree = Tree.leaf "remark" (Printf.sprintf "r%d" op) })
+            in
+            sys := next;
+            check_gens ()
+          | 3 ->
+            if Doc.nodes_with_tag (System.doc !sys) "remark" <> [] then begin
+              let next, _ =
+                System.apply_delta !sys (Update.Delete_nodes (parse "//remark"))
+              in
+              sys := next;
+              check_gens ()
+            end
+          | 4 -> ok := !ok && agree queries.(op mod Array.length queries)
+          | _ ->
+            let next, _ =
+              System.rotate !sys
+                ~new_master:(Printf.sprintf "interleave-%d-%d" i op)
+            in
+            sys := next;
+            Hashtbl.reset gens;
+            check_gens ())
+        ops;
+      !ok
+      && Array.for_all agree queries)
+
 (* --- DSI gap insertion --------------------------------------------- *)
 
 let gap_insertion_fits =
@@ -280,6 +485,12 @@ let () =
         [ Alcotest.test_case "secure re-host" `Quick update_rehosts_securely;
           Alcotest.test_case "value index refresh" `Quick update_changes_value_index ]
         @ List.map QCheck_alcotest.to_alcotest [ random_edits_stay_consistent ] );
+      ( "delta",
+        [ Alcotest.test_case "delete last node of a block" `Quick
+            delta_delete_last_block_node;
+          Alcotest.test_case "insert into an empty tag group" `Quick
+            delta_insert_into_empty_group ]
+        @ List.map QCheck_alcotest.to_alcotest [ delta_interleaving_agrees ] );
       ( "dsi gaps",
         Alcotest.test_case "between siblings" `Quick gap_insertion_between_siblings
         :: List.map QCheck_alcotest.to_alcotest [ gap_insertion_fits ] ) ]
